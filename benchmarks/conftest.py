@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark suite.
+
+Each bench regenerates one paper artifact (table, figure, or headline
+claim), prints the same rows/series the paper reports, and writes them to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can reference stable
+outputs.
+
+Benches run the ``ci`` measurement preset by default; set the
+``REPRO_PRESET`` environment variable to ``paper`` for the full
+Sec. 4 protocol (T_sim = 600 s x 3 replicates — hours of compute).
+"""
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def preset() -> str:
+    return os.environ.get("REPRO_PRESET", "ci")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_report(results_dir):
+    """Write a formatted experiment report and echo it to stdout."""
+
+    def _save(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save

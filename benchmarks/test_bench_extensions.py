@@ -1,0 +1,92 @@
+"""E1-E3 — extension benches (no direct paper artifact; they quantify the
+design arguments the paper makes in prose).
+
+* E1 quantifies Sec. 2.1.2's flooding-vs-forwarding argument;
+* E2 quantifies the daily-activity channel effect the NICTA traces embed;
+* E3 runs the reliability-first dual formulation the introduction
+  motivates with the insulin-pump example.
+"""
+
+import pytest
+
+from repro.experiments.extensions import (
+    format_dual_staircase,
+    format_posture_sensitivity,
+    format_routing_comparison,
+    run_dual_staircase,
+    run_posture_sensitivity,
+    run_routing_comparison,
+)
+from repro.library.mac_options import RoutingKind
+
+
+class TestRoutingComparison:
+    @pytest.fixture(scope="class")
+    def data(self, preset):
+        return run_routing_comparison(preset=preset, seed=0)
+
+    def test_bench_routing_comparison(self, benchmark, data, save_report, preset):
+        table = benchmark(format_routing_comparison, data)
+        save_report(f"ext_routing_{preset}", table)
+
+    def test_flooding_most_reliable_and_most_expensive(self, data):
+        star = data.rows[RoutingKind.STAR]
+        mesh = data.rows[RoutingKind.MESH]
+        p2p = data.rows[RoutingKind.P2P]
+        assert mesh.pdr >= star.pdr
+        assert mesh.pdr >= p2p.pdr
+        assert mesh.power_mw > star.power_mw
+        assert mesh.power_mw > p2p.power_mw
+
+    def test_p2p_cheapest_transmission_count(self, data):
+        counts = {r: row.transmissions for r, row in data.rows.items()}
+        assert counts[RoutingKind.P2P] <= counts[RoutingKind.STAR]
+        assert counts[RoutingKind.P2P] < counts[RoutingKind.MESH]
+
+
+class TestPostureSensitivity:
+    @pytest.fixture(scope="class")
+    def data(self, preset):
+        return run_posture_sensitivity(preset=preset, seed=0)
+
+    def test_bench_posture(self, benchmark, data, save_report, preset):
+        table = benchmark(format_posture_sensitivity, data)
+        save_report(f"ext_posture_{preset}", table)
+
+    def test_posture_costs_reliability(self, data):
+        for routing, (plain, postured) in data.rows.items():
+            assert postured <= plain + 0.01, routing
+
+    def test_flooding_more_robust_than_single_path_forwarding(self, data):
+        """Redundancy absorbs the posture-induced losses better than the
+        single-route scheme: P2P pays the largest reliability cost."""
+        costs = {
+            routing: plain - postured
+            for routing, (plain, postured) in data.rows.items()
+        }
+        assert costs[RoutingKind.MESH] <= costs[RoutingKind.P2P] + 0.01
+
+
+class TestDualStaircase:
+    @pytest.fixture(scope="class")
+    def data(self, preset):
+        return run_dual_staircase(preset=preset, seed=0)
+
+    def test_bench_dual(self, benchmark, data, save_report, preset):
+        table = benchmark(format_dual_staircase, data)
+        save_report(f"ext_dual_{preset}", table)
+
+    def test_all_bounds_feasible(self, data):
+        assert all(r.found for r in data.results.values())
+
+    def test_looser_lifetime_never_less_reliable(self, data):
+        bounds = sorted(data.results)  # ascending lifetime requirement
+        pdrs = [data.results[b].best.pdr for b in bounds]
+        # Tighter lifetime requirement (larger bound) -> PDR can only drop.
+        for looser, tighter in zip(pdrs, pdrs[1:]):
+            assert tighter <= looser + 1e-9
+
+    def test_solutions_respect_their_budget(self, data):
+        for bound, result in data.results.items():
+            assert result.best.power_mw <= result.max_power_mw + 1e-9
+            assert result.best.nlt_days >= bound - 1e-6

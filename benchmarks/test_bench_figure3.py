@@ -1,0 +1,103 @@
+"""F3 — regenerate Figure 3: PDR vs. NLT scatter of MILP-suggested
+configurations with the optimum per PDR_min (the paper's arrows).
+
+Asserted shape (robust to the ``ci`` preset's single-replicate estimator
+noise; the strictest claims are checked only under ``REPRO_PRESET=paper``):
+
+* feasible configurations span a wide PDR range and NLT from ~10 days to
+  over a month (paper: 0-100% and 2 days to >1 month);
+* loose bounds select a minimum-size star at reduced TX power;
+* tightening the bound first raises TX power within the star, then
+  switches the routing to mesh (paper: crossover above ~90%);
+* the optimum's lifetime decreases monotonically as PDR_min rises;
+* under the paper protocol, the 100%-reliability optimum is a mesh with an
+  extra (5th) node and a lifetime of only days.
+"""
+
+import pytest
+
+from repro.experiments.figure3 import format_figure3, run_figure3
+from repro.library.mac_options import RoutingKind
+
+
+@pytest.fixture(scope="module")
+def data(preset):
+    return run_figure3(preset=preset, seed=0)
+
+
+def test_bench_figure3(benchmark, data, save_report, preset):
+    # The experiment itself runs once (module fixture); the benchmark hook
+    # times the cached-scatter reconstruction so pytest-benchmark reports
+    # the artifact without re-simulating for minutes per round.
+    series = benchmark(data.scatter_series)
+    assert len(series) == len(data.scatter)
+    save_report(f"figure3_{preset}", format_figure3(data))
+
+
+class TestScatterShape:
+    def test_scatter_covers_wide_pdr_range(self, data):
+        pdrs = [e.pdr_percent for e in data.scatter]
+        assert min(pdrs) < 60.0
+        assert max(pdrs) > 99.0
+
+    def test_scatter_covers_wide_lifetime_range(self, data):
+        nlts = [e.nlt_days for e in data.scatter]
+        assert max(nlts) > 25.0  # the star regime lives about a month
+        assert min(nlts) < 15.0  # the mesh regime pays days of lifetime
+        assert max(nlts) / min(nlts) > 3.0
+
+    def test_mesh_points_trade_lifetime_for_reliability(self, data):
+        star = [e for e in data.scatter if e.config.routing is RoutingKind.STAR]
+        mesh = [e for e in data.scatter if e.config.routing is RoutingKind.MESH]
+        assert star and mesh
+        # Mesh at full TX power is more reliable and shorter-lived than the
+        # star population on average.
+        star_top = max(e.pdr for e in star)
+        mesh_top = max(e.pdr for e in mesh)
+        assert mesh_top >= star_top
+        assert min(e.nlt_days for e in mesh) < min(e.nlt_days for e in star)
+
+
+class TestOptimaStaircase:
+    def test_all_bounds_feasible(self, data):
+        assert all(best is not None for best in data.optima.values())
+
+    def test_loose_bound_minimum_star(self, data):
+        lowest = min(data.optima)
+        best = data.optima[lowest]
+        assert best.config.routing is RoutingKind.STAR
+        assert best.config.num_nodes == 4
+        assert best.config.tx_dbm < 0.0  # reduced TX power
+
+    def test_strictest_bound_mesh(self, data):
+        highest = max(data.optima)
+        best = data.optima[highest]
+        assert best.config.routing is RoutingKind.MESH
+
+    def test_lifetime_monotone_in_bound(self, data):
+        bounds = sorted(data.optima)
+        lifetimes = [data.optima[b].nlt_days for b in bounds]
+        for earlier, later in zip(lifetimes, lifetimes[1:]):
+            assert later <= earlier + 1e-9
+
+    def test_tx_power_never_decreases_within_star_regime(self, data):
+        bounds = sorted(data.optima)
+        star_tx = [
+            data.optima[b].config.tx_dbm
+            for b in bounds
+            if data.optima[b].config.routing is RoutingKind.STAR
+        ]
+        for earlier, later in zip(star_tx, star_tx[1:]):
+            assert later >= earlier - 1e-9
+
+    def test_optima_meet_their_bounds(self, data):
+        for bound, best in data.optima.items():
+            assert best.pdr >= bound - 1e-12
+
+    def test_paper_preset_fifth_node_at_full_reliability(self, data, preset):
+        if preset != "paper":
+            pytest.skip("strict 100%-bound structure asserted under the "
+                        "paper protocol only (CI estimator noise)")
+        best = data.optima[max(data.optima)]
+        assert best.config.num_nodes >= 5
+        assert best.nlt_days < 10.0

@@ -1,0 +1,42 @@
+"""R1 — regenerate the "87% fewer simulations than exhaustive search"
+comparison.
+
+Exhaustive search needs one simulation per constraint-satisfying
+configuration (1,320 in the design example's space); Algorithm 1 simulates
+only the MILP-suggested candidate pools it visits.  The bench prints the
+per-PDR_min reduction table and asserts a substantial mean reduction.
+"""
+
+import pytest
+
+from repro.experiments.reduction import format_reduction, run_reduction
+
+
+@pytest.fixture(scope="module")
+def data(preset):
+    return run_reduction(preset=preset, seed=0)
+
+
+def test_bench_reduction(benchmark, data, save_report, preset):
+    table = benchmark(format_reduction, data)
+    assert "reduction" in table
+    save_report(f"reduction_{preset}", table)
+
+
+class TestReductionShape:
+    def test_exhaustive_count_matches_design_space(self, data):
+        assert data.exhaustive_simulations == 1320
+
+    def test_every_run_cheaper_than_exhaustive(self, data):
+        for pdr_min, sims in data.algorithm_simulations.items():
+            assert 0 < sims < data.exhaustive_simulations, pdr_min
+
+    def test_mean_reduction_substantial(self, data):
+        """The paper reports 87%; our candidate pools and level walk differ
+        in detail, so assert the same order of magnitude (>= 70%)."""
+        assert data.mean_reduction_percent >= 70.0
+
+    def test_loose_bounds_converge_fastest(self, data):
+        sims = data.algorithm_simulations
+        loosest, strictest = min(sims), max(sims)
+        assert sims[loosest] <= sims[strictest]

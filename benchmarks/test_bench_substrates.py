@@ -1,0 +1,105 @@
+"""Micro-benchmarks of the substrates underneath the reproduction.
+
+Not a paper artifact — these keep the cost of the building blocks visible
+so regressions in the event kernel, the channel samplers, the network
+stack, or the MILP solver show up in the benchmark report before they
+silently inflate the experiment runtimes.
+"""
+
+from repro.channel.link import Channel
+from repro.core.milp_builder import MilpFormulation
+from repro.des.engine import Simulator
+from repro.des.rng import RngStreams
+from repro.experiments.scenario import make_problem
+from repro.library.mac_options import MacKind, MacOptions, RoutingKind, RoutingOptions
+from repro.library.radios import CC2650
+from repro.net.app import AppParameters
+from repro.net.network import Network
+
+
+def test_bench_event_kernel(benchmark):
+    """Throughput of the bare event loop (schedule + dispatch)."""
+
+    def run():
+        sim = Simulator()
+
+        def reschedule(remaining):
+            if remaining:
+                sim.schedule(0.001, reschedule, remaining - 1)
+
+        for _ in range(100):
+            sim.schedule(0.0, reschedule, 99)
+        sim.run()
+        return sim.events_executed
+
+    executed = benchmark(run)
+    assert executed == 100 * 100
+
+
+def test_bench_channel_sampling(benchmark):
+    """Cost of one instantaneous path-loss query (OU + shadowing)."""
+    channel = Channel(RngStreams(seed=0))
+    state = {"t": 0.0}
+
+    def sample():
+        state["t"] += 0.01
+        return channel.path_loss(0, 3, state["t"])
+
+    value = benchmark(sample)
+    assert 40.0 < value < 140.0
+
+
+def test_bench_star_network_second(benchmark):
+    """One simulated second of the 4-node star at the design example's
+    traffic (the inner loop of every Figure 3 point)."""
+
+    def run():
+        network = Network(
+            placement=(0, 1, 3, 6),
+            radio_spec=CC2650,
+            tx_mode=CC2650.tx_mode_by_dbm(0.0),
+            mac_options=MacOptions(kind=MacKind.TDMA),
+            routing_options=RoutingOptions(kind=RoutingKind.STAR, coordinator=0),
+            app_params=AppParameters(),
+            seed=0,
+        )
+        return network.run(tsim_s=1.0).pdr
+
+    pdr = benchmark(run)
+    assert 0.0 <= pdr <= 1.0
+
+
+def test_bench_mesh_network_second(benchmark):
+    """One simulated second of the 5-node mesh (the most event-dense
+    configuration class in the design space)."""
+
+    def run():
+        network = Network(
+            placement=(0, 1, 3, 4, 5),
+            radio_spec=CC2650,
+            tx_mode=CC2650.tx_mode_by_dbm(0.0),
+            mac_options=MacOptions(kind=MacKind.TDMA),
+            routing_options=RoutingOptions(kind=RoutingKind.MESH, max_hops=2),
+            app_params=AppParameters(),
+            seed=0,
+        )
+        return network.run(tsim_s=1.0).pdr
+
+    pdr = benchmark(run)
+    assert 0.0 <= pdr <= 1.0
+
+
+def test_bench_milp_level_solve(benchmark):
+    """One RunMILP call (solve + tied-optimum expansion) on the full
+    design-example model with an active power cut."""
+    formulation = MilpFormulation(make_problem(0.9, "ci"))
+    levels = formulation.distinct_power_levels_mw()
+
+    def solve():
+        status, configs, p_star = formulation.enumerate_candidates(
+            [levels[2]], max_solutions=16
+        )
+        return configs
+
+    configs = benchmark(solve)
+    assert configs

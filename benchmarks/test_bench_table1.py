@@ -1,0 +1,31 @@
+"""T1 — regenerate Table 1 (TI CC2650 radio specifications).
+
+The table is a library transcription; the bench asserts the paper's exact
+values and times the component-library access path (trivially fast, but it
+keeps the artifact in the benchmark report alongside the others).
+"""
+
+from repro.experiments.table1 import format_table1, table1_rows
+from repro.library.radios import CC2650
+
+
+def test_bench_table1(benchmark, save_report):
+    rows = benchmark(table1_rows)
+
+    # The paper's exact numbers.
+    by_param = {r["parameter"]: r for r in rows}
+    assert by_param["fc"]["value"] == 2.4
+    assert by_param["BR"]["value"] == 1024.0
+    assert by_param["RxdBm"]["value"] == -97.0
+    assert by_param["RxmW"]["value"] == 17.7
+    assert by_param["Tx mode p1"]["TxdBm"] == -20.0
+    assert by_param["Tx mode p1"]["TxmW"] == 9.55
+    assert by_param["Tx mode p2"]["TxdBm"] == -10.0
+    assert by_param["Tx mode p2"]["TxmW"] == 11.56
+    assert by_param["Tx mode p3"]["TxdBm"] == 0.0
+    assert by_param["Tx mode p3"]["TxmW"] == 18.3
+
+    # Derived quantity used throughout Sec. 4.1.
+    assert abs(CC2650.packet_airtime_s(100) - 800 / 1024e3) < 1e-12
+
+    save_report("table1", format_table1())

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Scenario: swapping the radio — exploring beyond the paper's library.
+
+The methodology is radio-agnostic: the component library carries the radio
+parameters (Eq. 2) and everything downstream — the analytical power model,
+the MILP cost table, the simulator's link budgets — derives from them.
+This study re-runs the mapping problem with a sub-GHz low-power radio
+(better sensitivity, lower RX draw, slower bit rate) and contrasts the
+selected designs, demonstrating how the framework answers "what if we
+changed chips?" without touching any algorithm code.
+
+Note the interacting effects the coarse model captures: the sub-GHz radio's
+longer airtime (lower BR) raises the per-packet energy and channel
+occupancy, while its sensitivity closes links at lower TX power.
+"""
+
+import dataclasses
+
+from repro import HumanIntranetExplorer
+from repro.core.design_space import DesignSpace
+from repro.core.problem import DesignProblem
+from repro.experiments.scenario import get_preset, make_scenario
+from repro.library.radios import CC1310_LIKE, CC2650
+
+
+def explore_with_radio(radio, tx_levels, pdr_min: float = 0.9):
+    # The TDMA slot must fit the radio's airtime: a slower bit rate means
+    # longer packets, so the slot scales with the chip (the design
+    # example's 1 ms slot is CC2650-specific).
+    slot_s = max(1e-3, 1.25 * radio.packet_airtime_s(100))
+    scenario = dataclasses.replace(
+        make_scenario("ci", seed=0), radio=radio, tdma_slot_s=slot_s
+    )
+    space = DesignSpace(tx_levels_dbm=tx_levels)
+    problem = DesignProblem(pdr_min=pdr_min, scenario=scenario, space=space)
+    preset = get_preset("ci")
+    explorer = HumanIntranetExplorer(problem, candidate_cap=preset.candidate_cap)
+    return explorer.explore()
+
+
+def main() -> None:
+    pdr_min = 0.9
+    print(f"Radio substitution study at PDRmin = {100 * pdr_min:.0f}%\n")
+
+    for radio, levels in (
+        (CC2650, (-20.0, -10.0, 0.0)),
+        (CC1310_LIKE, (-10.0, 0.0, 10.0)),
+    ):
+        tpkt_ms = 1e3 * radio.packet_airtime_s(100)
+        print(
+            f"{radio.name}: sensitivity {radio.sensitivity_dbm:.0f} dBm, "
+            f"Rx {radio.rx_power_mw:.1f} mW, Tpkt {tpkt_ms:.2f} ms"
+        )
+        result = explore_with_radio(radio, levels, pdr_min)
+        if result.best is None:
+            print("  -> infeasible\n")
+            continue
+        best = result.best
+        print(
+            f"  -> {best.config.label()}  PDR={best.pdr_percent:.1f}%  "
+            f"NLT={best.nlt_days:.1f} days  "
+            f"({result.simulations_run} simulations)\n"
+        )
+
+    print(
+        "Reading: the sub-GHz radio's 13 dB sensitivity advantage closes\n"
+        "the limb links at lower TX power, but its 2x airtime raises the\n"
+        "RX-side energy of every overheard packet; which effect wins is\n"
+        "exactly the kind of cross-layer question the explorer settles\n"
+        "quantitatively."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Scenario: everyday fitness monitoring — lifetime first.
+
+The paper's introduction motivates this class of application directly:
+"for an everyday physical activity monitoring application, achieving the
+longest possible battery lifetime is preferred, while a few packet drops
+can occasionally be tolerated."
+
+We therefore solve the mapping problem with a relaxed reliability bound
+(PDR_min = 60%) and compare the selected design against progressively
+stricter bounds, showing how much lifetime each extra "nine" of
+reliability costs — the trade-off curve a product team would actually
+consult.
+"""
+
+from repro import HumanIntranetExplorer, make_problem
+from repro.core.evaluator import SimulationOracle
+from repro.experiments.scenario import get_preset, make_scenario
+
+
+def main() -> None:
+    preset = get_preset("ci")
+    scenario = make_scenario("ci", seed=0)
+    oracle = SimulationOracle(scenario)  # shared: stricter runs reuse sims
+
+    print("Fitness-monitoring study: lifetime cost of reliability")
+    print(f"{'PDRmin':>8}  {'configuration':<42} {'PDR':>7}  {'NLT':>9}")
+    previous_nlt = None
+    for pdr_min in (0.60, 0.80, 0.90, 0.95):
+        problem = make_problem(pdr_min, "ci", seed=0)
+        explorer = HumanIntranetExplorer(
+            problem, oracle=oracle, candidate_cap=preset.candidate_cap
+        )
+        result = explorer.explore()
+        if result.best is None:
+            print(f"{100 * pdr_min:>7.0f}%  infeasible")
+            continue
+        best = result.best
+        delta = ""
+        if previous_nlt is not None:
+            delta = f"  ({best.nlt_days - previous_nlt:+.1f} d vs previous)"
+        print(
+            f"{100 * pdr_min:>7.0f}%  {best.config.label():<42} "
+            f"{best.pdr_percent:>6.1f}%  {best.nlt_days:>6.1f} d{delta}"
+        )
+        previous_nlt = best.nlt_days
+
+    print()
+    print(
+        "Reading: at fitness-grade reliability the explorer picks a small\n"
+        "star at reduced TX power (a month of battery); each reliability\n"
+        "step first buys TX power, then switches the routing to mesh,\n"
+        "trading days of lifetime for redundancy."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Scenario: designing against a battery-replacement schedule.
+
+A deployment often starts from the other end of the trade-off: the clinic
+schedules battery swaps (say, every two weeks), and the designer wants the
+most reliable network that survives until the next appointment.  This is
+the dual of the paper's Problem (8) — maximize PDR subject to NLT ≥ bound —
+implemented by ``HumanIntranetExplorer.explore_max_reliability``.
+
+The study sweeps maintenance intervals from monthly to every-other-day,
+prints the best design per schedule, and overlays the selected points on
+the Pareto front of everything evaluated along the way.
+"""
+
+from repro import HumanIntranetExplorer, make_problem
+from repro.analysis.pareto import front_summary, pareto_front
+from repro.core.evaluator import SimulationOracle
+from repro.experiments.scenario import get_preset, make_scenario
+
+
+def main() -> None:
+    preset = get_preset("ci")
+    scenario = make_scenario("ci", seed=0)
+    oracle = SimulationOracle(scenario)
+    problem = make_problem(0.5, "ci", seed=0)  # pdr_min unused by the dual
+    explorer = HumanIntranetExplorer(
+        problem, oracle=oracle, candidate_cap=preset.candidate_cap
+    )
+
+    print("Battery-schedule study: best reliability per maintenance interval")
+    print(f"{'swap every':>12}  {'best design':<44} {'PDR':>7}  {'NLT':>8}")
+    for days in (30.0, 14.0, 7.0, 2.0):
+        result = explorer.explore_max_reliability(min_lifetime_days=days)
+        if result.best is None:
+            print(f"{days:>9.0f} d   (infeasible at this budget)")
+            continue
+        best = result.best
+        print(
+            f"{days:>9.0f} d   {best.config.label():<44} "
+            f"{best.pdr_percent:>6.1f}%  {best.nlt_days:>6.1f} d"
+        )
+
+    print()
+    print(front_summary(pareto_front(oracle.all_records)))
+    print()
+    print(
+        "Reading: a monthly swap schedule forces a reduced-power star; a\n"
+        "weekly schedule affords the full-power star; once swaps are\n"
+        "frequent enough, the budget admits mesh redundancy and the\n"
+        "reliability ceiling."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Scenario: safety-critical insulin delivery — reliability first.
+
+The paper's introduction: "When a safety-critical node such as a wearable
+insulin delivery device is part of the network, reliability becomes of
+utmost importance."
+
+This study pins PDR_min at the strictest bound the measurement protocol
+can certify and inspects *why* the selected design looks the way it does:
+it prints the per-node PDRs and the link budget of the weakest link for
+the best star, the best 4-node mesh, and the selected configuration, so
+the mechanism (mesh redundancy + an extra node covering the weak limb
+link) is visible, not just the headline numbers.
+"""
+
+from repro import HumanIntranetExplorer, make_problem
+from repro.channel.body import STANDARD_BODY
+from repro.channel.pathloss import MeanPathLossModel
+from repro.core.design_space import Configuration
+from repro.core.evaluator import SimulationOracle
+from repro.experiments.scenario import get_preset, make_scenario
+from repro.library.locations import LOCATION_SHORT_NAMES
+from repro.library.mac_options import MacKind, RoutingKind
+from repro.library.radios import CC2650
+
+
+def describe(record, pathloss: MeanPathLossModel) -> None:
+    config = record.config
+    print(f"  {config.label()}")
+    print(f"    network PDR = {record.pdr_percent:.2f}%  "
+          f"NLT = {record.nlt_days:.1f} days")
+    node_pdrs = ", ".join(
+        f"{LOCATION_SHORT_NAMES[loc]}={100 * value:.1f}%"
+        for loc, value in sorted(record.outcome.node_pdrs.items())
+    )
+    print(f"    per-node PDR: {node_pdrs}")
+    (i, j), loss = pathloss.worst_link(config.placement)
+    margin = config.tx_dbm - CC2650.sensitivity_dbm - loss
+    print(
+        f"    weakest link {LOCATION_SHORT_NAMES[i]}-{LOCATION_SHORT_NAMES[j]}: "
+        f"mean path loss {loss:.1f} dB, fading margin {margin:.1f} dB"
+    )
+
+
+def main() -> None:
+    preset = get_preset("ci")
+    scenario = make_scenario("ci", seed=0)
+    oracle = SimulationOracle(scenario)
+    pathloss = MeanPathLossModel(STANDARD_BODY)
+
+    print("Safety-critical study (insulin pump on the network)\n")
+
+    print("Reference designs:")
+    star = oracle.evaluate(
+        Configuration((0, 1, 3, 6), 0.0, MacKind.TDMA, RoutingKind.STAR)
+    )
+    describe(star, pathloss)
+    mesh4 = oracle.evaluate(
+        Configuration((0, 1, 4, 5), 0.0, MacKind.TDMA, RoutingKind.MESH)
+    )
+    describe(mesh4, pathloss)
+    print()
+
+    pdr_min = 0.999
+    problem = make_problem(pdr_min, "ci", seed=0)
+    explorer = HumanIntranetExplorer(
+        problem, oracle=oracle, candidate_cap=preset.candidate_cap
+    )
+    result = explorer.explore()
+    print(f"Algorithm 1 at PDRmin = {100 * pdr_min:.1f}%:")
+    if result.best is None:
+        print("  infeasible under this measurement protocol")
+        return
+    describe(result.best, pathloss)
+    print()
+    print(
+        "Reading: the star tops out well below the bound (its reliability\n"
+        "is limited by the single worst body link), a minimal mesh gets\n"
+        "close, and the selected design adds redundancy — at the price of\n"
+        "a network lifetime measured in days, the paper's safety-critical\n"
+        "trade-off."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""Analysis utilities on top of the exploration framework.
+
+* :mod:`repro.analysis.pareto` — Pareto-front extraction over the
+  (lifetime, reliability) objectives, the curve Figure 3's upper-left
+  envelope traces;
+* :mod:`repro.analysis.convergence` — the paper's ε-bounded estimation
+  protocol (Sec. 2.2: "the duration of a simulation run Tsim is selected
+  to guarantee that the error ... is bounded by a positive tolerance ε"),
+  realized as sequential replication with a confidence-interval stopping
+  rule;
+* :mod:`repro.analysis.ascii_plot` — terminal rendering of the Figure 3
+  scatter so the benchmark reports show the *figure*, not only its rows.
+"""
+
+from repro.analysis.pareto import ParetoPoint, pareto_front, dominates
+from repro.analysis.convergence import (
+    AdaptiveEstimate,
+    estimate_pdr_with_tolerance,
+)
+from repro.analysis.ascii_plot import render_scatter
+
+__all__ = [
+    "ParetoPoint",
+    "pareto_front",
+    "dominates",
+    "AdaptiveEstimate",
+    "estimate_pdr_with_tolerance",
+    "render_scatter",
+]

@@ -1,0 +1,116 @@
+"""Terminal scatter plots for the Figure 3 reproduction.
+
+Rendering the figure as text keeps the benchmark reports self-contained
+(no plotting dependency, diffable outputs).  The plot marks each point
+with a symbol per configuration class — the same visual grouping the
+paper's figure uses (marker per TX level, open/closed per routing).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+#: (x, y, symbol) triple: x in data units, y in data units.
+Point = Tuple[float, float, str]
+
+
+def render_scatter(
+    points: Sequence[Point],
+    width: int = 72,
+    height: int = 24,
+    x_label: str = "x",
+    y_label: str = "y",
+    x_range: Optional[Tuple[float, float]] = None,
+    y_range: Optional[Tuple[float, float]] = None,
+    hline: Optional[float] = None,
+) -> str:
+    """Render points into a fixed-size ASCII canvas.
+
+    Later points overwrite earlier ones on cell collisions.  ``hline``
+    draws a horizontal dashed line at a y value (the paper's PDR_min
+    marker).  Axis ranges default to the data extent with 5% padding.
+    """
+    if not points:
+        return "(no points)"
+    if width < 16 or height < 8:
+        raise ValueError("canvas too small to be readable")
+
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = x_range if x_range else _padded(min(xs), max(xs))
+    y_lo, y_hi = y_range if y_range else _padded(min(ys), max(ys))
+
+    grid = [[" "] * width for _ in range(height)]
+
+    if hline is not None and y_lo <= hline <= y_hi:
+        row = _to_row(hline, y_lo, y_hi, height)
+        for col in range(0, width, 2):
+            grid[row][col] = "-"
+
+    for x, y, symbol in points:
+        if not (x_lo <= x <= x_hi and y_lo <= y <= y_hi):
+            continue
+        row = _to_row(y, y_lo, y_hi, height)
+        col = _to_col(x, x_lo, x_hi, width)
+        grid[row][col] = (symbol or "*")[0]
+
+    lines: List[str] = []
+    y_labels = {0: f"{y_hi:g}", height - 1: f"{y_lo:g}"}
+    gutter = max(len(label) for label in y_labels.values()) + 1
+    for r in range(height):
+        prefix = y_labels.get(r, "").rjust(gutter)
+        lines.append(f"{prefix}|" + "".join(grid[r]))
+    lines.append(" " * gutter + "+" + "-" * width)
+    x_axis = f"{x_lo:g}".ljust(width // 2) + f"{x_hi:g}".rjust(width // 2)
+    lines.append(" " * (gutter + 1) + x_axis)
+    lines.append(" " * (gutter + 1) + f"{x_label}  (y: {y_label})")
+    return "\n".join(lines)
+
+
+def figure3_symbols(routing_value: str, tx_dbm: float) -> str:
+    """The marker scheme for Figure 3 points: letter per TX level,
+    uppercase for mesh (the paper uses marker shape per level and
+    open/filled per routing)."""
+    letter = {-20.0: "a", -10.0: "b", 0.0: "c"}.get(tx_dbm, "x")
+    return letter.upper() if routing_value == "mesh" else letter
+
+
+def render_figure3(
+    scatter: Iterable[Tuple[float, float, str, float]],
+    pdr_min_percent: Optional[float] = None,
+) -> str:
+    """Render (nlt_days, pdr_percent, routing, tx_dbm) tuples as the
+    paper's Figure 3 layout (x = NLT days, y = PDR %)."""
+    points = [
+        (nlt, pdr, figure3_symbols(routing, tx))
+        for nlt, pdr, routing, tx in scatter
+    ]
+    legend = (
+        "a/b/c = star at -20/-10/0 dBm, A/B/C = mesh at -20/-10/0 dBm"
+    )
+    plot = render_scatter(
+        points,
+        x_label="NLT (days)",
+        y_label="PDR (%)",
+        y_range=(0.0, 105.0),
+        hline=pdr_min_percent,
+    )
+    return plot + "\n" + legend
+
+
+def _padded(lo: float, hi: float) -> Tuple[float, float]:
+    if lo == hi:
+        pad = abs(lo) * 0.05 + 1.0
+    else:
+        pad = (hi - lo) * 0.05
+    return lo - pad, hi + pad
+
+
+def _to_row(y: float, y_lo: float, y_hi: float, height: int) -> int:
+    frac = (y - y_lo) / (y_hi - y_lo) if y_hi > y_lo else 0.5
+    return min(height - 1, max(0, int(round((1.0 - frac) * (height - 1)))))
+
+
+def _to_col(x: float, x_lo: float, x_hi: float, width: int) -> int:
+    frac = (x - x_lo) / (x_hi - x_lo) if x_hi > x_lo else 0.5
+    return min(width - 1, max(0, int(round(frac * (width - 1)))))

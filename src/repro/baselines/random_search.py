@@ -1,0 +1,73 @@
+"""Uniform random search: the weakest-baseline sanity check.
+
+Not part of the paper's comparison, but included because any structured
+search (MILP+DES or SA) should dominate it; the benchmark suite uses it to
+contextualize both.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.design_space import Configuration
+from repro.core.evaluator import EvaluationRecord, SimulationOracle
+from repro.core.problem import DesignProblem
+
+
+@dataclass
+class RandomSearchResult:
+    pdr_min: float
+    best: Optional[EvaluationRecord]
+    samples: int
+    simulations_run: int
+    wall_seconds: float
+    evaluations: List[EvaluationRecord] = field(default_factory=list)
+
+
+class RandomSearch:
+    """Sample feasible configurations uniformly at random."""
+
+    def __init__(
+        self,
+        problem: DesignProblem,
+        oracle: Optional[SimulationOracle] = None,
+        seed: int = 0,
+    ) -> None:
+        self.problem = problem
+        self.oracle = oracle or SimulationOracle(problem.scenario)
+        self.rng = np.random.default_rng(seed)
+        # Materialize the feasible grid once; it is small (≈1300 points for
+        # the paper's scenario) and uniform sampling needs the full list.
+        self._grid: List[Configuration] = list(
+            problem.space.feasible_configurations()
+        )
+
+    def run(self, samples: int) -> RandomSearchResult:
+        """Evaluate ``samples`` uniform draws (with replacement; repeats
+        hit the oracle cache and cost nothing extra)."""
+        if samples < 1:
+            raise ValueError("need at least one sample")
+        start = time.perf_counter()
+        sims_before = self.oracle.simulations_run
+        evaluations: List[EvaluationRecord] = []
+        best: Optional[EvaluationRecord] = None
+        for _ in range(samples):
+            config = self._grid[int(self.rng.integers(0, len(self._grid)))]
+            record = self.oracle.evaluate(config)
+            evaluations.append(record)
+            if record.pdr >= self.problem.pdr_min and (
+                best is None or record.power_mw < best.power_mw
+            ):
+                best = record
+        return RandomSearchResult(
+            pdr_min=self.problem.pdr_min,
+            best=best,
+            samples=samples,
+            simulations_run=self.oracle.simulations_run - sims_before,
+            wall_seconds=time.perf_counter() - start,
+            evaluations=evaluations,
+        )

@@ -1,0 +1,125 @@
+"""The composite channel and the link-budget reception test.
+
+:class:`Channel` is what the network stack talks to: it combines the mean
+path-loss model and the temporal fading process into the instantaneous
+``PL(i,j,t)`` of Eq. 1 and answers the two questions the PHY layer asks —
+"at what power does a transmission from i arrive at j right now?" and "does
+that close the link?" (Sec. 2.1.2: successful reception requires
+``Tx_dBm ≥ Rx_sensitivity_dBm + PL(i,j,t)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.channel.fading import (
+    FadingParameters,
+    NodeShadowing,
+    OrnsteinUhlenbeckFading,
+)
+from repro.channel.pathloss import MeanPathLossModel, PathLossParameters
+from repro.channel.body import BodyModel, STANDARD_BODY
+from repro.des.rng import RngStreams
+
+
+@dataclass(frozen=True)
+class LinkBudget:
+    """Static link-budget summary for one (tx power, link) combination."""
+
+    tx_power_dbm: float
+    sensitivity_dbm: float
+    mean_path_loss_db: float
+
+    @property
+    def margin_db(self) -> float:
+        """Fading margin: how much extra loss the link tolerates on
+        average before reception fails."""
+        return self.tx_power_dbm - self.sensitivity_dbm - self.mean_path_loss_db
+
+    @property
+    def closes_on_average(self) -> bool:
+        return self.margin_db >= 0.0
+
+
+class Channel:
+    """Instantaneous body-channel model shared by all nodes of a network.
+
+    Parameters
+    ----------
+    body:
+        Body geometry (defaults to the paper's ten locations).
+    pathloss_params, fading_params:
+        Model parameters; see the respective modules for calibration notes.
+    rng:
+        Random-stream factory for the fading processes.  Passing streams
+        from the enclosing simulation run keeps replicates independent.
+    measured:
+        Optional per-pair mean path-loss overrides (measurement data).
+    posture_params:
+        Optional :class:`repro.channel.posture.PostureParameters`
+        enabling minute-scale posture regimes on top of the fast fading
+        (off by default — the calibrated Figure 3 channel excludes it).
+    """
+
+    def __init__(
+        self,
+        rng: RngStreams,
+        body: Optional[BodyModel] = None,
+        pathloss_params: Optional[PathLossParameters] = None,
+        fading_params: Optional[FadingParameters] = None,
+        measured=None,
+        posture_params=None,
+    ) -> None:
+        self.body = body or STANDARD_BODY
+        self.mean_model = MeanPathLossModel(self.body, pathloss_params, measured)
+        params = fading_params or FadingParameters()
+        self.fading = OrnsteinUhlenbeckFading(params, rng)
+        self.shadowing = NodeShadowing(params, rng)
+        if posture_params is not None:
+            from repro.channel.posture import PostureProcess
+
+            self.posture: Optional[PostureProcess] = PostureProcess(
+                posture_params, rng
+            )
+        else:
+            self.posture = None
+
+    def path_loss(self, i: int, j: int, t: float) -> float:
+        """Instantaneous path loss PL(i,j,t) in dB (Eq. 1): mean + OU
+        variation + node-shadowing episodes + (optional) posture regime."""
+        total = (
+            self.mean_model.mean_path_loss(i, j)
+            + self.fading.sample(i, j, t)
+            + self.shadowing.extra_loss_db(i, j, t)
+        )
+        if self.posture is not None:
+            total += self.posture.extra_loss_db(
+                self.body.is_occluded(i, j), t
+            )
+        return total
+
+    def received_power_dbm(self, tx_dbm: float, i: int, j: int, t: float) -> float:
+        """Power arriving at location j from a transmitter at i."""
+        return tx_dbm - self.path_loss(i, j, t)
+
+    def link_closes(
+        self, tx_dbm: float, sensitivity_dbm: float, i: int, j: int, t: float
+    ) -> bool:
+        """The paper's reception condition at time t."""
+        return self.received_power_dbm(tx_dbm, i, j, t) >= sensitivity_dbm
+
+    def budget(self, tx_dbm: float, sensitivity_dbm: float, i: int, j: int) -> LinkBudget:
+        """Static (mean) link budget for planning and diagnostics."""
+        return LinkBudget(
+            tx_power_dbm=tx_dbm,
+            sensitivity_dbm=sensitivity_dbm,
+            mean_path_loss_db=self.mean_model.mean_path_loss(i, j),
+        )
+
+    def reset_fading(self) -> None:
+        """Clear fading, shadowing, and posture history (fresh state)."""
+        self.fading.reset()
+        self.shadowing.reset()
+        if self.posture is not None:
+            self.posture.reset()

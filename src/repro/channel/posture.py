@@ -1,0 +1,149 @@
+"""Posture dynamics: slow, whole-body modulation of the channel.
+
+The paper's mean path loss comes from a *two-hour daily-activity*
+measurement campaign: subjects walk, sit, and lie down, and each posture
+reshapes every link at once (arms swing near the torso, sitting brings
+wrists and hips together and occludes ankle links, lying flattens
+everything onto the mattress).  The OU fading and node-shadowing processes
+in :mod:`repro.channel.fading` capture second-scale variation; this module
+adds the minute-scale regime changes.
+
+Model: a continuous-time Markov chain over named postures.  To allow the
+same lazy, exact, arbitrary-Δt sampling as the other channel processes,
+the chain is *star-shaped*: every posture's dwell time is exponential with
+the same rate ``1/mean_dwell_s``, and on leaving a posture the next one is
+drawn from the stationary distribution (including possibly the same
+posture).  For such chains the state distribution after any Δt is the
+exact mixture
+
+    P(state_j at t+Δt | state_i at t) = π_j + e^{−Δt/τ}(1_{i=j} − π_j)
+
+so a single uniform draw per query suffices.  Each posture carries an
+additive path-loss offset per link class (LOS/NLOS) and a multiplier on
+the node-shadowing fraction, letting e.g. "lying" both deepen every link
+and make occlusion episodes more likely.
+
+Posture modulation is **off by default** (the calibrated Figure 3 channel
+in DESIGN.md does not include it); it is an extension for users who want
+activity-conditioned exploration, exercised by the posture ablation bench
+and the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.des.rng import RngStreams
+
+
+@dataclass(frozen=True)
+class Posture:
+    """One body posture and its channel signature.
+
+    ``los_offset_db`` / ``nlos_offset_db`` are added to the mean path loss
+    of line-of-sight / around-body links while the posture is active;
+    ``shadow_multiplier`` scales the node-shadowing stationary fraction
+    (clamped to [0, 0.95] downstream).
+    """
+
+    name: str
+    probability: float
+    los_offset_db: float = 0.0
+    nlos_offset_db: float = 0.0
+    shadow_multiplier: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.probability < 0:
+            raise ValueError("posture probability cannot be negative")
+        if self.shadow_multiplier < 0:
+            raise ValueError("shadow multiplier cannot be negative")
+
+
+#: A daily-activity mixture loosely matching wearable-campaign time budgets:
+#: mostly upright movement, substantial sitting, some lying.
+STANDING = Posture("standing", probability=0.45)
+SITTING = Posture(
+    "sitting", probability=0.40, los_offset_db=2.0, nlos_offset_db=4.0,
+    shadow_multiplier=1.5,
+)
+LYING = Posture(
+    "lying", probability=0.15, los_offset_db=5.0, nlos_offset_db=8.0,
+    shadow_multiplier=2.5,
+)
+
+DAILY_ACTIVITY: Tuple[Posture, ...] = (STANDING, SITTING, LYING)
+
+
+@dataclass(frozen=True)
+class PostureParameters:
+    """Configuration of the posture chain."""
+
+    postures: Tuple[Posture, ...] = DAILY_ACTIVITY
+    mean_dwell_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        if not self.postures:
+            raise ValueError("need at least one posture")
+        if self.mean_dwell_s <= 0:
+            raise ValueError("dwell time must be positive")
+        total = sum(p.probability for p in self.postures)
+        if total <= 0:
+            raise ValueError("posture probabilities must sum to a positive value")
+
+    def stationary(self) -> Tuple[float, ...]:
+        total = sum(p.probability for p in self.postures)
+        return tuple(p.probability / total for p in self.postures)
+
+
+class PostureProcess:
+    """Lazy exact sampler of the star-shaped posture chain."""
+
+    def __init__(self, params: PostureParameters, rng: RngStreams) -> None:
+        self.params = params
+        self.rng = rng
+        self._pi = params.stationary()
+        self._state: Optional[Tuple[float, int]] = None  # (time, index)
+
+    def posture_at(self, t: float) -> Posture:
+        """The active posture at time t (queries non-decreasing in t)."""
+        stream = self.rng.stream("posture")
+        if self._state is None:
+            index = self._draw_stationary(float(stream.uniform()))
+            self._state = (t, index)
+            return self.params.postures[index]
+        last_t, last_index = self._state
+        if t < last_t - 1e-12:
+            raise ValueError("posture sampled backwards in time")
+        dt = max(0.0, t - last_t)
+        if dt > 0.0:
+            stay = math.exp(-dt / self.params.mean_dwell_s)
+            u = float(stream.uniform())
+            if u >= stay:
+                # The chain resampled from the stationary mixture at least
+                # once within dt; the exact conditional is the mixture.
+                last_index = self._draw_stationary(
+                    (u - stay) / max(1e-12, 1.0 - stay)
+                )
+            self._state = (t, last_index)
+        return self.params.postures[last_index]
+
+    def _draw_stationary(self, u: float) -> int:
+        acc = 0.0
+        for index, pi in enumerate(self._pi):
+            acc += pi
+            if u <= acc:
+                return index
+        return len(self._pi) - 1
+
+    def extra_loss_db(self, occluded: bool, t: float) -> float:
+        """Posture path-loss offset for a link of the given class."""
+        posture = self.posture_at(t)
+        return posture.nlos_offset_db if occluded else posture.los_offset_db
+
+    def shadow_fraction_multiplier(self, t: float) -> float:
+        return self.posture_at(t).shadow_multiplier
+
+    def reset(self) -> None:
+        self._state = None

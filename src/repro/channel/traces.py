@@ -1,0 +1,150 @@
+"""Measured-channel data interchange: per-pair path-loss tables.
+
+The paper's mean path loss comes from the NICTA on-body measurement
+campaign.  Users with such data plug it in through the ``measured``
+argument of :class:`repro.channel.pathloss.MeanPathLossModel` /
+:class:`repro.channel.link.Channel`; this module provides the plumbing
+around that argument:
+
+* CSV load/save of per-pair tables (``i,j,path_loss_db`` rows), the format
+  a measurement pipeline would export;
+* a synthetic campaign generator that perturbs the parametric law with
+  per-pair offsets — useful for studying how sensitive the selected design
+  is to channel uncertainty without any real dataset;
+* a sensitivity helper quantifying how far two tables disagree.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Dict, Mapping, Tuple, Union
+
+import numpy as np
+
+from repro.channel.body import BodyModel, STANDARD_BODY
+from repro.channel.pathloss import MeanPathLossModel, PathLossParameters
+
+PairTable = Dict[Tuple[int, int], float]
+
+
+def _ordered(i: int, j: int) -> Tuple[int, int]:
+    return (i, j) if i <= j else (j, i)
+
+
+def save_pathloss_csv(table: Mapping[Tuple[int, int], float],
+                      destination: Union[str, Path, io.TextIOBase]) -> None:
+    """Write a per-pair table as ``i,j,path_loss_db`` CSV."""
+    own = isinstance(destination, (str, Path))
+    handle = open(destination, "w", newline="") if own else destination
+    try:
+        writer = csv.writer(handle)
+        writer.writerow(["i", "j", "path_loss_db"])
+        for (i, j), value in sorted(table.items()):
+            writer.writerow([i, j, f"{value:.6f}"])
+    finally:
+        if own:
+            handle.close()
+
+
+def load_pathloss_csv(
+    source: Union[str, Path, io.TextIOBase]
+) -> PairTable:
+    """Read a per-pair table written by :func:`save_pathloss_csv`.
+
+    Validates the header, pair sanity (i != j, non-negative indices), and
+    value positivity; raises :class:`ValueError` on malformed input so a
+    corrupted measurement file cannot silently skew an exploration.
+    """
+    own = isinstance(source, (str, Path))
+    handle = open(source, newline="") if own else source
+    try:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or [h.strip() for h in header] != [
+            "i", "j", "path_loss_db"
+        ]:
+            raise ValueError(
+                "expected header 'i,j,path_loss_db', got " + repr(header)
+            )
+        table: PairTable = {}
+        for line_no, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != 3:
+                raise ValueError(f"line {line_no}: expected 3 fields, got {row}")
+            i, j = int(row[0]), int(row[1])
+            value = float(row[2])
+            if i == j or i < 0 or j < 0:
+                raise ValueError(f"line {line_no}: invalid pair ({i}, {j})")
+            if value <= 0:
+                raise ValueError(
+                    f"line {line_no}: path loss must be positive, got {value}"
+                )
+            key = _ordered(i, j)
+            if key in table:
+                raise ValueError(f"line {line_no}: duplicate pair {key}")
+            table[key] = value
+        return table
+    finally:
+        if own:
+            handle.close()
+
+
+def synthetic_campaign(
+    body: BodyModel = STANDARD_BODY,
+    params: PathLossParameters | None = None,
+    per_pair_sigma_db: float = 3.0,
+    seed: int = 0,
+) -> PairTable:
+    """A synthetic 'measurement campaign': the parametric law plus a fixed
+    per-pair Gaussian offset (subject-to-subject and placement-jig
+    variation).  Deterministic per seed."""
+    if per_pair_sigma_db < 0:
+        raise ValueError("per-pair sigma cannot be negative")
+    model = MeanPathLossModel(body, params)
+    rng = np.random.default_rng(seed)
+    table: PairTable = {}
+    indices = [loc.index for loc in body.locations]
+    for a_pos, i in enumerate(indices):
+        for j in indices[a_pos + 1:]:
+            base = model.mean_path_loss(i, j)
+            offset = float(rng.normal(0.0, per_pair_sigma_db))
+            table[_ordered(i, j)] = max(
+                (params or PathLossParameters()).min_path_loss_db,
+                base + offset,
+            )
+    return table
+
+
+def table_disagreement_db(a: Mapping[Tuple[int, int], float],
+                          b: Mapping[Tuple[int, int], float]) -> Dict[str, float]:
+    """Compare two per-pair tables on their shared pairs.
+
+    Returns mean absolute, max absolute, and RMS differences in dB — the
+    summary a designer checks before trusting a synthetic substitute for a
+    measured table (or vice versa).
+    """
+    shared = sorted(set(a) & set(b))
+    if not shared:
+        raise ValueError("tables share no pairs")
+    diffs = np.array([a[key] - b[key] for key in shared])
+    return {
+        "pairs": float(len(shared)),
+        "mean_abs_db": float(np.abs(diffs).mean()),
+        "max_abs_db": float(np.abs(diffs).max()),
+        "rms_db": float(np.sqrt((diffs ** 2).mean())),
+    }
+
+
+def full_table(body: BodyModel = STANDARD_BODY,
+               params: PathLossParameters | None = None) -> PairTable:
+    """The parametric law evaluated on every pair (export convenience)."""
+    model = MeanPathLossModel(body, params)
+    indices = [loc.index for loc in body.locations]
+    return {
+        _ordered(i, j): model.mean_path_loss(i, j)
+        for a_pos, i in enumerate(indices)
+        for j in indices[a_pos + 1:]
+    }

@@ -1,0 +1,186 @@
+"""``hi-explore`` — command-line front end to the exploration framework.
+
+Subcommands mirror the experiment harnesses::
+
+    hi-explore solve --pdr-min 90 [--preset ci]     # one Algorithm 1 run
+    hi-explore dual --min-lifetime-days 15          # the dual problem
+    hi-explore figure3 [--preset ci]                # the Fig. 3 sweep
+    hi-explore reduction [--preset ci]              # R1: vs exhaustive
+    hi-explore annealing [--preset ci]              # R2: vs SA
+    hi-explore extensions [--preset ci]             # E1-E3 studies
+    hi-explore table1                               # Table 1
+    hi-explore space                                # design-space summary
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--preset",
+        default="ci",
+        choices=("paper", "ci", "smoke"),
+        help="measurement protocol (paper = Tsim 600 s x 3 runs)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root random seed")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hi-explore",
+        description="Human Intranet design-space exploration (DAC'17 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="run Algorithm 1 for one PDR bound")
+    solve.add_argument(
+        "--pdr-min",
+        type=float,
+        required=True,
+        help="reliability bound in percent (e.g. 90)",
+    )
+    solve.add_argument(
+        "--exhaustive",
+        action="store_true",
+        help="disable early termination and sweep every power level",
+    )
+    _add_common(solve)
+
+    fig3 = sub.add_parser("figure3", help="reproduce Figure 3")
+    _add_common(fig3)
+
+    red = sub.add_parser("reduction", help="R1: simulations vs exhaustive search")
+    _add_common(red)
+
+    ann = sub.add_parser("annealing", help="R2: comparison with simulated annealing")
+    ann.add_argument("--sa-steps", type=int, default=150, help="SA step budget")
+    _add_common(ann)
+
+    sub.add_parser("table1", help="print Table 1 (CC2650 specifications)")
+
+    dual = sub.add_parser(
+        "dual", help="maximize reliability under a lifetime bound"
+    )
+    dual.add_argument(
+        "--min-lifetime-days", type=float, required=True,
+        help="network lifetime bound in days",
+    )
+    _add_common(dual)
+
+    ext = sub.add_parser(
+        "extensions", help="E1-E3: routing comparison, posture, dual staircase"
+    )
+    _add_common(ext)
+
+    space = sub.add_parser("space", help="summarize the design space")
+    _add_common(space)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "table1":
+        from repro.experiments.table1 import format_table1
+
+        print(format_table1())
+        return 0
+
+    if args.command == "space":
+        from repro.experiments.scenario import make_space
+
+        space = make_space(args.preset)
+        print(f"total grid points: {space.total_size}")
+        print(f"constraint-satisfying configurations: {space.feasible_count()}")
+        print(f"feasible placements by node count: {space.placements_by_size()}")
+        return 0
+
+    if args.command == "solve":
+        from repro.core.explorer import HumanIntranetExplorer
+        from repro.experiments.scenario import get_preset, make_problem
+
+        pdr_min = args.pdr_min / 100.0 if args.pdr_min > 1 else args.pdr_min
+        problem = make_problem(pdr_min, args.preset, seed=args.seed)
+        preset = get_preset(args.preset)
+        explorer = HumanIntranetExplorer(
+            problem, candidate_cap=preset.candidate_cap
+        )
+        result = explorer.explore(exhaustive=args.exhaustive)
+        print(result.summary())
+        for record in result.iterations:
+            print(
+                f"  iteration {record.index}: analytic P={record.analytic_power_mw:.3f} mW, "
+                f"{record.num_candidates} candidates, {len(record.feasible)} feasible"
+            )
+        return 0 if result.found else 1
+
+    if args.command == "figure3":
+        from repro.experiments.figure3 import format_figure3, run_figure3
+
+        print(format_figure3(run_figure3(args.preset, seed=args.seed)))
+        return 0
+
+    if args.command == "reduction":
+        from repro.experiments.reduction import format_reduction, run_reduction
+
+        print(format_reduction(run_reduction(args.preset, seed=args.seed)))
+        return 0
+
+    if args.command == "dual":
+        from repro.core.explorer import HumanIntranetExplorer
+        from repro.experiments.scenario import get_preset, make_problem
+
+        problem = make_problem(0.5, args.preset, seed=args.seed)
+        preset = get_preset(args.preset)
+        explorer = HumanIntranetExplorer(
+            problem, candidate_cap=preset.candidate_cap
+        )
+        result = explorer.explore_max_reliability(args.min_lifetime_days)
+        print(result.summary())
+        return 0 if result.found else 1
+
+    if args.command == "extensions":
+        from repro.experiments.extensions import (
+            format_dual_staircase,
+            format_posture_sensitivity,
+            format_routing_comparison,
+            run_dual_staircase,
+            run_posture_sensitivity,
+            run_routing_comparison,
+        )
+
+        print(format_routing_comparison(
+            run_routing_comparison(args.preset, seed=args.seed)))
+        print()
+        print(format_posture_sensitivity(
+            run_posture_sensitivity(args.preset, seed=args.seed)))
+        print()
+        print(format_dual_staircase(
+            run_dual_staircase(args.preset, seed=args.seed)))
+        return 0
+
+    if args.command == "annealing":
+        from repro.experiments.annealing_cmp import (
+            format_annealing_comparison,
+            run_annealing_comparison,
+        )
+
+        print(
+            format_annealing_comparison(
+                run_annealing_comparison(
+                    args.preset, seed=args.seed, sa_steps=args.sa_steps
+                )
+            )
+        )
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""The paper's primary contribution: MILP + DES design-space exploration.
+
+Modules:
+
+* :mod:`repro.core.power_model` — the coarse analytical power/lifetime
+  model (Eqs. 3, 4, 5, 9) and the α correction factor;
+* :mod:`repro.core.design_space` — the configuration vector
+  (ν, χ) and enumeration of the paper's 12,288-point space;
+* :mod:`repro.core.problem` — the optimal mapping problem P (Eq. 8):
+  scenario parameters, topological and configuration constraints, PDR
+  bound;
+* :mod:`repro.core.milp_builder` — the relaxed MILP P̃ used by RunMILP;
+* :mod:`repro.core.evaluator` — the simulation oracle (RunSim) with
+  caching and replicate averaging;
+* :mod:`repro.core.explorer` — Algorithm 1 itself.
+"""
+
+from repro.core.design_space import Configuration, DesignSpace
+from repro.core.power_model import CoarsePowerModel
+from repro.core.problem import DesignProblem, ScenarioParameters
+from repro.core.milp_builder import MilpFormulation
+from repro.core.evaluator import EvaluationRecord, SimulationOracle
+from repro.core.explorer import (
+    ExplorationResult,
+    HumanIntranetExplorer,
+    IterationRecord,
+)
+
+__all__ = [
+    "Configuration",
+    "DesignSpace",
+    "CoarsePowerModel",
+    "DesignProblem",
+    "ScenarioParameters",
+    "MilpFormulation",
+    "SimulationOracle",
+    "EvaluationRecord",
+    "HumanIntranetExplorer",
+    "ExplorationResult",
+    "IterationRecord",
+]

@@ -1,0 +1,178 @@
+"""Configurations and the enumerable design space.
+
+A :class:`Configuration` is one point of the paper's design space: a node
+placement ν plus the discrete parameter choices the design example explores
+(TX power level, MAC protocol, routing scheme).  A :class:`DesignSpace`
+describes the whole grid — for the Sec. 4.1 scenario,
+2^10 placements × 3 TX levels × 2 MACs × 2 routings = 12,288 points — and
+knows which points satisfy the topological constraints.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.library.locations import describe_placement
+from repro.library.mac_options import MacKind, RoutingKind
+
+
+@dataclass(frozen=True, order=True)
+class Configuration:
+    """One candidate network design (ν, selected χ components).
+
+    ``placement`` is the sorted tuple of occupied location indices;
+    ``tx_dbm`` selects the radio TX mode; ``mac`` and ``routing`` select the
+    protocol options.  The remaining χ entries (buffer size, slot duration,
+    coordinator, hop limit, application parameters) are scenario constants
+    carried by :class:`repro.core.problem.ScenarioParameters`.
+    """
+
+    placement: Tuple[int, ...]
+    tx_dbm: float
+    mac: MacKind
+    routing: RoutingKind
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(set(self.placement)))
+        if ordered != self.placement:
+            object.__setattr__(self, "placement", ordered)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.placement)
+
+    def label(self) -> str:
+        """Compact human-readable form, e.g.
+        ``[chest,hipL,ankL,wriR] star/csma/-10dBm``."""
+        return (
+            f"{describe_placement(self.placement)} "
+            f"{self.routing.value}/{self.mac.value}/{self.tx_dbm:+.0f}dBm"
+        )
+
+    def key(self) -> Tuple:
+        """Hashable identity used for caches and no-good tracking."""
+        return (self.placement, self.tx_dbm, self.mac.value, self.routing.value)
+
+
+@dataclass(frozen=True)
+class PlacementConstraints:
+    """Topological constraints of the design example (Sec. 4.1).
+
+    * ``required`` locations must be occupied (chest: respiration +
+      coordination);
+    * each group in ``at_least_one_of`` needs at least one occupied member
+      (hip pair, ankle pair, wrist pair);
+    * ``max_nodes`` caps N (the four required roles plus up to two free
+      nodes in the paper).
+    """
+
+    num_locations: int = 10
+    required: Tuple[int, ...] = (0,)
+    at_least_one_of: Tuple[Tuple[int, ...], ...] = ((1, 2), (3, 4), (5, 6))
+    max_nodes: int = 6
+    min_nodes: int = 2
+
+    @property
+    def effective_min_nodes(self) -> int:
+        """The tightest node-count lower bound implied by the constraints:
+        the required locations plus a minimum hitting set of the groups not
+        already covered by them.  Used to shrink the MILP's node-count
+        indicators and skip unattainable enumeration sizes.
+
+        The hitting set is computed exactly by brute force — group counts
+        are tiny (three in the design example), so this is instantaneous
+        and avoids the overcounting a per-group estimate would suffer when
+        groups overlap.
+        """
+        required = set(self.required)
+        open_groups = [
+            set(group)
+            for group in self.at_least_one_of
+            if not required & set(group)
+        ]
+        if not open_groups:
+            return max(self.min_nodes, len(required))
+        universe = sorted(set().union(*open_groups))
+        for size in range(1, len(open_groups) + 1):
+            for combo in itertools.combinations(universe, size):
+                chosen = set(combo)
+                if all(chosen & group for group in open_groups):
+                    return max(self.min_nodes, len(required) + size)
+        # Unreachable: taking one member per group always hits everything.
+        return max(self.min_nodes, len(required) + len(open_groups))
+
+    def satisfied_by(self, placement: Sequence[int]) -> bool:
+        occupied = set(placement)
+        if not all(loc in occupied for loc in self.required):
+            return False
+        for group in self.at_least_one_of:
+            if not any(loc in occupied for loc in group):
+                return False
+        return self.min_nodes <= len(occupied) <= self.max_nodes
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """The enumerable configuration grid of the design example."""
+
+    constraints: PlacementConstraints = field(default_factory=PlacementConstraints)
+    tx_levels_dbm: Tuple[float, ...] = (-20.0, -10.0, 0.0)
+    mac_kinds: Tuple[MacKind, ...] = (MacKind.CSMA, MacKind.TDMA)
+    routing_kinds: Tuple[RoutingKind, ...] = (RoutingKind.STAR, RoutingKind.MESH)
+
+    @property
+    def total_size(self) -> int:
+        """All grid points, constrained or not — the paper's 12,288."""
+        return (
+            2 ** self.constraints.num_locations
+            * len(self.tx_levels_dbm)
+            * len(self.mac_kinds)
+            * len(self.routing_kinds)
+        )
+
+    def placements(self) -> Iterator[Tuple[int, ...]]:
+        """All placements satisfying the topological constraints, in
+        deterministic (lexicographic-by-size) order."""
+        locations = list(range(self.constraints.num_locations))
+        for size in range(
+            self.constraints.effective_min_nodes,
+            self.constraints.max_nodes + 1,
+        ):
+            for combo in itertools.combinations(locations, size):
+                if self.constraints.satisfied_by(combo):
+                    yield combo
+
+    def feasible_configurations(self) -> Iterator[Configuration]:
+        """All constraint-satisfying configurations (the exhaustive-search
+        workload of the paper's 87%-reduction comparison)."""
+        for placement in self.placements():
+            for tx in self.tx_levels_dbm:
+                for mac in self.mac_kinds:
+                    for routing in self.routing_kinds:
+                        yield Configuration(placement, tx, mac, routing)
+
+    def feasible_count(self) -> int:
+        return sum(1 for _ in self.feasible_configurations())
+
+    def contains(self, config: Configuration) -> bool:
+        """Whether a configuration lies on the grid and satisfies the
+        topological constraints."""
+        return (
+            config.tx_dbm in self.tx_levels_dbm
+            and config.mac in self.mac_kinds
+            and config.routing in self.routing_kinds
+            and all(
+                0 <= loc < self.constraints.num_locations
+                for loc in config.placement
+            )
+            and self.constraints.satisfied_by(config.placement)
+        )
+
+    def placements_by_size(self) -> List[Tuple[int, int]]:
+        """``(N, count)`` histogram of feasible placements (diagnostics)."""
+        counts = {}
+        for placement in self.placements():
+            counts[len(placement)] = counts.get(len(placement), 0) + 1
+        return sorted(counts.items())

@@ -1,0 +1,151 @@
+"""RunSim: the simulation oracle of Algorithm 1 (line 7).
+
+Wraps :func:`repro.net.network.simulate_configuration` with:
+
+* translation from a :class:`repro.core.design_space.Configuration` to the
+  concrete component stack of the scenario;
+* replicate averaging per the paper's protocol (3 × 600 s);
+* memoization — Algorithm 1 and the baseline optimizers may revisit
+  configurations (simulated annealing in particular re-proposes points);
+  the paper's efficiency metric is *distinct* simulations, which the cache
+  both enforces and counts;
+* a complete evaluation journal for the experiment reports.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.design_space import Configuration
+from repro.core.problem import ScenarioParameters
+from repro.net.network import (
+    SimulationOutcome,
+    average_outcomes,
+    simulate_configuration,
+    simulate_replicate,
+)
+
+
+@dataclass(frozen=True)
+class EvaluationRecord:
+    """One simulated configuration and its measured metrics."""
+
+    config: Configuration
+    pdr: float
+    power_mw: float
+    nlt_days: float
+    wall_seconds: float
+    outcome: SimulationOutcome
+
+    @property
+    def pdr_percent(self) -> float:
+        return 100.0 * self.pdr
+
+
+class SimulationOracle:
+    """Caching simulation evaluator bound to one scenario."""
+
+    def __init__(self, scenario: ScenarioParameters) -> None:
+        self.scenario = scenario
+        self._cache: Dict[Tuple, EvaluationRecord] = {}
+        self.simulations_run = 0
+        self.cache_hits = 0
+        self.total_wall_seconds = 0.0
+
+    def evaluate(self, config: Configuration) -> EvaluationRecord:
+        """Simulate a configuration (or return the cached record)."""
+        key = config.key()
+        record = self._cache.get(key)
+        if record is not None:
+            self.cache_hits += 1
+            return record
+
+        scenario = self.scenario
+        start = time.perf_counter()
+        if scenario.adaptive_replicates:
+            outcome = self._evaluate_adaptive(config)
+        else:
+            outcome = simulate_configuration(
+                placement=config.placement,
+                radio_spec=scenario.radio,
+                tx_mode=scenario.tx_mode(config.tx_dbm),
+                mac_options=scenario.mac_options(config.mac),
+                routing_options=scenario.routing_options(config.routing),
+                app_params=scenario.app,
+                tsim_s=scenario.tsim_s,
+                replicates=scenario.replicates,
+                seed=scenario.seed,
+                battery=scenario.battery,
+                body=scenario.body,
+                pathloss_params=scenario.pathloss,
+                fading_params=scenario.fading,
+            )
+        wall = time.perf_counter() - start
+        record = EvaluationRecord(
+            config=config,
+            pdr=outcome.pdr,
+            power_mw=outcome.worst_power_mw,
+            nlt_days=outcome.nlt_days,
+            wall_seconds=wall,
+            outcome=outcome,
+        )
+        self._cache[key] = record
+        self.simulations_run += 1
+        self.total_wall_seconds += wall
+        return record
+
+    def _evaluate_adaptive(self, config: Configuration) -> SimulationOutcome:
+        """The paper's epsilon-bounded protocol: replicate until the PDR
+        confidence interval is narrower than the scenario tolerance."""
+        from repro.analysis.convergence import estimate_pdr_with_tolerance
+
+        scenario = self.scenario
+        outcomes: List[SimulationOutcome] = []
+
+        def one_replicate(index: int) -> float:
+            outcome = simulate_replicate(
+                placement=config.placement,
+                radio_spec=scenario.radio,
+                tx_mode=scenario.tx_mode(config.tx_dbm),
+                mac_options=scenario.mac_options(config.mac),
+                routing_options=scenario.routing_options(config.routing),
+                app_params=scenario.app,
+                tsim_s=scenario.tsim_s,
+                replicate=index,
+                seed=scenario.seed,
+                battery=scenario.battery,
+                body=scenario.body,
+                pathloss_params=scenario.pathloss,
+                fading_params=scenario.fading,
+            )
+            outcomes.append(outcome)
+            return outcome.pdr
+
+        estimate_pdr_with_tolerance(
+            one_replicate,
+            epsilon=scenario.pdr_epsilon,
+            min_replicates=max(2, scenario.replicates),
+            max_replicates=max(scenario.max_replicates, scenario.replicates),
+        )
+        return average_outcomes(outcomes, scenario.battery)
+
+    def evaluate_many(self, configs: List[Configuration]) -> List[EvaluationRecord]:
+        """RunSim over a candidate set, preserving order."""
+        return [self.evaluate(c) for c in configs]
+
+    @property
+    def all_records(self) -> List[EvaluationRecord]:
+        """Every distinct configuration evaluated so far (insertion order) —
+        the scatter data behind the paper's Fig. 3."""
+        return list(self._cache.values())
+
+    def record_for(self, config: Configuration) -> Optional[EvaluationRecord]:
+        return self._cache.get(config.key())
+
+    def reset_counters(self) -> None:
+        """Zero the run counters without discarding cached results."""
+        self.simulations_run = 0
+        self.cache_hits = 0
+        self.total_wall_seconds = 0.0

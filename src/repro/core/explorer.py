@@ -1,0 +1,371 @@
+"""Algorithm 1: Human Intranet Design Space Exploration.
+
+The explorer coordinates the MILP solver (RunMILP — candidate generation by
+ascending analytical power) with the discrete-event simulator (RunSim —
+accurate PDR and power) exactly as in the paper:
+
+1. Solve the relaxed MILP P̃; obtain the set S of all configurations
+   attaining the analytical power optimum P̄*.
+2. If S is empty and no feasible solution was ever found → infeasible.
+3. Termination test (line 5): if P̄*/α(S*, PDR_min) — i.e. the least
+   simulated power any remaining candidate could exhibit — exceeds the
+   incumbent's simulated power P̄_min, no further simulation can improve
+   the solution: return S*.
+4. Simulate S; keep candidates meeting the PDR bound, sorted by simulated
+   power; update the incumbent (S*, P̄_min) if improved.
+5. Add the cut P̄ > P̄* to P̃ (pruning the just-explored power level) and
+   iterate.
+
+The algorithm is exact over the modeled design space: it stops only when
+the MILP is exhausted or the α-corrected bound proves optimality.
+
+An *exhaustive* mode disables the early-termination test and keeps
+iterating until the MILP has no candidates left; this sweeps the entire
+feasible space in ascending analytical-power order and is how the Fig. 3
+scatter (all feasible configurations) is produced.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.design_space import Configuration
+from repro.core.evaluator import EvaluationRecord, SimulationOracle
+from repro.core.milp_builder import MilpFormulation
+from repro.core.problem import DesignProblem
+from repro.milp.solution import SolveStatus
+
+
+@dataclass
+class IterationRecord:
+    """Journal entry for one explorer iteration."""
+
+    index: int
+    analytic_power_mw: float
+    candidates: List[Configuration]
+    evaluations: List[EvaluationRecord]
+    feasible: List[EvaluationRecord]
+    incumbent_power_mw: float
+    incumbent: Optional[Configuration]
+
+    @property
+    def num_candidates(self) -> int:
+        return len(self.candidates)
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of one Algorithm 1 run."""
+
+    pdr_min: float
+    status: str  # "optimal" | "infeasible"
+    termination_reason: str
+    best: Optional[EvaluationRecord]
+    iterations: List[IterationRecord] = field(default_factory=list)
+    simulations_run: int = 0
+    milp_solves: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def found(self) -> bool:
+        return self.best is not None
+
+    def summary(self) -> str:
+        """One-line human-readable result."""
+        if self.best is None:
+            return (
+                f"PDRmin={100 * self.pdr_min:.0f}%: infeasible "
+                f"({self.simulations_run} simulations)"
+            )
+        b = self.best
+        return (
+            f"PDRmin={100 * self.pdr_min:.0f}%: {b.config.label()}  "
+            f"PDR={b.pdr_percent:.1f}%  NLT={b.nlt_days:.1f} days  "
+            f"({self.simulations_run} simulations, "
+            f"{len(self.iterations)} iterations)"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable journal of the run — for external tooling,
+        archival of exploration sessions, and regression comparison."""
+
+        def _record(e) -> dict:
+            return {
+                "placement": list(e.config.placement),
+                "tx_dbm": e.config.tx_dbm,
+                "mac": e.config.mac.value,
+                "routing": e.config.routing.value,
+                "pdr": e.pdr,
+                "power_mw": e.power_mw,
+                "nlt_days": e.nlt_days,
+            }
+
+        return {
+            "pdr_min": self.pdr_min,
+            "status": self.status,
+            "termination_reason": self.termination_reason,
+            "simulations_run": self.simulations_run,
+            "milp_solves": self.milp_solves,
+            "wall_seconds": self.wall_seconds,
+            "best": _record(self.best) if self.best else None,
+            "iterations": [
+                {
+                    "index": it.index,
+                    "analytic_power_mw": it.analytic_power_mw,
+                    "num_candidates": it.num_candidates,
+                    "num_feasible": len(it.feasible),
+                    "incumbent_power_mw": (
+                        it.incumbent_power_mw
+                        if it.incumbent_power_mw != math.inf
+                        else None
+                    ),
+                    "evaluations": [_record(e) for e in it.evaluations],
+                }
+                for it in self.iterations
+            ],
+        }
+
+
+class HumanIntranetExplorer:
+    """Algorithm 1.
+
+    Parameters
+    ----------
+    problem:
+        The mapping problem P (scenario + design space + PDR_min).
+    oracle:
+        Simulation oracle; pass a shared one to reuse cached evaluations
+        across runs at different PDR_min values (the paper's Fig. 3 setup).
+    max_iterations:
+        Safety valve; the design example converges in a handful.
+    candidate_cap:
+        Optional cap S on the number of MILP optima simulated per
+        iteration (ablation A3 in DESIGN.md).  ``None`` simulates the full
+        optimum set.
+    pdr_tolerance:
+        Slack subtracted from PDR_min when testing feasibility, absorbing
+        finite-horizon estimator noise (paper: ε-bounded estimates).
+    """
+
+    def __init__(
+        self,
+        problem: DesignProblem,
+        oracle: Optional[SimulationOracle] = None,
+        max_iterations: int = 200,
+        candidate_cap: Optional[int] = None,
+        pdr_tolerance: float = 0.0,
+        milp_max_solutions: int = 256,
+        use_alpha: bool = True,
+        alpha_slack: float = 1.0,
+    ) -> None:
+        self.problem = problem
+        self.oracle = oracle or SimulationOracle(problem.scenario)
+        self.max_iterations = max_iterations
+        self.candidate_cap = candidate_cap
+        self.pdr_tolerance = pdr_tolerance
+        # Enumerating more optima than will be simulated is wasted MILP
+        # work; align the pool with the cap when one is set.
+        if candidate_cap is not None:
+            milp_max_solutions = min(milp_max_solutions, candidate_cap)
+        self.milp_max_solutions = milp_max_solutions
+        #: When False, the termination test uses the raw P̄* instead of the
+        #: α-corrected bound (ablation A2) and may terminate prematurely —
+        #: kept as a switch precisely so the ablation can measure the
+        #: damage.
+        self.use_alpha = use_alpha
+        #: Multiplier on the α bound's radio term (1.0 = the paper's α;
+        #: ≤0.7 makes termination strictly conservative against our
+        #: simulator's measured Eq. 5 bias — see CoarsePowerModel).
+        self.alpha_slack = alpha_slack
+        self.formulation = MilpFormulation(problem)
+
+    def explore(self, exhaustive: bool = False) -> ExplorationResult:
+        """Run Algorithm 1 (or the exhaustive sweep variant)."""
+        start = time.perf_counter()
+        power_model = self.problem.scenario.power_model()
+        pdr_min = self.problem.pdr_min
+
+        cuts: List[float] = []
+        incumbent: Optional[EvaluationRecord] = None
+        p_min = math.inf
+        iterations: List[IterationRecord] = []
+        milp_solves = 0
+        sims_before = self.oracle.simulations_run
+        termination = "max_iterations"
+
+        for index in range(self.max_iterations):
+            status, candidates, p_star = self.formulation.enumerate_candidates(
+                cuts, max_solutions=self.milp_max_solutions
+            )
+            milp_solves += 1
+            if status is SolveStatus.INFEASIBLE or not candidates:
+                termination = (
+                    "milp_exhausted" if incumbent is not None else "milp_infeasible"
+                )
+                break
+            if status is not SolveStatus.OPTIMAL:
+                raise RuntimeError(f"unexpected MILP status {status}")
+            assert p_star is not None
+
+            # Line 5: the α-corrected bound.  P̄*/α equals the least
+            # simulated power any candidate at this or a higher analytical
+            # level could exhibit while still meeting PDR_min.
+            if not exhaustive and incumbent is not None:
+                if self.use_alpha:
+                    bound = power_model.power_lower_bound_mw(
+                        p_star, pdr_min, self.alpha_slack
+                    )
+                else:
+                    bound = p_star
+                if bound > p_min:
+                    termination = "alpha_bound"
+                    break
+
+            if self.candidate_cap is not None:
+                candidates = candidates[: self.candidate_cap]
+
+            evaluations = self.oracle.evaluate_many(candidates)
+            feasible = [
+                e for e in evaluations if e.pdr >= pdr_min - self.pdr_tolerance
+            ]
+            feasible.sort(key=lambda e: (e.power_mw, e.config.key()))
+            if feasible and feasible[0].power_mw <= p_min:
+                incumbent = feasible[0]
+                p_min = incumbent.power_mw
+
+            iterations.append(
+                IterationRecord(
+                    index=index,
+                    analytic_power_mw=p_star,
+                    candidates=list(candidates),
+                    evaluations=evaluations,
+                    feasible=feasible,
+                    incumbent_power_mw=p_min,
+                    incumbent=incumbent.config if incumbent else None,
+                )
+            )
+
+            # In the paper the loop exits via line 5 at the *next* MILP
+            # solve; with the default α model a feasible incumbent at the
+            # current level always certifies optimality there, which is why
+            # the paper observes termination "soon after the first feasible
+            # configuration was found".
+            cuts.append(p_star)
+
+        wall = time.perf_counter() - start
+        return ExplorationResult(
+            pdr_min=pdr_min,
+            status="optimal" if incumbent is not None else "infeasible",
+            termination_reason=termination,
+            best=incumbent,
+            iterations=iterations,
+            simulations_run=self.oracle.simulations_run - sims_before,
+            milp_solves=milp_solves,
+            wall_seconds=wall,
+        )
+
+    # -- convenience ------------------------------------------------------------
+
+    def sweep(self) -> ExplorationResult:
+        """Exhaustive MILP-ordered sweep of the whole feasible space."""
+        return self.explore(exhaustive=True)
+
+    # -- the dual problem -----------------------------------------------------------
+
+    def explore_max_reliability(
+        self,
+        min_lifetime_days: float,
+        power_slack: float = 0.7,
+    ) -> "DualExplorationResult":
+        """The dual of Problem (8): maximize PDR subject to NLT ≥ bound.
+
+        The paper motivates both directions ("for an everyday ... monitoring
+        application, achieving the longest possible battery lifetime is
+        preferred"; "when a safety-critical node ... is part of the
+        network, reliability becomes of utmost importance") but evaluates
+        only the lifetime-primal form.  The dual reuses the same machinery
+        mirrored: the lifetime bound maps to a power budget
+        P_max = E_bat / NLT_min; the MILP enumerates power levels
+        ascending, and every level that could possibly simulate within the
+        budget — i.e. with P_bl + slack·(P̄ − P_bl) ≤ P_max, using the
+        measured model-bias slack — contributes its candidate pool.  The
+        answer is the highest-PDR candidate whose *simulated* power meets
+        the budget (ties broken toward lower power).
+        """
+        if min_lifetime_days <= 0:
+            raise ValueError("lifetime bound must be positive")
+        start = time.perf_counter()
+        battery = self.problem.scenario.battery
+        baseline = self.problem.scenario.app.baseline_mw
+        max_power_mw = battery.energy_mwh / (min_lifetime_days * 24.0)
+        sims_before = self.oracle.simulations_run
+
+        cuts: List[float] = []
+        evaluations: List[EvaluationRecord] = []
+        milp_solves = 0
+        while True:
+            status, candidates, p_star = self.formulation.enumerate_candidates(
+                cuts, max_solutions=self.milp_max_solutions
+            )
+            milp_solves += 1
+            if status is SolveStatus.INFEASIBLE or not candidates:
+                break
+            assert p_star is not None
+            optimistic = baseline + power_slack * (p_star - baseline)
+            if optimistic > max_power_mw:
+                break  # no deeper level can simulate within the budget
+            if self.candidate_cap is not None:
+                candidates = candidates[: self.candidate_cap]
+            evaluations.extend(self.oracle.evaluate_many(candidates))
+            cuts.append(p_star)
+
+        within_budget = [
+            e for e in evaluations if e.power_mw <= max_power_mw + 1e-12
+        ]
+        best = (
+            max(within_budget, key=lambda e: (e.pdr, -e.power_mw))
+            if within_budget
+            else None
+        )
+        return DualExplorationResult(
+            min_lifetime_days=min_lifetime_days,
+            max_power_mw=max_power_mw,
+            best=best,
+            evaluations=evaluations,
+            simulations_run=self.oracle.simulations_run - sims_before,
+            milp_solves=milp_solves,
+            wall_seconds=time.perf_counter() - start,
+        )
+
+
+@dataclass
+class DualExplorationResult:
+    """Outcome of the reliability-maximizing dual exploration."""
+
+    min_lifetime_days: float
+    max_power_mw: float
+    best: Optional[EvaluationRecord]
+    evaluations: List[EvaluationRecord] = field(default_factory=list)
+    simulations_run: int = 0
+    milp_solves: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def found(self) -> bool:
+        return self.best is not None
+
+    def summary(self) -> str:
+        if self.best is None:
+            return (
+                f"NLTmin={self.min_lifetime_days:.1f} d: infeasible "
+                f"({self.simulations_run} simulations)"
+            )
+        b = self.best
+        return (
+            f"NLTmin={self.min_lifetime_days:.1f} d: {b.config.label()}  "
+            f"PDR={b.pdr_percent:.1f}%  NLT={b.nlt_days:.1f} days  "
+            f"({self.simulations_run} simulations)"
+        )

@@ -1,0 +1,137 @@
+"""Measurement primitives: counters, time-weighted values, and traces.
+
+These are the bookkeeping tools the network stack uses to produce the
+paper's metrics.  They are deliberately simple and allocation-light because
+they sit on the simulator's hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class Counter:
+    """A named monotone event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def increment(self, by: int = 1) -> None:
+        self.value += by
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}={self.value})"
+
+
+class TimeWeightedValue:
+    """Tracks a piecewise-constant signal and its time average.
+
+    Used for radio-state occupancy: the fraction of time a radio spends in
+    TX / RX / sleep is the time average of the corresponding indicator.
+    """
+
+    __slots__ = ("name", "_last_time", "_last_value", "_integral", "_start_time")
+
+    def __init__(self, name: str, initial: float = 0.0, start_time: float = 0.0):
+        self.name = name
+        self._start_time = start_time
+        self._last_time = start_time
+        self._last_value = initial
+        self._integral = 0.0
+
+    def update(self, now: float, value: float) -> None:
+        """Record that the signal takes ``value`` from time ``now`` on."""
+        if now < self._last_time:
+            raise ValueError(
+                f"{self.name}: time went backwards ({now} < {self._last_time})"
+            )
+        self._integral += self._last_value * (now - self._last_time)
+        self._last_time = now
+        self._last_value = value
+
+    def integral(self, now: float) -> float:
+        """Integral of the signal from start to ``now``."""
+        return self._integral + self._last_value * (now - self._last_time)
+
+    def average(self, now: float) -> float:
+        """Time average of the signal from start to ``now``."""
+        horizon = now - self._start_time
+        if horizon <= 0:
+            return self._last_value
+        return self.integral(now) / horizon
+
+    @property
+    def current(self) -> float:
+        return self._last_value
+
+    def __repr__(self) -> str:
+        return f"TimeWeightedValue({self.name!r}, current={self._last_value})"
+
+
+@dataclass
+class TraceRecord:
+    """One trace entry: time, category, and free-form payload."""
+
+    time: float
+    category: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+
+class TraceLog:
+    """An optional structured event trace.
+
+    Tracing is off by default (``enabled=False``) so that production sweeps
+    pay no cost; tests and debugging sessions enable it to assert on
+    protocol behaviour (e.g. "the coordinator relayed exactly once per
+    packet").
+    """
+
+    def __init__(self, enabled: bool = False, capacity: Optional[int] = None) -> None:
+        self.enabled = enabled
+        self.capacity = capacity
+        self.records: List[TraceRecord] = []
+        self.dropped = 0
+
+    def log(self, time: float, category: str, **payload: Any) -> None:
+        if not self.enabled:
+            return
+        if self.capacity is not None and len(self.records) >= self.capacity:
+            self.dropped += 1
+            return
+        self.records.append(TraceRecord(time, category, payload))
+
+    def by_category(self, category: str) -> List[TraceRecord]:
+        """All records of one category, in time order."""
+        return [r for r in self.records if r.category == category]
+
+    def count(self, category: str) -> int:
+        return sum(1 for r in self.records if r.category == category)
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def summarize_counters(counters: Dict[str, Counter]) -> Dict[str, int]:
+    """Snapshot a dict of counters into plain integers."""
+    return {name: counter.value for name, counter in counters.items()}
+
+
+def merge_traces(traces: List[TraceLog]) -> List[TraceRecord]:
+    """Merge several trace logs into one time-ordered record list."""
+    merged: List[Tuple[float, int, TraceRecord]] = []
+    for t_index, trace in enumerate(traces):
+        for record in trace.records:
+            merged.append((record.time, t_index, record))
+    merged.sort(key=lambda item: (item[0], item[1]))
+    return [record for _t, _i, record in merged]

@@ -1,0 +1,147 @@
+"""Generator-based processes on top of the event kernel.
+
+Components whose behaviour is naturally sequential (sense, back off, sense
+again, transmit, ...) read better as a coroutine than as a callback chain.
+A :class:`Process` wraps a generator that yields:
+
+* :class:`Timeout(delay)` — resume after ``delay`` simulated seconds;
+* :class:`Waiter` — resume when another component calls
+  :meth:`Waiter.trigger`, optionally carrying a value.
+
+Example::
+
+    def blinker(sim):
+        while True:
+            yield Timeout(1.0)
+            print(f"blink at {sim.now}")
+
+    Process(sim, blinker(sim))
+    sim.run(until=5.0)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional
+
+from repro.des.engine import Event, Simulator
+
+
+class Timeout:
+    """Yielded by a process to sleep for a fixed simulated duration."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise ValueError(f"timeout delay must be non-negative, got {delay}")
+        self.delay = delay
+
+    def __repr__(self) -> str:
+        return f"Timeout({self.delay})"
+
+
+class Waiter:
+    """A one-shot wakeup channel between components.
+
+    A process yields a waiter to block on it; any other code calls
+    :meth:`trigger` to resume the process (at the current simulation time,
+    after already-scheduled events at that time).  Triggering an un-awaited
+    waiter stores the value so a later ``yield`` returns immediately —
+    avoiding the classic lost-wakeup race.
+    """
+
+    __slots__ = ("_sim", "_process", "_value", "_triggered", "_consumed")
+
+    def __init__(self, sim: Simulator) -> None:
+        self._sim = sim
+        self._process: Optional["Process"] = None
+        self._value: Any = None
+        self._triggered = False
+        self._consumed = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    def trigger(self, value: Any = None) -> None:
+        """Wake the waiting process (idempotent after the first call)."""
+        if self._triggered:
+            return
+        self._triggered = True
+        self._value = value
+        if self._process is not None:
+            process = self._process
+            self._process = None
+            self._sim.schedule(0.0, process._resume, self._value)
+
+    def _attach(self, process: "Process") -> bool:
+        """Register the waiting process.  Returns True when already
+        triggered (i.e. the process should resume immediately)."""
+        if self._triggered:
+            return True
+        self._process = process
+        return False
+
+
+class Process:
+    """Drives a generator through the simulator.
+
+    The process starts immediately upon construction (its first segment is
+    scheduled at the current time) and runs until the generator returns or
+    :meth:`interrupt` is called.
+    """
+
+    def __init__(self, sim: Simulator, generator: Generator, name: str = "process"):
+        self.sim = sim
+        self.name = name
+        self._gen = generator
+        self._alive = True
+        self._pending_event: Optional[Event] = None
+        self._pending_event = sim.schedule(0.0, self._resume, None)
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def interrupt(self) -> None:
+        """Stop the process: cancel its pending timer and close the
+        generator."""
+        if not self._alive:
+            return
+        self._alive = False
+        if self._pending_event is not None and self._pending_event.pending:
+            self._pending_event.cancel()
+        self._gen.close()
+
+    def _resume(self, value: Any) -> None:
+        if not self._alive:
+            return
+        self._pending_event = None
+        try:
+            yielded = self._gen.send(value)
+        except StopIteration:
+            self._alive = False
+            return
+        self._handle(yielded)
+
+    def _handle(self, yielded: Any) -> None:
+        if isinstance(yielded, Timeout):
+            self._pending_event = self.sim.schedule(yielded.delay, self._resume, None)
+        elif isinstance(yielded, Waiter):
+            if yielded._attach(self):
+                self._pending_event = self.sim.schedule(
+                    0.0, self._resume, yielded._value
+                )
+        else:
+            self._alive = False
+            raise TypeError(
+                f"process {self.name!r} yielded {yielded!r}; expected Timeout or Waiter"
+            )
+
+    def __repr__(self) -> str:
+        return f"Process({self.name!r}, alive={self._alive})"
+
+
+def all_processes_dead(processes: List[Process]) -> bool:
+    """True when every process in the list has finished."""
+    return all(not p.alive for p in processes)

@@ -1,0 +1,78 @@
+"""Named, independently seeded random streams.
+
+Every stochastic component in the simulator (per-link fading, MAC backoff,
+application jitter, ...) draws from its own stream, keyed by a string name.
+Streams are derived from a root seed with ``numpy.random.SeedSequence``
+spawned per name, so:
+
+* the same (seed, name) pair always produces the same draws — runs are
+  bit-for-bit reproducible;
+* adding a new consumer does not perturb the draws of existing ones —
+  experiments stay comparable across code revisions;
+* replications use disjoint randomness by bumping the ``replicate`` index
+  rather than ad hoc seed arithmetic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict
+
+import numpy as np
+
+
+class RngStreams:
+    """A factory of named ``numpy.random.Generator`` streams.
+
+    Parameters
+    ----------
+    seed:
+        Root seed of the whole simulation run.
+    replicate:
+        Replication index; the paper averages metrics over 3 runs, which we
+        realize as replicates 0..2 of the same seed.
+    """
+
+    def __init__(self, seed: int = 0, replicate: int = 0) -> None:
+        self.seed = int(seed)
+        self.replicate = int(replicate)
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return (creating on first use) the generator for ``name``."""
+        gen = self._streams.get(name)
+        if gen is None:
+            gen = np.random.default_rng(self._derive(name))
+            self._streams[name] = gen
+        return gen
+
+    def _derive(self, name: str) -> np.random.SeedSequence:
+        # Hash the name to a stable 64-bit key; SeedSequence mixes it with
+        # the root seed and replicate index.
+        digest = hashlib.sha256(name.encode("utf-8")).digest()
+        name_key = int.from_bytes(digest[:8], "little")
+        return np.random.SeedSequence(
+            entropy=self.seed, spawn_key=(self.replicate, name_key)
+        )
+
+    def uniform(self, name: str, low: float = 0.0, high: float = 1.0) -> float:
+        """Draw one uniform sample from the named stream."""
+        return float(self.stream(name).uniform(low, high))
+
+    def normal(self, name: str, loc: float = 0.0, scale: float = 1.0) -> float:
+        """Draw one normal sample from the named stream."""
+        return float(self.stream(name).normal(loc, scale))
+
+    def exponential(self, name: str, mean: float) -> float:
+        """Draw one exponential sample with the given mean."""
+        return float(self.stream(name).exponential(mean))
+
+    def integers(self, name: str, low: int, high: int) -> int:
+        """Draw one integer uniformly from ``[low, high)``."""
+        return int(self.stream(name).integers(low, high))
+
+    def __repr__(self) -> str:
+        return (
+            f"RngStreams(seed={self.seed}, replicate={self.replicate}, "
+            f"streams={len(self._streams)})"
+        )

@@ -1,0 +1,157 @@
+"""A1–A3 — ablations of the design choices DESIGN.md calls out.
+
+* **A1, MILP-only** (:func:`run_milp_only_ablation`): trust Eq. 9 and the
+  analytical model alone — pick the cheapest configuration and *then* check
+  it in the simulator.  Quantifies how badly the coarse model's optimum
+  violates the reliability constraint, i.e. why the paper needs the
+  simulation feedback loop at all.
+* **A2, α-correction** (:func:`run_alpha_ablation`): disable the α factor
+  in the termination criterion (use P̄* directly instead of P̄*/α).
+  Measures the saved simulations and whether the returned optimum degrades
+  — the trade the paper's termination bound is designed to avoid.
+* **A3, candidate-pool size** (:func:`run_candidate_cap_ablation`): vary
+  the per-iteration cap S on simulated MILP optima.  Small pools simulate
+  less per power level but may miss the feasible placement at a level and
+  push the search to more expensive levels.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.design_space import Configuration
+from repro.core.evaluator import EvaluationRecord, SimulationOracle
+from repro.core.explorer import HumanIntranetExplorer
+from repro.core.milp_builder import MilpFormulation
+from repro.experiments.scenario import get_preset, make_problem, make_scenario
+
+
+# -- A1: MILP-only ---------------------------------------------------------------
+
+
+@dataclass
+class MilpOnlyAblation:
+    pdr_min: float
+    analytic_choice: Configuration
+    analytic_power_mw: float
+    simulated: EvaluationRecord
+    meets_constraint: bool
+    #: what the full algorithm returns instead.
+    alg1_choice: Optional[Configuration]
+    alg1_pdr: Optional[float]
+
+
+def run_milp_only_ablation(
+    pdr_min: float, preset: str = "ci", seed: int = 0
+) -> MilpOnlyAblation:
+    """Compare 'trust the analytical model' against the full algorithm."""
+    p = get_preset(preset)
+    problem = make_problem(pdr_min, preset, seed=seed)
+    formulation = MilpFormulation(problem)
+    status, candidates, p_star = formulation.enumerate_candidates(max_solutions=1)
+    if not candidates:
+        raise RuntimeError(f"MILP infeasible in ablation (status {status})")
+    oracle = SimulationOracle(problem.scenario)
+    simulated = oracle.evaluate(candidates[0])
+
+    explorer = HumanIntranetExplorer(
+        problem, oracle=oracle, candidate_cap=p.candidate_cap
+    )
+    alg1 = explorer.explore()
+    return MilpOnlyAblation(
+        pdr_min=pdr_min,
+        analytic_choice=candidates[0],
+        analytic_power_mw=p_star if p_star is not None else math.nan,
+        simulated=simulated,
+        meets_constraint=simulated.pdr >= pdr_min,
+        alg1_choice=alg1.best.config if alg1.best else None,
+        alg1_pdr=alg1.best.pdr if alg1.best else None,
+    )
+
+
+# -- A2: α-correction -------------------------------------------------------------
+
+
+@dataclass
+class AlphaAblation:
+    pdr_min: float
+    with_alpha_power_mw: Optional[float]
+    with_alpha_simulations: int
+    without_alpha_power_mw: Optional[float]
+    without_alpha_simulations: int
+
+    @property
+    def premature_termination(self) -> bool:
+        """True when dropping α returned a worse (higher-power) optimum."""
+        if self.with_alpha_power_mw is None or self.without_alpha_power_mw is None:
+            return self.with_alpha_power_mw != self.without_alpha_power_mw
+        return self.without_alpha_power_mw > self.with_alpha_power_mw + 1e-9
+
+
+def run_alpha_ablation(
+    pdr_min: float, preset: str = "ci", seed: int = 0
+) -> AlphaAblation:
+    """Algorithm 1 with and without the α-corrected termination bound."""
+    p = get_preset(preset)
+    problem = make_problem(pdr_min, preset, seed=seed)
+
+    oracle_a = SimulationOracle(problem.scenario)
+    with_alpha = HumanIntranetExplorer(
+        problem, oracle=oracle_a, candidate_cap=p.candidate_cap
+    ).explore()
+
+    oracle_b = SimulationOracle(problem.scenario)
+    without_alpha = HumanIntranetExplorer(
+        problem, oracle=oracle_b, candidate_cap=p.candidate_cap, use_alpha=False
+    ).explore()
+
+    return AlphaAblation(
+        pdr_min=pdr_min,
+        with_alpha_power_mw=with_alpha.best.power_mw if with_alpha.best else None,
+        with_alpha_simulations=with_alpha.simulations_run,
+        without_alpha_power_mw=(
+            without_alpha.best.power_mw if without_alpha.best else None
+        ),
+        without_alpha_simulations=without_alpha.simulations_run,
+    )
+
+
+# -- A3: candidate-pool size --------------------------------------------------------
+
+
+@dataclass
+class CandidateCapAblation:
+    pdr_min: float
+    #: cap -> (simulations, optimum power or None, iterations)
+    by_cap: Dict[Optional[int], tuple] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+
+
+def run_candidate_cap_ablation(
+    pdr_min: float,
+    preset: str = "ci",
+    seed: int = 0,
+    caps: List[Optional[int]] = (4, 16, 64),
+) -> CandidateCapAblation:
+    """Sweep the per-iteration candidate pool size S."""
+    problem = make_problem(pdr_min, preset, seed=seed)
+    data = CandidateCapAblation(pdr_min=pdr_min)
+    start = time.perf_counter()
+    # One shared oracle: caches make the sweep affordable and the counters
+    # below are taken per-run deltas.
+    oracle = SimulationOracle(make_scenario(preset, seed=seed))
+    for cap in caps:
+        before = oracle.simulations_run
+        result = HumanIntranetExplorer(
+            problem, oracle=oracle, candidate_cap=cap
+        ).explore()
+        data.by_cap[cap] = (
+            oracle.simulations_run - before,
+            result.best.power_mw if result.best else None,
+            len(result.iterations),
+        )
+    data.wall_seconds = time.perf_counter() - start
+    return data

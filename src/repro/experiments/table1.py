@@ -1,0 +1,49 @@
+"""T1 — Table 1: TI CC2650 radio specifications.
+
+Table 1 is a parameter table, not a measurement; reproducing it means
+emitting the same rows from the component library (and checking, in the
+tests, that the library values match the paper's numbers exactly).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from repro.library.radios import CC2650, RadioSpec
+
+Row = Dict[str, Union[str, float]]
+
+
+def table1_rows(radio: RadioSpec = CC2650) -> List[Row]:
+    """The table's content as records (one per scalar / TX mode)."""
+    rows: List[Row] = [
+        {"parameter": "fc", "value": radio.carrier_hz / 1e9, "unit": "GHz"},
+        {"parameter": "BR", "value": radio.bit_rate_bps / 1e3, "unit": "kbps"},
+        {"parameter": "RxdBm", "value": radio.sensitivity_dbm, "unit": "dBm"},
+        {"parameter": "RxmW", "value": radio.rx_power_mw, "unit": "mW"},
+    ]
+    for mode in radio.tx_modes:
+        rows.append(
+            {
+                "parameter": f"Tx mode {mode.name}",
+                "TxdBm": mode.output_dbm,
+                "TxmW": mode.power_mw,
+                "unit": "dBm / mW",
+            }
+        )
+    return rows
+
+
+def format_table1(radio: RadioSpec = CC2650) -> str:
+    """Render the table as the paper lays it out."""
+    lines = [f"Table 1: {radio.name} radio specifications"]
+    lines.append(f"  fc      {radio.carrier_hz / 1e9:g} GHz")
+    lines.append(f"  BR      {radio.bit_rate_bps / 1e3:g} kbps")
+    lines.append(f"  RxdBm   {radio.sensitivity_dbm:g}")
+    lines.append(f"  RxmW    {radio.rx_power_mw:g}")
+    lines.append("  Tx Mode   TxdBm   TxmW")
+    for mode in radio.tx_modes:
+        lines.append(
+            f"  {mode.name:<8}  {mode.output_dbm:>5.0f}  {mode.power_mw:>6.2f}"
+        )
+    return "\n".join(lines)

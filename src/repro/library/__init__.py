@@ -1,0 +1,35 @@
+"""Component library: radios, batteries, body locations, protocol options.
+
+The paper follows platform-based design: system requirements are mapped
+onto an *aggregation of components from a library* spanning all network
+layers.  This package is that library.  Its headline entry is the Texas
+Instruments CC2650 radio whose Table 1 parameters drive the design example;
+additional radios and batteries are included so that the exploration
+framework can be exercised beyond the paper's single-radio scenario.
+"""
+
+from repro.library.radios import (
+    CC2650,
+    RadioSpec,
+    TxMode,
+    RADIO_CATALOG,
+    radio_by_name,
+)
+from repro.library.batteries import BatterySpec, CR2032, BATTERY_CATALOG, battery_by_name
+from repro.library.mac_options import MacKind, RoutingKind, MacOptions, RoutingOptions
+
+__all__ = [
+    "RadioSpec",
+    "TxMode",
+    "CC2650",
+    "RADIO_CATALOG",
+    "radio_by_name",
+    "BatterySpec",
+    "CR2032",
+    "BATTERY_CATALOG",
+    "battery_by_name",
+    "MacKind",
+    "RoutingKind",
+    "MacOptions",
+    "RoutingOptions",
+]

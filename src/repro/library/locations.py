@@ -1,0 +1,103 @@
+"""Location roles for the paper's design example (Sec. 4.1).
+
+The topological constraints of the design example are driven by sensing
+roles: respiration at the chest, gait at hip and foot, vitals at the wrist.
+This module names those roles so the constraint builder and the examples
+can speak in application terms instead of raw indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.channel.body import (
+    BACK,
+    CHEST,
+    HEAD,
+    LEFT_ANKLE,
+    LEFT_HIP,
+    LEFT_UPPER_ARM,
+    LEFT_WRIST,
+    RIGHT_ANKLE,
+    RIGHT_HIP,
+    RIGHT_WRIST,
+)
+
+
+@dataclass(frozen=True)
+class LocationRole:
+    """A sensing role and the body locations that can host it."""
+
+    name: str
+    description: str
+    eligible_locations: Tuple[int, ...]
+    min_nodes: int = 1
+
+
+#: Sec. 4.1: "one node must be placed on the chest for respiration rate
+#: monitoring as well as the coordination in a star topology".
+RESPIRATION = LocationRole(
+    "respiration",
+    "respiration-rate monitoring; doubles as the star coordinator",
+    (CHEST,),
+)
+
+#: "At least one node should be at the hip and one at the foot for gait
+#: analysis."
+GAIT_HIP = LocationRole(
+    "gait_hip", "gait analysis, pelvis kinematics", (LEFT_HIP, RIGHT_HIP)
+)
+GAIT_FOOT = LocationRole(
+    "gait_foot", "gait analysis, foot strike", (LEFT_ANKLE, RIGHT_ANKLE)
+)
+
+#: "At least one node should be placed at the wrist to gather several
+#: biological signals including temperature, heart rate, pulse oxygenation,
+#: and motion."
+VITALS_WRIST = LocationRole(
+    "vitals_wrist",
+    "temperature, heart rate, SpO2, motion",
+    (LEFT_WRIST, RIGHT_WRIST),
+)
+
+#: Extra locations available for the up-to-two optional relay nodes.
+OPTIONAL_RELAY_LOCATIONS: Tuple[int, ...] = (
+    LEFT_HIP,
+    RIGHT_HIP,
+    LEFT_ANKLE,
+    RIGHT_ANKLE,
+    LEFT_WRIST,
+    RIGHT_WRIST,
+    LEFT_UPPER_ARM,
+    HEAD,
+    BACK,
+)
+
+#: The design example's role set in one place.
+DESIGN_EXAMPLE_ROLES: List[LocationRole] = [
+    RESPIRATION,
+    GAIT_HIP,
+    GAIT_FOOT,
+    VITALS_WRIST,
+]
+
+#: Short names for reporting, indexed by location id.
+LOCATION_SHORT_NAMES: Dict[int, str] = {
+    CHEST: "chest",
+    LEFT_HIP: "hipL",
+    RIGHT_HIP: "hipR",
+    LEFT_ANKLE: "ankL",
+    RIGHT_ANKLE: "ankR",
+    LEFT_WRIST: "wriL",
+    RIGHT_WRIST: "wriR",
+    LEFT_UPPER_ARM: "armL",
+    HEAD: "head",
+    BACK: "back",
+}
+
+
+def describe_placement(locations: Tuple[int, ...]) -> str:
+    """Human-readable rendering of a placement, e.g. ``[chest,hipL,ankL]``."""
+    names = [LOCATION_SHORT_NAMES.get(i, str(i)) for i in sorted(locations)]
+    return "[" + ",".join(names) + "]"

@@ -1,0 +1,140 @@
+"""Radio (physical layer) component models.
+
+A radio is characterized by the paper's configuration vector (Eq. 2):
+
+    χ_rd = (fc, BR, Tx_dBm, Tx_mW, Rx_dBm, Rx_mW)
+
+The CC2650 entry transcribes Table 1 exactly, including the footnote that
+the −20 and −10 dBm power-consumption values are extrapolations not present
+in the datasheet.  Additional catalog entries let users explore radios
+beyond the paper's example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class TxMode:
+    """One selectable transmitter operating point.
+
+    Attributes
+    ----------
+    name:
+        Label (Table 1 uses p1, p2, p3).
+    output_dbm:
+        Transmitter output power in dBm.
+    power_mw:
+        Power drawn from the supply while transmitting, in milliwatts.
+    """
+
+    name: str
+    output_dbm: float
+    power_mw: float
+
+
+@dataclass(frozen=True)
+class RadioSpec:
+    """A radio chip available in the component library.
+
+    Attributes mirror Eq. 2: carrier frequency ``fc`` (Hz), bit rate
+    (bits/s), receiver sensitivity (dBm), receive power draw (mW), and the
+    set of selectable transmit modes.
+    """
+
+    name: str
+    carrier_hz: float
+    bit_rate_bps: float
+    sensitivity_dbm: float
+    rx_power_mw: float
+    tx_modes: Tuple[TxMode, ...]
+
+    def packet_airtime_s(self, payload_bytes: int) -> float:
+        """Transmission duration of an L-byte packet: Tpkt = 8L/BR."""
+        if payload_bytes <= 0:
+            raise ValueError("packet length must be positive")
+        return 8.0 * payload_bytes / self.bit_rate_bps
+
+    def tx_mode(self, name: str) -> TxMode:
+        """Look up a transmit mode by its label."""
+        for mode in self.tx_modes:
+            if mode.name == name:
+                return mode
+        raise KeyError(f"radio {self.name!r} has no TX mode {name!r}")
+
+    def tx_mode_by_dbm(self, output_dbm: float) -> TxMode:
+        """Look up a transmit mode by its output power."""
+        for mode in self.tx_modes:
+            if mode.output_dbm == output_dbm:
+                return mode
+        raise KeyError(
+            f"radio {self.name!r} has no TX mode at {output_dbm} dBm "
+            f"(available: {[m.output_dbm for m in self.tx_modes]})"
+        )
+
+    @property
+    def num_tx_modes(self) -> int:
+        return len(self.tx_modes)
+
+
+#: Table 1 — TI CC2650 radio specifications.  The p1/p2 power-consumption
+#: figures carry the paper's footnote: "Not present in datasheet and based
+#: on extrapolation."
+CC2650 = RadioSpec(
+    name="CC2650",
+    carrier_hz=2.4e9,
+    bit_rate_bps=1024e3,
+    sensitivity_dbm=-97.0,
+    rx_power_mw=17.7,
+    tx_modes=(
+        TxMode("p1", -20.0, 9.55),
+        TxMode("p2", -10.0, 11.56),
+        TxMode("p3", 0.0, 18.3),
+    ),
+)
+
+#: A lower-power narrowband radio, loosely modeled on sub-GHz SoCs, for
+#: exploration studies beyond the paper's scenario: lower bit rate (longer
+#: airtime) but better sensitivity and lower draw.
+CC1310_LIKE = RadioSpec(
+    name="CC1310-like",
+    carrier_hz=868e6,
+    bit_rate_bps=500e3,
+    sensitivity_dbm=-110.0,
+    rx_power_mw=5.4,
+    tx_modes=(
+        TxMode("p1", -10.0, 12.3),
+        TxMode("p2", 0.0, 16.9),
+        TxMode("p3", 10.0, 41.2),
+    ),
+)
+
+#: An aggressive wideband radio with worse sensitivity but very short
+#: airtime, exercising the throughput-vs-budget tradeoff.
+UWB_LIKE = RadioSpec(
+    name="UWB-like",
+    carrier_hz=6.5e9,
+    bit_rate_bps=6800e3,
+    sensitivity_dbm=-88.0,
+    rx_power_mw=48.0,
+    tx_modes=(
+        TxMode("p1", -14.0, 31.0),
+        TxMode("p2", -8.0, 37.0),
+    ),
+)
+
+RADIO_CATALOG: Dict[str, RadioSpec] = {
+    spec.name: spec for spec in (CC2650, CC1310_LIKE, UWB_LIKE)
+}
+
+
+def radio_by_name(name: str) -> RadioSpec:
+    """Fetch a radio from the catalog by name."""
+    try:
+        return RADIO_CATALOG[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown radio {name!r}; catalog has {sorted(RADIO_CATALOG)}"
+        ) from None

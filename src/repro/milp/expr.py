@@ -1,0 +1,273 @@
+"""Decision variables and affine expressions for the MILP modeling layer.
+
+The design follows the conventions of mainstream modeling front-ends
+(PuLP, gurobipy): variables support arithmetic with numbers and with each
+other, producing :class:`LinExpr` objects; comparison operators on
+expressions produce constraint triples consumed by
+:class:`repro.milp.model.Model`.
+
+Expressions are stored as ``{var_index: coefficient}`` dictionaries plus a
+constant term, which keeps construction of the sparse constraint matrices in
+the solver straightforward.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping, Tuple, Union
+
+Number = Union[int, float]
+
+#: Infinity used for unbounded variable bounds.
+INF = math.inf
+
+
+class Var:
+    """A single decision variable.
+
+    Variables are created through :meth:`repro.milp.model.Model.add_var` and
+    carry an index into their owning model's variable table.  They are
+    hashable and compare by identity, so they can be used as dictionary keys.
+
+    Parameters
+    ----------
+    index:
+        Position of the variable in the model's column ordering.
+    name:
+        Human-readable name, unique within a model.
+    lb, ub:
+        Lower and upper bounds.  Use ``-math.inf`` / ``math.inf`` for free
+        variables.
+    is_integer:
+        Whether the variable is restricted to integer values by the MILP
+        solver.  A binary variable is an integer variable with bounds [0, 1].
+    """
+
+    __slots__ = ("index", "name", "lb", "ub", "is_integer")
+
+    def __init__(
+        self,
+        index: int,
+        name: str,
+        lb: Number = 0.0,
+        ub: Number = INF,
+        is_integer: bool = False,
+    ) -> None:
+        if lb > ub:
+            raise ValueError(
+                f"variable {name!r}: lower bound {lb} exceeds upper bound {ub}"
+            )
+        self.index = index
+        self.name = name
+        self.lb = float(lb)
+        self.ub = float(ub)
+        self.is_integer = bool(is_integer)
+
+    @property
+    def is_binary(self) -> bool:
+        """True when the variable is integer with bounds [0, 1]."""
+        return self.is_integer and self.lb == 0.0 and self.ub == 1.0
+
+    # -- conversion ---------------------------------------------------------
+
+    def to_expr(self) -> "LinExpr":
+        """Return this variable as a single-term linear expression."""
+        return LinExpr({self.index: 1.0}, 0.0)
+
+    # -- arithmetic (delegates to LinExpr) ----------------------------------
+
+    def __add__(self, other: "ExprLike") -> "LinExpr":
+        return self.to_expr() + other
+
+    def __radd__(self, other: "ExprLike") -> "LinExpr":
+        return self.to_expr() + other
+
+    def __sub__(self, other: "ExprLike") -> "LinExpr":
+        return self.to_expr() - other
+
+    def __rsub__(self, other: "ExprLike") -> "LinExpr":
+        return (-self.to_expr()) + other
+
+    def __mul__(self, other: Number) -> "LinExpr":
+        return self.to_expr() * other
+
+    def __rmul__(self, other: Number) -> "LinExpr":
+        return self.to_expr() * other
+
+    def __truediv__(self, other: Number) -> "LinExpr":
+        return self.to_expr() / other
+
+    def __neg__(self) -> "LinExpr":
+        return -self.to_expr()
+
+    # -- comparisons produce constraint specs -------------------------------
+
+    def __le__(self, other: "ExprLike") -> "ConstraintSpec":
+        return self.to_expr() <= other
+
+    def __ge__(self, other: "ExprLike") -> "ConstraintSpec":
+        return self.to_expr() >= other
+
+    def __eq__(self, other: object):  # type: ignore[override]
+        if isinstance(other, (Var, LinExpr, int, float)):
+            return self.to_expr() == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __repr__(self) -> str:
+        kind = "bin" if self.is_binary else ("int" if self.is_integer else "cont")
+        return f"Var({self.name!r}, {kind}, [{self.lb}, {self.ub}])"
+
+
+ExprLike = Union[Var, "LinExpr", Number]
+
+
+class LinExpr:
+    """An affine expression ``sum_i coeff_i * x_i + constant``.
+
+    Instances are immutable from the caller's perspective: all arithmetic
+    returns new expressions.  Terms with coefficient exactly zero are dropped
+    so that expression equality and constraint sparsity stay predictable.
+    """
+
+    __slots__ = ("terms", "constant")
+
+    def __init__(
+        self, terms: Mapping[int, float] | None = None, constant: Number = 0.0
+    ) -> None:
+        cleaned: Dict[int, float] = {}
+        if terms:
+            for idx, coeff in terms.items():
+                c = float(coeff)
+                if c != 0.0:
+                    cleaned[int(idx)] = c
+        self.terms = cleaned
+        self.constant = float(constant)
+
+    # -- constructors --------------------------------------------------------
+
+    @staticmethod
+    def from_operand(value: ExprLike) -> "LinExpr":
+        """Coerce a variable, expression, or number into a :class:`LinExpr`."""
+        if isinstance(value, LinExpr):
+            return value
+        if isinstance(value, Var):
+            return value.to_expr()
+        if isinstance(value, (int, float)):
+            return LinExpr({}, value)
+        raise TypeError(f"cannot build a linear expression from {value!r}")
+
+    @staticmethod
+    def sum_of(operands: Iterable[ExprLike]) -> "LinExpr":
+        """Sum an iterable of variables/expressions/numbers efficiently."""
+        terms: Dict[int, float] = {}
+        constant = 0.0
+        for op in operands:
+            expr = LinExpr.from_operand(op)
+            constant += expr.constant
+            for idx, coeff in expr.terms.items():
+                terms[idx] = terms.get(idx, 0.0) + coeff
+        return LinExpr(terms, constant)
+
+    # -- queries -------------------------------------------------------------
+
+    def coefficient(self, var: Var) -> float:
+        """Return the coefficient of ``var`` (0.0 when absent)."""
+        return self.terms.get(var.index, 0.0)
+
+    def evaluate(self, values: Mapping[int, float]) -> float:
+        """Evaluate the expression at a point given as ``{index: value}``."""
+        total = self.constant
+        for idx, coeff in self.terms.items():
+            total += coeff * values[idx]
+        return total
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.terms
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def __add__(self, other: ExprLike) -> "LinExpr":
+        rhs = LinExpr.from_operand(other)
+        terms = dict(self.terms)
+        for idx, coeff in rhs.terms.items():
+            terms[idx] = terms.get(idx, 0.0) + coeff
+        return LinExpr(terms, self.constant + rhs.constant)
+
+    def __radd__(self, other: ExprLike) -> "LinExpr":
+        return self + other
+
+    def __sub__(self, other: ExprLike) -> "LinExpr":
+        return self + (-LinExpr.from_operand(other))
+
+    def __rsub__(self, other: ExprLike) -> "LinExpr":
+        return (-self) + other
+
+    def __mul__(self, scalar: Number) -> "LinExpr":
+        if not isinstance(scalar, (int, float)):
+            raise TypeError("linear expressions can only be scaled by numbers")
+        return LinExpr(
+            {idx: coeff * scalar for idx, coeff in self.terms.items()},
+            self.constant * scalar,
+        )
+
+    def __rmul__(self, scalar: Number) -> "LinExpr":
+        return self * scalar
+
+    def __truediv__(self, scalar: Number) -> "LinExpr":
+        if scalar == 0:
+            raise ZeroDivisionError("division of a linear expression by zero")
+        return self * (1.0 / scalar)
+
+    def __neg__(self) -> "LinExpr":
+        return self * -1.0
+
+    # -- comparisons ---------------------------------------------------------
+
+    def __le__(self, other: ExprLike) -> "ConstraintSpec":
+        return ConstraintSpec(self - LinExpr.from_operand(other), "<=")
+
+    def __ge__(self, other: ExprLike) -> "ConstraintSpec":
+        return ConstraintSpec(self - LinExpr.from_operand(other), ">=")
+
+    def __eq__(self, other: object):  # type: ignore[override]
+        if isinstance(other, (Var, LinExpr, int, float)):
+            return ConstraintSpec(self - LinExpr.from_operand(other), "==")
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((tuple(sorted(self.terms.items())), self.constant))
+
+    def __repr__(self) -> str:
+        parts = [f"{coeff:+g}*x{idx}" for idx, coeff in sorted(self.terms.items())]
+        if self.constant or not parts:
+            parts.append(f"{self.constant:+g}")
+        return "LinExpr(" + " ".join(parts) + ")"
+
+
+class ConstraintSpec:
+    """Result of comparing expressions: ``body (sense) 0``.
+
+    ``body`` is the left-hand side minus the right-hand side, so the
+    constraint reads ``body <= 0``, ``body >= 0``, or ``body == 0``.  A spec
+    becomes a real :class:`repro.milp.model.Constraint` once it is added to a
+    model.
+    """
+
+    __slots__ = ("body", "sense")
+
+    def __init__(self, body: LinExpr, sense: str) -> None:
+        if sense not in ("<=", ">=", "=="):
+            raise ValueError(f"unknown constraint sense {sense!r}")
+        self.body = body
+        self.sense = sense
+
+    def as_row(self) -> Tuple[Dict[int, float], str, float]:
+        """Return ``(coeffs, sense, rhs)`` with the constant moved right."""
+        return dict(self.body.terms), self.sense, -self.body.constant
+
+    def __repr__(self) -> str:
+        return f"ConstraintSpec({self.body!r} {self.sense} 0)"

@@ -1,0 +1,60 @@
+"""Optional cross-check backend using ``scipy.optimize.milp`` (HiGHS).
+
+The bundled branch-and-bound solver is the primary MILP engine of this
+reproduction (the paper used CPLEX; we implement our own exact solver).
+This module exposes the same :class:`repro.milp.model.Model` interface on
+top of SciPy's HiGHS wrapper, used by the test suite to validate the
+home-grown solver on randomized models and available to users who prefer a
+battle-tested engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.milp.model import Model
+from repro.milp.solution import SolveResult, SolveStatus
+
+
+def solve_with_scipy(model: Model) -> SolveResult:
+    """Solve a model with ``scipy.optimize.milp`` and adapt the result.
+
+    Raises :class:`ImportError` when SciPy lacks the ``milp`` entry point
+    (SciPy < 1.9).
+    """
+    from scipy.optimize import LinearConstraint, Bounds, milp  # noqa: WPS433
+
+    c, a_ub, b_ub, a_eq, b_eq, bounds, c0 = model.to_standard_arrays()
+    n = model.num_vars
+
+    constraints = []
+    if a_ub.shape[0]:
+        constraints.append(LinearConstraint(a_ub, -np.inf, b_ub))
+    if a_eq.shape[0]:
+        constraints.append(LinearConstraint(a_eq, b_eq, b_eq))
+
+    integrality = np.zeros(n)
+    for j in model.integer_indices:
+        integrality[j] = 1
+
+    res = milp(
+        c=c,
+        constraints=constraints,
+        integrality=integrality,
+        bounds=Bounds(bounds[:, 0], bounds[:, 1]),
+    )
+
+    if res.status == 0:
+        min_obj = float(res.fun) + c0
+        reported = min_obj if model.sense == "min" else -min_obj
+        values = {i: float(v) for i, v in enumerate(res.x)}
+        for j in model.integer_indices:
+            values[j] = float(round(values[j]))
+        return SolveResult(SolveStatus.OPTIMAL, objective=reported, values=values)
+    if res.status == 2:
+        return SolveResult(SolveStatus.INFEASIBLE)
+    if res.status == 3:
+        return SolveResult(SolveStatus.UNBOUNDED)
+    # Statuses 1 (iteration/time limit) and 4 (numerical) map to NODE_LIMIT
+    # as the closest "gave up" analogue.
+    return SolveResult(SolveStatus.NODE_LIMIT)

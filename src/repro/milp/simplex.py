@@ -1,0 +1,414 @@
+"""A two-phase primal simplex solver for linear programs with bounds.
+
+This is the LP engine underneath the branch-and-bound MILP solver.  It
+accepts problems in the general form
+
+    minimize    c' x + c0
+    subject to  A_ub x <= b_ub
+                A_eq x == b_eq
+                lb <= x <= ub        (entries may be +/- infinity)
+
+and reduces them internally to the textbook standard form
+
+    minimize    c' y
+    subject to  A y == b,   y >= 0,  b >= 0
+
+via variable shifting (finite lower bounds), reflection (upper-bounded free
+variables), splitting (fully free variables), explicit upper-bound rows, and
+slack variables.  Phase 1 minimizes the sum of artificial variables to find
+a basic feasible solution; phase 2 optimizes the true objective.
+
+Pivoting uses Dantzig's rule with an automatic switch to Bland's rule after
+a cycling-suspicion threshold, which guarantees termination.  The dense
+tableau implementation is appropriate for the problem sizes that appear in
+Human Intranet design-space exploration (tens of variables and rows) and is
+validated against ``scipy.optimize.linprog`` in the test suite.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+#: Numerical tolerance for reduced costs, ratio tests, and feasibility.
+EPS = 1e-9
+
+
+class SimplexStatus(enum.Enum):
+    """Outcome of a simplex solve."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ITERATION_LIMIT = "iteration_limit"
+
+
+@dataclass
+class LinearProgram:
+    """A linear program in general (bounded-variable) form.
+
+    All arrays are dense numpy arrays.  ``bounds`` has shape ``(n, 2)`` with
+    columns ``[lb, ub]``; infinities are allowed.  ``c0`` is a constant
+    objective offset added to the reported optimum.
+    """
+
+    c: np.ndarray
+    a_ub: np.ndarray
+    b_ub: np.ndarray
+    a_eq: np.ndarray
+    b_eq: np.ndarray
+    bounds: np.ndarray
+    c0: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.c = np.asarray(self.c, dtype=float)
+        n = self.c.shape[0]
+        self.a_ub = np.asarray(self.a_ub, dtype=float).reshape(-1, n)
+        self.b_ub = np.asarray(self.b_ub, dtype=float).reshape(-1)
+        self.a_eq = np.asarray(self.a_eq, dtype=float).reshape(-1, n)
+        self.b_eq = np.asarray(self.b_eq, dtype=float).reshape(-1)
+        self.bounds = np.asarray(self.bounds, dtype=float).reshape(n, 2)
+        if self.a_ub.shape[0] != self.b_ub.shape[0]:
+            raise ValueError("A_ub and b_ub row counts disagree")
+        if self.a_eq.shape[0] != self.b_eq.shape[0]:
+            raise ValueError("A_eq and b_eq row counts disagree")
+
+    @property
+    def num_vars(self) -> int:
+        return self.c.shape[0]
+
+
+@dataclass
+class SimplexResult:
+    """Solution report: status, point in the *original* variable space,
+    objective value (including ``c0``), and iteration count."""
+
+    status: SimplexStatus
+    x: Optional[np.ndarray]
+    objective: Optional[float]
+    iterations: int = 0
+    phase1_objective: float = 0.0
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status is SimplexStatus.OPTIMAL
+
+
+@dataclass
+class _Transform:
+    """Bookkeeping for mapping standard-form columns back to original vars.
+
+    Each original variable maps to one of three encodings:
+
+    * ``("shift", col, lb)``      — x = lb + y[col]
+    * ``("reflect", col, ub)``    — x = ub - y[col]
+    * ``("split", col+, col-)``   — x = y[col+] - y[col-]
+    """
+
+    encodings: List[Tuple] = field(default_factory=list)
+    num_std_vars: int = 0
+
+    def recover(self, y: np.ndarray) -> np.ndarray:
+        x = np.zeros(len(self.encodings))
+        for i, enc in enumerate(self.encodings):
+            kind = enc[0]
+            if kind == "shift":
+                x[i] = enc[2] + y[enc[1]]
+            elif kind == "reflect":
+                x[i] = enc[2] - y[enc[1]]
+            else:
+                x[i] = y[enc[1]] - y[enc[2]]
+        return x
+
+
+class SimplexSolver:
+    """Two-phase dense-tableau simplex.
+
+    Parameters
+    ----------
+    max_iterations:
+        Hard cap on pivots per phase; generous relative to problem size.
+    bland_threshold:
+        Number of degenerate pivots tolerated before switching from
+        Dantzig's rule to Bland's anti-cycling rule.
+    """
+
+    def __init__(self, max_iterations: int = 20000, bland_threshold: int = 50) -> None:
+        self.max_iterations = max_iterations
+        self.bland_threshold = bland_threshold
+
+    # -- public API -----------------------------------------------------------
+
+    def solve(self, lp: LinearProgram) -> SimplexResult:
+        """Solve the LP and return a :class:`SimplexResult`."""
+        std, transform = self._to_standard_form(lp)
+        if std is None:
+            # A variable had lb > ub (caught upstream normally) or an
+            # immediately contradictory bound row.
+            return SimplexResult(SimplexStatus.INFEASIBLE, None, None)
+        a, b, c = std
+        result = self._two_phase(a, b, c)
+        if result.status is not SimplexStatus.OPTIMAL:
+            return result
+        assert result.x is not None
+        x_original = transform.recover(result.x)
+        objective = float(lp.c @ x_original + lp.c0)
+        return SimplexResult(
+            SimplexStatus.OPTIMAL, x_original, objective, result.iterations,
+            result.phase1_objective,
+        )
+
+    # -- standard-form reduction ----------------------------------------------
+
+    def _to_standard_form(
+        self, lp: LinearProgram
+    ) -> Tuple[Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]], _Transform]:
+        n = lp.num_vars
+        transform = _Transform()
+        columns_per_var: List[List[Tuple[int, float]]] = []  # (std col, sign)
+        shifts = np.zeros(n)  # contribution of the shift constant to each row
+        extra_ub_rows: List[Tuple[int, float]] = []  # (std col, rhs) for y <= u
+
+        col = 0
+        for j in range(n):
+            lb, ub = lp.bounds[j]
+            if lb > ub:
+                return None, transform
+            if math.isfinite(lb):
+                transform.encodings.append(("shift", col, lb))
+                columns_per_var.append([(col, 1.0)])
+                shifts[j] = lb
+                if math.isfinite(ub):
+                    extra_ub_rows.append((col, ub - lb))
+                col += 1
+            elif math.isfinite(ub):
+                # Free below, bounded above: x = ub - y.
+                transform.encodings.append(("reflect", col, ub))
+                columns_per_var.append([(col, -1.0)])
+                shifts[j] = ub
+                col += 1
+            else:
+                transform.encodings.append(("split", col, col + 1))
+                columns_per_var.append([(col, 1.0), (col + 1, -1.0)])
+                shifts[j] = 0.0
+                col += 2
+        transform.num_std_vars = col
+
+        m_ub, m_eq = lp.a_ub.shape[0], lp.a_eq.shape[0]
+        m_bound = len(extra_ub_rows)
+        m = m_ub + m_bound + m_eq
+        num_slacks = m_ub + m_bound
+        total_cols = col + num_slacks
+
+        a = np.zeros((m, total_cols))
+        b = np.zeros(m)
+        c = np.zeros(total_cols)
+
+        # Objective in transformed space.
+        for j in range(n):
+            for std_col, sign in columns_per_var[j]:
+                c[std_col] += sign * lp.c[j]
+
+        # Inequality rows, then bound rows, then equality rows.
+        row = 0
+        for i in range(m_ub):
+            rhs = lp.b_ub[i] - float(lp.a_ub[i] @ shifts)
+            for j in range(n):
+                coeff = lp.a_ub[i, j]
+                if coeff != 0.0:
+                    for std_col, sign in columns_per_var[j]:
+                        a[row, std_col] += sign * coeff
+            a[row, col + row] = 1.0  # slack
+            b[row] = rhs
+            row += 1
+        for std_col, rhs in extra_ub_rows:
+            a[row, std_col] = 1.0
+            a[row, col + row] = 1.0
+            b[row] = rhs
+            row += 1
+        for i in range(m_eq):
+            rhs = lp.b_eq[i] - float(lp.a_eq[i] @ shifts)
+            for j in range(n):
+                coeff = lp.a_eq[i, j]
+                if coeff != 0.0:
+                    for std_col, sign in columns_per_var[j]:
+                        a[row, std_col] += sign * coeff
+            b[row] = rhs
+            row += 1
+
+        # Normalize to b >= 0 (flipping rows, including their slack signs).
+        for i in range(m):
+            if b[i] < 0:
+                a[i] *= -1.0
+                b[i] *= -1.0
+        return (a, b, c), transform
+
+    # -- two-phase driver -------------------------------------------------------
+
+    def _two_phase(
+        self, a: np.ndarray, b: np.ndarray, c: np.ndarray
+    ) -> SimplexResult:
+        m, n = a.shape
+        if m == 0:
+            # No constraints: minimum of c'y over y >= 0 is 0 unless some
+            # cost is negative, in which case the LP is unbounded.
+            if np.any(c < -EPS):
+                return SimplexResult(SimplexStatus.UNBOUNDED, None, None)
+            return SimplexResult(SimplexStatus.OPTIMAL, np.zeros(n), 0.0)
+
+        # Identify rows already covered by a positive slack column usable as
+        # an initial basic variable; give the rest artificial variables.
+        basis = np.full(m, -1, dtype=int)
+        for j in range(n):
+            col = a[:, j]
+            nz = np.nonzero(np.abs(col) > EPS)[0]
+            if len(nz) == 1 and abs(col[nz[0]] - 1.0) < EPS and basis[nz[0]] == -1:
+                # Unit column: usable as basic if its cost-free (slack) — we
+                # only accept columns whose value b[i] >= 0, always true here.
+                basis[nz[0]] = j
+
+        needs_artificial = [i for i in range(m) if basis[i] == -1]
+        n_art = len(needs_artificial)
+        total = n + n_art
+        tableau = np.zeros((m, total))
+        tableau[:, :n] = a
+        for k, i in enumerate(needs_artificial):
+            tableau[i, n + k] = 1.0
+            basis[i] = n + k
+        rhs = b.copy()
+
+        iterations = 0
+        phase1_obj = 0.0
+        if n_art > 0:
+            phase1_cost = np.zeros(total)
+            phase1_cost[n:] = 1.0
+            status, iters = self._optimize(tableau, rhs, phase1_cost, basis)
+            iterations += iters
+            if status is not SimplexStatus.OPTIMAL:
+                return SimplexResult(status, None, None, iterations)
+            phase1_obj = float(
+                sum(rhs[i] for i in range(m) if basis[i] >= n)
+            )
+            if phase1_obj > 1e-7:
+                return SimplexResult(
+                    SimplexStatus.INFEASIBLE, None, None, iterations, phase1_obj
+                )
+            # Drive any remaining (degenerate, zero-valued) artificials out
+            # of the basis, or drop their rows if they are redundant.
+            for i in range(m):
+                if basis[i] >= n:
+                    pivoted = False
+                    for j in range(n):
+                        if abs(tableau[i, j]) > 1e-7:
+                            self._pivot(tableau, rhs, basis, i, j)
+                            pivoted = True
+                            break
+                    if not pivoted:
+                        # Redundant row: zero it so it never constrains.
+                        tableau[i, :] = 0.0
+                        rhs[i] = 0.0
+
+        # Phase 2 on the real costs (artificial columns forbidden).
+        phase2_cost = np.zeros(total)
+        phase2_cost[:n] = c
+        forbidden = np.zeros(total, dtype=bool)
+        forbidden[n:] = True
+        status, iters = self._optimize(tableau, rhs, phase2_cost, basis, forbidden)
+        iterations += iters
+        if status is not SimplexStatus.OPTIMAL:
+            return SimplexResult(status, None, None, iterations, phase1_obj)
+
+        y = np.zeros(n)
+        for i in range(m):
+            if basis[i] < n:
+                y[basis[i]] = rhs[i]
+        return SimplexResult(
+            SimplexStatus.OPTIMAL, y, float(c @ y), iterations, phase1_obj
+        )
+
+    # -- core pivoting loop -------------------------------------------------------
+
+    def _optimize(
+        self,
+        tableau: np.ndarray,
+        rhs: np.ndarray,
+        cost: np.ndarray,
+        basis: np.ndarray,
+        forbidden: Optional[np.ndarray] = None,
+    ) -> Tuple[SimplexStatus, int]:
+        """Run primal simplex pivots in place until optimality."""
+        m, total = tableau.shape
+        degenerate_streak = 0
+        use_bland = False
+        for iteration in range(self.max_iterations):
+            # Reduced costs: r = cost - cost_B' * B^-1 A, computed directly
+            # from the maintained tableau (already in B^-1 A form).
+            cost_basis = cost[basis]
+            reduced = cost - cost_basis @ tableau
+            reduced[basis] = 0.0
+            if forbidden is not None:
+                reduced = np.where(forbidden, np.inf, reduced)
+
+            if use_bland:
+                candidates = np.nonzero(reduced < -EPS)[0]
+                if len(candidates) == 0:
+                    return SimplexStatus.OPTIMAL, iteration
+                entering = int(candidates[0])
+            else:
+                entering = int(np.argmin(reduced))
+                if reduced[entering] >= -EPS:
+                    return SimplexStatus.OPTIMAL, iteration
+
+            column = tableau[:, entering]
+            positive = column > EPS
+            if not np.any(positive):
+                return SimplexStatus.UNBOUNDED, iteration
+            ratios = np.where(positive, rhs / np.where(positive, column, 1.0), np.inf)
+            leaving = int(np.argmin(ratios))
+            if use_bland:
+                # Tie-break the ratio test by smallest basis index.
+                best = ratios[leaving]
+                ties = np.nonzero(np.abs(ratios - best) <= EPS)[0]
+                leaving = int(min(ties, key=lambda i: basis[i]))
+
+            if ratios[leaving] <= EPS:
+                degenerate_streak += 1
+                if degenerate_streak >= self.bland_threshold:
+                    use_bland = True
+            else:
+                degenerate_streak = 0
+
+            self._pivot(tableau, rhs, basis, leaving, entering)
+        return SimplexStatus.ITERATION_LIMIT, self.max_iterations
+
+    @staticmethod
+    def _pivot(
+        tableau: np.ndarray, rhs: np.ndarray, basis: np.ndarray, row: int, col: int
+    ) -> None:
+        """Gauss-Jordan pivot bringing ``col`` into the basis at ``row``.
+
+        Fully vectorized: the elimination is a rank-1 update of the whole
+        tableau, which keeps the per-pivot cost in BLAS rather than a
+        Python row loop.
+        """
+        pivot = tableau[row, col]
+        tableau[row] /= pivot
+        rhs[row] /= pivot
+        factors = tableau[:, col].copy()
+        factors[row] = 0.0
+        tableau -= np.outer(factors, tableau[row])
+        rhs -= factors * rhs[row]
+        # The pivot column must be exactly a unit vector; enforce it to
+        # stop round-off from accumulating across pivots.
+        tableau[:, col] = 0.0
+        tableau[row, col] = 1.0
+        basis[row] = col
+
+
+def solve_lp(lp: LinearProgram, **kwargs) -> SimplexResult:
+    """Convenience wrapper: solve an LP with default solver settings."""
+    return SimplexSolver(**kwargs).solve(lp)

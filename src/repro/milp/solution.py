@@ -1,0 +1,66 @@
+"""Solve status and result types shared by all MILP backends."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.milp.expr import Var
+
+
+class SolveStatus(enum.Enum):
+    """Outcome of a MILP solve."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    NODE_LIMIT = "node_limit"
+
+    @property
+    def ok(self) -> bool:
+        return self is SolveStatus.OPTIMAL
+
+
+@dataclass
+class SolveResult:
+    """Result of solving a :class:`repro.milp.model.Model`.
+
+    Attributes
+    ----------
+    status:
+        Terminal status of the search.
+    objective:
+        Optimal objective value in the *model's* sense (a max model reports
+        the maximum, not its negation), or ``None`` when no solution exists.
+    values:
+        Mapping from variable index to value at the optimum.
+    nodes_explored:
+        Number of branch-and-bound nodes processed.
+    lp_iterations:
+        Total simplex pivots across all node relaxations.
+    """
+
+    status: SolveStatus
+    objective: Optional[float] = None
+    values: Dict[int, float] = field(default_factory=dict)
+    nodes_explored: int = 0
+    lp_iterations: int = 0
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status is SolveStatus.OPTIMAL
+
+    def value(self, var: Var) -> float:
+        """Value of a variable at the optimum (integer-rounded if integral)."""
+        raw = self.values[var.index]
+        if var.is_integer:
+            return float(round(raw))
+        return raw
+
+    def __repr__(self) -> str:
+        obj = "None" if self.objective is None else f"{self.objective:.6g}"
+        return (
+            f"SolveResult({self.status.value}, objective={obj}, "
+            f"nodes={self.nodes_explored})"
+        )

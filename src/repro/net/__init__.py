@@ -1,0 +1,40 @@
+"""The WBAN network stack: PHY, MAC, routing, and application layers.
+
+This package realizes the node architecture of the paper's Fig. 1 on top of
+the :mod:`repro.des` kernel and the :mod:`repro.channel` models.  Each node
+runs the four standard layers (Sec. 2.1.2):
+
+* **Radio** (:mod:`repro.net.radio`) — broadcast transmission over the
+  shared body channel with link-budget reception, collision/capture
+  modeling, half-duplex constraint, and TX/RX energy accounting;
+* **MAC** (:mod:`repro.net.mac_csma`, :mod:`repro.net.mac_tdma`) —
+  non-persistent CSMA with random backoff (Castalia's TunableMAC
+  configuration from Sec. 4.1) and round-robin TDMA with 1 ms slots;
+* **Routing** (:mod:`repro.net.routing_star`,
+  :mod:`repro.net.routing_flood`) — star relay through a coordinator and
+  controlled flooding with hop counter and visited history;
+* **Application** (:mod:`repro.net.app`) — periodic traffic generation
+  with sequence numbers and the PDR bookkeeping of Eqs. 6-7.
+
+:class:`repro.net.network.Network` assembles a complete simulation from a
+:class:`repro.core.design_space.Configuration`.
+"""
+
+from repro.net.packet import Packet
+from repro.net.stats import NodeStats, NetworkStats
+from repro.net.radio import Radio, Medium, RadioState
+from repro.net.node import Node
+from repro.net.network import Network, SimulationOutcome, simulate_configuration
+
+__all__ = [
+    "Packet",
+    "NodeStats",
+    "NetworkStats",
+    "Radio",
+    "Medium",
+    "RadioState",
+    "Node",
+    "Network",
+    "SimulationOutcome",
+    "simulate_configuration",
+]

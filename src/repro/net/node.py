@@ -1,0 +1,86 @@
+"""Node assembly: wiring the four layers of the paper's Fig. 1 together."""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.des.engine import Simulator
+from repro.des.rng import RngStreams
+from repro.library.mac_options import MacKind, MacOptions, RoutingKind, RoutingOptions
+from repro.library.radios import RadioSpec, TxMode
+from repro.net.app import Application, AppParameters
+from repro.net.mac_csma import CsmaMac
+from repro.net.mac_tdma import TdmaMac
+from repro.net.radio import Medium, Radio
+from repro.net.routing_flood import FloodRouting
+from repro.net.routing_p2p import P2pRouting
+from repro.net.routing_star import StarRouting
+from repro.net.stats import NodeStats
+
+
+class Node:
+    """One Human Intranet node: radio + MAC + routing + application.
+
+    Construction wires the upward path (radio → routing → application) and
+    the downward path (application → routing → MAC → radio).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        medium: Medium,
+        location: int,
+        peers: List[int],
+        radio_spec: RadioSpec,
+        tx_mode: TxMode,
+        mac_options: MacOptions,
+        routing_options: RoutingOptions,
+        app_params: AppParameters,
+        stats: NodeStats,
+        rng: RngStreams,
+        slot_index: int,
+        num_slots: int,
+    ) -> None:
+        self.location = location
+        self.stats = stats
+        self.radio = Radio(sim, medium, location, radio_spec, tx_mode, stats)
+
+        if mac_options.kind is MacKind.CSMA:
+            self.mac: Union[CsmaMac, TdmaMac] = CsmaMac(
+                sim, self.radio, mac_options, stats, rng
+            )
+        else:
+            self.mac = TdmaMac(
+                sim, self.radio, mac_options, stats, rng, slot_index, num_slots
+            )
+
+        if routing_options.kind is RoutingKind.STAR:
+            self.routing: Union[StarRouting, FloodRouting, P2pRouting] = (
+                StarRouting(sim, self.mac, routing_options, stats, rng)
+            )
+        elif routing_options.kind is RoutingKind.P2P:
+            self.routing = P2pRouting(
+                sim, self.mac, routing_options, stats, rng,
+                placement=[location] + list(peers),
+            )
+        else:
+            self.routing = FloodRouting(sim, self.mac, routing_options, stats, rng)
+
+        self.app = Application(
+            sim, location, peers, app_params, stats, rng, self.routing.send
+        )
+
+        # Upward wiring.
+        self.radio.on_receive = self.routing.on_receive
+        self.routing.deliver_up = self.app.on_receive
+
+    @property
+    def is_coordinator(self) -> bool:
+        return (
+            isinstance(self.routing, StarRouting) and self.routing.is_coordinator
+        )
+
+    def __repr__(self) -> str:
+        mac = type(self.mac).__name__
+        routing = type(self.routing).__name__
+        return f"Node(loc={self.location}, {mac}, {routing})"

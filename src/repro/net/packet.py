@@ -1,0 +1,99 @@
+"""Packets and their routing metadata.
+
+A packet models one application payload travelling through the network.
+The routing-relevant fields mirror Sec. 2.1.2: mesh flooding increments a
+hop counter on every relay and carries the history of visited nodes, which
+together bound the total number of transmissions per packet (N_reTx).
+
+Packets are identified by ``(origin, seq)``; relayed copies share that
+identity, so the application layer counts *unique* deliveries as required
+by the PDR estimator (Eq. 6).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import FrozenSet, Optional
+
+_copy_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One (possibly relayed) copy of an application packet.
+
+    Attributes
+    ----------
+    origin:
+        Location index of the node that generated the payload.
+    seq:
+        Per-origin sequence number (application layer, Sec. 2.1.2).
+    destination:
+        Location index of the final destination.
+    length_bytes:
+        L — physical-layer packet length, sets the airtime Tpkt = 8L/BR.
+    hops_used:
+        Number of relays this copy has undergone (0 for the original
+        transmission from the origin).
+    visited:
+        History of nodes this copy has been relayed by (including the
+        origin); a node never relays a copy whose history contains itself.
+    relayer:
+        The node currently transmitting this copy (origin for hops_used=0).
+    created_at:
+        Simulation time the payload was generated (for latency stats).
+    copy_id:
+        Unique id of this physical copy, used only for tracing.
+    """
+
+    origin: int
+    seq: int
+    destination: int
+    length_bytes: int
+    hops_used: int = 0
+    visited: FrozenSet[int] = field(default_factory=frozenset)
+    relayer: Optional[int] = None
+    created_at: float = 0.0
+    #: Intended receiver of this copy in point-to-point forwarding (None
+    #: for broadcast schemes: star and controlled flooding).
+    next_hop: Optional[int] = None
+    copy_id: int = field(default_factory=lambda: next(_copy_counter))
+
+    def __post_init__(self) -> None:
+        if self.length_bytes <= 0:
+            raise ValueError("packet length must be positive")
+        if self.hops_used < 0:
+            raise ValueError("hop count cannot be negative")
+
+    @property
+    def uid(self) -> tuple:
+        """Application-level identity shared by all copies of a payload."""
+        return (self.origin, self.seq)
+
+    def relayed_by(self, node: int) -> "Packet":
+        """A new copy as rebroadcast by ``node``: hop counter incremented,
+        node appended to the visited history."""
+        return replace(
+            self,
+            hops_used=self.hops_used + 1,
+            visited=self.visited | {node},
+            relayer=node,
+            copy_id=next(_copy_counter),
+        )
+
+    def originated(self) -> "Packet":
+        """The original transmission copy: origin in the visited set and
+        marked as the current relayer."""
+        return replace(
+            self,
+            visited=self.visited | {self.origin},
+            relayer=self.origin,
+            copy_id=next(_copy_counter),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Packet({self.origin}->{self.destination} seq={self.seq} "
+            f"hops={self.hops_used} via={self.relayer})"
+        )

@@ -1,0 +1,237 @@
+"""Physical layer: broadcast radios over the shared body channel.
+
+Reception follows the paper's link-budget condition — a packet from i is
+decodable at j when ``Tx_dBm − PL(i,j,t) ≥ Rx_sensitivity`` — augmented
+with the second-order effects the discrete-event simulator exists to
+capture (Sec. 2.2):
+
+* **Collisions.** Two transmissions overlapping in time interfere at a
+  common receiver.  The stronger one survives if it exceeds the strongest
+  interferer by the capture threshold (10 dB, typical of 2.4 GHz PHYs);
+  otherwise both are lost at that receiver.
+* **Half duplex.** A transmitting radio cannot receive; any packet arriving
+  while a node transmits is lost at that node.
+* **Energy.** A radio burns TX power for the packet airtime when sending
+  and RX power for the airtime of every decodable arrival it locks onto
+  (whether or not the packet survives interference).  Arrivals below
+  sensitivity never wake the receive chain and cost nothing, matching the
+  duty-cycled receiver model behind Eq. 3.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Callable, Dict, List, Optional
+
+from repro.channel.link import Channel
+from repro.des.engine import Simulator
+from repro.des.monitor import TraceLog
+from repro.library.radios import RadioSpec, TxMode
+from repro.net.packet import Packet
+from repro.net.stats import NodeStats
+
+#: SIR (dB) by which a packet must exceed the strongest overlapping
+#: interferer to be captured.
+CAPTURE_THRESHOLD_DB = 10.0
+
+
+class RadioState(enum.Enum):
+    SLEEP = "sleep"
+    TX = "tx"
+    RX = "rx"
+
+
+class _Transmission:
+    """Bookkeeping for one on-air packet copy."""
+
+    __slots__ = (
+        "sender",
+        "packet",
+        "start",
+        "end",
+        "tx_dbm",
+        "rx_power",
+        "interference",
+    )
+
+    def __init__(
+        self,
+        sender: int,
+        packet: Packet,
+        start: float,
+        end: float,
+        tx_dbm: float,
+        rx_power: Dict[int, float],
+    ) -> None:
+        self.sender = sender
+        self.packet = packet
+        self.start = start
+        self.end = end
+        self.tx_dbm = tx_dbm
+        #: received power at each other node, sampled at transmission start.
+        self.rx_power = rx_power
+        #: strongest interferer power seen at each receiver (−inf if none).
+        self.interference: Dict[int, float] = {}
+
+    def note_interference(self, receiver: int, power_dbm: float) -> None:
+        current = self.interference.get(receiver, -math.inf)
+        if power_dbm > current:
+            self.interference[receiver] = power_dbm
+
+
+class Medium:
+    """The shared wireless medium connecting all radios of one network."""
+
+    def __init__(self, sim: Simulator, channel: Channel, trace: Optional[TraceLog] = None):
+        self.sim = sim
+        self.channel = channel
+        # Explicit None check: TraceLog has __len__, so an (empty) enabled
+        # log is falsy and `trace or ...` would silently discard it.
+        self.trace = trace if trace is not None else TraceLog(enabled=False)
+        self._radios: Dict[int, "Radio"] = {}
+        self._active: List[_Transmission] = []
+
+    def register(self, radio: "Radio") -> None:
+        if radio.location in self._radios:
+            raise ValueError(f"two radios registered at location {radio.location}")
+        self._radios[radio.location] = radio
+
+    @property
+    def radios(self) -> Dict[int, "Radio"]:
+        return dict(self._radios)
+
+    # -- carrier sensing --------------------------------------------------------
+
+    def sensed_busy(self, location: int, threshold_dbm: float) -> bool:
+        """Whether a node at ``location`` currently senses energy above its
+        carrier-sense threshold (uses powers sampled at each transmission's
+        start; the fading coherence time far exceeds packet airtimes)."""
+        for tx in self._active:
+            if tx.sender == location:
+                return True
+            power = tx.rx_power.get(location, -math.inf)
+            if power >= threshold_dbm:
+                return True
+        return False
+
+    # -- transmission lifecycle ----------------------------------------------------
+
+    def begin_transmission(self, radio: "Radio", packet: Packet) -> float:
+        """Start broadcasting ``packet`` from ``radio``; returns airtime."""
+        now = self.sim.now
+        airtime = radio.spec.packet_airtime_s(packet.length_bytes)
+        rx_power: Dict[int, float] = {}
+        for loc in self._radios:
+            if loc == radio.location:
+                continue
+            rx_power[loc] = self.channel.received_power_dbm(
+                radio.tx_mode.output_dbm, radio.location, loc, now
+            )
+        tx = _Transmission(
+            radio.location, packet, now, now + airtime, radio.tx_mode.output_dbm,
+            rx_power,
+        )
+
+        # Mutual interference with every overlapping transmission.
+        for other in self._active:
+            for loc in self._radios:
+                if loc != tx.sender and loc != other.sender:
+                    other.note_interference(loc, tx.rx_power.get(loc, -math.inf))
+                    tx.note_interference(loc, other.rx_power.get(loc, -math.inf))
+            # Half duplex: each transmitter destroys the other's copy at
+            # its own location.
+            other.note_interference(tx.sender, math.inf)
+            tx.note_interference(other.sender, math.inf)
+
+        self._active.append(tx)
+        self.trace.log(now, "phy_tx_start", sender=tx.sender, packet=repr(packet))
+        self.sim.schedule(airtime, self._finish_transmission, tx)
+        return airtime
+
+    def _finish_transmission(self, tx: _Transmission) -> None:
+        self._active.remove(tx)
+        sender_radio = self._radios[tx.sender]
+        sender_radio._transmission_ended(tx)
+        duration = tx.end - tx.start
+        for loc, radio in self._radios.items():
+            if loc == tx.sender:
+                continue
+            power = tx.rx_power[loc]
+            if power < radio.spec.sensitivity_dbm:
+                radio.stats.below_sensitivity += 1
+                continue
+            # The receive chain locked onto this arrival: pay RX energy.
+            radio.stats.rx_seconds += duration
+            interference = tx.interference.get(loc, -math.inf)
+            if interference > -math.inf and power - interference < CAPTURE_THRESHOLD_DB:
+                radio.stats.collisions_seen += 1
+                self.trace.log(
+                    self.sim.now, "phy_collision", receiver=loc, sender=tx.sender
+                )
+                continue
+            radio.stats.receptions += 1
+            self.trace.log(
+                self.sim.now, "phy_rx", receiver=loc, sender=tx.sender,
+                packet=repr(tx.packet),
+            )
+            radio.deliver(tx.packet, power)
+
+
+class Radio:
+    """One node's radio front end.
+
+    The MAC layer calls :meth:`transmit`; the medium calls :meth:`deliver`
+    for successfully decoded packets, which the radio hands up the stack
+    through ``on_receive``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        medium: Medium,
+        location: int,
+        spec: RadioSpec,
+        tx_mode: TxMode,
+        stats: NodeStats,
+    ) -> None:
+        self.sim = sim
+        self.medium = medium
+        self.location = location
+        self.spec = spec
+        self.tx_mode = tx_mode
+        self.stats = stats
+        self.state = RadioState.SLEEP
+        self.on_receive: Optional[Callable[[Packet, float], None]] = None
+        self.on_tx_done: Optional[Callable[[Packet], None]] = None
+        medium.register(self)
+
+    @property
+    def is_transmitting(self) -> bool:
+        return self.state is RadioState.TX
+
+    def transmit(self, packet: Packet) -> float:
+        """Broadcast a packet copy; returns its airtime in seconds.
+
+        The MAC layer must not call this while a transmission is in flight
+        (half duplex is a protocol invariant, so violating it is a bug, not
+        a simulated loss).
+        """
+        if self.state is RadioState.TX:
+            raise RuntimeError(
+                f"radio at location {self.location} is already transmitting"
+            )
+        self.state = RadioState.TX
+        airtime = self.medium.begin_transmission(self, packet)
+        self.stats.transmissions += 1
+        self.stats.tx_seconds += airtime
+        return airtime
+
+    def _transmission_ended(self, tx) -> None:
+        self.state = RadioState.SLEEP
+        if self.on_tx_done is not None:
+            self.on_tx_done(tx.packet)
+
+    def deliver(self, packet: Packet, rssi_dbm: float) -> None:
+        if self.on_receive is not None:
+            self.on_receive(packet, rssi_dbm)

@@ -1,0 +1,81 @@
+"""Star routing: all traffic relayed through a central coordinator.
+
+In the star topology (Sec. 2.1.2), the coordinator (n_coor — the chest node
+in the design example) rebroadcasts every packet it receives from the other
+nodes.  Because the radio medium is broadcast, a destination can hear a
+payload twice: the origin's own transmission and the coordinator's relay —
+the factor of 2 in the star branch of Eq. 5 — and the application counts
+whichever copy arrives first.
+
+The coordinator relays each payload at most once (tracked per application
+identity), and does not relay payloads it originated or payloads addressed
+to itself.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Set, Tuple
+
+from repro.des.engine import Simulator
+from repro.des.rng import RngStreams
+from repro.library.mac_options import RoutingOptions
+from repro.net.mac_base import MacBase
+from repro.net.packet import Packet
+from repro.net.stats import NodeStats
+
+
+class StarRouting:
+    """Routing layer for one node in a star topology."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        mac: MacBase,
+        options: RoutingOptions,
+        stats: NodeStats,
+        rng: RngStreams,
+    ) -> None:
+        self.sim = sim
+        self.mac = mac
+        self.options = options
+        self.stats = stats
+        self.rng = rng
+        self.deliver_up: Optional[Callable[[Packet, float], None]] = None
+        self._relayed: Set[Tuple[int, int]] = set()
+
+    @property
+    def location(self) -> int:
+        return self.mac.location
+
+    @property
+    def is_coordinator(self) -> bool:
+        return self.location == self.options.coordinator
+
+    # -- downward path (app -> network) --------------------------------------
+
+    def send(self, packet: Packet) -> None:
+        """Transmit a freshly generated payload."""
+        self.mac.enqueue(packet.originated())
+
+    # -- upward path (radio -> app) --------------------------------------------
+
+    def on_receive(self, packet: Packet, rssi_dbm: float) -> None:
+        """Handle a decoded packet copy: deliver to the application and, on
+        the coordinator, relay it."""
+        if self.deliver_up is not None:
+            self.deliver_up(packet, rssi_dbm)
+        if not self.is_coordinator:
+            return
+        if packet.origin == self.location:
+            return  # our own payload echoed back by someone (cannot happen
+            # in star, but harmless to guard)
+        if packet.destination == self.location:
+            return  # addressed to the coordinator: no relay needed
+        if packet.relayer == self.location:
+            return
+        uid = packet.uid
+        if uid in self._relayed:
+            return
+        self._relayed.add(uid)
+        self.stats.relays += 1
+        self.mac.enqueue(packet.relayed_by(self.location))

@@ -1,0 +1,205 @@
+"""Network performance bookkeeping: PDR (Eqs. 6-7), power, lifetime.
+
+The application layer reports generated and delivered payloads here; the
+radio reports time spent transmitting and receiving.  At the end of a run
+the container computes exactly the paper's estimators:
+
+* per-node PDR (Eq. 6): average over sources i ≠ k of the fraction of
+  unique packets sent from i to k that k received;
+* network PDR (Eq. 7): average of the node PDRs;
+* per-node power: baseline + TxmW · (TX time fraction) + RxmW · (RX time
+  fraction);
+* network lifetime (Eq. 4): min over battery-limited nodes of
+  Ebat / P.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.library.batteries import SECONDS_PER_DAY, BatterySpec
+
+
+@dataclass
+class NodeStats:
+    """Counters and accumulators for one node."""
+
+    location: int
+    #: unique payloads generated, keyed by destination.
+    sent: Dict[int, int] = field(default_factory=dict)
+    #: unique payloads delivered to this node's application, keyed by origin.
+    received: Dict[int, int] = field(default_factory=dict)
+    #: identities already delivered, to deduplicate relayed copies.
+    delivered_uids: Set[Tuple[int, int]] = field(default_factory=set)
+    tx_seconds: float = 0.0
+    rx_seconds: float = 0.0
+    transmissions: int = 0
+    receptions: int = 0
+    collisions_seen: int = 0
+    below_sensitivity: int = 0
+    buffer_drops: int = 0
+    relays: int = 0
+    #: sum of delivery latencies for delivered payloads (first copy only).
+    latency_sum: float = 0.0
+
+    def record_sent(self, destination: int) -> None:
+        self.sent[destination] = self.sent.get(destination, 0) + 1
+
+    def record_delivery(self, origin: int, uid: Tuple[int, int], latency: float) -> bool:
+        """Record an application-level delivery; returns False for a
+        duplicate copy of an already-delivered payload."""
+        if uid in self.delivered_uids:
+            return False
+        self.delivered_uids.add(uid)
+        self.received[origin] = self.received.get(origin, 0) + 1
+        self.latency_sum += latency
+        return True
+
+    @property
+    def deliveries(self) -> int:
+        return sum(self.received.values())
+
+    @property
+    def mean_latency_s(self) -> float:
+        n = self.deliveries
+        return self.latency_sum / n if n else 0.0
+
+
+class NetworkStats:
+    """Aggregates node statistics into the paper's network metrics."""
+
+    def __init__(self, locations: List[int]) -> None:
+        self.locations = list(locations)
+        self.nodes: Dict[int, NodeStats] = {
+            loc: NodeStats(loc) for loc in self.locations
+        }
+
+    def node(self, location: int) -> NodeStats:
+        return self.nodes[location]
+
+    # -- PDR ---------------------------------------------------------------
+
+    def node_pdr(self, k: int) -> float:
+        """Eq. 6: PDR of node k, averaged over source nodes.
+
+        Pairs with zero sent packets (possible in very short runs) are
+        excluded from the average rather than treated as zero, matching the
+        estimator's interpretation as a conditional probability.
+        """
+        stats_k = self.nodes[k]
+        ratios = []
+        for i in self.locations:
+            if i == k:
+                continue
+            sent_i_to_k = self.nodes[i].sent.get(k, 0)
+            if sent_i_to_k == 0:
+                continue
+            got = stats_k.received.get(i, 0)
+            ratios.append(min(1.0, got / sent_i_to_k))
+        if not ratios:
+            return 0.0
+        return sum(ratios) / len(ratios)
+
+    def network_pdr(self) -> float:
+        """Eq. 7: average of the node PDRs."""
+        if not self.locations:
+            return 0.0
+        return sum(self.node_pdr(k) for k in self.locations) / len(self.locations)
+
+    # -- power and lifetime -----------------------------------------------------
+
+    def node_power_mw(
+        self,
+        k: int,
+        horizon_s: float,
+        tx_power_mw: float,
+        rx_power_mw: float,
+        baseline_mw: float,
+    ) -> float:
+        """Average electrical power of node k over the simulated horizon."""
+        if horizon_s <= 0:
+            raise ValueError("horizon must be positive")
+        s = self.nodes[k]
+        radio_mw = (s.tx_seconds * tx_power_mw + s.rx_seconds * rx_power_mw) / horizon_s
+        return baseline_mw + radio_mw
+
+    def network_lifetime_days(
+        self,
+        horizon_s: float,
+        tx_power_mw: float,
+        rx_power_mw: float,
+        baseline_mw: float,
+        battery: BatterySpec,
+        exclude: Optional[Set[int]] = None,
+    ) -> float:
+        """Eq. 4 in days: min over battery-limited nodes of Ebat / P.
+
+        ``exclude`` removes the coordinator (it has a larger energy store,
+        Sec. 4.1, so it never sets the minimum).
+        """
+        exclude = exclude or set()
+        candidates = [loc for loc in self.locations if loc not in exclude]
+        if not candidates:
+            raise ValueError("no battery-limited nodes to compute lifetime over")
+        worst_power = max(
+            self.node_power_mw(loc, horizon_s, tx_power_mw, rx_power_mw, baseline_mw)
+            for loc in candidates
+        )
+        return battery.lifetime_days(worst_power)
+
+    def max_noncoordinator_power_mw(
+        self,
+        horizon_s: float,
+        tx_power_mw: float,
+        rx_power_mw: float,
+        baseline_mw: float,
+        exclude: Optional[Set[int]] = None,
+    ) -> float:
+        """The P̄ that Algorithm 1 compares against its MILP estimate."""
+        exclude = exclude or set()
+        candidates = [loc for loc in self.locations if loc not in exclude]
+        if not candidates:
+            raise ValueError("no battery-limited nodes")
+        return max(
+            self.node_power_mw(loc, horizon_s, tx_power_mw, rx_power_mw, baseline_mw)
+            for loc in candidates
+        )
+
+    # -- reporting ------------------------------------------------------------
+
+    def pair_matrix(self) -> Dict[Tuple[int, int], Tuple[int, int]]:
+        """``{(i, k): (sent, received)}`` for every ordered pair."""
+        out: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        for i in self.locations:
+            for k in self.locations:
+                if i == k:
+                    continue
+                out[(i, k)] = (
+                    self.nodes[i].sent.get(k, 0),
+                    self.nodes[k].received.get(i, 0),
+                )
+        return out
+
+    def totals(self) -> Dict[str, int]:
+        """Network-wide counter totals for diagnostics."""
+        keys = (
+            "transmissions",
+            "receptions",
+            "collisions_seen",
+            "below_sensitivity",
+            "buffer_drops",
+            "relays",
+        )
+        return {
+            key: sum(getattr(s, key) for s in self.nodes.values()) for key in keys
+        }
+
+
+def lifetime_days_from_power(power_mw: float, battery: BatterySpec) -> float:
+    """Convenience: Eq. 4 for a single known worst-node power."""
+    return battery.lifetime_days(power_mw)
+
+
+def days_to_seconds(days: float) -> float:
+    return days * SECONDS_PER_DAY

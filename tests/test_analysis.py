@@ -1,0 +1,226 @@
+"""Tests for the analysis utilities: Pareto, convergence, ASCII plots."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.ascii_plot import figure3_symbols, render_figure3, render_scatter
+from repro.analysis.convergence import (
+    estimate_pdr_with_tolerance,
+    replicates_needed,
+)
+from repro.analysis.pareto import dominates, front_summary, is_on_front, pareto_front
+from repro.core.design_space import Configuration
+from repro.core.evaluator import EvaluationRecord
+from repro.library.mac_options import MacKind, RoutingKind
+
+
+def record(nlt_days, pdr, tag=0):
+    """A synthetic evaluation record with controlled objectives."""
+    config = Configuration(
+        (0, 1, 3, 5 + (tag % 2)),
+        [-20.0, -10.0, 0.0][tag % 3],
+        MacKind.CSMA if tag % 2 else MacKind.TDMA,
+        RoutingKind.STAR if tag % 4 < 2 else RoutingKind.MESH,
+    )
+    return EvaluationRecord(
+        config=config, pdr=pdr, power_mw=1.0, nlt_days=nlt_days,
+        wall_seconds=0.01, outcome=None,
+    )
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        assert dominates(record(10, 0.9), record(5, 0.8))
+
+    def test_equal_points_do_not_dominate(self):
+        a, b = record(10, 0.9), record(10, 0.9)
+        assert not dominates(a, b)
+        assert not dominates(b, a)
+
+    def test_tradeoff_points_incomparable(self):
+        a, b = record(10, 0.5), record(5, 0.9)
+        assert not dominates(a, b)
+        assert not dominates(b, a)
+
+    def test_single_objective_improvement_dominates(self):
+        assert dominates(record(10, 0.9), record(10, 0.8))
+        assert dominates(record(11, 0.9), record(10, 0.9))
+
+
+class TestParetoFront:
+    def test_simple_front(self):
+        records = [
+            record(30, 0.5, 0),
+            record(20, 0.8, 1),
+            record(10, 0.99, 2),
+            record(15, 0.6, 3),   # dominated by (20, 0.8)
+            record(25, 0.4, 4),   # dominated by (30, 0.5)
+        ]
+        front = pareto_front(records)
+        objectives = [(p.nlt_days, p.pdr) for p in front]
+        assert objectives == [(30, 0.5), (20, 0.8), (10, 0.99)]
+
+    def test_front_sorted_by_descending_lifetime(self):
+        records = [record(10, 0.99), record(30, 0.5), record(20, 0.8)]
+        front = pareto_front(records)
+        nlts = [p.nlt_days for p in front]
+        assert nlts == sorted(nlts, reverse=True)
+
+    def test_all_dominated_by_one(self):
+        best = record(100, 1.0)
+        records = [best, record(50, 0.5), record(20, 0.2)]
+        front = pareto_front(records)
+        assert len(front) == 1
+        assert front[0].record is best
+
+    def test_empty_input(self):
+        assert pareto_front([]) == []
+
+    def test_is_on_front(self):
+        records = [record(30, 0.5, 0), record(20, 0.8, 1), record(15, 0.6, 2)]
+        assert is_on_front(records[0], records)
+        assert is_on_front(records[1], records)
+        assert not is_on_front(records[2], records)
+
+    def test_front_summary_renders(self):
+        text = front_summary(pareto_front([record(30, 0.5), record(10, 0.9)]))
+        assert "Pareto front (2 points)" in text
+
+    @given(
+        data=st.lists(
+            st.tuples(st.floats(1, 100), st.floats(0, 1)),
+            min_size=1, max_size=40,
+        )
+    )
+    def test_front_members_mutually_nondominated(self, data):
+        records = [record(nlt, pdr, i) for i, (nlt, pdr) in enumerate(data)]
+        front = pareto_front(records)
+        for i, a in enumerate(front):
+            for b in front[i + 1:]:
+                assert not dominates(a.record, b.record)
+                assert not dominates(b.record, a.record)
+
+    @given(
+        data=st.lists(
+            st.tuples(st.floats(1, 100), st.floats(0, 1)),
+            min_size=1, max_size=40,
+        )
+    )
+    def test_every_record_dominated_by_or_on_front(self, data):
+        records = [record(nlt, pdr, i) for i, (nlt, pdr) in enumerate(data)]
+        front = pareto_front(records)
+        tol = 1e-9
+        for r in records:
+            # Either (within tolerance) coincides with a front point, or
+            # some front point weakly dominates it — sub-tolerance
+            # objective differences count as coincidence, matching the
+            # dominance tolerance in repro.analysis.pareto.
+            near_front = any(
+                abs(p.nlt_days - r.nlt_days) <= tol and abs(p.pdr - r.pdr) <= tol
+                for p in front
+            )
+            weakly_dominated = any(
+                p.nlt_days >= r.nlt_days - tol and p.pdr >= r.pdr - tol
+                for p in front
+            )
+            assert near_front or weakly_dominated
+
+
+class TestConvergence:
+    def test_converges_on_constant_sequence(self):
+        result = estimate_pdr_with_tolerance(lambda i: 0.9, epsilon=0.01)
+        assert result.converged
+        assert result.replicates == 2
+        assert result.mean == pytest.approx(0.9)
+        assert result.half_width == 0.0
+
+    def test_noisy_sequence_needs_more_replicates(self):
+        values = [0.80, 0.95, 0.85, 0.91, 0.88, 0.89, 0.885, 0.887, 0.886,
+                  0.8855]
+        result = estimate_pdr_with_tolerance(
+            lambda i: values[i], epsilon=0.02, max_replicates=10
+        )
+        assert result.replicates > 2
+
+    def test_budget_exhaustion_flagged(self):
+        # Alternating extremes never converge to a 1% interval.
+        result = estimate_pdr_with_tolerance(
+            lambda i: 0.0 if i % 2 else 1.0, epsilon=0.01, max_replicates=5
+        )
+        assert not result.converged
+        assert result.replicates == 5
+        assert result.half_width > 0.01
+
+    def test_interval_contains_mean(self):
+        result = estimate_pdr_with_tolerance(
+            lambda i: [0.8, 0.9, 0.85][i % 3], epsilon=0.5
+        )
+        lo, hi = result.interval
+        assert lo <= result.mean <= hi
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            estimate_pdr_with_tolerance(lambda i: 0.5, epsilon=0.0)
+        with pytest.raises(ValueError):
+            estimate_pdr_with_tolerance(lambda i: 0.5, confidence=1.5)
+        with pytest.raises(ValueError):
+            estimate_pdr_with_tolerance(lambda i: 0.5, min_replicates=1)
+        with pytest.raises(ValueError):
+            estimate_pdr_with_tolerance(
+                lambda i: 0.5, min_replicates=4, max_replicates=3
+            )
+
+    def test_replicates_needed_scaling(self):
+        few = replicates_needed(observed_std=0.01, epsilon=0.01)
+        many = replicates_needed(observed_std=0.04, epsilon=0.01)
+        assert many > few
+        # Quadratic scaling in std.
+        assert many == pytest.approx(16 * few, rel=0.5)
+
+    def test_replicates_needed_edge_cases(self):
+        assert replicates_needed(0.0, 0.01) == 2
+        with pytest.raises(ValueError):
+            replicates_needed(0.1, 0.0)
+
+
+class TestAsciiPlot:
+    def test_empty_points(self):
+        assert render_scatter([]) == "(no points)"
+
+    def test_canvas_size_validation(self):
+        with pytest.raises(ValueError):
+            render_scatter([(1, 1, "x")], width=4, height=4)
+
+    def test_symbols_present(self):
+        text = render_scatter(
+            [(1.0, 1.0, "a"), (9.0, 9.0, "z")], width=40, height=10
+        )
+        assert "a" in text and "z" in text
+
+    def test_axis_labels(self):
+        text = render_scatter(
+            [(0.0, 0.0, "x")], x_label="days", y_label="percent"
+        )
+        assert "days" in text and "percent" in text
+
+    def test_hline_drawn(self):
+        text = render_scatter(
+            [(1.0, 0.0, "x"), (1.0, 100.0, "x")],
+            y_range=(0, 100), hline=50.0,
+        )
+        assert "-" in text
+
+    def test_figure3_symbols_scheme(self):
+        assert figure3_symbols("star", -20.0) == "a"
+        assert figure3_symbols("star", 0.0) == "c"
+        assert figure3_symbols("mesh", -10.0) == "B"
+        assert figure3_symbols("p2p", 7.0) == "x"
+
+    def test_render_figure3_includes_legend(self):
+        text = render_figure3(
+            [(30.0, 90.0, "star", -10.0), (10.0, 99.0, "mesh", 0.0)],
+            pdr_min_percent=50.0,
+        )
+        assert "a/b/c = star" in text
+        assert "b" in text and "C" in text

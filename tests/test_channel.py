@@ -1,0 +1,276 @@
+"""Tests for the body model, path loss, fading, and the composite channel."""
+
+import numpy as np
+import pytest
+
+from repro.channel.body import BACK, CHEST, LEFT_ANKLE, LEFT_HIP, STANDARD_BODY, BodyModel
+from repro.channel.fading import (
+    FadingParameters,
+    NodeShadowing,
+    OrnsteinUhlenbeckFading,
+)
+from repro.channel.link import Channel
+from repro.channel.pathloss import MeanPathLossModel, PathLossParameters
+from repro.des.rng import RngStreams
+
+
+class TestBodyModel:
+    def test_ten_standard_locations(self):
+        assert STANDARD_BODY.num_locations == 10
+        assert STANDARD_BODY.location(0).name == "chest"
+        assert STANDARD_BODY.by_name("back").index == 9
+
+    def test_duplicate_indices_rejected(self):
+        loc = STANDARD_BODY.location(0)
+        with pytest.raises(ValueError):
+            BodyModel([loc, loc])
+
+    def test_distance_symmetry_and_positivity(self):
+        for i in range(10):
+            for j in range(i + 1, 10):
+                d = STANDARD_BODY.distance(i, j)
+                assert d > 0
+                assert d == STANDARD_BODY.distance(j, i)
+
+    def test_chest_to_back_is_occluded(self):
+        assert STANDARD_BODY.is_occluded(CHEST, BACK)
+
+    def test_chest_to_hip_is_los(self):
+        assert not STANDARD_BODY.is_occluded(CHEST, LEFT_HIP)
+
+    def test_link_classes_cover_all_pairs(self):
+        classes = STANDARD_BODY.link_classes()
+        assert len(classes) == 45  # C(10, 2)
+        assert set(classes.values()) <= {"los", "nlos"}
+
+    def test_unknown_location_raises(self):
+        with pytest.raises(KeyError):
+            STANDARD_BODY.location(99)
+        with pytest.raises(KeyError):
+            STANDARD_BODY.by_name("elbow")
+
+
+class TestMeanPathLoss:
+    def setup_method(self):
+        self.model = MeanPathLossModel(STANDARD_BODY)
+
+    def test_monotone_with_distance_for_los_links(self):
+        # chest-hip is shorter than chest-ankle; both LOS.
+        short = self.model.mean_path_loss(CHEST, LEFT_HIP)
+        long = self.model.mean_path_loss(CHEST, LEFT_ANKLE)
+        assert short < long
+
+    def test_symmetric(self):
+        assert self.model.mean_path_loss(2, 7) == self.model.mean_path_loss(7, 2)
+
+    def test_nlos_penalty_applied(self):
+        base = PathLossParameters()
+        no_penalty = MeanPathLossModel(
+            STANDARD_BODY,
+            PathLossParameters(nlos_penalty_db=0.0),
+        )
+        assert self.model.mean_path_loss(CHEST, BACK) == pytest.approx(
+            no_penalty.mean_path_loss(CHEST, BACK) + base.nlos_penalty_db
+        )
+
+    def test_self_link_rejected(self):
+        with pytest.raises(ValueError):
+            self.model.mean_path_loss(3, 3)
+
+    def test_values_in_published_wban_range(self):
+        # Published 2.4 GHz on-body campaigns report roughly 35-90 dB for
+        # direct links; our deepest around-body limb links (distance law +
+        # NLOS penalty) may exceed that, but must stay physically sane.
+        matrix = self.model.matrix()
+        finite = matrix[np.isfinite(matrix)]
+        assert finite.min() > 30.0
+        assert finite.max() < 115.0
+
+    def test_measured_override(self):
+        model = MeanPathLossModel(STANDARD_BODY, measured={(1, 0): 55.5})
+        assert model.mean_path_loss(0, 1) == 55.5
+        assert model.mean_path_loss(1, 0) == 55.5
+
+    def test_matrix_diagonal_nan(self):
+        matrix = self.model.matrix()
+        assert np.isnan(np.diag(matrix)).all()
+
+    def test_worst_link(self):
+        (i, j), value = self.model.worst_link([0, 1, 3])
+        assert value == self.model.mean_path_loss(CHEST, LEFT_ANKLE)
+        assert {i, j} == {CHEST, LEFT_ANKLE}
+
+    def test_worst_link_needs_two(self):
+        with pytest.raises(ValueError):
+            self.model.worst_link([0])
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            PathLossParameters(ref_distance_m=0.0)
+        with pytest.raises(ValueError):
+            PathLossParameters(exponent=-1.0)
+
+
+class TestOuFading:
+    def make(self, **kwargs):
+        params = FadingParameters(
+            shadow_fraction=0.0, **kwargs
+        )  # isolate the OU component
+        return OrnsteinUhlenbeckFading(params, RngStreams(seed=5))
+
+    def test_deterministic_per_seed(self):
+        a = self.make().sample(0, 1, 1.0)
+        b = OrnsteinUhlenbeckFading(
+            FadingParameters(shadow_fraction=0.0), RngStreams(seed=5)
+        ).sample(0, 1, 1.0)
+        assert a == b
+
+    def test_reciprocal_links_share_state(self):
+        fading = self.make()
+        v1 = fading.sample(2, 5, 1.0)
+        v2 = fading.sample(5, 2, 1.0)
+        assert v1 == v2
+
+    def test_same_time_same_value(self):
+        fading = self.make()
+        v1 = fading.sample(0, 1, 3.0)
+        v2 = fading.sample(0, 1, 3.0)
+        assert v1 == v2
+
+    def test_backwards_time_rejected(self):
+        fading = self.make()
+        fading.sample(0, 1, 5.0)
+        with pytest.raises(ValueError):
+            fading.sample(0, 1, 4.0)
+
+    def test_clipped(self):
+        fading = self.make(sigma_db=6.0, clip_db=10.0)
+        values = [fading.sample(0, 1, t * 10.0) for t in range(500)]
+        assert all(-10.0 <= v <= 10.0 for v in values)
+
+    def test_short_dt_highly_correlated(self):
+        fading = self.make(sigma_db=6.0, coherence_time_s=1.0)
+        v0 = fading.sample(0, 1, 0.0)
+        v1 = fading.sample(0, 1, 1e-4)
+        assert abs(v1 - v0) < 0.5
+
+    def test_long_dt_near_stationary(self):
+        # After many coherence times, samples decorrelate: the empirical
+        # std over many far-apart samples approaches sigma.
+        fading = self.make(sigma_db=6.0, coherence_time_s=0.1)
+        values = np.array([fading.sample(0, 1, 5.0 * k) for k in range(400)])
+        assert 4.0 < values.std() < 8.0
+
+    def test_zero_sigma_is_silent(self):
+        fading = self.make(sigma_db=0.0)
+        assert fading.sample(0, 1, 0.0) == 0.0
+        assert fading.sample(0, 1, 9.0) == 0.0
+
+    def test_reset_forgets_history(self):
+        fading = self.make()
+        fading.sample(0, 1, 10.0)
+        fading.reset()
+        fading.sample(0, 1, 1.0)  # would raise without reset
+
+    def test_peek_does_not_advance(self):
+        fading = self.make()
+        v = fading.sample(0, 1, 1.0)
+        assert fading.peek(0, 1) == v
+        assert fading.peek(1, 0) == v
+        assert fading.peek(4, 7) == 0.0
+
+
+class TestNodeShadowing:
+    def test_stationary_fraction_approx(self):
+        params = FadingParameters(
+            shadow_fraction=0.2, shadow_dwell_s=1.0, shadow_depth_db=10.0
+        )
+        shadow = NodeShadowing(params, RngStreams(seed=3))
+        samples = [shadow.is_occluded(0, 0.5 * k) for k in range(4000)]
+        fraction = sum(samples) / len(samples)
+        assert 0.15 < fraction < 0.25
+
+    def test_dwell_produces_correlation(self):
+        params = FadingParameters(
+            shadow_fraction=0.3, shadow_dwell_s=5.0, shadow_depth_db=10.0
+        )
+        shadow = NodeShadowing(params, RngStreams(seed=4))
+        samples = [shadow.is_occluded(0, 0.01 * k) for k in range(2000)]
+        flips = sum(1 for a, b in zip(samples, samples[1:]) if a != b)
+        # 20 s of samples with ~5 s dwells: transitions are rare.
+        assert flips < 40
+
+    def test_zero_fraction_never_occluded(self):
+        params = FadingParameters(shadow_fraction=0.0)
+        shadow = NodeShadowing(params, RngStreams(seed=0))
+        assert not any(shadow.is_occluded(0, float(t)) for t in range(50))
+
+    def test_extra_loss_counts_both_endpoints(self):
+        params = FadingParameters(
+            shadow_fraction=0.99, shadow_dwell_s=10.0, shadow_depth_db=16.0
+        )
+        shadow = NodeShadowing(params, RngStreams(seed=11))
+        # With 99% occlusion probability some sample has both ends shadowed.
+        losses = {shadow.extra_loss_db(0, 1, float(t)) for t in range(50)}
+        assert 32.0 in losses
+        assert losses <= {0.0, 16.0, 32.0}
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            FadingParameters(shadow_fraction=1.5)
+        with pytest.raises(ValueError):
+            FadingParameters(shadow_dwell_s=0.0)
+        with pytest.raises(ValueError):
+            FadingParameters(shadow_depth_db=-1.0)
+        with pytest.raises(ValueError):
+            FadingParameters(sigma_db=-2.0)
+        with pytest.raises(ValueError):
+            FadingParameters(coherence_time_s=0.0)
+        with pytest.raises(ValueError):
+            FadingParameters(clip_db=0.0)
+
+
+class TestChannel:
+    def make_channel(self, **fading_kwargs):
+        return Channel(
+            RngStreams(seed=1),
+            fading_params=FadingParameters(
+                shadow_fraction=0.0, sigma_db=0.0, **fading_kwargs
+            ),
+        )
+
+    def test_path_loss_equals_mean_when_no_fading(self):
+        channel = self.make_channel()
+        expected = channel.mean_model.mean_path_loss(0, 1)
+        assert channel.path_loss(0, 1, 1.0) == pytest.approx(expected)
+
+    def test_received_power(self):
+        channel = self.make_channel()
+        pl = channel.mean_model.mean_path_loss(0, 1)
+        assert channel.received_power_dbm(0.0, 0, 1, 1.0) == pytest.approx(-pl)
+
+    def test_link_closes_matches_budget(self):
+        channel = self.make_channel()
+        budget = channel.budget(0.0, -97.0, 0, 1)
+        assert budget.closes_on_average == channel.link_closes(
+            0.0, -97.0, 0, 1, 1.0
+        )
+
+    def test_budget_margin(self):
+        channel = self.make_channel()
+        budget = channel.budget(-10.0, -97.0, CHEST, LEFT_HIP)
+        assert budget.margin_db == pytest.approx(
+            -10.0 + 97.0 - budget.mean_path_loss_db
+        )
+
+    def test_reset_fading_allows_time_restart(self):
+        channel = Channel(RngStreams(seed=1))
+        channel.path_loss(0, 1, 50.0)
+        channel.reset_fading()
+        channel.path_loss(0, 1, 0.0)  # would raise without reset
+
+    def test_weak_budget_fails_link(self):
+        channel = self.make_channel()
+        # -20 dBm TX cannot close the chest-ankle link on average.
+        budget = channel.budget(-20.0, -97.0, CHEST, LEFT_ANKLE)
+        assert not budget.closes_on_average

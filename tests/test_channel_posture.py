@@ -1,0 +1,163 @@
+"""Tests for the posture-dynamics channel extension."""
+
+import pytest
+
+from repro.channel.link import Channel
+from repro.channel.posture import (
+    DAILY_ACTIVITY,
+    LYING,
+    SITTING,
+    STANDING,
+    Posture,
+    PostureParameters,
+    PostureProcess,
+)
+from repro.des.rng import RngStreams
+
+
+def make_process(seed=0, **kwargs):
+    return PostureProcess(PostureParameters(**kwargs), RngStreams(seed=seed))
+
+
+class TestParameters:
+    def test_defaults_are_daily_activity(self):
+        params = PostureParameters()
+        assert params.postures == DAILY_ACTIVITY
+
+    def test_stationary_normalized(self):
+        params = PostureParameters()
+        assert sum(params.stationary()) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PostureParameters(postures=())
+        with pytest.raises(ValueError):
+            PostureParameters(mean_dwell_s=0.0)
+        with pytest.raises(ValueError):
+            PostureParameters(
+                postures=(Posture("x", probability=0.0),)
+            )
+        with pytest.raises(ValueError):
+            Posture("x", probability=-1.0)
+        with pytest.raises(ValueError):
+            Posture("x", probability=0.5, shadow_multiplier=-1.0)
+
+
+class TestProcess:
+    def test_single_posture_constant(self):
+        process = make_process(postures=(STANDING,))
+        postures = {process.posture_at(float(t)).name for t in range(100)}
+        assert postures == {"standing"}
+
+    def test_same_time_same_posture(self):
+        process = make_process()
+        a = process.posture_at(10.0)
+        b = process.posture_at(10.0)
+        assert a is b
+
+    def test_backwards_time_rejected(self):
+        process = make_process()
+        process.posture_at(100.0)
+        with pytest.raises(ValueError):
+            process.posture_at(50.0)
+
+    def test_stationary_occupancy_approximately_matched(self):
+        process = make_process(seed=3, mean_dwell_s=10.0)
+        counts = {}
+        for k in range(6000):
+            name = process.posture_at(5.0 * k).name
+            counts[name] = counts.get(name, 0) + 1
+        total = sum(counts.values())
+        expected = {p.name: p.probability for p in DAILY_ACTIVITY}
+        for name, prob in expected.items():
+            assert counts.get(name, 0) / total == pytest.approx(prob, abs=0.05)
+
+    def test_short_dt_rarely_changes_posture(self):
+        process = make_process(seed=5, mean_dwell_s=100.0)
+        changes = 0
+        last = process.posture_at(0.0).name
+        for k in range(1, 1000):
+            current = process.posture_at(0.01 * k).name
+            if current != last:
+                changes += 1
+            last = current
+        # 10 s observed with 100 s dwells: changes should be rare.
+        assert changes <= 3
+
+    def test_extra_loss_by_link_class(self):
+        process = make_process(postures=(LYING,))
+        assert process.extra_loss_db(occluded=False, t=1.0) == pytest.approx(
+            LYING.los_offset_db
+        )
+        assert process.extra_loss_db(occluded=True, t=1.0) == pytest.approx(
+            LYING.nlos_offset_db
+        )
+
+    def test_shadow_multiplier_query(self):
+        process = make_process(postures=(SITTING,))
+        assert process.shadow_fraction_multiplier(0.0) == pytest.approx(
+            SITTING.shadow_multiplier
+        )
+
+    def test_reset(self):
+        process = make_process()
+        process.posture_at(500.0)
+        process.reset()
+        process.posture_at(1.0)  # would raise without reset
+
+    def test_deterministic_per_seed(self):
+        a = make_process(seed=9)
+        b = make_process(seed=9)
+        names_a = [a.posture_at(30.0 * k).name for k in range(50)]
+        names_b = [b.posture_at(30.0 * k).name for k in range(50)]
+        assert names_a == names_b
+
+
+class TestChannelIntegration:
+    def test_posture_off_by_default(self):
+        channel = Channel(RngStreams(seed=0))
+        assert channel.posture is None
+
+    def test_lying_only_posture_raises_all_losses(self):
+        from repro.channel.fading import FadingParameters
+
+        quiet = FadingParameters(sigma_db=0.0, shadow_fraction=0.0)
+        base = Channel(RngStreams(seed=0), fading_params=quiet)
+        lying = Channel(
+            RngStreams(seed=0),
+            fading_params=quiet,
+            posture_params=PostureParameters(postures=(LYING,)),
+        )
+        for i, j in [(0, 1), (0, 9), (3, 6)]:
+            delta = lying.path_loss(i, j, 1.0) - base.path_loss(i, j, 1.0)
+            expected = (
+                LYING.nlos_offset_db
+                if base.body.is_occluded(i, j)
+                else LYING.los_offset_db
+            )
+            assert delta == pytest.approx(expected)
+
+    def test_posture_lowers_pdr_in_simulation(self):
+        """Daily-activity posture modulation can only hurt reliability
+        (every offset is a loss)."""
+        from repro.library.mac_options import MacKind, MacOptions, RoutingKind, RoutingOptions
+        from repro.library.radios import CC2650
+        from repro.net.app import AppParameters
+        from repro.net.network import simulate_configuration
+
+        kwargs = dict(
+            placement=(0, 1, 3, 6),
+            radio_spec=CC2650,
+            tx_mode=CC2650.tx_mode_by_dbm(-10.0),
+            mac_options=MacOptions(kind=MacKind.TDMA),
+            routing_options=RoutingOptions(kind=RoutingKind.STAR, coordinator=0),
+            app_params=AppParameters(),
+            tsim_s=20.0,
+            replicates=2,
+            seed=4,
+        )
+        plain = simulate_configuration(**kwargs)
+        lying = simulate_configuration(
+            posture_params=PostureParameters(postures=(LYING,)), **kwargs
+        )
+        assert lying.pdr < plain.pdr

@@ -1,0 +1,134 @@
+"""Tests for measured-channel trace utilities and harvesting lifetimes."""
+
+import io
+import math
+
+import pytest
+
+from repro.channel.body import STANDARD_BODY
+from repro.channel.pathloss import MeanPathLossModel, PathLossParameters
+from repro.channel.traces import (
+    full_table,
+    load_pathloss_csv,
+    save_pathloss_csv,
+    synthetic_campaign,
+    table_disagreement_db,
+)
+from repro.library.batteries import CR2032
+
+
+class TestCsvRoundTrip:
+    def test_roundtrip_through_stringio(self):
+        table = {(0, 1): 60.0, (0, 3): 86.5, (1, 3): 79.25}
+        buffer = io.StringIO()
+        save_pathloss_csv(table, buffer)
+        buffer.seek(0)
+        assert load_pathloss_csv(buffer) == table
+
+    def test_roundtrip_through_file(self, tmp_path):
+        table = full_table()
+        path = tmp_path / "campaign.csv"
+        save_pathloss_csv(table, path)
+        loaded = load_pathloss_csv(path)
+        assert loaded.keys() == table.keys()
+        for key in table:
+            assert loaded[key] == pytest.approx(table[key], abs=1e-5)
+
+    def test_pairs_normalized_on_save(self):
+        buffer = io.StringIO()
+        save_pathloss_csv({(3, 1): 70.0}, buffer)
+        buffer.seek(0)
+        assert load_pathloss_csv(buffer) == {(1, 3): 70.0}
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ValueError, match="header"):
+            load_pathloss_csv(io.StringIO("a,b,c\n0,1,60\n"))
+
+    def test_self_pair_rejected(self):
+        with pytest.raises(ValueError, match="invalid pair"):
+            load_pathloss_csv(io.StringIO("i,j,path_loss_db\n2,2,60\n"))
+
+    def test_nonpositive_loss_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            load_pathloss_csv(io.StringIO("i,j,path_loss_db\n0,1,-5\n"))
+
+    def test_duplicate_pair_rejected(self):
+        content = "i,j,path_loss_db\n0,1,60\n1,0,61\n"
+        with pytest.raises(ValueError, match="duplicate"):
+            load_pathloss_csv(io.StringIO(content))
+
+    def test_malformed_row_rejected(self):
+        with pytest.raises(ValueError, match="3 fields"):
+            load_pathloss_csv(io.StringIO("i,j,path_loss_db\n0,1\n"))
+
+
+class TestSyntheticCampaign:
+    def test_covers_all_pairs(self):
+        table = synthetic_campaign()
+        assert len(table) == 45  # C(10, 2)
+
+    def test_deterministic_per_seed(self):
+        assert synthetic_campaign(seed=4) == synthetic_campaign(seed=4)
+        assert synthetic_campaign(seed=4) != synthetic_campaign(seed=5)
+
+    def test_zero_sigma_reproduces_parametric_law(self):
+        table = synthetic_campaign(per_pair_sigma_db=0.0)
+        reference = full_table()
+        for key, value in table.items():
+            assert value == pytest.approx(reference[key])
+
+    def test_offsets_bounded_by_floor(self):
+        params = PathLossParameters()
+        table = synthetic_campaign(per_pair_sigma_db=50.0, seed=1)
+        assert all(v >= params.min_path_loss_db for v in table.values())
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_campaign(per_pair_sigma_db=-1.0)
+
+    def test_campaign_usable_as_measured_channel(self):
+        campaign = synthetic_campaign(seed=2)
+        model = MeanPathLossModel(STANDARD_BODY, measured=campaign)
+        assert model.mean_path_loss(0, 3) == pytest.approx(campaign[(0, 3)])
+
+
+class TestDisagreement:
+    def test_identical_tables(self):
+        table = full_table()
+        stats = table_disagreement_db(table, table)
+        assert stats["mean_abs_db"] == 0.0
+        assert stats["max_abs_db"] == 0.0
+
+    def test_campaign_disagreement_scales_with_sigma(self):
+        base = full_table()
+        small = table_disagreement_db(
+            base, synthetic_campaign(per_pair_sigma_db=1.0, seed=7)
+        )
+        large = table_disagreement_db(
+            base, synthetic_campaign(per_pair_sigma_db=8.0, seed=7)
+        )
+        assert large["rms_db"] > small["rms_db"]
+
+    def test_disjoint_tables_rejected(self):
+        with pytest.raises(ValueError):
+            table_disagreement_db({(0, 1): 60.0}, {(2, 3): 70.0})
+
+
+class TestHarvestingLifetime:
+    def test_income_extends_lifetime(self):
+        plain = CR2032.lifetime_days(1.0)
+        harvested = CR2032.lifetime_days(1.0, harvest_mw=0.5)
+        assert harvested == pytest.approx(2 * plain)
+
+    def test_energy_neutral_is_infinite(self):
+        assert math.isinf(CR2032.lifetime_days(0.8, harvest_mw=0.8))
+        assert math.isinf(CR2032.lifetime_days(0.8, harvest_mw=1.2))
+
+    def test_negative_income_rejected(self):
+        with pytest.raises(ValueError):
+            CR2032.lifetime_days(1.0, harvest_mw=-0.1)
+
+    def test_lifetime_seconds_consistent_with_harvest(self):
+        assert CR2032.lifetime_s(1.0, 0.5) == pytest.approx(
+            CR2032.lifetime_days(1.0, 0.5) * 86400.0
+        )

@@ -1,0 +1,132 @@
+"""Tests for configurations, placement constraints, and the design space."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.design_space import (
+    Configuration,
+    DesignSpace,
+    PlacementConstraints,
+)
+from repro.library.mac_options import MacKind, RoutingKind
+
+
+def config(placement=(0, 1, 3, 6), tx=-10.0, mac=MacKind.CSMA,
+           routing=RoutingKind.STAR):
+    return Configuration(placement, tx, mac, routing)
+
+
+class TestConfiguration:
+    def test_placement_normalized(self):
+        c = config(placement=(6, 0, 3, 1, 3))
+        assert c.placement == (0, 1, 3, 6)
+        assert c.num_nodes == 4
+
+    def test_label(self):
+        assert config().label() == "[chest,hipL,ankL,wriR] star/csma/-10dBm"
+
+    def test_key_distinguishes_components(self):
+        base = config()
+        assert base.key() != config(tx=0.0).key()
+        assert base.key() != config(mac=MacKind.TDMA).key()
+        assert base.key() != config(routing=RoutingKind.MESH).key()
+        assert base.key() != config(placement=(0, 1, 3, 5)).key()
+        assert base.key() == config().key()
+
+    def test_orderable(self):
+        configs = [config(tx=0.0), config(tx=-20.0)]
+        assert sorted(configs)[0].tx_dbm == -20.0
+
+
+class TestPlacementConstraints:
+    def test_design_example_satisfaction(self):
+        cons = PlacementConstraints()
+        assert cons.satisfied_by((0, 1, 3, 5))
+        assert cons.satisfied_by((0, 2, 4, 6, 7, 8))
+        assert not cons.satisfied_by((1, 2, 3, 5))      # no chest
+        assert not cons.satisfied_by((0, 3, 4, 5))       # no hip
+        assert not cons.satisfied_by((0, 1, 2, 5))       # no foot
+        assert not cons.satisfied_by((0, 1, 3, 8))       # no wrist
+        assert not cons.satisfied_by((0, 1, 2, 3, 4, 5, 6))  # > 6 nodes
+
+    def test_effective_min_nodes_design_example(self):
+        assert PlacementConstraints().effective_min_nodes == 4
+
+    def test_effective_min_nodes_no_groups(self):
+        cons = PlacementConstraints(required=(0, 1), at_least_one_of=())
+        assert cons.effective_min_nodes == 2
+
+    def test_effective_min_nodes_overlapping_groups(self):
+        # Groups {1,2} and {2,3} share location 2: one node covers both.
+        cons = PlacementConstraints(
+            required=(0,), at_least_one_of=((1, 2), (2, 3))
+        )
+        assert cons.effective_min_nodes == 2
+
+    def test_effective_min_nodes_group_covered_by_required(self):
+        cons = PlacementConstraints(
+            required=(0, 1), at_least_one_of=((1, 2), (3, 4))
+        )
+        assert cons.effective_min_nodes == 3
+
+
+class TestDesignSpace:
+    def setup_method(self):
+        self.space = DesignSpace()
+
+    def test_total_size_matches_paper(self):
+        """Sec. 4.1: 'our design space contains 12,288 potential
+        configurations (10 node positions, 3 radio Tx power levels, 2 MAC
+        layer options, and 2 routing schemes)'."""
+        assert self.space.total_size == 12288
+
+    def test_feasible_count_structure(self):
+        # 8 four-node + 36 five-node + 66 six-node placements, x 12 combos.
+        assert self.space.placements_by_size() == [(4, 8), (5, 36), (6, 66)]
+        assert self.space.feasible_count() == 110 * 12
+
+    def test_all_enumerated_placements_satisfy_constraints(self):
+        cons = self.space.constraints
+        placements = list(self.space.placements())
+        assert len(placements) == 110
+        assert all(cons.satisfied_by(p) for p in placements)
+        assert len(set(placements)) == len(placements)
+
+    def test_feasible_configurations_unique(self):
+        keys = [c.key() for c in self.space.feasible_configurations()]
+        assert len(keys) == len(set(keys))
+
+    def test_contains(self):
+        assert self.space.contains(config())
+        assert not self.space.contains(config(tx=5.0))
+        assert not self.space.contains(config(placement=(0, 1, 3, 8)))
+
+    def test_contains_rejects_out_of_range_locations(self):
+        c = Configuration((0, 1, 3, 6, 12), -10.0, MacKind.CSMA,
+                          RoutingKind.STAR)
+        assert not self.space.contains(c)
+
+    def test_enumeration_deterministic(self):
+        a = [c.key() for c in self.space.feasible_configurations()]
+        b = [c.key() for c in self.space.feasible_configurations()]
+        assert a == b
+
+    @given(seed=st.integers(0, 1000))
+    def test_every_enumerated_config_contained(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        configs = list(self.space.feasible_configurations())
+        pick = configs[rng.randrange(len(configs))]
+        assert self.space.contains(pick)
+
+
+class TestReducedSpaces:
+    def test_max_nodes_four(self):
+        space = DesignSpace(constraints=PlacementConstraints(max_nodes=4))
+        assert space.placements_by_size() == [(4, 8)]
+        assert space.feasible_count() == 8 * 12
+
+    def test_fewer_tx_levels(self):
+        space = DesignSpace(tx_levels_dbm=(0.0,))
+        assert space.feasible_count() == 110 * 4

@@ -1,0 +1,126 @@
+"""Tests for the coarse analytical power model (Eqs. 3, 4, 5, 9) and α."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.power_model import CoarsePowerModel
+from repro.library.batteries import CR2032
+from repro.library.mac_options import RoutingKind, RoutingOptions
+from repro.library.radios import CC2650
+from repro.net.app import AppParameters
+
+MODEL = CoarsePowerModel(CC2650, AppParameters(), CR2032)
+STAR = RoutingOptions(kind=RoutingKind.STAR, coordinator=0)
+MESH = RoutingOptions(kind=RoutingKind.MESH, max_hops=2)
+P3 = CC2650.tx_mode_by_dbm(0.0)
+P2 = CC2650.tx_mode_by_dbm(-10.0)
+P1 = CC2650.tx_mode_by_dbm(-20.0)
+
+
+class TestEquations:
+    def test_packet_airtime(self):
+        assert MODEL.packet_airtime_s == pytest.approx(800 / 1024e3)
+
+    def test_eq5_star(self):
+        """Star: P_rd = phi * Tpkt * (TxmW + 2(N-1) RxmW)."""
+        n = 4
+        expected = 10.0 * (800 / 1024e3) * (18.3 + 2 * 3 * 17.7)
+        assert MODEL.radio_power_mw(STAR, n, P3) == pytest.approx(expected)
+
+    def test_eq5_mesh(self):
+        """Mesh: P_rd = phi * Tpkt * NreTx * (TxmW + (N-1) RxmW)."""
+        n = 5
+        nretx = n * n - 4 * n + 5
+        expected = 10.0 * (800 / 1024e3) * nretx * (18.3 + 4 * 17.7)
+        assert MODEL.radio_power_mw(MESH, n, P3) == pytest.approx(expected)
+
+    def test_eq9_adds_baseline(self):
+        assert MODEL.node_power_mw(STAR, 4, P3) == pytest.approx(
+            0.1 + MODEL.radio_power_mw(STAR, 4, P3)
+        )
+
+    def test_eq4_lifetime(self):
+        p_bar = MODEL.node_power_mw(STAR, 4, P2)
+        assert MODEL.lifetime_days(STAR, 4, P2) == pytest.approx(
+            CR2032.lifetime_days(p_bar)
+        )
+
+    def test_star_lifetime_about_a_month(self):
+        """Sanity anchor from the paper's Fig. 3: a 4-node star at reduced
+        TX power lives for roughly a month on a CR2032."""
+        days = MODEL.lifetime_days(STAR, 4, P2)
+        assert 20 < days < 40
+
+    def test_mesh_5node_lifetime_days_scale(self):
+        """The paper's 5-node mesh at 0 dBm lives 'a couple of days'
+        (ours: single-digit days)."""
+        days = MODEL.lifetime_days(MESH, 5, P3)
+        assert 1 < days < 10
+
+    def test_two_nodes_minimum(self):
+        with pytest.raises(ValueError):
+            MODEL.radio_power_mw(STAR, 1, P3)
+
+
+class TestMonotonicity:
+    def test_power_increases_with_tx_level(self):
+        assert (
+            MODEL.node_power_mw(STAR, 4, P1)
+            < MODEL.node_power_mw(STAR, 4, P2)
+            < MODEL.node_power_mw(STAR, 4, P3)
+        )
+
+    def test_power_increases_with_node_count(self):
+        for routing in (STAR, MESH):
+            values = [MODEL.node_power_mw(routing, n, P3) for n in (4, 5, 6)]
+            assert values == sorted(values)
+            assert values[0] < values[-1]
+
+    def test_mesh_costs_more_than_star(self):
+        for n in (4, 5, 6):
+            assert MODEL.node_power_mw(MESH, n, P3) > MODEL.node_power_mw(
+                STAR, n, P3
+            )
+
+
+class TestAlpha:
+    def test_alpha_at_full_reliability_is_one(self):
+        p_bar = MODEL.node_power_mw(STAR, 4, P3)
+        assert MODEL.alpha(p_bar, 1.0) == pytest.approx(1.0)
+
+    def test_lower_bound_interpolates_radio_part(self):
+        p_bar = MODEL.node_power_mw(STAR, 4, P3)
+        lb = MODEL.power_lower_bound_mw(p_bar, 0.5)
+        assert lb == pytest.approx(0.1 + 0.5 * (p_bar - 0.1))
+
+    def test_lower_bound_at_zero_pdr_is_baseline(self):
+        p_bar = MODEL.node_power_mw(MESH, 5, P3)
+        assert MODEL.power_lower_bound_mw(p_bar, 0.0) == pytest.approx(0.1)
+
+    def test_alpha_at_least_one(self):
+        p_bar = MODEL.node_power_mw(MESH, 6, P3)
+        for pdr_min in (0.1, 0.5, 0.9, 1.0):
+            assert MODEL.alpha(p_bar, pdr_min) >= 1.0
+
+    def test_invalid_pdr_rejected(self):
+        with pytest.raises(ValueError):
+            MODEL.power_lower_bound_mw(1.0, 1.5)
+
+    @given(pdr=st.floats(0.01, 1.0))
+    def test_bound_below_p_bar(self, pdr):
+        p_bar = MODEL.node_power_mw(MESH, 5, P2)
+        lb = MODEL.power_lower_bound_mw(p_bar, pdr)
+        assert 0.1 <= lb <= p_bar + 1e-12
+
+    @given(
+        pdr_low=st.floats(0.0, 1.0),
+        pdr_high=st.floats(0.0, 1.0),
+    )
+    def test_bound_monotone_in_pdr(self, pdr_low, pdr_high):
+        if pdr_low > pdr_high:
+            pdr_low, pdr_high = pdr_high, pdr_low
+        p_bar = MODEL.node_power_mw(STAR, 5, P3)
+        assert MODEL.power_lower_bound_mw(
+            p_bar, pdr_low
+        ) <= MODEL.power_lower_bound_mw(p_bar, pdr_high) + 1e-12

@@ -1,0 +1,169 @@
+"""Tests for generator-based processes and waiters."""
+
+import pytest
+
+from repro.des.engine import Simulator
+from repro.des.process import Process, Timeout, Waiter, all_processes_dead
+
+
+class TestTimeouts:
+    def test_simple_sleep_sequence(self):
+        sim = Simulator()
+        times = []
+
+        def worker():
+            times.append(sim.now)
+            yield Timeout(1.5)
+            times.append(sim.now)
+            yield Timeout(2.5)
+            times.append(sim.now)
+
+        Process(sim, worker())
+        sim.run()
+        assert times == [0.0, 1.5, 4.0]
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            Timeout(-1.0)
+
+    def test_zero_timeout_resumes_same_time(self):
+        sim = Simulator()
+        times = []
+
+        def worker():
+            yield Timeout(0.0)
+            times.append(sim.now)
+
+        Process(sim, worker())
+        sim.run()
+        assert times == [0.0]
+
+    def test_process_finishes_and_dies(self):
+        sim = Simulator()
+
+        def worker():
+            yield Timeout(1.0)
+
+        p = Process(sim, worker())
+        sim.run()
+        assert not p.alive
+
+    def test_two_processes_interleave(self):
+        sim = Simulator()
+        log = []
+
+        def ticker(name, period):
+            for _ in range(3):
+                yield Timeout(period)
+                log.append((sim.now, name))
+
+        Process(sim, ticker("fast", 1.0))
+        Process(sim, ticker("slow", 1.5))
+        sim.run()
+        # At t = 3.0 both are due; the slow ticker scheduled its timer
+        # earlier (at t = 1.5 vs t = 2.0), so FIFO runs it first.
+        assert log == [
+            (1.0, "fast"),
+            (1.5, "slow"),
+            (2.0, "fast"),
+            (3.0, "slow"),
+            (3.0, "fast"),
+            (4.5, "slow"),
+        ]
+
+
+class TestWaiters:
+    def test_trigger_wakes_process_with_value(self):
+        sim = Simulator()
+        waiter = Waiter(sim)
+        received = []
+
+        def consumer():
+            value = yield waiter
+            received.append((sim.now, value))
+
+        Process(sim, consumer())
+        sim.schedule(2.0, waiter.trigger, "payload")
+        sim.run()
+        assert received == [(2.0, "payload")]
+
+    def test_trigger_before_wait_not_lost(self):
+        sim = Simulator()
+        waiter = Waiter(sim)
+        waiter.trigger("early")
+        received = []
+
+        def consumer():
+            value = yield waiter
+            received.append(value)
+
+        Process(sim, consumer())
+        sim.run()
+        assert received == ["early"]
+
+    def test_trigger_idempotent(self):
+        sim = Simulator()
+        waiter = Waiter(sim)
+        received = []
+
+        def consumer():
+            received.append((yield waiter))
+
+        Process(sim, consumer())
+        sim.schedule(1.0, waiter.trigger, "first")
+        sim.schedule(2.0, waiter.trigger, "second")
+        sim.run()
+        assert received == ["first"]
+        assert waiter.triggered
+
+
+class TestInterrupt:
+    def test_interrupt_stops_process(self):
+        sim = Simulator()
+        ticks = []
+
+        def worker():
+            while True:
+                yield Timeout(1.0)
+                ticks.append(sim.now)
+
+        p = Process(sim, worker())
+        sim.schedule(3.5, p.interrupt)
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0, 3.0]
+        assert not p.alive
+
+    def test_interrupt_twice_is_noop(self):
+        sim = Simulator()
+
+        def worker():
+            yield Timeout(10.0)
+
+        p = Process(sim, worker())
+        p.interrupt()
+        p.interrupt()
+        sim.run()
+        assert not p.alive
+
+
+class TestErrors:
+    def test_bad_yield_type_raises(self):
+        sim = Simulator()
+
+        def worker():
+            yield 42  # not a Timeout/Waiter
+
+        Process(sim, worker())
+        with pytest.raises(TypeError, match="yielded"):
+            sim.run()
+
+    def test_all_processes_dead(self):
+        sim = Simulator()
+
+        def quick():
+            yield Timeout(0.5)
+
+        procs = [Process(sim, quick()) for _ in range(3)]
+        assert not all_processes_dead(procs)
+        sim.run()
+        assert all_processes_dead(procs)

@@ -1,0 +1,110 @@
+"""Tests for optimum-set enumeration (the RunMILP set semantics)."""
+
+import math
+
+import pytest
+
+from repro.milp import Model, SolveStatus, enumerate_optimal_solutions
+from repro.milp.enumerate_optima import solution_values_by_name
+from repro.milp.expr import LinExpr
+
+
+class TestEnumeration:
+    def test_choose_two_of_four_identical(self):
+        m = Model("t")
+        ys = [m.add_binary(f"y{i}") for i in range(4)]
+        m.add_constraint(LinExpr.sum_of(ys) == 2)
+        m.set_objective(LinExpr.sum_of(ys))
+        status, solutions, optimum = enumerate_optimal_solutions(m)
+        assert status is SolveStatus.OPTIMAL
+        assert optimum == pytest.approx(2.0)
+        assert len(solutions) == math.comb(4, 2)
+        # All solutions distinct as assignments.
+        keys = {
+            tuple(int(round(s.values[y.index])) for y in ys) for s in solutions
+        }
+        assert len(keys) == len(solutions)
+
+    def test_unique_optimum_enumerates_once(self):
+        m = Model("t", sense="max")
+        x = m.add_binary("x")
+        y = m.add_binary("y")
+        m.set_objective(2 * x + y)
+        status, solutions, optimum = enumerate_optimal_solutions(m)
+        assert len(solutions) == 1
+        assert optimum == pytest.approx(3.0)
+
+    def test_max_solutions_cap(self):
+        m = Model("t")
+        ys = [m.add_binary(f"y{i}") for i in range(6)]
+        m.add_constraint(LinExpr.sum_of(ys) == 3)
+        m.set_objective(LinExpr(constant=0.0))
+        _status, solutions, _opt = enumerate_optimal_solutions(
+            m, max_solutions=5
+        )
+        assert len(solutions) == 5
+
+    def test_infeasible_model(self):
+        m = Model("t")
+        x = m.add_binary("x")
+        m.add_constraint(x >= 2)
+        status, solutions, optimum = enumerate_optimal_solutions(m)
+        assert status is SolveStatus.INFEASIBLE
+        assert solutions == [] and optimum is None
+
+    def test_distinguish_subset_collapses_ties(self):
+        # Two binaries, objective only on x; enumerating with keys on x
+        # should yield one solution even though y is free.
+        m = Model("t")
+        x = m.add_binary("x")
+        y = m.add_binary("y")
+        m.set_objective(x)
+        _status, solutions, _opt = enumerate_optimal_solutions(
+            m, distinguish_vars=[x]
+        )
+        assert len(solutions) == 1
+        # With keys on both, the free y doubles the set.
+        _status, both, _opt = enumerate_optimal_solutions(
+            m, distinguish_vars=[x, y]
+        )
+        assert len(both) == 2
+
+    def test_original_model_not_mutated(self):
+        m = Model("t")
+        ys = [m.add_binary(f"y{i}") for i in range(3)]
+        m.add_constraint(LinExpr.sum_of(ys) == 1)
+        m.set_objective(LinExpr.sum_of(ys))
+        n_before = m.num_constraints
+        enumerate_optimal_solutions(m)
+        assert m.num_constraints == n_before
+
+    def test_no_binaries_returns_single_solution(self):
+        m = Model("t")
+        x = m.add_var("x", lb=1, ub=2)
+        m.set_objective(x)
+        status, solutions, optimum = enumerate_optimal_solutions(m)
+        assert status is SolveStatus.OPTIMAL
+        assert len(solutions) == 1
+        assert optimum == pytest.approx(1.0)
+
+    def test_solution_values_by_name(self):
+        m = Model("t", sense="max")
+        x = m.add_binary("pick")
+        m.set_objective(x)
+        _status, solutions, _opt = enumerate_optimal_solutions(m)
+        named = solution_values_by_name(m, solutions[0])
+        assert named == {"pick": 1.0}
+
+    def test_enumeration_respects_constraints(self):
+        # Optima must all satisfy the model constraints exactly.
+        m = Model("t")
+        ys = [m.add_binary(f"y{i}") for i in range(5)]
+        m.add_constraint(LinExpr.sum_of(ys) == 2)
+        m.add_constraint(ys[0] + ys[1] <= 1)  # not both of the first two
+        m.set_objective(LinExpr.sum_of(ys))
+        _status, solutions, _opt = enumerate_optimal_solutions(m)
+        assert len(solutions) == math.comb(5, 2) - 1
+        for s in solutions:
+            assert m.is_feasible_point(
+                {i: s.values[i] for i in range(5)}
+            )

@@ -1,0 +1,164 @@
+"""Tests for the MILP expression layer (variables, LinExpr, comparisons)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.milp.expr import INF, ConstraintSpec, LinExpr, Var
+from repro.milp.model import Model
+
+
+@pytest.fixture()
+def model():
+    return Model("t")
+
+
+class TestVar:
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            Var(0, "x", lb=2.0, ub=1.0)
+
+    def test_binary_classification(self, model):
+        b = model.add_binary("b")
+        assert b.is_binary and b.is_integer
+        c = model.add_var("c", lb=0, ub=1)
+        assert not c.is_binary  # continuous in [0,1] is not binary
+        d = model.add_var("d", lb=0, ub=2, is_integer=True)
+        assert d.is_integer and not d.is_binary
+
+    def test_default_bounds(self, model):
+        x = model.add_var("x")
+        assert x.lb == 0.0 and x.ub == INF
+
+    def test_vars_are_hashable_by_identity(self, model):
+        x = model.add_var("x")
+        y = model.add_var("y")
+        assert len({x, y}) == 2
+
+    def test_to_expr_roundtrip(self, model):
+        x = model.add_var("x")
+        expr = x.to_expr()
+        assert expr.terms == {x.index: 1.0}
+        assert expr.constant == 0.0
+
+
+class TestLinExprArithmetic:
+    def test_addition_merges_terms(self, model):
+        x, y = model.add_var("x"), model.add_var("y")
+        expr = x + y + x
+        assert expr.terms == {x.index: 2.0, y.index: 1.0}
+
+    def test_subtraction_cancels_to_zero_terms(self, model):
+        x = model.add_var("x")
+        expr = (x + 3) - x
+        assert expr.is_constant
+        assert expr.constant == 3.0
+
+    def test_scalar_multiplication_and_division(self, model):
+        x = model.add_var("x")
+        expr = (4 * x + 2) / 2
+        assert expr.terms == {x.index: 2.0}
+        assert expr.constant == 1.0
+
+    def test_negation(self, model):
+        x, y = model.add_var("x"), model.add_var("y")
+        expr = -(x - y + 1)
+        assert expr.terms == {x.index: -1.0, y.index: 1.0}
+        assert expr.constant == -1.0
+
+    def test_rsub(self, model):
+        x = model.add_var("x")
+        expr = 5 - x
+        assert expr.terms == {x.index: -1.0}
+        assert expr.constant == 5.0
+
+    def test_multiplying_expressions_rejected(self, model):
+        x = model.add_var("x")
+        with pytest.raises(TypeError):
+            x.to_expr() * x.to_expr()  # type: ignore[operator]
+
+    def test_division_by_zero_rejected(self, model):
+        x = model.add_var("x")
+        with pytest.raises(ZeroDivisionError):
+            x.to_expr() / 0
+
+    def test_sum_of(self, model):
+        xs = [model.add_var(f"x{i}") for i in range(5)]
+        expr = LinExpr.sum_of(xs)
+        assert expr.terms == {x.index: 1.0 for x in xs}
+
+    def test_sum_of_mixed_operands(self, model):
+        x = model.add_var("x")
+        expr = LinExpr.sum_of([x, 2.5, 3 * x])
+        assert expr.terms == {x.index: 4.0}
+        assert expr.constant == 2.5
+
+    def test_evaluate(self, model):
+        x, y = model.add_var("x"), model.add_var("y")
+        expr = 2 * x - y + 7
+        assert expr.evaluate({x.index: 3.0, y.index: 1.0}) == pytest.approx(12.0)
+
+    def test_zero_coefficients_dropped(self, model):
+        x = model.add_var("x")
+        expr = 0 * x + 1
+        assert expr.terms == {}
+
+    @given(
+        a=st.floats(-100, 100, allow_nan=False),
+        b=st.floats(-100, 100, allow_nan=False),
+        c=st.floats(-100, 100, allow_nan=False),
+    )
+    def test_affine_evaluation_matches_by_hand(self, a, b, c):
+        model = Model("h")
+        x, y = model.add_var("x"), model.add_var("y")
+        expr = a * x + b * y + c
+        point = {x.index: 1.5, y.index: -2.0}
+        assert expr.evaluate(point) == pytest.approx(a * 1.5 + b * -2.0 + c)
+
+
+class TestComparisons:
+    def test_le_produces_spec(self, model):
+        x, y = model.add_var("x"), model.add_var("y")
+        spec = x + y <= 3
+        assert isinstance(spec, ConstraintSpec)
+        coeffs, sense, rhs = spec.as_row()
+        assert sense == "<=" and rhs == 3.0
+        assert coeffs == {x.index: 1.0, y.index: 1.0}
+
+    def test_ge_moves_rhs_variables_left(self, model):
+        x, y = model.add_var("x"), model.add_var("y")
+        coeffs, sense, rhs = (x >= y + 1).as_row()
+        assert sense == ">="
+        assert coeffs == {x.index: 1.0, y.index: -1.0}
+        assert rhs == 1.0
+
+    def test_eq_between_expressions(self, model):
+        x, y = model.add_var("x"), model.add_var("y")
+        spec = (2 * x) == (y - 4)
+        coeffs, sense, rhs = spec.as_row()
+        assert sense == "=="
+        assert rhs == -4.0
+
+    def test_bad_sense_rejected(self, model):
+        x = model.add_var("x")
+        with pytest.raises(ValueError):
+            ConstraintSpec(x.to_expr(), "<")
+
+    def test_var_compared_to_number(self, model):
+        x = model.add_var("x")
+        coeffs, sense, rhs = (x <= 5).as_row()
+        assert coeffs == {x.index: 1.0} and sense == "<=" and rhs == 5.0
+
+
+class TestFromOperand:
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError):
+            LinExpr.from_operand("nope")  # type: ignore[arg-type]
+
+    def test_accepts_number(self):
+        expr = LinExpr.from_operand(4)
+        assert expr.is_constant and expr.constant == 4.0
+
+    def test_passthrough_for_expr(self):
+        expr = LinExpr({0: 1.0}, 2.0)
+        assert LinExpr.from_operand(expr) is expr

@@ -1,0 +1,205 @@
+"""Tests for the simplex LP solver, including randomized cross-checks
+against scipy.optimize.linprog."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy.optimize import linprog
+
+from repro.milp.simplex import (
+    LinearProgram,
+    SimplexSolver,
+    SimplexStatus,
+    solve_lp,
+)
+
+
+def lp(c, a_ub=None, b_ub=None, a_eq=None, b_eq=None, bounds=None, c0=0.0):
+    c = np.asarray(c, dtype=float)
+    n = len(c)
+    return LinearProgram(
+        c=c,
+        a_ub=np.asarray(a_ub if a_ub is not None else np.zeros((0, n))),
+        b_ub=np.asarray(b_ub if b_ub is not None else np.zeros(0)),
+        a_eq=np.asarray(a_eq if a_eq is not None else np.zeros((0, n))),
+        b_eq=np.asarray(b_eq if b_eq is not None else np.zeros(0)),
+        bounds=np.asarray(
+            bounds if bounds is not None else [[0.0, math.inf]] * n
+        ),
+        c0=c0,
+    )
+
+
+class TestBasicLPs:
+    def test_trivial_minimum_at_origin(self):
+        result = solve_lp(lp([1.0, 1.0]))
+        assert result.is_optimal
+        assert result.objective == pytest.approx(0.0)
+
+    def test_simple_two_variable(self):
+        # min -x - 2y s.t. x + y <= 4, x <= 3, y <= 2  => x=2? check: best y=2, x=2 -> -6
+        result = solve_lp(
+            lp([-1.0, -2.0], a_ub=[[1, 1]], b_ub=[4], bounds=[[0, 3], [0, 2]])
+        )
+        assert result.is_optimal
+        assert result.objective == pytest.approx(-6.0)
+        assert result.x[1] == pytest.approx(2.0)
+
+    def test_equality_constraint(self):
+        # min x + y s.t. x + 2y == 4, x,y >= 0 -> y = 2, obj 2
+        result = solve_lp(lp([1.0, 1.0], a_eq=[[1, 2]], b_eq=[4]))
+        assert result.is_optimal
+        assert result.objective == pytest.approx(2.0)
+
+    def test_unbounded(self):
+        result = solve_lp(lp([-1.0]))
+        assert result.status is SimplexStatus.UNBOUNDED
+
+    def test_infeasible(self):
+        # x <= -1 with x >= 0.
+        result = solve_lp(lp([1.0], a_ub=[[1.0]], b_ub=[-1.0]))
+        assert result.status is SimplexStatus.INFEASIBLE
+
+    def test_contradictory_equalities(self):
+        result = solve_lp(lp([0.0], a_eq=[[1.0], [1.0]], b_eq=[1.0, 2.0]))
+        assert result.status is SimplexStatus.INFEASIBLE
+
+    def test_objective_offset(self):
+        result = solve_lp(lp([1.0], c0=10.0, bounds=[[2, 5]]))
+        assert result.objective == pytest.approx(12.0)
+
+    def test_negative_lower_bounds(self):
+        # min x with x in [-3, 5]
+        result = solve_lp(lp([1.0], bounds=[[-3, 5]]))
+        assert result.is_optimal
+        assert result.x[0] == pytest.approx(-3.0)
+
+    def test_free_variable(self):
+        # min x + y, x free, y >= 0, x >= -7 via constraint
+        result = solve_lp(
+            lp(
+                [1.0, 1.0],
+                a_ub=[[-1.0, 0.0]],
+                b_ub=[7.0],
+                bounds=[[-math.inf, math.inf], [0, math.inf]],
+            )
+        )
+        assert result.is_optimal
+        assert result.objective == pytest.approx(-7.0)
+
+    def test_upper_bounded_free_variable(self):
+        # max x (min -x) with x <= 4 and no lower bound, plus x >= 0 row.
+        result = solve_lp(
+            lp(
+                [-1.0],
+                a_ub=[[-1.0]],
+                b_ub=[0.0],
+                bounds=[[-math.inf, 4.0]],
+            )
+        )
+        assert result.is_optimal
+        assert result.x[0] == pytest.approx(4.0)
+
+    def test_redundant_equalities_are_fine(self):
+        result = solve_lp(
+            lp([1.0, 1.0], a_eq=[[1, 1], [2, 2]], b_eq=[2.0, 4.0])
+        )
+        assert result.is_optimal
+        assert result.objective == pytest.approx(2.0)
+
+    def test_degenerate_problem_terminates(self):
+        # Klee-Minty-flavoured degenerate rows; just require termination.
+        a = [[1, 0, 0], [1, 1, 0], [1, 1, 1], [0, 1, 1], [0, 0, 1]]
+        b = [1, 1, 1, 1, 1]
+        result = solve_lp(lp([-1.0, -1.0, -1.0], a_ub=a, b_ub=b))
+        assert result.is_optimal
+
+    def test_empty_constraint_matrix_with_bounds(self):
+        result = solve_lp(lp([2.0, -3.0], bounds=[[0, 1], [0, 1]]))
+        assert result.is_optimal
+        assert result.objective == pytest.approx(-3.0)
+
+
+class TestAgainstScipy:
+    @staticmethod
+    def _random_lp(rng):
+        n = int(rng.integers(2, 6))
+        m = int(rng.integers(1, 6))
+        c = rng.normal(size=n)
+        a_ub = rng.normal(size=(m, n))
+        # Build around a known feasible interior point so most instances
+        # are feasible and bounded.
+        x0 = rng.uniform(0.2, 1.0, size=n)
+        b_ub = a_ub @ x0 + rng.uniform(0.1, 1.0, size=m)
+        bounds = np.column_stack([np.zeros(n), np.full(n, 3.0)])
+        return lp(c, a_ub=a_ub, b_ub=b_ub, bounds=bounds)
+
+    def test_randomized_agreement(self):
+        rng = np.random.default_rng(12345)
+        solver = SimplexSolver()
+        for trial in range(60):
+            problem = self._random_lp(rng)
+            ours = solver.solve(problem)
+            ref = linprog(
+                problem.c,
+                A_ub=problem.a_ub,
+                b_ub=problem.b_ub,
+                bounds=[(lo, hi) for lo, hi in problem.bounds],
+                method="highs",
+            )
+            assert ours.is_optimal == ref.success, f"trial {trial}"
+            if ref.success:
+                assert ours.objective == pytest.approx(ref.fun, abs=1e-6), (
+                    f"trial {trial}"
+                )
+
+    def test_randomized_equality_agreement(self):
+        rng = np.random.default_rng(999)
+        solver = SimplexSolver()
+        for trial in range(30):
+            n = int(rng.integers(3, 6))
+            c = rng.normal(size=n)
+            a_eq = rng.normal(size=(2, n))
+            x0 = rng.uniform(0.2, 1.0, size=n)
+            b_eq = a_eq @ x0
+            bounds = np.column_stack([np.zeros(n), np.full(n, 5.0)])
+            problem = lp(c, a_eq=a_eq, b_eq=b_eq, bounds=bounds)
+            ours = solver.solve(problem)
+            ref = linprog(
+                c, A_eq=a_eq, b_eq=b_eq,
+                bounds=[(0, 5.0)] * n, method="highs",
+            )
+            assert ours.is_optimal == ref.success, f"trial {trial}"
+            if ref.success:
+                assert ours.objective == pytest.approx(ref.fun, abs=1e-6)
+
+    def test_solution_is_feasible(self):
+        rng = np.random.default_rng(7)
+        solver = SimplexSolver()
+        for _ in range(20):
+            problem = self._random_lp(rng)
+            result = solver.solve(problem)
+            if not result.is_optimal:
+                continue
+            x = result.x
+            assert np.all(problem.a_ub @ x <= problem.b_ub + 1e-7)
+            assert np.all(x >= problem.bounds[:, 0] - 1e-9)
+            assert np.all(x <= problem.bounds[:, 1] + 1e-9)
+
+
+class TestValidation:
+    def test_row_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            LinearProgram(
+                c=np.array([1.0]),
+                a_ub=np.array([[1.0]]),
+                b_ub=np.array([1.0, 2.0]),
+                a_eq=np.zeros((0, 1)),
+                b_eq=np.zeros(0),
+                bounds=np.array([[0.0, 1.0]]),
+            )
+
+    def test_inverted_bounds_reported_infeasible(self):
+        result = solve_lp(lp([1.0], bounds=[[3.0, 1.0]]))
+        assert result.status is SimplexStatus.INFEASIBLE

@@ -1,0 +1,275 @@
+"""Tests for the application layer and full-network assembly."""
+
+import pytest
+
+from repro.channel.fading import FadingParameters
+from repro.library.mac_options import MacKind, MacOptions, RoutingKind, RoutingOptions
+from repro.library.radios import CC2650
+from repro.net.app import AppParameters
+from repro.net.network import Network, simulate_configuration
+
+QUIET = FadingParameters(sigma_db=0.0, shadow_fraction=0.0)
+
+
+def make_network(
+    placement=(0, 1, 2),
+    routing=RoutingKind.STAR,
+    mac=MacKind.TDMA,
+    tx_dbm=0.0,
+    fading=QUIET,
+    seed=0,
+    **kwargs,
+):
+    return Network(
+        placement=placement,
+        radio_spec=CC2650,
+        tx_mode=CC2650.tx_mode_by_dbm(tx_dbm),
+        mac_options=MacOptions(kind=mac),
+        routing_options=RoutingOptions(kind=routing, coordinator=0, max_hops=2),
+        app_params=AppParameters(),
+        fading_params=fading,
+        seed=seed,
+        **kwargs,
+    )
+
+
+class TestAppParameters:
+    def test_defaults_match_design_example(self):
+        app = AppParameters()
+        assert app.packet_bytes == 100
+        assert app.throughput_pps == 10.0
+        assert app.baseline_mw == 0.1
+        assert app.period_s == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AppParameters(packet_bytes=0)
+        with pytest.raises(ValueError):
+            AppParameters(throughput_pps=0)
+        with pytest.raises(ValueError):
+            AppParameters(baseline_mw=-1)
+
+
+class TestTrafficGeneration:
+    def test_generation_rate(self):
+        network = make_network()
+        outcome = network.run(tsim_s=5.0)
+        for node in network.nodes.values():
+            # phi = 10 pps over 5 s, minus the random initial phase:
+            # between 40 and 50 payloads.
+            assert 40 <= node.app.packets_generated <= 50
+
+    def test_destinations_round_robin(self):
+        network = make_network(placement=(0, 1, 2, 5))
+        network.run(tsim_s=3.0)
+        sent = network.stats.node(1).sent
+        counts = sorted(sent.values())
+        assert set(sent) == {0, 2, 5}
+        assert max(counts) - min(counts) <= 1
+
+    def test_generation_stops_at_horizon(self):
+        network = make_network()
+        outcome = network.run(tsim_s=2.0)
+        expected_max = 2.0 * 10.0 + 1
+        for node in network.nodes.values():
+            assert node.app.packets_generated <= expected_max
+        assert outcome.horizon_s == 2.0
+
+
+class TestCleanChannelDelivery:
+    def test_perfect_pdr_on_strong_links(self):
+        # Chest + both hips at 0 dBm with no fading: nothing can be lost
+        # under TDMA.
+        network = make_network(placement=(0, 1, 2), mac=MacKind.TDMA)
+        outcome = network.run(tsim_s=5.0)
+        assert outcome.pdr == pytest.approx(1.0)
+
+    def test_star_and_mesh_both_deliver_on_clean_channel(self):
+        for routing in (RoutingKind.STAR, RoutingKind.MESH):
+            network = make_network(placement=(0, 1, 2), routing=routing)
+            outcome = network.run(tsim_s=4.0)
+            assert outcome.pdr == pytest.approx(1.0), routing
+
+    def test_csma_near_perfect_on_light_load(self):
+        network = make_network(placement=(0, 1, 2), mac=MacKind.CSMA)
+        outcome = network.run(tsim_s=5.0)
+        assert outcome.pdr > 0.97
+
+
+class TestOutcomeMetrics:
+    def test_star_power_close_to_analytical_model(self):
+        """On a clean channel with full delivery, the simulated power must
+        approach Eq. 5/9's prediction."""
+        placement = (0, 1, 2, 5)
+        network = make_network(placement=placement, mac=MacKind.TDMA)
+        outcome = network.run(tsim_s=10.0)
+        n = len(placement)
+        tpkt = CC2650.packet_airtime_s(100)
+        expected = 0.1 + 10.0 * tpkt * (18.3 + 2 * (n - 1) * 17.7)
+        assert outcome.worst_power_mw == pytest.approx(expected, rel=0.15)
+
+    def test_mesh_power_close_to_analytical_model(self):
+        placement = (0, 1, 2, 5)
+        network = make_network(
+            placement=placement, routing=RoutingKind.MESH, mac=MacKind.TDMA
+        )
+        outcome = network.run(tsim_s=10.0)
+        n = len(placement)
+        nretx = n * n - 4 * n + 5
+        tpkt = CC2650.packet_airtime_s(100)
+        expected = 0.1 + 10.0 * tpkt * nretx * (18.3 + (n - 1) * 17.7)
+        assert outcome.worst_power_mw == pytest.approx(expected, rel=0.15)
+
+    def test_coordinator_excluded_from_lifetime(self):
+        network = make_network(placement=(0, 1, 2))
+        outcome = network.run(tsim_s=5.0)
+        assert 0 not in {
+            loc
+            for loc in outcome.node_powers_mw
+            if outcome.node_powers_mw[loc] == outcome.worst_power_mw
+        } or outcome.worst_power_mw != outcome.node_powers_mw[0]
+
+    def test_mesh_has_no_coordinator_exclusion(self):
+        network = make_network(placement=(0, 1, 2), routing=RoutingKind.MESH)
+        assert network.coordinator_locations == set()
+
+    def test_nlt_consistent_with_power(self):
+        network = make_network()
+        outcome = network.run(tsim_s=5.0)
+        assert outcome.nlt_days == pytest.approx(
+            network.battery.lifetime_days(outcome.worst_power_mw)
+        )
+
+    def test_mesh_burns_more_power_than_star(self):
+        star = make_network(placement=(0, 1, 2, 5)).run(tsim_s=5.0)
+        mesh = make_network(
+            placement=(0, 1, 2, 5), routing=RoutingKind.MESH
+        ).run(tsim_s=5.0)
+        assert mesh.worst_power_mw > star.worst_power_mw
+        assert mesh.nlt_days < star.nlt_days
+
+
+class TestValidation:
+    def test_single_node_rejected(self):
+        with pytest.raises(ValueError, match="at least two"):
+            make_network(placement=(0,))
+
+    def test_star_requires_coordinator_in_placement(self):
+        with pytest.raises(ValueError, match="coordinator"):
+            make_network(placement=(1, 2, 5))
+
+    def test_mesh_without_coordinator_fine(self):
+        network = make_network(placement=(1, 2, 5), routing=RoutingKind.MESH)
+        assert set(network.nodes) == {1, 2, 5}
+
+    def test_zero_horizon_rejected(self):
+        network = make_network()
+        with pytest.raises(ValueError):
+            network.run(tsim_s=0.0)
+
+    def test_duplicate_placement_entries_deduplicated(self):
+        network = make_network(placement=(0, 1, 1, 2))
+        assert network.placement == (0, 1, 2)
+
+
+class TestReplicates:
+    def test_replicates_averaged(self):
+        outcome = simulate_configuration(
+            placement=(0, 1, 2),
+            radio_spec=CC2650,
+            tx_mode=CC2650.tx_mode_by_dbm(0.0),
+            mac_options=MacOptions(kind=MacKind.TDMA),
+            routing_options=RoutingOptions(kind=RoutingKind.STAR, coordinator=0),
+            app_params=AppParameters(),
+            tsim_s=3.0,
+            replicates=3,
+            seed=1,
+        )
+        assert outcome.replicates == 3
+        assert 0.0 <= outcome.pdr <= 1.0
+
+    def test_determinism_same_seed(self):
+        kwargs = dict(
+            placement=(0, 1, 3),
+            radio_spec=CC2650,
+            tx_mode=CC2650.tx_mode_by_dbm(-10.0),
+            mac_options=MacOptions(kind=MacKind.CSMA),
+            routing_options=RoutingOptions(kind=RoutingKind.STAR, coordinator=0),
+            app_params=AppParameters(),
+            tsim_s=3.0,
+            replicates=2,
+            seed=42,
+        )
+        a = simulate_configuration(**kwargs)
+        b = simulate_configuration(**kwargs)
+        assert a.pdr == b.pdr
+        assert a.worst_power_mw == b.worst_power_mw
+
+    def test_different_seeds_differ(self):
+        kwargs = dict(
+            placement=(0, 1, 3),
+            radio_spec=CC2650,
+            tx_mode=CC2650.tx_mode_by_dbm(-10.0),
+            mac_options=MacOptions(kind=MacKind.CSMA),
+            routing_options=RoutingOptions(kind=RoutingKind.STAR, coordinator=0),
+            app_params=AppParameters(),
+            tsim_s=3.0,
+            replicates=1,
+        )
+        a = simulate_configuration(seed=1, **kwargs)
+        b = simulate_configuration(seed=2, **kwargs)
+        assert (a.pdr, a.worst_power_mw) != (b.pdr, b.worst_power_mw)
+
+    def test_replicate_validation(self):
+        with pytest.raises(ValueError):
+            simulate_configuration(
+                placement=(0, 1),
+                radio_spec=CC2650,
+                tx_mode=CC2650.tx_mode_by_dbm(0.0),
+                mac_options=MacOptions(kind=MacKind.TDMA),
+                routing_options=RoutingOptions(
+                    kind=RoutingKind.STAR, coordinator=0
+                ),
+                app_params=AppParameters(),
+                tsim_s=1.0,
+                replicates=0,
+            )
+
+
+class TestLatencyMetric:
+    def test_latency_positive_when_delivering(self):
+        network = make_network(placement=(0, 1, 2), mac=MacKind.TDMA)
+        outcome = network.run(tsim_s=4.0)
+        assert outcome.mean_latency_s > 0.0
+        # One TDMA frame is 3 ms; typical delivery waits less than a few
+        # frames plus the airtime.
+        assert outcome.mean_latency_s < 0.1
+
+    def test_star_relay_latency_exceeds_direct_mesh(self):
+        star = make_network(placement=(0, 1, 2), routing=RoutingKind.STAR,
+                            mac=MacKind.CSMA).run(tsim_s=4.0)
+        assert star.mean_latency_s > 0.0
+
+    def test_tdma_latency_grows_with_frame_length(self):
+        small = make_network(placement=(0, 1, 2), mac=MacKind.TDMA).run(
+            tsim_s=4.0
+        )
+        large = make_network(
+            placement=(0, 1, 2, 5, 6), mac=MacKind.TDMA
+        ).run(tsim_s=4.0)
+        # 5 slots per frame vs 3: average slot wait grows.
+        assert large.mean_latency_s > small.mean_latency_s
+
+    def test_replicate_average_includes_latency(self):
+        outcome = simulate_configuration(
+            placement=(0, 1, 2),
+            radio_spec=CC2650,
+            tx_mode=CC2650.tx_mode_by_dbm(0.0),
+            mac_options=MacOptions(kind=MacKind.TDMA),
+            routing_options=RoutingOptions(kind=RoutingKind.STAR, coordinator=0),
+            app_params=AppParameters(),
+            tsim_s=2.0,
+            replicates=2,
+            seed=3,
+        )
+        assert outcome.mean_latency_s > 0.0

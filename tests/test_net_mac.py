@@ -1,0 +1,193 @@
+"""Tests for the CSMA and TDMA MAC layers."""
+
+import pytest
+
+from repro.channel.fading import FadingParameters
+from repro.channel.link import Channel
+from repro.des.engine import Simulator
+from repro.des.rng import RngStreams
+from repro.library.mac_options import CsmaAccessMode, MacKind, MacOptions
+from repro.library.radios import CC2650
+from repro.net.mac_csma import CsmaMac
+from repro.net.mac_tdma import TdmaMac
+from repro.net.packet import Packet
+from repro.net.radio import Medium, Radio
+from repro.net.stats import NodeStats
+
+AIRTIME = CC2650.packet_airtime_s(100)
+
+
+def build_medium(seed=0):
+    sim = Simulator()
+    channel = Channel(
+        RngStreams(seed=seed),
+        fading_params=FadingParameters(sigma_db=0.0, shadow_fraction=0.0),
+    )
+    return sim, Medium(sim, channel)
+
+
+def make_radio(sim, medium, loc, tx_dbm=0.0):
+    stats = NodeStats(loc)
+    radio = Radio(sim, medium, loc, CC2650, CC2650.tx_mode_by_dbm(tx_dbm), stats)
+    return radio, stats
+
+
+def pkt(origin, seq=0, destination=1):
+    return Packet(
+        origin=origin, seq=seq, destination=destination, length_bytes=100
+    ).originated()
+
+
+class TestCsma:
+    def make_csma(self, sim, medium, loc, **opt_kwargs):
+        radio, stats = make_radio(sim, medium, loc)
+        options = MacOptions(kind=MacKind.CSMA, **opt_kwargs)
+        rng = RngStreams(seed=loc + 10)
+        return CsmaMac(sim, radio, options, stats, rng), stats
+
+    def test_idle_medium_immediate_transmission(self):
+        sim, medium = build_medium()
+        mac, stats = self.make_csma(sim, medium, 0)
+        make_radio(sim, medium, 1)
+        mac.enqueue(pkt(0))
+        sim.run()
+        assert stats.transmissions == 1
+
+    def test_busy_medium_backs_off(self):
+        sim, medium = build_medium()
+        mac0, stats0 = self.make_csma(sim, medium, 0)
+        radio1, _ = make_radio(sim, medium, 1)
+        # Node 1 occupies the medium at t=0; node 0 wants to send at the
+        # same moment (slightly after, within the airtime).
+        sim.schedule(0.0, radio1.transmit, pkt(1, destination=0))
+        sim.schedule(AIRTIME / 2, mac0.enqueue, pkt(0))
+        sim.run()
+        assert stats0.transmissions == 1
+        assert mac0.backoffs >= 1
+
+    def test_queue_drains_in_order(self):
+        sim, medium = build_medium()
+        mac, stats = self.make_csma(sim, medium, 0)
+        receiver, rstats = make_radio(sim, medium, 1)
+        seen = []
+        receiver.on_receive = lambda p, rssi: seen.append(p.seq)
+        for seq in range(5):
+            mac.enqueue(pkt(0, seq=seq))
+        sim.run()
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_buffer_overflow_drops(self):
+        sim, medium = build_medium()
+        mac, stats = self.make_csma(sim, medium, 0, buffer_size=3)
+        make_radio(sim, medium, 1)
+        for seq in range(10):
+            mac.enqueue(pkt(0, seq=seq))
+        # All enqueued at t=0 before any transmission starts: 3 fit.
+        assert stats.buffer_drops == 7
+        sim.run()
+        assert stats.transmissions == 3
+
+    def test_persistent_mode_spins(self):
+        sim, medium = build_medium()
+        mac, stats = self.make_csma(
+            sim, medium, 0, access_mode=CsmaAccessMode.PERSISTENT
+        )
+        radio1, _ = make_radio(sim, medium, 1)
+        sim.schedule(0.0, radio1.transmit, pkt(1, destination=0))
+        sim.schedule(AIRTIME / 2, mac.enqueue, pkt(0))
+        sim.run()
+        assert stats.transmissions == 1
+
+    def test_two_nodes_share_medium_without_loss(self):
+        sim, medium = build_medium()
+        mac0, stats0 = self.make_csma(sim, medium, 0)
+        mac1, stats1 = self.make_csma(sim, medium, 1)
+        sink, sink_stats = make_radio(sim, medium, 2)
+        seen = []
+        sink.on_receive = lambda p, rssi: seen.append(p.origin)
+        # Stagger by half an airtime so the second sender senses the first.
+        sim.schedule(0.0, mac0.enqueue, pkt(0, destination=2))
+        sim.schedule(AIRTIME / 2, mac1.enqueue, pkt(1, destination=2))
+        sim.run()
+        assert sorted(seen) == [0, 1]
+        assert sink_stats.collisions_seen == 0
+
+
+class TestTdma:
+    def make_tdma(self, sim, medium, loc, slot_index, num_slots, **opt_kwargs):
+        radio, stats = make_radio(sim, medium, loc)
+        options = MacOptions(kind=MacKind.TDMA, **opt_kwargs)
+        rng = RngStreams(seed=loc + 20)
+        return (
+            TdmaMac(sim, radio, options, stats, rng, slot_index, num_slots),
+            stats,
+        )
+
+    def test_transmits_only_in_own_slot(self):
+        sim, medium = build_medium()
+        mac, stats = self.make_tdma(sim, medium, 0, slot_index=2, num_slots=4)
+        receiver, _ = make_radio(sim, medium, 1)
+        times = []
+        receiver.on_receive = lambda p, rssi: times.append(sim.now)
+        mac.enqueue(pkt(0))
+        sim.run()
+        # Slot 2 of a 4 x 1 ms frame starts at 2 ms.
+        assert times and times[0] == pytest.approx(2e-3 + AIRTIME)
+
+    def test_next_own_slot_time(self):
+        sim, medium = build_medium()
+        mac, _ = self.make_tdma(sim, medium, 0, slot_index=1, num_slots=3)
+        assert mac.next_own_slot_time(0.0) == pytest.approx(1e-3)
+        assert mac.next_own_slot_time(1e-3) == pytest.approx(1e-3)
+        assert mac.next_own_slot_time(1.1e-3) == pytest.approx(4e-3)
+
+    def test_one_packet_per_slot(self):
+        sim, medium = build_medium()
+        mac, stats = self.make_tdma(sim, medium, 0, slot_index=0, num_slots=2)
+        receiver, _ = make_radio(sim, medium, 1)
+        times = []
+        receiver.on_receive = lambda p, rssi: times.append(sim.now)
+        for seq in range(3):
+            mac.enqueue(pkt(0, seq=seq))
+        sim.run()
+        assert len(times) == 3
+        # Consecutive transmissions are one frame (2 ms) apart.
+        assert times[1] - times[0] == pytest.approx(2e-3)
+        assert times[2] - times[1] == pytest.approx(2e-3)
+
+    def test_no_collisions_between_slotted_nodes(self):
+        sim, medium = build_medium()
+        mac0, stats0 = self.make_tdma(sim, medium, 0, slot_index=0, num_slots=2)
+        mac1, stats1 = self.make_tdma(sim, medium, 1, slot_index=1, num_slots=2)
+        sink, sink_stats = make_radio(sim, medium, 2)
+        seen = []
+        sink.on_receive = lambda p, rssi: seen.append(p.origin)
+        mac0.enqueue(pkt(0, destination=2))
+        mac1.enqueue(pkt(1, destination=2))
+        sim.run()
+        assert sorted(seen) == [0, 1]
+        assert sink_stats.collisions_seen == 0
+
+    def test_oversized_packet_rejected(self):
+        sim, medium = build_medium()
+        mac, _ = self.make_tdma(
+            sim, medium, 0, slot_index=0, num_slots=2, slot_s=0.5e-3
+        )
+        make_radio(sim, medium, 1)
+        mac.enqueue(pkt(0))  # 0.78 ms airtime > 0.5 ms slot
+        with pytest.raises(ValueError, match="exceeds the TDMA slot"):
+            sim.run()
+
+    def test_bad_slot_index_rejected(self):
+        sim, medium = build_medium()
+        radio, stats = make_radio(sim, medium, 0)
+        with pytest.raises(ValueError):
+            TdmaMac(
+                sim,
+                radio,
+                MacOptions(kind=MacKind.TDMA),
+                stats,
+                RngStreams(0),
+                slot_index=5,
+                num_slots=3,
+            )

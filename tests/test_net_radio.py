@@ -1,0 +1,207 @@
+"""Tests for the PHY layer: link budgets, collisions, capture, energy."""
+
+import pytest
+
+from repro.channel.fading import FadingParameters
+from repro.channel.link import Channel
+from repro.des.engine import Simulator
+from repro.des.rng import RngStreams
+from repro.library.radios import CC2650
+from repro.net.packet import Packet
+from repro.net.radio import Medium, Radio
+from repro.net.stats import NodeStats
+
+
+def quiet_channel(seed=0):
+    """Channel with all randomness disabled: reception is decided purely
+    by the mean link budget."""
+    return Channel(
+        RngStreams(seed=seed),
+        fading_params=FadingParameters(sigma_db=0.0, shadow_fraction=0.0),
+    )
+
+
+def build(locations, tx_dbm=0.0, seed=0):
+    sim = Simulator()
+    medium = Medium(sim, quiet_channel(seed))
+    radios = {}
+    stats = {}
+    for loc in locations:
+        stats[loc] = NodeStats(loc)
+        radios[loc] = Radio(
+            sim, medium, loc, CC2650, CC2650.tx_mode_by_dbm(tx_dbm), stats[loc]
+        )
+    return sim, medium, radios, stats
+
+
+def packet(origin=0, seq=0, destination=1):
+    return Packet(origin=origin, seq=seq, destination=destination,
+                  length_bytes=100).originated()
+
+
+class TestReception:
+    def test_strong_link_delivers(self):
+        sim, _medium, radios, stats = build([0, 1])  # chest-hip: strong
+        received = []
+        radios[1].on_receive = lambda p, rssi: received.append((p, rssi))
+        radios[0].transmit(packet())
+        sim.run()
+        assert len(received) == 1
+        assert stats[1].receptions == 1
+        assert stats[0].transmissions == 1
+
+    def test_weak_link_below_sensitivity(self):
+        # chest (0) to ankle (3) at -20 dBm cannot close on average.
+        sim, _medium, radios, stats = build([0, 3], tx_dbm=-20.0)
+        received = []
+        radios[3].on_receive = lambda p, rssi: received.append(p)
+        radios[0].transmit(packet(destination=3))
+        sim.run()
+        assert received == []
+        assert stats[3].below_sensitivity == 1
+        assert stats[3].rx_seconds == 0.0  # receiver never woke up
+
+    def test_broadcast_reaches_all_in_range(self):
+        sim, _medium, radios, stats = build([0, 1, 2])
+        counts = {1: 0, 2: 0}
+
+        def listener(loc):
+            def cb(p, rssi):
+                counts[loc] += 1
+            return cb
+
+        radios[1].on_receive = listener(1)
+        radios[2].on_receive = listener(2)
+        radios[0].transmit(packet())
+        sim.run()
+        assert counts == {1: 1, 2: 1}
+
+    def test_rssi_equals_budget(self):
+        sim, medium, radios, _stats = build([0, 1])
+        seen = []
+        radios[1].on_receive = lambda p, rssi: seen.append(rssi)
+        radios[0].transmit(packet())
+        sim.run()
+        expected = 0.0 - medium.channel.mean_model.mean_path_loss(0, 1)
+        assert seen[0] == pytest.approx(expected)
+
+
+class TestCollisions:
+    def test_overlapping_equal_power_collide(self):
+        # 1 and 2 transmit simultaneously; 0 hears both at similar power
+        # (symmetric hips) -> neither captured.
+        sim, _medium, radios, stats = build([0, 1, 2])
+        got = []
+        radios[0].on_receive = lambda p, rssi: got.append(p)
+        sim.schedule(0.0, radios[1].transmit, packet(origin=1, destination=0))
+        sim.schedule(0.0, radios[2].transmit, packet(origin=2, destination=0))
+        sim.run()
+        assert got == []
+        assert stats[0].collisions_seen == 2
+        # The receiver still burned RX energy on the attempts.
+        assert stats[0].rx_seconds > 0.0
+
+    def test_capture_of_much_stronger_signal(self):
+        # 0 hears 1 (hip, strong) and 3 (ankle, ~20 dB weaker): the strong
+        # one is captured, the weak one lost.
+        sim, _medium, radios, stats = build([0, 1, 3])
+        got = []
+        radios[0].on_receive = lambda p, rssi: got.append(p.origin)
+        sim.schedule(0.0, radios[1].transmit, packet(origin=1, destination=0))
+        sim.schedule(0.0, radios[3].transmit, packet(origin=3, destination=0))
+        sim.run()
+        assert got == [1]
+
+    def test_half_duplex_transmitter_cannot_receive(self):
+        sim, _medium, radios, stats = build([0, 1])
+        got = []
+        radios[0].on_receive = lambda p, rssi: got.append(p)
+        # Both transmit at the same instant: each misses the other.
+        sim.schedule(0.0, radios[0].transmit, packet(origin=0, destination=1))
+        sim.schedule(0.0, radios[1].transmit, packet(origin=1, destination=0))
+        sim.run()
+        assert got == []
+
+    def test_non_overlapping_sequential_ok(self):
+        sim, _medium, radios, _stats = build([0, 1, 2])
+        got = []
+        radios[0].on_receive = lambda p, rssi: got.append(p.origin)
+        airtime = CC2650.packet_airtime_s(100)
+        sim.schedule(0.0, radios[1].transmit, packet(origin=1, destination=0))
+        sim.schedule(
+            airtime * 1.1, radios[2].transmit, packet(origin=2, destination=0)
+        )
+        sim.run()
+        assert sorted(got) == [1, 2]
+
+
+class TestEnergyAccounting:
+    def test_tx_time_accumulates_airtime(self):
+        sim, _medium, radios, stats = build([0, 1])
+        radios[0].transmit(packet())
+        sim.run()
+        assert stats[0].tx_seconds == pytest.approx(CC2650.packet_airtime_s(100))
+
+    def test_rx_time_per_decodable_arrival(self):
+        sim, _medium, radios, stats = build([0, 1])
+        for seq in range(3):
+            sim.schedule(
+                0.01 * seq, radios[0].transmit, packet(seq=seq)
+            )
+        sim.run()
+        assert stats[1].rx_seconds == pytest.approx(
+            3 * CC2650.packet_airtime_s(100)
+        )
+
+
+class TestCarrierSense:
+    def test_busy_during_transmission(self):
+        sim, medium, radios, _stats = build([0, 1])
+        samples = []
+        radios[0].transmit(packet())
+        sim.schedule(
+            CC2650.packet_airtime_s(100) / 2,
+            lambda: samples.append(medium.sensed_busy(1, -100.0)),
+        )
+        sim.schedule(
+            CC2650.packet_airtime_s(100) * 2,
+            lambda: samples.append(medium.sensed_busy(1, -100.0)),
+        )
+        sim.run()
+        assert samples == [True, False]
+
+    def test_own_transmission_reads_busy(self):
+        sim, medium, radios, _stats = build([0, 1])
+        samples = []
+        radios[0].transmit(packet())
+        sim.schedule(
+            1e-4, lambda: samples.append(medium.sensed_busy(0, -100.0))
+        )
+        sim.run()
+        assert samples == [True]
+
+    def test_hidden_terminal_not_sensed(self):
+        # The ankle-to-head link loses >100 dB on average; at -20 dBm the
+        # head cannot sense the ankle's transmission at all — the classic
+        # hidden-terminal precondition.
+        sim, medium, radios, _stats = build([3, 8], tx_dbm=-20.0)
+        samples = []
+        radios[3].transmit(packet(origin=3, destination=8))
+        sim.schedule(
+            1e-4, lambda: samples.append(medium.sensed_busy(8, -97.0))
+        )
+        sim.run()
+        assert samples == [False]
+
+
+class TestGuards:
+    def test_double_transmit_rejected(self):
+        sim, _medium, radios, _stats = build([0, 1])
+        radios[0].transmit(packet())
+        with pytest.raises(RuntimeError, match="already transmitting"):
+            radios[0].transmit(packet(seq=1))
+
+    def test_duplicate_location_rejected(self):
+        sim, medium, radios, stats = build([0, 1])
+        with pytest.raises(ValueError, match="two radios"):
+            Radio(sim, medium, 0, CC2650, CC2650.tx_modes[0], NodeStats(0))

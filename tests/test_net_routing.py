@@ -1,0 +1,213 @@
+"""Tests for star relay and controlled-flooding routing layers."""
+
+from repro.channel.fading import FadingParameters
+from repro.channel.link import Channel
+from repro.des.engine import Simulator
+from repro.des.rng import RngStreams
+from repro.library.mac_options import (
+    MacKind,
+    MacOptions,
+    RoutingKind,
+    RoutingOptions,
+)
+from repro.library.radios import CC2650
+from repro.net.mac_csma import CsmaMac
+from repro.net.packet import Packet
+from repro.net.radio import Medium, Radio
+from repro.net.routing_flood import FloodRouting
+from repro.net.routing_star import StarRouting
+from repro.net.stats import NodeStats
+
+
+def build_network(locations, routing_kind, max_hops=2, coordinator=0, seed=0):
+    """Hand-wired stack (radio+CSMA+routing) on a noiseless channel."""
+    sim = Simulator()
+    channel = Channel(
+        RngStreams(seed=seed),
+        fading_params=FadingParameters(sigma_db=0.0, shadow_fraction=0.0),
+    )
+    medium = Medium(sim, channel)
+    stats, routers, delivered = {}, {}, {loc: [] for loc in locations}
+    for loc in locations:
+        stats[loc] = NodeStats(loc)
+        radio = Radio(
+            sim, medium, loc, CC2650, CC2650.tx_mode_by_dbm(0.0), stats[loc]
+        )
+        mac = CsmaMac(
+            sim,
+            radio,
+            MacOptions(kind=MacKind.CSMA),
+            stats[loc],
+            RngStreams(seed=seed + loc),
+        )
+        options = RoutingOptions(
+            kind=routing_kind, coordinator=coordinator, max_hops=max_hops
+        )
+        if routing_kind is RoutingKind.STAR:
+            router = StarRouting(sim, mac, options, stats[loc],
+                                 RngStreams(seed=seed + loc))
+        else:
+            router = FloodRouting(
+                sim, mac, options, stats[loc], RngStreams(seed=seed + loc)
+            )
+        radio.on_receive = router.on_receive
+
+        def make_sink(loc=loc):
+            def sink(packet, rssi):
+                delivered[loc].append(packet)
+            return sink
+
+        router.deliver_up = make_sink()
+        routers[loc] = router
+    return sim, routers, stats, delivered
+
+
+def fresh_packet(origin, destination, seq=0):
+    return Packet(
+        origin=origin, seq=seq, destination=destination, length_bytes=100
+    )
+
+
+class TestStarRouting:
+    def test_coordinator_relays_once(self):
+        sim, routers, stats, delivered = build_network(
+            [0, 1, 2], RoutingKind.STAR
+        )
+        routers[1].send(fresh_packet(1, 2))
+        sim.run()
+        assert stats[0].relays == 1
+        # Destination hears the original broadcast AND the relay, but the
+        # copies share one uid.
+        uids = {p.uid for p in delivered[2]}
+        assert uids == {(1, 0)}
+        assert len(delivered[2]) == 2  # original + relayed copy
+
+    def test_coordinator_does_not_relay_own_traffic(self):
+        sim, routers, stats, _delivered = build_network(
+            [0, 1, 2], RoutingKind.STAR
+        )
+        routers[0].send(fresh_packet(0, 1))
+        sim.run()
+        assert stats[0].relays == 0
+
+    def test_packet_to_coordinator_not_relayed(self):
+        sim, routers, stats, delivered = build_network(
+            [0, 1, 2], RoutingKind.STAR
+        )
+        routers[1].send(fresh_packet(1, 0))
+        sim.run()
+        assert stats[0].relays == 0
+        assert {p.uid for p in delivered[0]} == {(1, 0)}
+
+    def test_duplicate_uid_relayed_once(self):
+        sim, routers, stats, _delivered = build_network(
+            [0, 1, 2], RoutingKind.STAR
+        )
+        # Same uid submitted twice (e.g. an app-level retransmission).
+        routers[1].send(fresh_packet(1, 2, seq=7))
+        sim.schedule(0.05, routers[1].send, fresh_packet(1, 2, seq=7))
+        sim.run()
+        assert stats[0].relays == 1
+
+    def test_non_coordinator_never_relays(self):
+        sim, routers, stats, _delivered = build_network(
+            [0, 1, 2], RoutingKind.STAR, coordinator=0
+        )
+        routers[2].send(fresh_packet(2, 0))
+        sim.run()
+        assert stats[1].relays == 0
+
+    def test_is_coordinator_flag(self):
+        _sim, routers, _stats, _delivered = build_network(
+            [0, 1], RoutingKind.STAR, coordinator=0
+        )
+        assert routers[0].is_coordinator
+        assert not routers[1].is_coordinator
+
+
+class TestFloodRouting:
+    def test_retx_count_matches_paper_formula(self):
+        """On a fully connected noiseless channel, one payload generates
+        exactly NreTx = N^2 - 4N + 5 transmissions (Sec. 4.1)."""
+        for locations in ([0, 1, 2, 5], [0, 1, 2, 5, 6]):
+            n = len(locations)
+            sim, routers, stats, _delivered = build_network(
+                locations, RoutingKind.MESH, max_hops=2
+            )
+            routers[0].send(fresh_packet(0, locations[-1]))
+            sim.run()
+            total_tx = sum(s.transmissions for s in stats.values())
+            assert total_tx == n * n - 4 * n + 5, f"N={n}"
+
+    def test_destination_never_relays(self):
+        sim, routers, stats, _delivered = build_network(
+            [0, 1, 2, 5], RoutingKind.MESH
+        )
+        routers[0].send(fresh_packet(0, 5))
+        sim.run()
+        assert stats[5].relays == 0
+
+    def test_hop_limit_one_single_relay_ring(self):
+        # N_hops = 1: one relay ring, so N - 1 transmissions in total,
+        # matching RoutingOptions.retx_count on a fully connected channel.
+        sim, routers, stats, _delivered = build_network(
+            [0, 1, 2, 5], RoutingKind.MESH, max_hops=1
+        )
+        routers[0].send(fresh_packet(0, 5))
+        sim.run()
+        total_tx = sum(s.transmissions for s in stats.values())
+        assert total_tx == 3
+
+    def test_no_node_relays_copy_it_already_visited(self):
+        sim, routers, stats, delivered = build_network(
+            [0, 1, 2, 5], RoutingKind.MESH
+        )
+        routers[0].send(fresh_packet(0, 5))
+        sim.run()
+        # Every relayed copy's history must contain the relayer's path
+        # without repetition.
+        for loc, packets in delivered.items():
+            for p in packets:
+                assert len(p.visited) == len(set(p.visited))
+
+    def test_delivery_via_relay_when_direct_link_dead(self):
+        # ankle (3) to head (8) is >100 dB: direct fails even at 0 dBm;
+        # flooding via chest (0) bridges it.
+        sim, routers, stats, delivered = build_network(
+            [0, 3, 8], RoutingKind.MESH
+        )
+        routers[3].send(fresh_packet(3, 8))
+        sim.run()
+        assert {p.uid for p in delivered[8]} == {(3, 0)}
+        relayed = [p for p in delivered[8] if p.hops_used == 1]
+        assert relayed and relayed[0].relayer == 0
+
+    def test_jitter_zero_still_works(self):
+        sim = Simulator()
+        channel = Channel(
+            RngStreams(seed=0),
+            fading_params=FadingParameters(sigma_db=0.0, shadow_fraction=0.0),
+        )
+        medium = Medium(sim, channel)
+        stats = {loc: NodeStats(loc) for loc in (0, 1, 2)}
+        delivered = []
+        for loc in (0, 1, 2):
+            radio = Radio(
+                sim, medium, loc, CC2650, CC2650.tx_mode_by_dbm(0.0), stats[loc]
+            )
+            mac = CsmaMac(
+                sim, radio, MacOptions(kind=MacKind.CSMA), stats[loc],
+                RngStreams(seed=loc),
+            )
+            router = FloodRouting(
+                sim, mac, RoutingOptions(kind=RoutingKind.MESH),
+                stats[loc], RngStreams(seed=loc), jitter_max_s=0.0,
+            )
+            radio.on_receive = router.on_receive
+            if loc == 2:
+                router.deliver_up = lambda p, rssi: delivered.append(p)
+            if loc == 0:
+                sender = router
+        sender.send(fresh_packet(0, 2))
+        sim.run()
+        assert delivered

@@ -1,0 +1,170 @@
+"""Protocol-level integration tests using the structured event trace.
+
+The TraceLog records PHY events (tx start, rx, collision) during a run;
+these tests assert protocol invariants the aggregate counters cannot
+distinguish — e.g. *who* transmitted and in which order — closing the gap
+between unit tests of single layers and the metric-level integration
+tests.
+"""
+
+import pytest
+
+from repro.channel.fading import FadingParameters
+from repro.library.mac_options import MacKind, MacOptions, RoutingKind, RoutingOptions
+from repro.library.radios import CC2650
+from repro.net.app import AppParameters
+from repro.net.network import Network
+
+QUIET = FadingParameters(sigma_db=0.0, shadow_fraction=0.0)
+
+
+def traced_network(routing, mac, placement=(0, 1, 2), tx_dbm=0.0, seed=0):
+    return Network(
+        placement=placement,
+        radio_spec=CC2650,
+        tx_mode=CC2650.tx_mode_by_dbm(tx_dbm),
+        mac_options=MacOptions(kind=mac),
+        routing_options=RoutingOptions(kind=routing, coordinator=0, max_hops=2),
+        app_params=AppParameters(),
+        fading_params=QUIET,
+        seed=seed,
+        trace=True,
+    )
+
+
+class TestTdmaSlotDiscipline:
+    def test_transmissions_start_only_on_own_slots(self):
+        network = traced_network(RoutingKind.STAR, MacKind.TDMA)
+        network.run(tsim_s=2.0)
+        slot_s = network.mac_options.slot_s
+        placement = network.placement
+        frame = len(placement) * slot_s
+        slot_of = {loc: placement.index(loc) for loc in placement}
+        starts = network.trace.by_category("phy_tx_start")
+        assert starts
+        for event in starts:
+            sender = event.payload["sender"]
+            offset = event.time % frame
+            expected = slot_of[sender] * slot_s
+            # Circular distance: float modulo can report an offset of
+            # (frame - epsilon) for a boundary-exact time.
+            distance = min(
+                abs(offset - expected),
+                frame - abs(offset - expected),
+            )
+            assert distance < 1e-9, (
+                f"sender {sender} transmitted at frame offset {offset}"
+            )
+
+    def test_no_phy_collisions_under_tdma(self):
+        network = traced_network(RoutingKind.MESH, MacKind.TDMA,
+                                 placement=(0, 1, 2, 5))
+        network.run(tsim_s=2.0)
+        assert network.trace.count("phy_collision") == 0
+
+
+class TestStarRelayDiscipline:
+    def test_every_noncoordinator_payload_relayed_exactly_once(self):
+        network = traced_network(RoutingKind.STAR, MacKind.TDMA)
+        network.run(tsim_s=2.0)
+        starts = network.trace.by_category("phy_tx_start")
+        # Coordinator transmissions = its own payloads + relays; count
+        # relays via the stats layer and cross-check against the trace.
+        coor_tx = sum(1 for e in starts if e.payload["sender"] == 0)
+        own_payloads = network.nodes[0].app.packets_generated
+        relays = network.stats.node(0).relays
+        assert coor_tx == own_payloads + relays
+        # On a clean channel every non-coordinator payload not addressed
+        # to the coordinator is relayed exactly once.
+        expected_relays = 0
+        for loc in (1, 2):
+            sent = network.stats.node(loc).sent
+            expected_relays += sum(
+                count for dst, count in sent.items() if dst != 0
+            )
+        assert relays == expected_relays
+
+    def test_relay_follows_original_in_time(self):
+        network = traced_network(RoutingKind.STAR, MacKind.TDMA)
+        network.run(tsim_s=1.0)
+        starts = network.trace.by_category("phy_tx_start")
+        # For each packet string containing "1->2", the coordinator's copy
+        # (sender 0) must appear after node 1's original.
+        first_original = None
+        first_relay = None
+        for event in starts:
+            if "1->2" in event.payload["packet"]:
+                if event.payload["sender"] == 1 and first_original is None:
+                    first_original = event.time
+                if event.payload["sender"] == 0 and first_relay is None:
+                    first_relay = event.time
+        assert first_original is not None and first_relay is not None
+        assert first_relay > first_original
+
+
+class TestCsmaSerialization:
+    def test_no_overlapping_transmissions_within_carrier_range(self):
+        """With every node in carrier-sense range on a clean channel,
+        non-persistent CSMA must serialize the medium (collisions possible
+        only within the tiny vulnerable window; at this load none occur
+        for this seed)."""
+        network = traced_network(RoutingKind.STAR, MacKind.CSMA,
+                                 placement=(0, 1, 2), seed=3)
+        network.run(tsim_s=2.0)
+        airtime = CC2650.packet_airtime_s(100)
+        starts = sorted(
+            e.time for e in network.trace.by_category("phy_tx_start")
+        )
+        overlaps = sum(
+            1 for a, b in zip(starts, starts[1:]) if b - a < airtime * 0.999
+        )
+        # Allow the rare vulnerable-window overlap but not systematic ones.
+        assert overlaps <= len(starts) * 0.02
+
+    def test_collision_events_recorded_when_forced(self):
+        """Two hidden-ish senders forced to start simultaneously produce
+        collision records at the common receiver."""
+        from repro.des.rng import RngStreams
+        from repro.channel.link import Channel
+        from repro.net.radio import Medium, Radio
+        from repro.net.packet import Packet
+        from repro.net.stats import NodeStats
+        from repro.des.engine import Simulator
+
+        sim = Simulator()
+        channel = Channel(RngStreams(seed=0), fading_params=QUIET)
+        from repro.des.monitor import TraceLog
+
+        trace = TraceLog(enabled=True)
+        medium = Medium(sim, channel, trace)
+        radios = {}
+        for loc in (0, 1, 2):
+            radios[loc] = Radio(
+                sim, medium, loc, CC2650, CC2650.tx_mode_by_dbm(0.0),
+                NodeStats(loc),
+            )
+        pkt1 = Packet(origin=1, seq=0, destination=0, length_bytes=100).originated()
+        pkt2 = Packet(origin=2, seq=0, destination=0, length_bytes=100).originated()
+        sim.schedule(0.0, radios[1].transmit, pkt1)
+        sim.schedule(0.0, radios[2].transmit, pkt2)
+        sim.run()
+        assert trace.count("phy_collision") >= 1
+
+
+class TestFloodTraceShape:
+    def test_flood_transmission_cascade_ordering(self):
+        """Every relayed copy's transmission must start after the original
+        broadcast of the same payload."""
+        network = traced_network(RoutingKind.MESH, MacKind.CSMA,
+                                 placement=(0, 1, 2, 5), seed=2)
+        network.run(tsim_s=0.5)
+        starts = network.trace.by_category("phy_tx_start")
+        first_seen = {}
+        for event in starts:
+            packet_repr = event.payload["packet"]
+            key = packet_repr.split(" hops=")[0]  # origin->dst seq=k
+            if "hops=0" in packet_repr:
+                first_seen.setdefault(key, event.time)
+            else:
+                assert key in first_seen
+                assert event.time > first_seen[key]

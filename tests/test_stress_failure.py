@@ -1,0 +1,166 @@
+"""Stress and failure-injection tests.
+
+The reproduction must degrade gracefully at the edges a production user
+will hit: saturated channels, near-permanent outage, overflowing MAC
+buffers, and event volumes far beyond the nominal workload.  None of these
+may crash, corrupt the accounting identities, or produce out-of-range
+metrics.
+"""
+
+import pytest
+
+from repro.channel.fading import FadingParameters
+from repro.des.engine import Simulator
+from repro.library.mac_options import MacKind, MacOptions, RoutingKind, RoutingOptions
+from repro.library.radios import CC2650
+from repro.net.app import AppParameters
+from repro.net.network import Network
+
+
+def run_network(
+    fading=None,
+    mac=MacKind.CSMA,
+    routing=RoutingKind.MESH,
+    app=None,
+    placement=(0, 1, 3, 6),
+    buffer_size=32,
+    tsim=5.0,
+    seed=0,
+):
+    network = Network(
+        placement=placement,
+        radio_spec=CC2650,
+        tx_mode=CC2650.tx_mode_by_dbm(0.0),
+        mac_options=MacOptions(kind=mac, buffer_size=buffer_size),
+        routing_options=RoutingOptions(kind=routing, coordinator=0, max_hops=2),
+        app_params=app or AppParameters(),
+        fading_params=fading,
+        seed=seed,
+    )
+    return network, network.run(tsim_s=tsim)
+
+
+class TestChannelBlackout:
+    def test_near_permanent_outage_survives(self):
+        """Half the time every node is 30 dB down: the network barely
+        delivers anything but all metrics stay in range."""
+        blackout = FadingParameters(
+            sigma_db=6.0, shadow_fraction=0.5, shadow_depth_db=30.0
+        )
+        _network, outcome = run_network(fading=blackout)
+        assert 0.0 <= outcome.pdr < 0.9
+        assert outcome.worst_power_mw > 0
+        assert outcome.nlt_days > 0
+
+    def test_outage_reduces_power_not_increases(self):
+        quiet = FadingParameters(sigma_db=0.0, shadow_fraction=0.0)
+        blackout = FadingParameters(
+            sigma_db=0.0, shadow_fraction=0.9, shadow_depth_db=40.0
+        )
+        _n1, clean = run_network(fading=quiet)
+        _n2, dark = run_network(fading=blackout)
+        assert dark.pdr < clean.pdr
+        # Undelivered packets spawn no relays and wake no receivers.
+        assert dark.worst_power_mw < clean.worst_power_mw
+
+
+class TestOverload:
+    def test_traffic_beyond_tdma_capacity_drops_but_survives(self):
+        """A 4-node TDMA frame carries 250 pkt/s per node at 1 ms slots;
+        offering far more must overflow the MAC buffer, not the process."""
+        heavy = AppParameters(throughput_pps=400.0)
+        network, outcome = run_network(
+            mac=MacKind.TDMA, routing=RoutingKind.MESH, app=heavy,
+            buffer_size=8, tsim=2.0,
+        )
+        assert outcome.totals["buffer_drops"] > 0
+        assert 0.0 <= outcome.pdr <= 1.0
+
+    def test_csma_hidden_terminal_collisions_recorded(self):
+        """With zero propagation delay, carrier sensing eliminates the
+        classic vulnerable window; collisions arise from *hidden
+        terminals*.  At -20 dBm the hip and the back cannot sense each
+        other (the hip-back link loses ~86 dB) while both reach the chest,
+        so saturating them must produce collisions at the chest."""
+        # Saturate past the channel capacity so both hidden senders hold
+        # permanent backlogs and transmit back to back (periodic traffic at
+        # moderate load phase-locks and can legitimately avoid overlap).
+        heavy = AppParameters(throughput_pps=600.0)
+        network = Network(
+            placement=(0, 1, 9),
+            radio_spec=CC2650,
+            tx_mode=CC2650.tx_mode_by_dbm(-20.0),
+            mac_options=MacOptions(kind=MacKind.CSMA),
+            routing_options=RoutingOptions(kind=RoutingKind.STAR,
+                                           coordinator=0),
+            app_params=heavy,
+            fading_params=FadingParameters(sigma_db=0.0, shadow_fraction=0.0),
+            seed=0,
+        )
+        outcome = network.run(tsim_s=2.0)
+        assert outcome.totals["collisions_seen"] > 0
+        assert 0.0 <= outcome.pdr <= 1.0
+
+    def test_tiny_buffer_harsher_than_large(self):
+        heavy = AppParameters(throughput_pps=300.0)
+        _n1, small = run_network(
+            mac=MacKind.TDMA, app=heavy, buffer_size=2, tsim=2.0
+        )
+        _n2, large = run_network(
+            mac=MacKind.TDMA, app=heavy, buffer_size=64, tsim=2.0
+        )
+        assert small.totals["buffer_drops"] >= large.totals["buffer_drops"]
+
+
+class TestEngineVolume:
+    def test_hundred_thousand_events(self):
+        sim = Simulator()
+        count = [0]
+
+        def tick(remaining):
+            count[0] += 1
+            if remaining:
+                sim.schedule(1e-4, tick, remaining - 1)
+
+        for lane in range(10):
+            sim.schedule(lane * 1e-5, tick, 9999)
+        sim.run()
+        assert count[0] == 100_000
+        assert sim.events_executed == 100_000
+
+    def test_long_horizon_simulation_metrics_stable(self):
+        """A longer horizon must refine, not distort, the estimators."""
+        quiet = FadingParameters(sigma_db=0.0, shadow_fraction=0.0)
+        _n1, short = run_network(
+            fading=quiet, routing=RoutingKind.STAR, mac=MacKind.TDMA,
+            placement=(0, 1, 2), tsim=2.0,
+        )
+        _n2, long = run_network(
+            fading=quiet, routing=RoutingKind.STAR, mac=MacKind.TDMA,
+            placement=(0, 1, 2), tsim=20.0,
+        )
+        assert long.pdr == pytest.approx(short.pdr, abs=0.02)
+        assert long.worst_power_mw == pytest.approx(
+            short.worst_power_mw, rel=0.10
+        )
+
+
+class TestDegenerateScenarios:
+    def test_two_node_network(self):
+        _network, outcome = run_network(
+            placement=(0, 1), routing=RoutingKind.STAR, mac=MacKind.TDMA
+        )
+        assert outcome.pdr > 0.9  # chest-hip is a strong link
+
+    def test_all_ten_locations(self):
+        _network, outcome = run_network(
+            placement=tuple(range(10)), routing=RoutingKind.MESH,
+            mac=MacKind.TDMA, tsim=2.0,
+        )
+        assert 0.0 <= outcome.pdr <= 1.0
+        assert outcome.totals["transmissions"] > 0
+
+    def test_minimal_throughput(self):
+        slow = AppParameters(throughput_pps=0.5)
+        _network, outcome = run_network(app=slow, tsim=8.0)
+        assert 0.0 <= outcome.pdr <= 1.0

@@ -1,0 +1,138 @@
+"""P1 — microbenchmark of the parallel oracle and the persistent cache.
+
+Times the same small configuration sweep three ways — serial
+(``n_jobs=1``), parallel (``n_jobs=2``), and warm-disk-cache — and writes
+the measurements to ``BENCH_parallel.json`` (repo root, plus a copy under
+``benchmarks/results/``).
+
+Opt-in like every bench (``pytest benchmarks/``): tier-1 never pays for
+this.  The assertions are deliberately about *correctness* (bit-identical
+results, zero warm-cache simulations), not speed: wall-clock speedup
+depends on the core count of the machine, and a single-core box (CI
+containers often are) cannot show one — process fan-out there only adds
+fork/IPC overhead.  The JSON artifact records ``cpu_count`` and an
+explanatory note so the numbers are interpretable either way.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+import pytest
+
+from repro.core.evaluator import SimulationOracle
+from repro.experiments.scenario import make_scenario, make_space
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+ARTIFACT = "BENCH_parallel.json"
+SWEEP_SIZE = 12
+
+
+def _sweep_configs(preset):
+    space = make_space(preset)
+    configs = list(space.feasible_configurations())
+    # Spread the sample across the grid so per-config costs vary the way a
+    # real sweep's do (different node counts / routing schemes).
+    step = max(1, len(configs) // SWEEP_SIZE)
+    return configs[::step][:SWEEP_SIZE]
+
+
+def _timed_sweep(scenario, configs, n_jobs):
+    start = time.perf_counter()
+    with SimulationOracle(scenario, n_jobs=n_jobs) as oracle:
+        records = oracle.evaluate_many(configs)
+        stats = oracle.stats()
+    return records, stats, time.perf_counter() - start
+
+
+@pytest.fixture(scope="module")
+def measurements(preset, tmp_path_factory):
+    configs = _sweep_configs(preset)
+    scenario = make_scenario(preset, seed=0)
+
+    serial_records, serial_stats, serial_wall = _timed_sweep(
+        scenario, configs, n_jobs=1
+    )
+    parallel_records, parallel_stats, parallel_wall = _timed_sweep(
+        scenario, configs, n_jobs=2
+    )
+
+    cache_dir = tmp_path_factory.mktemp("oracle-cache")
+    cached_scenario = make_scenario(preset, seed=0, cache_dir=str(cache_dir))
+    _timed_sweep(cached_scenario, configs, n_jobs=1)  # populate the cache
+    warm_records, warm_stats, warm_wall = _timed_sweep(
+        cached_scenario, configs, n_jobs=1
+    )
+
+    return {
+        "configs": configs,
+        "serial": (serial_records, serial_stats, serial_wall),
+        "parallel": (parallel_records, parallel_stats, parallel_wall),
+        "warm": (warm_records, warm_stats, warm_wall),
+    }
+
+
+def test_bench_parallel(measurements, preset, results_dir):
+    serial_records, serial_stats, serial_wall = measurements["serial"]
+    parallel_records, parallel_stats, parallel_wall = measurements["parallel"]
+    warm_records, warm_stats, warm_wall = measurements["warm"]
+
+    # Correctness first: fan-out and cache replay reproduce serial exactly.
+    for a, b in zip(serial_records, parallel_records):
+        assert a.pdr == b.pdr
+        assert a.power_mw == b.power_mw
+        assert a.nlt_days == b.nlt_days
+    for a, b in zip(serial_records, warm_records):
+        assert a.pdr == b.pdr and a.power_mw == b.power_mw
+    assert warm_stats["simulations_run"] == 0
+    assert warm_stats["cache_hits"] == len(serial_records)
+
+    cpu_count = os.cpu_count() or 1
+    speedup = serial_wall / parallel_wall if parallel_wall > 0 else float("inf")
+    if cpu_count < 2:
+        note = (
+            f"machine has {cpu_count} CPU core(s): two worker processes "
+            "time-slice one core, so process fan-out cannot beat serial "
+            "here (fork/IPC overhead only). Expect >=1.3x with 2 workers "
+            "on a multi-core machine; results are bit-identical either way."
+        )
+    elif speedup >= 1.3:
+        note = "parallel speedup meets the >=1.3x target with 2 workers."
+    else:
+        note = (
+            "speedup below the 1.3x target despite multiple cores — the "
+            "per-configuration simulations of this preset may be too short "
+            "to amortize process fan-out; try REPRO_PRESET=paper."
+        )
+
+    payload = {
+        "benchmark": "parallel_oracle_sweep",
+        "preset": preset,
+        "sweep_configurations": len(serial_records),
+        "cpu_count": cpu_count,
+        "serial_wall_seconds": round(serial_wall, 4),
+        "parallel_wall_seconds": round(parallel_wall, 4),
+        "parallel_n_jobs": 2,
+        "speedup_parallel_vs_serial": round(speedup, 3),
+        "warm_cache_wall_seconds": round(warm_wall, 4),
+        "speedup_warm_cache_vs_serial": round(
+            serial_wall / warm_wall if warm_wall > 0 else float("inf"), 1
+        ),
+        "warm_cache_simulations_run": warm_stats["simulations_run"],
+        "serial_p50_wall_seconds": serial_stats["p50_wall_seconds"],
+        "serial_p95_wall_seconds": serial_stats["p95_wall_seconds"],
+        "bit_identical_serial_vs_parallel": True,
+        "note": note,
+    }
+    text = json.dumps(payload, indent=2)
+    (REPO_ROOT / ARTIFACT).write_text(text + "\n")
+    (results_dir / ARTIFACT).write_text(text + "\n")
+    print(f"\n{text}\n[saved to {REPO_ROOT / ARTIFACT}]")
+
+    # The warm cache must win regardless of core count: replaying JSONL is
+    # orders of magnitude cheaper than event-driven simulation.
+    assert warm_wall < serial_wall
+    # On a multi-core machine the parallel sweep must not lose to serial.
+    if cpu_count >= 2:
+        assert parallel_wall <= serial_wall * 1.05

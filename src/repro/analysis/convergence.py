@@ -40,7 +40,16 @@ class AdaptiveEstimate:
         return (self.mean - self.half_width, self.mean + self.half_width)
 
 
-def _half_width(samples: List[float], confidence: float) -> float:
+def interval_half_width(samples: List[float], confidence: float = 0.95) -> float:
+    """Half-width of the t-distribution confidence interval on the mean.
+
+    Public because the parallel replicate protocol
+    (:mod:`repro.core.parallel`) applies the same stopping rule to sample
+    *prefixes*: the replicate count the sequential procedure selects is the
+    smallest ``n`` with ``interval_half_width(samples[:n]) <= epsilon``,
+    which is how wave-dispatched parallel replication reproduces the serial
+    result bit for bit.
+    """
     n = len(samples)
     if n < 2:
         return math.inf
@@ -96,7 +105,7 @@ def estimate_pdr_with_tolerance(
         samples.append(float(run_replicate(index)))
         if len(samples) < min_replicates:
             continue
-        half = _half_width(samples, confidence)
+        half = interval_half_width(samples, confidence)
         if half <= epsilon:
             return AdaptiveEstimate(
                 mean=sum(samples) / len(samples),
@@ -107,7 +116,7 @@ def estimate_pdr_with_tolerance(
             )
     return AdaptiveEstimate(
         mean=sum(samples) / len(samples),
-        half_width=_half_width(samples, confidence),
+        half_width=interval_half_width(samples, confidence),
         replicates=len(samples),
         converged=False,
         samples=samples,

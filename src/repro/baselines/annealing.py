@@ -78,6 +78,13 @@ class AnnealingResult:
     #: (step, simulations so far, best feasible power so far) trajectory;
     #: used for the time-to-quality comparison against Algorithm 1.
     trajectory: List[Tuple[int, int, float]] = field(default_factory=list)
+    #: Aggregate oracle telemetry at the end of the run.  SA's proposal
+    #: chain is inherently sequential (each move depends on the previous
+    #: energy), so configuration-grain fan-out does not apply — but a
+    #: parallel oracle still accelerates the replicates *within* each
+    #: evaluation, and the cache-hit counters here quantify how often the
+    #: schedule re-proposed an already-simulated point.
+    oracle_stats: Optional[dict] = None
 
     def simulations_to_reach(self, power_mw: float, tolerance: float = 1e-9) -> Optional[int]:
         """Distinct simulations SA needed before first holding a feasible
@@ -220,4 +227,5 @@ class SimulatedAnnealing:
             accepted_moves=accepted,
             wall_seconds=time.perf_counter() - start,
             trajectory=trajectory,
+            oracle_stats=self.oracle.stats(),
         )

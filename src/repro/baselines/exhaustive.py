@@ -47,16 +47,29 @@ class ExhaustiveSearch:
         self.oracle = oracle or SimulationOracle(problem.scenario)
 
     def search(self, limit: Optional[int] = None) -> ExhaustiveResult:
-        """Sweep the feasible space (optionally capped for smoke tests)."""
+        """Sweep the feasible space (optionally capped for smoke tests).
+
+        Configurations are fed to the oracle in deterministic grid order
+        but in chunks, so a parallel oracle (``n_jobs > 1``) fans each
+        chunk out across its worker pool; with a serial oracle the
+        chunking is a no-op and evaluation order is unchanged.
+        """
         start = time.perf_counter()
         sims_before = self.oracle.simulations_run
         evaluations: List[EvaluationRecord] = []
+        chunk_size = max(1, 4 * self.oracle.n_jobs)
+        chunk: List = []
         for index, config in enumerate(
             self.problem.space.feasible_configurations()
         ):
             if limit is not None and index >= limit:
                 break
-            evaluations.append(self.oracle.evaluate(config))
+            chunk.append(config)
+            if len(chunk) >= chunk_size:
+                evaluations.extend(self.oracle.evaluate_many(chunk))
+                chunk = []
+        if chunk:
+            evaluations.extend(self.oracle.evaluate_many(chunk))
         best = self._pick_best(evaluations)
         return ExhaustiveResult(
             pdr_min=self.problem.pdr_min,

@@ -53,12 +53,16 @@ class RandomSearch:
             raise ValueError("need at least one sample")
         start = time.perf_counter()
         sims_before = self.oracle.simulations_run
-        evaluations: List[EvaluationRecord] = []
+        # Draw the whole sample first (identical RNG consumption to the
+        # old one-at-a-time loop), then evaluate as one batch so a
+        # parallel oracle fans the distinct draws out across its pool.
+        draws = [
+            self._grid[int(self.rng.integers(0, len(self._grid)))]
+            for _ in range(samples)
+        ]
+        evaluations: List[EvaluationRecord] = self.oracle.evaluate_many(draws)
         best: Optional[EvaluationRecord] = None
-        for _ in range(samples):
-            config = self._grid[int(self.rng.integers(0, len(self._grid)))]
-            record = self.oracle.evaluate(config)
-            evaluations.append(record)
+        for record in evaluations:
             if record.pdr >= self.problem.pdr_min and (
                 best is None or record.power_mw < best.power_mw
             ):

@@ -27,6 +27,19 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="measurement protocol (paper = Tsim 600 s x 3 runs)",
     )
     parser.add_argument("--seed", type=int, default=0, help="root random seed")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the simulation oracle "
+        "(1 = serial, 0 = all cores; results are bit-identical)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory of the persistent simulation-result cache "
+        "(shared across experiments; reruns become near-free)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -105,7 +118,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.experiments.scenario import get_preset, make_problem
 
         pdr_min = args.pdr_min / 100.0 if args.pdr_min > 1 else args.pdr_min
-        problem = make_problem(pdr_min, args.preset, seed=args.seed)
+        problem = make_problem(
+            pdr_min, args.preset, seed=args.seed,
+            n_jobs=args.jobs, cache_dir=args.cache_dir,
+        )
         preset = get_preset(args.preset)
         explorer = HumanIntranetExplorer(
             problem, candidate_cap=preset.candidate_cap
@@ -117,31 +133,52 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"  iteration {record.index}: analytic P={record.analytic_power_mw:.3f} mW, "
                 f"{record.num_candidates} candidates, {len(record.feasible)} feasible"
             )
+        print(explorer.oracle.format_stats())
+        explorer.oracle.close()
         return 0 if result.found else 1
 
     if args.command == "figure3":
         from repro.experiments.figure3 import format_figure3, run_figure3
 
-        print(format_figure3(run_figure3(args.preset, seed=args.seed)))
+        print(
+            format_figure3(
+                run_figure3(
+                    args.preset, seed=args.seed,
+                    n_jobs=args.jobs, cache_dir=args.cache_dir,
+                )
+            )
+        )
         return 0
 
     if args.command == "reduction":
         from repro.experiments.reduction import format_reduction, run_reduction
 
-        print(format_reduction(run_reduction(args.preset, seed=args.seed)))
+        print(
+            format_reduction(
+                run_reduction(
+                    args.preset, seed=args.seed,
+                    n_jobs=args.jobs, cache_dir=args.cache_dir,
+                )
+            )
+        )
         return 0
 
     if args.command == "dual":
         from repro.core.explorer import HumanIntranetExplorer
         from repro.experiments.scenario import get_preset, make_problem
 
-        problem = make_problem(0.5, args.preset, seed=args.seed)
+        problem = make_problem(
+            0.5, args.preset, seed=args.seed,
+            n_jobs=args.jobs, cache_dir=args.cache_dir,
+        )
         preset = get_preset(args.preset)
         explorer = HumanIntranetExplorer(
             problem, candidate_cap=preset.candidate_cap
         )
         result = explorer.explore_max_reliability(args.min_lifetime_days)
         print(result.summary())
+        print(explorer.oracle.format_stats())
+        explorer.oracle.close()
         return 0 if result.found else 1
 
     if args.command == "extensions":
@@ -161,7 +198,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             run_posture_sensitivity(args.preset, seed=args.seed)))
         print()
         print(format_dual_staircase(
-            run_dual_staircase(args.preset, seed=args.seed)))
+            run_dual_staircase(
+                args.preset, seed=args.seed,
+                n_jobs=args.jobs, cache_dir=args.cache_dir,
+            )))
         return 0
 
     if args.command == "annealing":
@@ -173,7 +213,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             format_annealing_comparison(
                 run_annealing_comparison(
-                    args.preset, seed=args.seed, sa_steps=args.sa_steps
+                    args.preset, seed=args.seed, sa_steps=args.sa_steps,
+                    n_jobs=args.jobs, cache_dir=args.cache_dir,
                 )
             )
         )

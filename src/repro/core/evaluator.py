@@ -1,31 +1,42 @@
 """RunSim: the simulation oracle of Algorithm 1 (line 7).
 
-Wraps :func:`repro.net.network.simulate_configuration` with:
+Wraps the simulation entry points of :mod:`repro.net.network` with:
 
 * translation from a :class:`repro.core.design_space.Configuration` to the
   concrete component stack of the scenario;
-* replicate averaging per the paper's protocol (3 × 600 s);
-* memoization — Algorithm 1 and the baseline optimizers may revisit
-  configurations (simulated annealing in particular re-proposes points);
-  the paper's efficiency metric is *distinct* simulations, which the cache
-  both enforces and counts;
-* a complete evaluation journal for the experiment reports.
+* replicate averaging per the paper's protocol (3 × 600 s), both
+  fixed-count and adaptive ε-bounded;
+* parallel fan-out (:mod:`repro.core.parallel`) at two grain levels —
+  whole configurations in :meth:`SimulationOracle.evaluate_many` and
+  individual replicates inside one :meth:`SimulationOracle.evaluate` —
+  bit-identical to serial execution by construction (disjoint RNG streams
+  per replicate, index-order aggregation);
+* two-tier memoization — an in-memory journal plus an optional persistent
+  :class:`repro.core.result_cache.ResultCache` that survives process
+  restarts and is shared across experiments.  Algorithm 1 and the baseline
+  optimizers may revisit configurations (simulated annealing in particular
+  re-proposes points); the paper's efficiency metric is *distinct*
+  simulations, which the cache both enforces and counts;
+* aggregate telemetry (:meth:`SimulationOracle.stats`) for experiment
+  summaries.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.design_space import Configuration
-from repro.core.problem import ScenarioParameters
-from repro.net.network import (
-    SimulationOutcome,
-    average_outcomes,
-    simulate_configuration,
-    simulate_replicate,
+from repro.core.parallel import (
+    WorkerPool,
+    evaluate_configuration_task,
+    resolve_jobs,
+    run_configuration_outcome,
 )
+from repro.core.problem import ScenarioParameters
+from repro.core.result_cache import ResultCache, scenario_fingerprint
+from repro.net.network import SimulationOutcome
 
 
 @dataclass(frozen=True)
@@ -45,43 +56,104 @@ class EvaluationRecord:
 
 
 class SimulationOracle:
-    """Caching simulation evaluator bound to one scenario."""
+    """Caching simulation evaluator bound to one scenario.
 
-    def __init__(self, scenario: ScenarioParameters) -> None:
+    Parameters
+    ----------
+    scenario:
+        The fixed scenario (χ constants, measurement protocol, seed).
+    n_jobs:
+        Worker processes for parallel fan-out.  ``None`` defers to
+        ``scenario.n_jobs``; ``1`` is the serial in-process path (no pool
+        is ever created); ``0``/negative follow the joblib convention
+        (all cores / all-but-k).  Results are bit-identical for every
+        value — see DESIGN.md §5.
+    cache_dir:
+        Directory for the persistent result cache.  ``None`` defers to
+        ``scenario.cache_dir``; when both are ``None`` the oracle is
+        memory-only, preserving the historical behaviour.
+
+    Insertion-order contract: :attr:`all_records` lists distinct
+    evaluations in *first-request order* — the order in which this oracle
+    instance was first asked to evaluate each configuration.  Cache hits
+    (memory or disk) never reorder the journal, and a warm disk cache
+    never injects configurations that were not requested, so the Fig. 3
+    scatter is stable across cache temperatures and ``n_jobs`` settings.
+    """
+
+    def __init__(
+        self,
+        scenario: ScenarioParameters,
+        n_jobs: Optional[int] = None,
+        cache_dir: Optional[str] = None,
+    ) -> None:
         self.scenario = scenario
+        requested = n_jobs if n_jobs is not None else getattr(scenario, "n_jobs", 1)
+        self.n_jobs = resolve_jobs(requested)
+        self._pool = WorkerPool(self.n_jobs)
+        #: first-request-ordered journal of distinct evaluations.
         self._cache: Dict[Tuple, EvaluationRecord] = {}
+        directory = cache_dir if cache_dir is not None else getattr(
+            scenario, "cache_dir", None
+        )
+        self._disk: Optional[ResultCache] = None
+        if directory is not None:
+            self._disk = ResultCache(directory, scenario_fingerprint(scenario))
         self.simulations_run = 0
         self.cache_hits = 0
+        self.disk_hits = 0
         self.total_wall_seconds = 0.0
+        #: Oracle-side elapsed time spent producing new results; with
+        #: parallel fan-out this is smaller than ``total_wall_seconds``
+        #: (the sum of per-evaluation worker walls), and their ratio is
+        #: the measured speedup vs. serial execution.
+        self.elapsed_seconds = 0.0
+        self._wall_samples: List[float] = []
 
-    def evaluate(self, config: Configuration) -> EvaluationRecord:
-        """Simulate a configuration (or return the cached record)."""
-        key = config.key()
+    # -- cache plumbing ----------------------------------------------------------
+
+    def _lookup(self, key: Tuple) -> Optional[EvaluationRecord]:
+        """Memory-then-disk lookup; counts hits and promotes disk records
+        into the journal (at first-request position)."""
         record = self._cache.get(key)
         if record is not None:
             self.cache_hits += 1
             return record
+        if self._disk is not None:
+            record = self._disk.get(key)
+            if record is not None:
+                self.cache_hits += 1
+                self.disk_hits += 1
+                self._cache[key] = record
+                return record
+        return None
 
-        scenario = self.scenario
+    def _store(self, record: EvaluationRecord) -> None:
+        self._cache[record.config.key()] = record
+        self.simulations_run += 1
+        self.total_wall_seconds += record.wall_seconds
+        self._wall_samples.append(record.wall_seconds)
+        if self._disk is not None:
+            self._disk.put(record)
+
+    # -- evaluation --------------------------------------------------------------
+
+    def evaluate(self, config: Configuration) -> EvaluationRecord:
+        """Simulate a configuration (or return the cached record).
+
+        With ``n_jobs > 1`` the replicates of this single evaluation are
+        fanned out across the pool (waves for the adaptive protocol) and
+        aggregated in replicate-index order.
+        """
+        record = self._lookup(config.key())
+        if record is not None:
+            return record
+
         start = time.perf_counter()
-        if scenario.adaptive_replicates:
-            outcome = self._evaluate_adaptive(config)
-        else:
-            outcome = simulate_configuration(
-                placement=config.placement,
-                radio_spec=scenario.radio,
-                tx_mode=scenario.tx_mode(config.tx_dbm),
-                mac_options=scenario.mac_options(config.mac),
-                routing_options=scenario.routing_options(config.routing),
-                app_params=scenario.app,
-                tsim_s=scenario.tsim_s,
-                replicates=scenario.replicates,
-                seed=scenario.seed,
-                battery=scenario.battery,
-                body=scenario.body,
-                pathloss_params=scenario.pathloss,
-                fading_params=scenario.fading,
-            )
+        map_fn = self._pool.map_ordered if self._pool.parallel else None
+        outcome = run_configuration_outcome(
+            self.scenario, config, map_fn=map_fn, wave=self.n_jobs
+        )
         wall = time.perf_counter() - start
         record = EvaluationRecord(
             config=config,
@@ -91,61 +163,155 @@ class SimulationOracle:
             wall_seconds=wall,
             outcome=outcome,
         )
-        self._cache[key] = record
-        self.simulations_run += 1
-        self.total_wall_seconds += wall
+        self.elapsed_seconds += wall
+        self._store(record)
         return record
 
-    def _evaluate_adaptive(self, config: Configuration) -> SimulationOutcome:
-        """The paper's epsilon-bounded protocol: replicate until the PDR
-        confidence interval is narrower than the scenario tolerance."""
-        from repro.analysis.convergence import estimate_pdr_with_tolerance
+    def evaluate_many(
+        self, configs: Sequence[Configuration]
+    ) -> List[EvaluationRecord]:
+        """RunSim over a candidate set, preserving order.
 
-        scenario = self.scenario
-        outcomes: List[SimulationOutcome] = []
+        With ``n_jobs > 1``, uncached configurations are evaluated
+        concurrently at configuration grain (each worker runs its full
+        replicate protocol in-process).  Hit accounting, journal insertion
+        order, and results are identical to the serial loop.
+        """
+        configs = list(configs)
+        if not self._pool.parallel or len(configs) < 2:
+            return [self.evaluate(c) for c in configs]
 
-        def one_replicate(index: int) -> float:
-            outcome = simulate_replicate(
-                placement=config.placement,
-                radio_spec=scenario.radio,
-                tx_mode=scenario.tx_mode(config.tx_dbm),
-                mac_options=scenario.mac_options(config.mac),
-                routing_options=scenario.routing_options(config.routing),
-                app_params=scenario.app,
-                tsim_s=scenario.tsim_s,
-                replicate=index,
-                seed=scenario.seed,
-                battery=scenario.battery,
-                body=scenario.body,
-                pathloss_params=scenario.pathloss,
-                fading_params=scenario.fading,
+        pending: List[Configuration] = []
+        pending_keys = set()
+        for config in configs:
+            key = config.key()
+            if key in pending_keys:
+                # Duplicate of a miss in this batch: the serial loop would
+                # simulate the first occurrence and hit memory here.
+                self.cache_hits += 1
+                continue
+            if self._lookup(key) is None:
+                pending_keys.add(key)
+                pending.append(config)
+
+        if pending:
+            start = time.perf_counter()
+            results = self._pool.map_ordered(
+                evaluate_configuration_task,
+                [(self.scenario, c) for c in pending],
             )
-            outcomes.append(outcome)
-            return outcome.pdr
+            self.elapsed_seconds += time.perf_counter() - start
+            for config, (outcome, wall) in zip(pending, results):
+                self._store(
+                    EvaluationRecord(
+                        config=config,
+                        pdr=outcome.pdr,
+                        power_mw=outcome.worst_power_mw,
+                        nlt_days=outcome.nlt_days,
+                        wall_seconds=wall,
+                        outcome=outcome,
+                    )
+                )
+        return [self._cache[c.key()] for c in configs]
 
-        estimate_pdr_with_tolerance(
-            one_replicate,
-            epsilon=scenario.pdr_epsilon,
-            min_replicates=max(2, scenario.replicates),
-            max_replicates=max(scenario.max_replicates, scenario.replicates),
-        )
-        return average_outcomes(outcomes, scenario.battery)
-
-    def evaluate_many(self, configs: List[Configuration]) -> List[EvaluationRecord]:
-        """RunSim over a candidate set, preserving order."""
-        return [self.evaluate(c) for c in configs]
+    # -- journal & telemetry -----------------------------------------------------
 
     @property
     def all_records(self) -> List[EvaluationRecord]:
-        """Every distinct configuration evaluated so far (insertion order) —
-        the scatter data behind the paper's Fig. 3."""
+        """Every distinct configuration evaluated so far, in first-request
+        order (see the class docstring) — the scatter data behind the
+        paper's Fig. 3."""
         return list(self._cache.values())
 
     def record_for(self, config: Configuration) -> Optional[EvaluationRecord]:
         return self._cache.get(config.key())
 
+    def stats(self) -> Dict[str, float]:
+        """Aggregate oracle telemetry for experiment summaries."""
+        lookups = self.simulations_run + self.cache_hits
+        walls = sorted(self._wall_samples)
+
+        def percentile(q: float) -> float:
+            if not walls:
+                return 0.0
+            return walls[min(len(walls) - 1, int(q * len(walls)))]
+
+        return {
+            "simulations_run": self.simulations_run,
+            "cache_hits": self.cache_hits,
+            "disk_hits": self.disk_hits,
+            "hit_rate": self.cache_hits / lookups if lookups else 0.0,
+            "total_wall_seconds": self.total_wall_seconds,
+            "elapsed_seconds": self.elapsed_seconds,
+            "p50_wall_seconds": percentile(0.50),
+            "p95_wall_seconds": percentile(0.95),
+            "speedup_vs_serial_estimate": (
+                self.total_wall_seconds / self.elapsed_seconds
+                if self.elapsed_seconds > 0
+                else 1.0
+            ),
+            "n_jobs": self.n_jobs,
+        }
+
+    def format_stats(self) -> str:
+        """One-line telemetry summary for experiment reports."""
+        s = self.stats()
+        return (
+            f"oracle: {s['simulations_run']} simulations, "
+            f"{s['cache_hits']} cache hits "
+            f"({100.0 * s['hit_rate']:.1f}% hit rate, "
+            f"{s['disk_hits']} from disk), "
+            f"wall p50={s['p50_wall_seconds']:.3f}s "
+            f"p95={s['p95_wall_seconds']:.3f}s, "
+            f"n_jobs={s['n_jobs']}, "
+            f"est. speedup {s['speedup_vs_serial_estimate']:.2f}x"
+        )
+
+    # -- persistent-cache hooks --------------------------------------------------
+
+    @property
+    def disk_cache(self) -> Optional[ResultCache]:
+        return self._disk
+
+    def attach_cache(self, cache_dir: str) -> None:
+        """Attach (or switch) the persistent cache and persist any
+        in-memory records the new store does not have yet."""
+        self._disk = ResultCache(
+            cache_dir, scenario_fingerprint(self.scenario)
+        )
+        self.save_cache()
+
+    def save_cache(self) -> None:
+        """Persist every in-memory record to the disk cache (no-op when
+        memory-only; ``put`` deduplicates)."""
+        if self._disk is None:
+            return
+        for record in self._cache.values():
+            self._disk.put(record)
+
+    def invalidate_cache(self) -> None:
+        """Drop all cached results — memory journal and disk store."""
+        self._cache.clear()
+        if self._disk is not None:
+            self._disk.invalidate()
+
+    # -- lifecycle ---------------------------------------------------------------
+
     def reset_counters(self) -> None:
         """Zero the run counters without discarding cached results."""
         self.simulations_run = 0
         self.cache_hits = 0
+        self.disk_hits = 0
         self.total_wall_seconds = 0.0
+        self.elapsed_seconds = 0.0
+        self._wall_samples.clear()
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        self._pool.shutdown()
+
+    def __enter__(self) -> "SimulationOracle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

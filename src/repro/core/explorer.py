@@ -68,6 +68,9 @@ class ExplorationResult:
     simulations_run: int = 0
     milp_solves: int = 0
     wall_seconds: float = 0.0
+    #: Aggregate oracle telemetry (cache hit rate, wall-time percentiles,
+    #: parallel speedup estimate) captured when the run finished.
+    oracle_stats: Optional[dict] = None
 
     @property
     def found(self) -> bool:
@@ -110,6 +113,7 @@ class ExplorationResult:
             "simulations_run": self.simulations_run,
             "milp_solves": self.milp_solves,
             "wall_seconds": self.wall_seconds,
+            "oracle_stats": self.oracle_stats,
             "best": _record(self.best) if self.best else None,
             "iterations": [
                 {
@@ -265,6 +269,7 @@ class HumanIntranetExplorer:
             simulations_run=self.oracle.simulations_run - sims_before,
             milp_solves=milp_solves,
             wall_seconds=wall,
+            oracle_stats=self.oracle.stats(),
         )
 
     # -- convenience ------------------------------------------------------------

@@ -1,0 +1,242 @@
+"""Worker-pool execution layer for the simulation oracle.
+
+The oracle fans out at two grain levels:
+
+* **whole configurations** — ``SimulationOracle.evaluate_many`` ships one
+  :func:`evaluate_configuration_task` per uncached candidate to the pool
+  (Algorithm 1 evaluates candidate *sets* per iteration, and the
+  exhaustive/random baselines batch naturally);
+* **replicates within one configuration** — both the fixed-count protocol
+  (:func:`run_fixed_replicates`) and the adaptive ε-bounded protocol
+  (:func:`run_adaptive_replicates`) dispatch
+  :class:`repro.net.network.ReplicateJob` units and aggregate in
+  replicate-index order.
+
+Determinism argument (see DESIGN.md §5): every replicate draws from
+RNG streams keyed by ``(seed, replicate, stream-name)`` — disjoint by
+construction — so a replicate's outcome is a pure function of its job
+description, independent of which process runs it or when.  Aggregation
+always happens in replicate-index order over an index prefix, therefore
+any fan-out schedule produces results bit-for-bit identical to the serial
+path.  For the adaptive protocol the serial stopping rule ("stop at the
+first n ≥ min_replicates whose CI half-width ≤ ε") is re-evaluated on
+sample *prefixes*, so wave dispatch may run a few speculative replicates
+beyond the stopping index but averages exactly the same prefix the serial
+loop would.
+
+``n_jobs=1`` never creates a pool: every code path below degrades to the
+plain in-process loop with zero behavioural change.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.design_space import Configuration
+from repro.core.problem import ScenarioParameters
+from repro.net.network import (
+    ReplicateJob,
+    SimulationOutcome,
+    average_outcomes,
+    run_replicate_job,
+)
+
+#: Confidence level of the adaptive protocol's stopping interval; matches
+#: the default of ``estimate_pdr_with_tolerance``.
+ADAPTIVE_CONFIDENCE = 0.95
+
+
+def resolve_jobs(n_jobs: Optional[int]) -> int:
+    """Normalize an ``n_jobs`` request to a concrete worker count.
+
+    ``None`` or ``1`` → serial; ``0`` → all cores; negative values follow
+    the joblib convention (``-1`` = all cores, ``-2`` = all but one, …).
+    """
+    cores = os.cpu_count() or 1
+    if n_jobs is None:
+        return 1
+    n_jobs = int(n_jobs)
+    if n_jobs == 0:
+        return max(1, cores)
+    if n_jobs < 0:
+        return max(1, cores + 1 + n_jobs)
+    return n_jobs
+
+
+class WorkerPool:
+    """A lazily created, reusable ``ProcessPoolExecutor`` wrapper.
+
+    With ``n_jobs=1`` (the default everywhere) no processes are ever
+    forked and :meth:`map_ordered` is a plain list comprehension.  The
+    executor is created on first parallel use and reused across calls so
+    repeated ``evaluate_many`` batches amortize worker startup.
+    """
+
+    def __init__(self, n_jobs: int = 1) -> None:
+        self.n_jobs = resolve_jobs(n_jobs)
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    @property
+    def parallel(self) -> bool:
+        return self.n_jobs > 1
+
+    def map_ordered(self, fn: Callable, tasks: Sequence) -> List:
+        """Apply ``fn`` to each task, returning results in task order."""
+        tasks = list(tasks)
+        if not self.parallel or len(tasks) <= 1:
+            return [fn(task) for task in tasks]
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.n_jobs)
+        return list(self._executor.map(fn, tasks))
+
+    def shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+def replicate_job(
+    scenario: ScenarioParameters, config: Configuration, index: int
+) -> ReplicateJob:
+    """Translate (scenario, configuration, replicate index) into the
+    picklable work unit the pool executes."""
+    return ReplicateJob(
+        placement=config.placement,
+        radio_spec=scenario.radio,
+        tx_mode=scenario.tx_mode(config.tx_dbm),
+        mac_options=scenario.mac_options(config.mac),
+        routing_options=scenario.routing_options(config.routing),
+        app_params=scenario.app,
+        tsim_s=scenario.tsim_s,
+        replicate=index,
+        seed=scenario.seed,
+        battery=scenario.battery,
+        body=scenario.body,
+        pathloss_params=scenario.pathloss,
+        fading_params=scenario.fading,
+    )
+
+
+def _serial_map(fn: Callable, tasks: Sequence) -> List:
+    return [fn(task) for task in tasks]
+
+
+def adaptive_stop_count(
+    pdrs: Sequence[float],
+    epsilon: float,
+    min_replicates: int,
+    confidence: float = ADAPTIVE_CONFIDENCE,
+) -> Optional[int]:
+    """The replicate count the *serial* sequential procedure would stop at.
+
+    Returns the smallest prefix length ``n`` in
+    ``[min_replicates, len(pdrs)]`` whose confidence-interval half-width is
+    within ``epsilon``, or ``None`` if no prefix converges yet.  Evaluating
+    the rule on prefixes (rather than on whatever set of samples happens to
+    be available) is what keeps parallel wave dispatch bit-identical to
+    serial replication.
+    """
+    # Imported lazily: repro.analysis.__init__ pulls in modules that
+    # depend on repro.core.evaluator, which imports this module.
+    from repro.analysis.convergence import interval_half_width
+
+    samples = [float(p) for p in pdrs]
+    for n in range(min_replicates, len(samples) + 1):
+        if interval_half_width(samples[:n], confidence) <= epsilon:
+            return n
+    return None
+
+
+def run_fixed_replicates(
+    scenario: ScenarioParameters,
+    config: Configuration,
+    map_fn: Optional[Callable] = None,
+) -> SimulationOutcome:
+    """The paper's fixed-count protocol (Tsim × ``scenario.replicates``),
+    with the replicate loop expressed as an order-preserving map."""
+    if scenario.replicates < 1:
+        raise ValueError("need at least one replicate")
+    map_fn = map_fn or _serial_map
+    jobs = [
+        replicate_job(scenario, config, index)
+        for index in range(scenario.replicates)
+    ]
+    outcomes = map_fn(run_replicate_job, jobs)
+    return average_outcomes(outcomes, scenario.battery)
+
+
+def run_adaptive_replicates(
+    scenario: ScenarioParameters,
+    config: Configuration,
+    map_fn: Optional[Callable] = None,
+    wave: int = 1,
+) -> SimulationOutcome:
+    """The ε-bounded protocol (Sec. 2.2) with wave dispatch.
+
+    Replicates are dispatched in waves of ``wave`` (1 reproduces the
+    serial one-at-a-time schedule exactly), collected in replicate-index
+    order, and the serial stopping rule is applied to sample prefixes via
+    :func:`adaptive_stop_count`.  The averaged outcome is always the
+    prefix ``outcomes[:n]`` for the serial stopping count ``n`` — never
+    "whatever finished" — so the result is independent of the fan-out
+    schedule.  Outcomes are returned explicitly by each job (no shared
+    mutable state), which also fixes the call-order dependence the old
+    closure-based accumulator had.
+    """
+    map_fn = map_fn or _serial_map
+    min_replicates = max(2, scenario.replicates)
+    max_replicates = max(scenario.max_replicates, scenario.replicates)
+    wave = max(1, wave)
+
+    outcomes: List[SimulationOutcome] = []
+    next_index = 0
+    while next_index < max_replicates:
+        # The first wave always reaches min_replicates (the rule cannot
+        # stop earlier); afterwards dispatch `wave` replicates at a time.
+        end = min(max_replicates, max(min_replicates, next_index + wave))
+        jobs = [
+            replicate_job(scenario, config, index)
+            for index in range(next_index, end)
+        ]
+        outcomes.extend(map_fn(run_replicate_job, jobs))
+        next_index = end
+        stop = adaptive_stop_count(
+            [o.pdr for o in outcomes], scenario.pdr_epsilon, min_replicates
+        )
+        if stop is not None:
+            return average_outcomes(outcomes[:stop], scenario.battery)
+    return average_outcomes(outcomes, scenario.battery)
+
+
+def run_configuration_outcome(
+    scenario: ScenarioParameters,
+    config: Configuration,
+    map_fn: Optional[Callable] = None,
+    wave: int = 1,
+) -> SimulationOutcome:
+    """Complete one-configuration evaluation under the scenario protocol
+    (fixed or adaptive), optionally replicate-parallel via ``map_fn``."""
+    if scenario.adaptive_replicates:
+        return run_adaptive_replicates(scenario, config, map_fn, wave)
+    return run_fixed_replicates(scenario, config, map_fn)
+
+
+def evaluate_configuration_task(
+    task: Tuple[ScenarioParameters, Configuration],
+) -> Tuple[SimulationOutcome, float]:
+    """Configuration-grain pool task: run the full replicate protocol for
+    one configuration serially *inside* the worker and report the outcome
+    plus the worker-side wall time."""
+    scenario, config = task
+    start = time.perf_counter()
+    outcome = run_configuration_outcome(scenario, config)
+    return outcome, time.perf_counter() - start

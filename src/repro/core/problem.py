@@ -61,6 +61,14 @@ class ScenarioParameters:
     body: BodyModel = STANDARD_BODY
     pathloss: Optional[PathLossParameters] = None
     fading: Optional[FadingParameters] = None
+    #: Execution knobs, not physics: worker processes for the simulation
+    #: oracle's parallel fan-out (1 = serial, 0 = all cores) and the
+    #: directory of the persistent result cache (None = memory-only).
+    #: Both are excluded from the cache fingerprint
+    #: (:func:`repro.core.result_cache.scenario_fingerprint`) because they
+    #: cannot influence simulation results.
+    n_jobs: int = 1
+    cache_dir: Optional[str] = None
 
     def tx_mode(self, tx_dbm: float) -> TxMode:
         """Resolve a design-space TX level to the radio's operating point."""

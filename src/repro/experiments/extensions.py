@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.channel.posture import PostureParameters
 from repro.core.design_space import Configuration
@@ -171,10 +171,13 @@ def run_dual_staircase(
     preset: str = "ci",
     seed: int = 0,
     lifetime_bounds_days: Tuple[float, ...] = (30.0, 15.0, 5.0),
+    n_jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> DualStaircaseData:
     """E3: the reliability-maximizing dual across lifetime budgets."""
     p = get_preset(preset)
-    problem = make_problem(0.5, preset, seed=seed)  # pdr_min unused by dual
+    problem = make_problem(0.5, preset, seed=seed, n_jobs=n_jobs,
+                           cache_dir=cache_dir)  # pdr_min unused by dual
     oracle = SimulationOracle(problem.scenario)
     explorer = HumanIntranetExplorer(
         problem, oracle=oracle, candidate_cap=p.candidate_cap
@@ -184,6 +187,7 @@ def run_dual_staircase(
     for bound in lifetime_bounds_days:
         data.results[bound] = explorer.explore_max_reliability(bound)
     data.wall_seconds = time.perf_counter() - start
+    oracle.close()
     return data
 
 

@@ -42,6 +42,10 @@ class Figure3Data:
     results: Dict[float, ExplorationResult] = field(default_factory=dict)
     total_simulations: int = 0
     wall_seconds: float = 0.0
+    #: Shared-oracle telemetry (cache hit rate across the sweep, wall-time
+    #: percentiles, parallel speedup estimate).
+    oracle_stats: Dict[str, float] = field(default_factory=dict)
+    oracle_stats_line: str = ""
 
     def scatter_series(self) -> List[Tuple[float, float, str]]:
         """(NLT days, PDR %, label) triples, the figure's point cloud."""
@@ -77,17 +81,25 @@ def run_figure3(
     preset: str = "ci",
     seed: int = 0,
     pdr_mins: Optional[Tuple[float, ...]] = None,
+    n_jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> Figure3Data:
-    """Run the Figure 3 experiment under a preset."""
+    """Run the Figure 3 experiment under a preset.
+
+    ``n_jobs`` parallelizes the shared oracle's candidate batches;
+    ``cache_dir`` persists results, making a rerun of the sweep near-free.
+    """
     p = get_preset(preset)
     sweep = pdr_mins if pdr_mins is not None else p.pdr_min_sweep
-    scenario = make_scenario(preset, seed=seed)
+    scenario = make_scenario(preset, seed=seed, n_jobs=n_jobs,
+                             cache_dir=cache_dir)
     oracle = SimulationOracle(scenario)
     data = Figure3Data(preset=preset)
     start = time.perf_counter()
 
     for pdr_min in sweep:
-        problem = make_problem(pdr_min, preset, seed=seed)
+        problem = make_problem(pdr_min, preset, seed=seed, n_jobs=n_jobs,
+                               cache_dir=cache_dir)
         explorer = HumanIntranetExplorer(
             problem, oracle=oracle, candidate_cap=p.candidate_cap
         )
@@ -98,6 +110,9 @@ def run_figure3(
     data.scatter = oracle.all_records
     data.total_simulations = oracle.simulations_run
     data.wall_seconds = time.perf_counter() - start
+    data.oracle_stats = oracle.stats()
+    data.oracle_stats_line = oracle.format_stats()
+    oracle.close()
     return data
 
 
@@ -129,4 +144,6 @@ def format_figure3(data: Figure3Data) -> str:
     from repro.analysis.pareto import front_summary
 
     lines.append(front_summary(data.pareto()))
+    if data.oracle_stats_line:
+        lines.append(data.oracle_stats_line)
     return "\n".join(lines)

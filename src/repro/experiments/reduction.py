@@ -49,6 +49,8 @@ def run_reduction(
     seed: int = 0,
     pdr_mins: Optional[Tuple[float, ...]] = None,
     share_oracle: bool = False,
+    n_jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> ReductionData:
     """Measure Algorithm 1's simulation count against the exhaustive count.
 
@@ -64,9 +66,17 @@ def run_reduction(
     exhaustive_count = make_problem(sweep[0], preset, seed=seed).space.feasible_count()
     data = ReductionData(preset=preset, exhaustive_simulations=exhaustive_count)
 
-    shared = SimulationOracle(make_scenario(preset, seed=seed)) if share_oracle else None
+    shared = (
+        SimulationOracle(
+            make_scenario(preset, seed=seed, n_jobs=n_jobs,
+                          cache_dir=cache_dir)
+        )
+        if share_oracle
+        else None
+    )
     for pdr_min in sweep:
-        problem = make_problem(pdr_min, preset, seed=seed)
+        problem = make_problem(pdr_min, preset, seed=seed, n_jobs=n_jobs,
+                               cache_dir=cache_dir)
         oracle = shared if shared is not None else SimulationOracle(problem.scenario)
         explorer = HumanIntranetExplorer(
             problem, oracle=oracle, candidate_cap=p.candidate_cap
@@ -74,7 +84,11 @@ def run_reduction(
         before = oracle.simulations_run
         explorer.explore()
         data.algorithm_simulations[pdr_min] = oracle.simulations_run - before
+        if shared is None:
+            oracle.close()
 
+    if shared is not None:
+        shared.close()
     data.wall_seconds = time.perf_counter() - start
     return data
 

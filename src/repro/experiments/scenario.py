@@ -70,10 +70,26 @@ def get_preset(preset: str) -> Preset:
         ) from None
 
 
-def make_scenario(preset: str = "ci", seed: int = 0) -> ScenarioParameters:
-    """The Sec. 4.1 scenario under the given measurement preset."""
+def make_scenario(
+    preset: str = "ci",
+    seed: int = 0,
+    n_jobs: int = 1,
+    cache_dir: Optional[str] = None,
+) -> ScenarioParameters:
+    """The Sec. 4.1 scenario under the given measurement preset.
+
+    ``n_jobs`` and ``cache_dir`` are execution knobs threaded through to
+    the simulation oracle (parallel fan-out, persistent result cache);
+    they do not change any simulated result.
+    """
     p = get_preset(preset)
-    return ScenarioParameters(tsim_s=p.tsim_s, replicates=p.replicates, seed=seed)
+    return ScenarioParameters(
+        tsim_s=p.tsim_s,
+        replicates=p.replicates,
+        seed=seed,
+        n_jobs=n_jobs,
+        cache_dir=cache_dir,
+    )
 
 
 def make_space(preset: str = "ci") -> DesignSpace:
@@ -91,11 +107,17 @@ def make_reduced_space(max_nodes: int = 4) -> DesignSpace:
 
 
 def make_problem(
-    pdr_min: float, preset: str = "ci", seed: int = 0
+    pdr_min: float,
+    preset: str = "ci",
+    seed: int = 0,
+    n_jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> DesignProblem:
     """Assemble the full mapping problem P for one PDR bound."""
     return DesignProblem(
         pdr_min=pdr_min,
-        scenario=make_scenario(preset, seed=seed),
+        scenario=make_scenario(
+            preset, seed=seed, n_jobs=n_jobs, cache_dir=cache_dir
+        ),
         space=make_space(preset),
     )

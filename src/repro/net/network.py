@@ -282,6 +282,57 @@ def simulate_replicate(
     return network.run(tsim_s)
 
 
+@dataclass(frozen=True)
+class ReplicateJob:
+    """Picklable description of one replicate simulation.
+
+    This is the unit of work shipped to :class:`ProcessPoolExecutor`
+    workers by :mod:`repro.core.parallel`: every field is a frozen
+    dataclass (or primitive), so the job crosses a process boundary
+    cheaply, and :meth:`run` is a pure function of the job — the same job
+    produces the same :class:`SimulationOutcome` in any process, because
+    all randomness derives from the ``(seed, replicate)`` pair.
+    """
+
+    placement: Sequence[int]
+    radio_spec: RadioSpec
+    tx_mode: TxMode
+    mac_options: MacOptions
+    routing_options: RoutingOptions
+    app_params: AppParameters
+    tsim_s: float
+    replicate: int
+    seed: int = 0
+    battery: BatterySpec = CR2032
+    body: Optional[BodyModel] = None
+    pathloss_params: Optional[PathLossParameters] = None
+    fading_params: Optional[FadingParameters] = None
+    posture_params: Optional[PostureParameters] = None
+
+    def run(self) -> SimulationOutcome:
+        return simulate_replicate(
+            placement=self.placement,
+            radio_spec=self.radio_spec,
+            tx_mode=self.tx_mode,
+            mac_options=self.mac_options,
+            routing_options=self.routing_options,
+            app_params=self.app_params,
+            tsim_s=self.tsim_s,
+            replicate=self.replicate,
+            seed=self.seed,
+            battery=self.battery,
+            body=self.body,
+            pathloss_params=self.pathloss_params,
+            fading_params=self.fading_params,
+            posture_params=self.posture_params,
+        )
+
+
+def run_replicate_job(job: ReplicateJob) -> SimulationOutcome:
+    """Module-level executor entry point (bound methods don't pickle)."""
+    return job.run()
+
+
 def average_outcomes(
     outcomes: Sequence[SimulationOutcome], battery: BatterySpec = CR2032
 ) -> SimulationOutcome:

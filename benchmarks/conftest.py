@@ -18,6 +18,14 @@ import pytest
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def pytest_collection_modifyitems(items):
+    """Everything under benchmarks/ carries the ``bench`` marker, so CI
+    can split fast tests from artifact regeneration with ``-m "not
+    bench"`` without per-file annotations."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 @pytest.fixture(scope="session")
 def preset() -> str:
     return os.environ.get("REPRO_PRESET", "ci")

@@ -9,7 +9,10 @@
   realized as sequential replication with a confidence-interval stopping
   rule;
 * :mod:`repro.analysis.ascii_plot` — terminal rendering of the Figure 3
-  scatter so the benchmark reports show the *figure*, not only its rows.
+  scatter so the benchmark reports show the *figure*, not only its rows;
+* :mod:`repro.analysis.trace_report` — human-readable breakdown of a
+  ``--trace-out`` run trace (explorer trajectory, span time rollup) and
+  the deterministic projection used by the golden-trace test.
 """
 
 from repro.analysis.pareto import ParetoPoint, pareto_front, dominates
@@ -19,6 +22,17 @@ from repro.analysis.convergence import (
 )
 from repro.analysis.ascii_plot import render_scatter
 
+
+def __getattr__(name):
+    # Lazy: keeps `python -m repro.analysis.trace_report` runnable without
+    # runpy's double-import warning.
+    if name in ("explorer_sequence", "summarize"):
+        from repro.analysis import trace_report
+
+        return getattr(trace_report, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "ParetoPoint",
     "pareto_front",
@@ -26,4 +40,6 @@ __all__ = [
     "AdaptiveEstimate",
     "estimate_pdr_with_tolerance",
     "render_scatter",
+    "explorer_sequence",
+    "summarize",
 ]

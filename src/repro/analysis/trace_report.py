@@ -1,0 +1,271 @@
+"""Human-readable breakdown of a ``--trace-out`` JSONL run trace.
+
+Usage::
+
+    python -m repro.analysis.trace_report run.jsonl
+
+The report reconstructs, from the trace alone, what a run did and where
+its wall clock went: the manifest, the explorer's full candidate
+accept/reject trajectory (every ``explorer.*`` milestone), oracle
+activity (simulations vs. cache hits, wall-time percentiles), MILP solve
+statistics (B&B nodes, LP pivots, incumbent updates), DES milestones,
+and a per-span time rollup.
+
+:func:`explorer_sequence` is the *deterministic projection* of a trace:
+the ordered ``explorer.*`` events with all timing/bookkeeping fields
+(``t``, ``seq``, ``span``) stripped.  Two seeded runs of the same
+scenario produce identical projections regardless of ``n_jobs`` or cache
+temperature — the invariant pinned by the golden-trace regression test.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+from repro.obs.tracing import check_span_balance, read_trace
+
+#: Trace bookkeeping fields that vary run-to-run even for identical
+#: behaviour; stripped by the deterministic projection.
+NONDETERMINISTIC_FIELDS = frozenset({"t", "seq", "span"})
+
+#: Event kinds that constitute the explorer's decision trajectory.
+EXPLORER_KINDS_PREFIX = "explorer."
+
+
+def explorer_sequence(events: List[dict]) -> List[dict]:
+    """The deterministic explorer trajectory embedded in a trace."""
+    sequence = []
+    for ev in events:
+        if str(ev.get("kind", "")).startswith(EXPLORER_KINDS_PREFIX):
+            sequence.append(
+                {
+                    k: v
+                    for k, v in ev.items()
+                    if k not in NONDETERMINISTIC_FIELDS
+                }
+            )
+    return sequence
+
+
+def _fmt_seconds(s: float) -> str:
+    if s >= 1.0:
+        return f"{s:.2f}s"
+    return f"{1000.0 * s:.1f}ms"
+
+
+def _quantile(samples: List[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+def _manifest_section(events: List[dict], lines: List[str]) -> None:
+    manifests = [e for e in events if e.get("kind") == "manifest"]
+    if not manifests:
+        return
+    m = manifests[0]
+    lines.append("manifest")
+    for key in sorted(m):
+        if key in NONDETERMINISTIC_FIELDS or key == "kind":
+            continue
+        lines.append(f"  {key}: {m[key]}")
+
+
+def _explorer_section(events: List[dict], lines: List[str]) -> None:
+    sequence = explorer_sequence(events)
+    if not sequence:
+        return
+    lines.append("explorer trajectory")
+    for ev in sequence:
+        kind = ev["kind"]
+        if kind == "explorer.start":
+            lines.append(
+                f"  run: PDRmin={100.0 * ev.get('pdr_min', 0):.2f}%"
+                f"{'  (exhaustive sweep)' if ev.get('exhaustive') else ''}"
+            )
+        elif kind == "explorer.iteration":
+            lines.append(
+                f"  iteration {ev.get('iteration')}: analytic "
+                f"P*={ev.get('p_star_mw', 0):.4f} mW, "
+                f"{ev.get('num_candidates')} candidates"
+            )
+        elif kind == "explorer.candidate":
+            verdict = "accept" if ev.get("accepted") else "reject"
+            lines.append(
+                f"    {verdict:6s} {ev.get('config')}  "
+                f"PDR={100.0 * ev.get('pdr', 0):.2f}%  "
+                f"P={ev.get('power_mw', 0):.4f} mW  ({ev.get('reason')})"
+            )
+        elif kind == "explorer.incumbent":
+            lines.append(
+                f"    incumbent -> {ev.get('config')}  "
+                f"P={ev.get('power_mw', 0):.4f} mW"
+            )
+        elif kind == "explorer.cut":
+            lines.append(
+                f"    cut: P > {ev.get('p_star_mw', 0):.4f} mW added"
+            )
+        elif kind == "explorer.bound":
+            lines.append(
+                f"    alpha bound {ev.get('bound_mw', 0):.4f} mW exceeds "
+                f"incumbent {ev.get('incumbent_power_mw', 0):.4f} mW -> stop"
+            )
+        elif kind == "explorer.done":
+            lines.append(
+                f"  done: {ev.get('status')} ({ev.get('termination')}), "
+                f"best={ev.get('best')}, "
+                f"{ev.get('simulations')} simulations over "
+                f"{ev.get('iterations')} iterations / "
+                f"{ev.get('milp_solves')} MILP solves"
+            )
+        elif kind == "explorer.dual_start":
+            lines.append(
+                f"  dual run: NLT >= {ev.get('min_lifetime_days')} days "
+                f"(P budget {ev.get('max_power_mw', 0):.4f} mW)"
+            )
+        elif kind == "explorer.dual_level":
+            lines.append(
+                f"  dual level P*={ev.get('p_star_mw', 0):.4f} mW, "
+                f"{ev.get('num_candidates')} candidates"
+            )
+        elif kind == "explorer.dual_done":
+            lines.append(
+                f"  dual done: best={ev.get('best')}, "
+                f"{ev.get('within_budget')}/{ev.get('evaluated')} "
+                f"within budget"
+            )
+
+
+def _oracle_section(events: List[dict], lines: List[str]) -> None:
+    evals = [e for e in events if e.get("kind") == "oracle.evaluate"]
+    if not evals:
+        return
+    cached = sum(1 for e in evals if e.get("cached"))
+    simulated = [e for e in evals if not e.get("cached")]
+    walls = [float(e.get("wall_s", 0.0)) for e in simulated]
+    replicates = sum(int(e.get("replicates", 1)) for e in simulated)
+    lines.append("oracle")
+    lines.append(
+        f"  evaluations: {len(evals)} ({len(simulated)} simulated, "
+        f"{cached} cache hits)"
+    )
+    if simulated:
+        lines.append(
+            f"  replicates: {replicates}  wall "
+            f"p50={_fmt_seconds(_quantile(walls, 0.5))} "
+            f"p95={_fmt_seconds(_quantile(walls, 0.95))} "
+            f"total={_fmt_seconds(sum(walls))}"
+        )
+
+
+def _milp_section(events: List[dict], lines: List[str]) -> None:
+    solves = [e for e in events if e.get("kind") == "milp.solve"]
+    if not solves:
+        return
+    nodes = sum(int(e.get("nodes", 0)) for e in solves)
+    pivots = sum(int(e.get("lp_iterations", 0)) for e in solves)
+    updates = sum(int(e.get("incumbent_updates", 0)) for e in solves)
+    lines.append("milp")
+    lines.append(
+        f"  solves: {len(solves)}  B&B nodes: {nodes}  "
+        f"LP pivots: {pivots}  incumbent updates: {updates}"
+    )
+
+
+def _des_section(events: List[dict], lines: List[str]) -> None:
+    runs = [e for e in events if e.get("kind") == "des.run"]
+    teardowns = [e for e in events if e.get("kind") == "des.teardown"]
+    if not runs and not teardowns:
+        return
+    lines.append("des")
+    if runs:
+        total = sum(int(e.get("events", 0)) for e in runs)
+        lines.append(f"  kernel runs: {len(runs)}  events executed: {total}")
+    if teardowns:
+        worst = max(float(e.get("worst_power_mw", 0.0)) for e in teardowns)
+        lines.append(
+            f"  teardowns: {len(teardowns)}  "
+            f"max per-node power observed: {worst:.4f} mW"
+        )
+
+
+def _span_section(events: List[dict], lines: List[str]) -> None:
+    ends = [e for e in events if e.get("kind") == "span_end"]
+    if not ends:
+        return
+    by_name: Dict[str, List[float]] = defaultdict(list)
+    for e in ends:
+        by_name[str(e.get("name"))].append(float(e.get("dur_s", 0.0)))
+    lines.append("spans (where the wall clock went)")
+    width = max(len(n) for n in by_name)
+    for name in sorted(by_name, key=lambda n: -sum(by_name[n])):
+        durs = by_name[name]
+        lines.append(
+            f"  {name:<{width}}  n={len(durs):<4d} "
+            f"total={_fmt_seconds(sum(durs)):>9s}  "
+            f"mean={_fmt_seconds(sum(durs) / len(durs)):>9s}  "
+            f"max={_fmt_seconds(max(durs)):>9s}"
+        )
+
+
+def summarize(events: List[dict]) -> str:
+    """Render the full report for an event list (see module docstring)."""
+    lines: List[str] = []
+    problem = check_span_balance(events)
+    if problem is not None:
+        lines.append(f"WARNING: trace is truncated or corrupt: {problem}")
+    for section in (
+        _manifest_section,
+        _explorer_section,
+        _oracle_section,
+        _milp_section,
+        _des_section,
+        _span_section,
+    ):
+        before = len(lines)
+        section(events, lines)
+        if len(lines) > before:
+            lines.append("")
+    if not lines:
+        return "(empty trace)"
+    return "\n".join(lines).rstrip()
+
+
+def summarize_file(path) -> str:
+    return summarize(read_trace(path))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    json_out = "--json" in argv
+    if json_out:
+        argv.remove("--json")
+    if len(argv) != 1:
+        print(
+            "usage: python -m repro.analysis.trace_report [--json] "
+            "<trace.jsonl>",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        events = read_trace(argv[0])
+    except OSError as exc:
+        print(f"trace_report: cannot read {argv[0]}: {exc}", file=sys.stderr)
+        return 1
+    try:
+        if json_out:
+            print(json.dumps(explorer_sequence(events), indent=1))
+        else:
+            print(summarize(events))
+    except BrokenPipeError:  # e.g. `... | head`
+        sys.stderr.close()  # suppress the interpreter's EPIPE warning
+        return 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

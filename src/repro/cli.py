@@ -40,6 +40,21 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="directory of the persistent simulation-result cache "
         "(shared across experiments; reruns become near-free)",
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write a structured JSONL trace of the run (manifest, "
+        "explorer decisions, oracle/MILP/DES milestones); summarize "
+        "with `python -m repro.analysis.trace_report PATH`",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the run's metrics registry (counters/histograms) "
+        "as JSON on exit",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -95,6 +110,34 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _open_instrumentation(args):
+    """Build the run's observability bundle from the parsed flags."""
+    from repro.obs import Instrumentation, MetricsRegistry, TraceWriter
+
+    tracer = None
+    if getattr(args, "trace_out", None):
+        tracer = TraceWriter(args.trace_out)
+    return Instrumentation(MetricsRegistry(), tracer)
+
+
+def _write_manifest(args, obs) -> None:
+    """First trace line: everything needed to reproduce the run."""
+    if not obs.tracing:
+        return
+    from repro.core.result_cache import scenario_fingerprint
+    from repro.experiments.scenario import make_scenario
+
+    scenario = make_scenario(args.preset, seed=args.seed)
+    obs.manifest(
+        command=args.command,
+        preset=args.preset,
+        seed=args.seed,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        scenario_fingerprint=scenario_fingerprint(scenario),
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -104,6 +147,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(format_table1())
         return 0
 
+    from repro.obs import runtime as obs_runtime
+
+    obs = _open_instrumentation(args)
+    _write_manifest(args, obs)
+    try:
+        with obs_runtime.activate(obs):
+            code = _run_command(args, obs)
+        obs.event("run.exit", code=code)
+        return code
+    finally:
+        if getattr(args, "metrics_out", None):
+            import json
+
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                json.dump(obs.metrics.to_dict(), fh, indent=1, sort_keys=True)
+                fh.write("\n")
+        obs.tracer.close()
+
+
+def _run_command(args, obs) -> int:
     if args.command == "space":
         from repro.experiments.scenario import make_space
 
@@ -124,7 +187,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         preset = get_preset(args.preset)
         explorer = HumanIntranetExplorer(
-            problem, candidate_cap=preset.candidate_cap
+            problem, candidate_cap=preset.candidate_cap, obs=obs
         )
         result = explorer.explore(exhaustive=args.exhaustive)
         print(result.summary())
@@ -173,7 +236,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         preset = get_preset(args.preset)
         explorer = HumanIntranetExplorer(
-            problem, candidate_cap=preset.candidate_cap
+            problem, candidate_cap=preset.candidate_cap, obs=obs
         )
         result = explorer.explore_max_reliability(args.min_lifetime_days)
         print(result.summary())

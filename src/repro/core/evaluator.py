@@ -18,7 +18,9 @@ Wraps the simulation entry points of :mod:`repro.net.network` with:
   re-proposes points); the paper's efficiency metric is *distinct*
   simulations, which the cache both enforces and counts;
 * aggregate telemetry (:meth:`SimulationOracle.stats`) for experiment
-  summaries.
+  summaries, computed from ``oracle.*`` instruments in a
+  :class:`repro.obs.MetricsRegistry`, plus per-evaluation trace
+  milestones when a tracer is attached (``--trace-out``).
 """
 
 from __future__ import annotations
@@ -37,6 +39,8 @@ from repro.core.parallel import (
 from repro.core.problem import ScenarioParameters
 from repro.core.result_cache import ResultCache, scenario_fingerprint
 from repro.net.network import SimulationOutcome
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.runtime import Instrumentation, get_active
 
 
 @dataclass(frozen=True)
@@ -72,6 +76,14 @@ class SimulationOracle:
         Directory for the persistent result cache.  ``None`` defers to
         ``scenario.cache_dir``; when both are ``None`` the oracle is
         memory-only, preserving the historical behaviour.
+    obs:
+        Observability bundle (:class:`repro.obs.Instrumentation`).  All
+        oracle statistics live in its metrics registry (``oracle.*``
+        instruments) and evaluation milestones go to its tracer.  The
+        default is a private registry plus whatever tracer is ambiently
+        active (:func:`repro.obs.get_active`), so ``--trace-out`` reaches
+        oracles created deep inside experiment harnesses while counters
+        stay isolated per oracle.
 
     Insertion-order contract: :attr:`all_records` lists distinct
     evaluations in *first-request order* — the order in which this oracle
@@ -86,6 +98,7 @@ class SimulationOracle:
         scenario: ScenarioParameters,
         n_jobs: Optional[int] = None,
         cache_dir: Optional[str] = None,
+        obs: Optional[Instrumentation] = None,
     ) -> None:
         self.scenario = scenario
         requested = n_jobs if n_jobs is not None else getattr(scenario, "n_jobs", 1)
@@ -99,16 +112,22 @@ class SimulationOracle:
         self._disk: Optional[ResultCache] = None
         if directory is not None:
             self._disk = ResultCache(directory, scenario_fingerprint(scenario))
-        self.simulations_run = 0
-        self.cache_hits = 0
-        self.disk_hits = 0
-        self.total_wall_seconds = 0.0
+        self.obs = obs if obs is not None else Instrumentation(
+            MetricsRegistry(), get_active().tracer
+        )
+        # The oracle's run statistics live in the metrics registry — the
+        # single source of truth behind simulations_run / stats() — with
+        # direct instrument references so the hot path never touches the
+        # registry dict.
+        self._c_sims = self.obs.counter("oracle.simulations")
+        self._c_hits = self.obs.counter("oracle.cache_hits")
+        self._c_disk = self.obs.counter("oracle.disk_hits")
         #: Oracle-side elapsed time spent producing new results; with
-        #: parallel fan-out this is smaller than ``total_wall_seconds``
-        #: (the sum of per-evaluation worker walls), and their ratio is
-        #: the measured speedup vs. serial execution.
-        self.elapsed_seconds = 0.0
-        self._wall_samples: List[float] = []
+        #: parallel fan-out this is smaller than the summed per-evaluation
+        #: worker walls, and their ratio is the measured speedup vs.
+        #: serial execution.
+        self._c_elapsed = self.obs.counter("oracle.elapsed_seconds")
+        self._h_wall = self.obs.histogram("oracle.wall_seconds")
 
     # -- cache plumbing ----------------------------------------------------------
 
@@ -117,24 +136,45 @@ class SimulationOracle:
         into the journal (at first-request position)."""
         record = self._cache.get(key)
         if record is not None:
-            self.cache_hits += 1
+            self._c_hits.inc()
             return record
         if self._disk is not None:
             record = self._disk.get(key)
             if record is not None:
-                self.cache_hits += 1
-                self.disk_hits += 1
+                self._c_hits.inc()
+                self._c_disk.inc()
                 self._cache[key] = record
                 return record
         return None
 
     def _store(self, record: EvaluationRecord) -> None:
         self._cache[record.config.key()] = record
-        self.simulations_run += 1
-        self.total_wall_seconds += record.wall_seconds
-        self._wall_samples.append(record.wall_seconds)
+        self._c_sims.inc()
+        self._h_wall.observe(record.wall_seconds)
         if self._disk is not None:
             self._disk.put(record)
+
+    # -- telemetry counters (registry-backed, read-only) -------------------------
+
+    @property
+    def simulations_run(self) -> int:
+        return int(self._c_sims.value)
+
+    @property
+    def cache_hits(self) -> int:
+        return int(self._c_hits.value)
+
+    @property
+    def disk_hits(self) -> int:
+        return int(self._c_disk.value)
+
+    @property
+    def total_wall_seconds(self) -> float:
+        return self._h_wall.total
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return float(self._c_elapsed.value)
 
     # -- evaluation --------------------------------------------------------------
 
@@ -147,6 +187,7 @@ class SimulationOracle:
         """
         record = self._lookup(config.key())
         if record is not None:
+            self._trace_record(record, cached=True)
             return record
 
         start = time.perf_counter()
@@ -163,8 +204,9 @@ class SimulationOracle:
             wall_seconds=wall,
             outcome=outcome,
         )
-        self.elapsed_seconds += wall
+        self._c_elapsed.inc(wall)
         self._store(record)
+        self._trace_record(record, cached=False)
         return record
 
     def evaluate_many(
@@ -179,31 +221,33 @@ class SimulationOracle:
         """
         configs = list(configs)
         if not self._pool.parallel or len(configs) < 2:
-            return [self.evaluate(c) for c in configs]
+            with self.obs.span("oracle.evaluate_many", n=len(configs)):
+                return [self.evaluate(c) for c in configs]
 
-        pending: List[Configuration] = []
-        pending_keys = set()
-        for config in configs:
-            key = config.key()
-            if key in pending_keys:
-                # Duplicate of a miss in this batch: the serial loop would
-                # simulate the first occurrence and hit memory here.
-                self.cache_hits += 1
-                continue
-            if self._lookup(key) is None:
-                pending_keys.add(key)
-                pending.append(config)
+        with self.obs.span("oracle.evaluate_many", n=len(configs)):
+            pending: List[Configuration] = []
+            pending_keys = set()
+            for config in configs:
+                key = config.key()
+                if key in pending_keys:
+                    # Duplicate of a miss in this batch: the serial loop
+                    # would simulate the first occurrence and hit memory
+                    # here.
+                    self._c_hits.inc()
+                    continue
+                if self._lookup(key) is None:
+                    pending_keys.add(key)
+                    pending.append(config)
 
-        if pending:
-            start = time.perf_counter()
-            results = self._pool.map_ordered(
-                evaluate_configuration_task,
-                [(self.scenario, c) for c in pending],
-            )
-            self.elapsed_seconds += time.perf_counter() - start
-            for config, (outcome, wall) in zip(pending, results):
-                self._store(
-                    EvaluationRecord(
+            if pending:
+                start = time.perf_counter()
+                results = self._pool.map_ordered(
+                    evaluate_configuration_task,
+                    [(self.scenario, c) for c in pending],
+                )
+                self._c_elapsed.inc(time.perf_counter() - start)
+                for config, (outcome, wall) in zip(pending, results):
+                    record = EvaluationRecord(
                         config=config,
                         pdr=outcome.pdr,
                         power_mw=outcome.worst_power_mw,
@@ -211,8 +255,23 @@ class SimulationOracle:
                         wall_seconds=wall,
                         outcome=outcome,
                     )
-                )
-        return [self._cache[c.key()] for c in configs]
+                    self._store(record)
+                    self._trace_record(record, cached=False)
+            return [self._cache[c.key()] for c in configs]
+
+    def _trace_record(self, record: EvaluationRecord, cached: bool) -> None:
+        """Emit the per-evaluation trace milestone (no-op by default)."""
+        if not self.obs.tracing:
+            return
+        self.obs.event(
+            "oracle.evaluate",
+            config=record.config.label(),
+            cached=cached,
+            pdr=record.pdr,
+            power_mw=record.power_mw,
+            replicates=record.outcome.replicates,
+            wall_s=round(record.wall_seconds, 6),
+        )
 
     # -- journal & telemetry -----------------------------------------------------
 
@@ -227,28 +286,28 @@ class SimulationOracle:
         return self._cache.get(config.key())
 
     def stats(self) -> Dict[str, float]:
-        """Aggregate oracle telemetry for experiment summaries."""
-        lookups = self.simulations_run + self.cache_hits
-        walls = sorted(self._wall_samples)
+        """Aggregate oracle telemetry for experiment summaries.
 
-        def percentile(q: float) -> float:
-            if not walls:
-                return 0.0
-            return walls[min(len(walls) - 1, int(q * len(walls)))]
-
+        Every value is derived from the ``oracle.*`` instruments in
+        :attr:`obs` — there is no separate bookkeeping to drift out of
+        sync with the metrics registry.
+        """
+        sims = self.simulations_run
+        hits = self.cache_hits
+        lookups = sims + hits
+        total_wall = self._h_wall.total
+        elapsed = self.elapsed_seconds
         return {
-            "simulations_run": self.simulations_run,
-            "cache_hits": self.cache_hits,
+            "simulations_run": sims,
+            "cache_hits": hits,
             "disk_hits": self.disk_hits,
-            "hit_rate": self.cache_hits / lookups if lookups else 0.0,
-            "total_wall_seconds": self.total_wall_seconds,
-            "elapsed_seconds": self.elapsed_seconds,
-            "p50_wall_seconds": percentile(0.50),
-            "p95_wall_seconds": percentile(0.95),
+            "hit_rate": hits / lookups if lookups else 0.0,
+            "total_wall_seconds": total_wall,
+            "elapsed_seconds": elapsed,
+            "p50_wall_seconds": self._h_wall.quantile(0.50),
+            "p95_wall_seconds": self._h_wall.quantile(0.95),
             "speedup_vs_serial_estimate": (
-                self.total_wall_seconds / self.elapsed_seconds
-                if self.elapsed_seconds > 0
-                else 1.0
+                total_wall / elapsed if elapsed > 0 else 1.0
             ),
             "n_jobs": self.n_jobs,
         }
@@ -299,12 +358,11 @@ class SimulationOracle:
 
     def reset_counters(self) -> None:
         """Zero the run counters without discarding cached results."""
-        self.simulations_run = 0
-        self.cache_hits = 0
-        self.disk_hits = 0
-        self.total_wall_seconds = 0.0
-        self.elapsed_seconds = 0.0
-        self._wall_samples.clear()
+        self._c_sims.reset()
+        self._c_hits.reset()
+        self._c_disk.reset()
+        self._c_elapsed.reset()
+        self._h_wall.reset()
 
     def close(self) -> None:
         """Shut down the worker pool (idempotent)."""

@@ -37,6 +37,7 @@ from repro.core.evaluator import EvaluationRecord, SimulationOracle
 from repro.core.milp_builder import MilpFormulation
 from repro.core.problem import DesignProblem
 from repro.milp.solution import SolveStatus
+from repro.obs.runtime import Instrumentation
 
 
 @dataclass
@@ -152,6 +153,12 @@ class HumanIntranetExplorer:
     pdr_tolerance:
         Slack subtracted from PDR_min when testing feasibility, absorbing
         finite-horizon estimator noise (paper: ε-bounded estimates).
+    obs:
+        Observability bundle.  Defaults to the oracle's, so a traced
+        oracle automatically yields a traced explorer; the explorer emits
+        one ``explorer.*`` event per iteration milestone (candidate
+        verdicts, incumbent updates, cuts, termination) — the sequence
+        asserted by the golden-trace regression test.
     """
 
     def __init__(
@@ -164,9 +171,11 @@ class HumanIntranetExplorer:
         milp_max_solutions: int = 256,
         use_alpha: bool = True,
         alpha_slack: float = 1.0,
+        obs: Optional[Instrumentation] = None,
     ) -> None:
         self.problem = problem
-        self.oracle = oracle or SimulationOracle(problem.scenario)
+        self.oracle = oracle or SimulationOracle(problem.scenario, obs=obs)
+        self.obs = obs if obs is not None else self.oracle.obs
         self.max_iterations = max_iterations
         self.candidate_cap = candidate_cap
         self.pdr_tolerance = pdr_tolerance
@@ -184,13 +193,21 @@ class HumanIntranetExplorer:
         #: ≤0.7 makes termination strictly conservative against our
         #: simulator's measured Eq. 5 bias — see CoarsePowerModel).
         self.alpha_slack = alpha_slack
-        self.formulation = MilpFormulation(problem)
+        self.formulation = MilpFormulation(problem, obs=self.obs)
 
     def explore(self, exhaustive: bool = False) -> ExplorationResult:
         """Run Algorithm 1 (or the exhaustive sweep variant)."""
         start = time.perf_counter()
         power_model = self.problem.scenario.power_model()
         pdr_min = self.problem.pdr_min
+        obs = self.obs
+        obs.event(
+            "explorer.start",
+            pdr_min=pdr_min,
+            exhaustive=exhaustive,
+            candidate_cap=self.candidate_cap,
+            use_alpha=self.use_alpha,
+        )
 
         cuts: List[float] = []
         incumbent: Optional[EvaluationRecord] = None
@@ -213,6 +230,12 @@ class HumanIntranetExplorer:
             if status is not SolveStatus.OPTIMAL:
                 raise RuntimeError(f"unexpected MILP status {status}")
             assert p_star is not None
+            obs.event(
+                "explorer.iteration",
+                iteration=index,
+                p_star_mw=p_star,
+                num_candidates=len(candidates),
+            )
 
             # Line 5: the α-corrected bound.  P̄*/α equals the least
             # simulated power any candidate at this or a higher analytical
@@ -226,6 +249,12 @@ class HumanIntranetExplorer:
                     bound = p_star
                 if bound > p_min:
                     termination = "alpha_bound"
+                    obs.event(
+                        "explorer.bound",
+                        iteration=index,
+                        bound_mw=bound,
+                        incumbent_power_mw=p_min,
+                    )
                     break
 
             if self.candidate_cap is not None:
@@ -235,10 +264,29 @@ class HumanIntranetExplorer:
             feasible = [
                 e for e in evaluations if e.pdr >= pdr_min - self.pdr_tolerance
             ]
+            if obs.tracing:
+                for e in evaluations:
+                    accepted = e.pdr >= pdr_min - self.pdr_tolerance
+                    obs.event(
+                        "explorer.candidate",
+                        iteration=index,
+                        config=e.config.label(),
+                        pdr=e.pdr,
+                        power_mw=e.power_mw,
+                        accepted=accepted,
+                        reason="meets_pdr_min" if accepted else "pdr_below_min",
+                    )
             feasible.sort(key=lambda e: (e.power_mw, e.config.key()))
             if feasible and feasible[0].power_mw <= p_min:
                 incumbent = feasible[0]
                 p_min = incumbent.power_mw
+                obs.event(
+                    "explorer.incumbent",
+                    iteration=index,
+                    config=incumbent.config.label(),
+                    power_mw=p_min,
+                    pdr=incumbent.pdr,
+                )
 
             iterations.append(
                 IterationRecord(
@@ -258,8 +306,21 @@ class HumanIntranetExplorer:
             # the paper observes termination "soon after the first feasible
             # configuration was found".
             cuts.append(p_star)
+            obs.event("explorer.cut", iteration=index, p_star_mw=p_star)
 
         wall = time.perf_counter() - start
+        obs.counter("explorer.runs").inc()
+        obs.counter("explorer.iterations").inc(len(iterations))
+        obs.event(
+            "explorer.done",
+            status="optimal" if incumbent is not None else "infeasible",
+            termination=termination,
+            best=incumbent.config.label() if incumbent else None,
+            best_power_mw=p_min if incumbent is not None else None,
+            iterations=len(iterations),
+            milp_solves=milp_solves,
+            simulations=self.oracle.simulations_run - sims_before,
+        )
         return ExplorationResult(
             pdr_min=pdr_min,
             status="optimal" if incumbent is not None else "infeasible",
@@ -308,6 +369,11 @@ class HumanIntranetExplorer:
         max_power_mw = battery.energy_mwh / (min_lifetime_days * 24.0)
         sims_before = self.oracle.simulations_run
 
+        self.obs.event(
+            "explorer.dual_start",
+            min_lifetime_days=min_lifetime_days,
+            max_power_mw=max_power_mw,
+        )
         cuts: List[float] = []
         evaluations: List[EvaluationRecord] = []
         milp_solves = 0
@@ -324,6 +390,11 @@ class HumanIntranetExplorer:
                 break  # no deeper level can simulate within the budget
             if self.candidate_cap is not None:
                 candidates = candidates[: self.candidate_cap]
+            self.obs.event(
+                "explorer.dual_level",
+                p_star_mw=p_star,
+                num_candidates=len(candidates),
+            )
             evaluations.extend(self.oracle.evaluate_many(candidates))
             cuts.append(p_star)
 
@@ -334,6 +405,13 @@ class HumanIntranetExplorer:
             max(within_budget, key=lambda e: (e.pdr, -e.power_mw))
             if within_budget
             else None
+        )
+        self.obs.event(
+            "explorer.dual_done",
+            best=best.config.label() if best else None,
+            best_pdr=best.pdr if best else None,
+            evaluated=len(evaluations),
+            within_budget=len(within_budget),
         )
         return DualExplorationResult(
             min_lifetime_days=min_lifetime_days,

@@ -37,6 +37,7 @@ from repro.core.problem import DesignProblem
 from repro.library.mac_options import MacKind, RoutingKind
 from repro.milp import Model, SolveStatus, enumerate_optimal_solutions
 from repro.milp.expr import LinExpr, Var
+from repro.obs.runtime import Instrumentation, get_active
 
 #: Fallback strictness epsilon for power cuts when the cost table is
 #: degenerate (single level); normally the epsilon is derived from the
@@ -57,12 +58,21 @@ class _Vars:
 
 
 class MilpFormulation:
-    """Builds and solves P̃ for a given design problem."""
+    """Builds and solves P̃ for a given design problem.
 
-    def __init__(self, problem: DesignProblem) -> None:
+    ``obs`` receives one ``milp.solve`` span/event per
+    :meth:`enumerate_candidates` call (solver status, B&B nodes, LP
+    pivots, incumbent updates) plus aggregate ``milp.*`` counters; it
+    defaults to the ambient instrumentation at call time.
+    """
+
+    def __init__(
+        self, problem: DesignProblem, obs: Optional[Instrumentation] = None
+    ) -> None:
         self.problem = problem
         self.space = problem.space
         self.scenario = problem.scenario
+        self.obs = obs
         self._cost_table = self._build_cost_table()
         self._cut_epsilon_mw = self._derive_cut_epsilon()
 
@@ -223,6 +233,7 @@ class MilpFormulation:
         """
         cuts = [max(power_cuts_mw)] if power_cuts_mw else []
         model, handles = self.build(cuts)
+        obs = self.obs if self.obs is not None else get_active()
 
         if method == "nogood":
             distinguish = (
@@ -231,8 +242,18 @@ class MilpFormulation:
                 + [handles.mac_tdma]
                 + list(handles.routing.values())
             )
-            status, solutions, optimum = enumerate_optimal_solutions(
-                model, distinguish_vars=distinguish, max_solutions=max_solutions
+            with obs.span("milp.solve", method="nogood"):
+                status, solutions, optimum = enumerate_optimal_solutions(
+                    model, distinguish_vars=distinguish,
+                    max_solutions=max_solutions,
+                )
+            obs.counter("milp.solves").inc()
+            obs.event(
+                "milp.solve",
+                method="nogood",
+                status=status.value,
+                p_star_mw=optimum,
+                solutions=len(solutions),
             )
             if status is not SolveStatus.OPTIMAL:
                 return status, [], None
@@ -242,7 +263,20 @@ class MilpFormulation:
         if method != "combo":
             raise ValueError(f"unknown enumeration method {method!r}")
 
-        result = model.solve()
+        with obs.span("milp.solve", method="combo"):
+            result = model.solve()
+        obs.counter("milp.solves").inc()
+        obs.counter("milp.nodes").inc(result.nodes_explored)
+        obs.counter("milp.lp_iterations").inc(result.lp_iterations)
+        obs.event(
+            "milp.solve",
+            method="combo",
+            status=result.status.value,
+            p_star_mw=result.objective,
+            nodes=result.nodes_explored,
+            lp_iterations=result.lp_iterations,
+            incumbent_updates=result.incumbent_updates,
+        )
         if not result.is_optimal:
             return result.status, [], None
         assert result.objective is not None

@@ -21,6 +21,8 @@ import itertools
 import math
 from typing import Any, Callable, List, Optional, Tuple
 
+from repro.obs.runtime import get_active
+
 
 class Event:
     """A scheduled callback.
@@ -174,6 +176,18 @@ class Simulator:
                 self._now = until
         finally:
             self._running = False
+            # Milestone instrumentation: once per run() call, never per
+            # event — the event loop above stays untouched.
+            obs = get_active()
+            obs.counter("des.runs").inc()
+            obs.counter("des.events").inc(executed)
+            if obs.tracing:
+                obs.event(
+                    "des.run",
+                    events=executed,
+                    now=round(self._now, 9),
+                    until=until,
+                )
 
     def _next_live_time(self) -> Optional[float]:
         """Peek the timestamp of the next non-cancelled event."""

@@ -104,6 +104,7 @@ class BranchAndBoundSolver:
         incumbent_obj = math.inf  # in minimization space
         nodes = 0
         lp_iters = 0
+        incumbent_updates = 0
         saw_unbounded_relaxation = False
 
         while heap and nodes < self.max_nodes:
@@ -146,6 +147,7 @@ class BranchAndBoundSolver:
                 if self._rounded_point_feasible(x, a_ub, b_ub, a_eq, b_eq):
                     incumbent_obj = float(c @ x)
                     incumbent_value = x
+                    incumbent_updates += 1
                     continue
                 frac_j, frac_val = self._most_fractional(
                     result.x, int_indices, tol=1e-12
@@ -202,6 +204,7 @@ class BranchAndBoundSolver:
                 values={i: float(v) for i, v in enumerate(incumbent_value)},
                 nodes_explored=nodes,
                 lp_iterations=lp_iters,
+                incumbent_updates=incumbent_updates,
             )
 
         # incumbent_obj is in minimization space without c0; map back.
@@ -216,6 +219,7 @@ class BranchAndBoundSolver:
             values=values,
             nodes_explored=nodes,
             lp_iterations=lp_iters,
+            incumbent_updates=incumbent_updates,
         )
 
     @staticmethod

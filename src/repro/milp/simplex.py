@@ -34,6 +34,8 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs.runtime import get_active
+
 #: Numerical tolerance for reduced costs, ratio tests, and feasibility.
 EPS = 1e-9
 
@@ -152,6 +154,11 @@ class SimplexSolver:
             return SimplexResult(SimplexStatus.INFEASIBLE, None, None)
         a, b, c = std
         result = self._two_phase(a, b, c)
+        # Per-solve (not per-pivot) instrumentation: two counter adds per
+        # LP relaxation, invisible next to the pivoting work above.
+        obs = get_active()
+        obs.counter("simplex.solves").inc()
+        obs.counter("simplex.pivots").inc(result.iterations)
         if result.status is not SimplexStatus.OPTIMAL:
             return result
         assert result.x is not None

@@ -30,6 +30,7 @@ from repro.net.app import AppParameters
 from repro.net.node import Node
 from repro.net.radio import Medium
 from repro.net.stats import NetworkStats
+from repro.obs import runtime as obs_runtime
 
 
 @dataclass
@@ -187,6 +188,19 @@ class Network:
         nlt_days = self.battery.lifetime_days(worst)
         deliveries = sum(s.deliveries for s in self.stats.nodes.values())
         latency_total = sum(s.latency_sum for s in self.stats.nodes.values())
+        obs = obs_runtime.get_active()
+        if obs.tracing:
+            # Per-node energy trajectory at teardown (Fitzgerald et al.'s
+            # lifetime view): average power per location over the horizon.
+            obs.event(
+                "des.teardown",
+                placement=list(self.placement),
+                events=self.sim.events_executed,
+                node_powers_mw={str(k): v for k, v in node_powers.items()},
+                node_pdrs={str(k): v for k, v in node_pdrs.items()},
+                worst_power_mw=worst,
+                nlt_days=nlt_days,
+            )
         return SimulationOutcome(
             pdr=self.stats.network_pdr(),
             node_pdrs=node_pdrs,

@@ -1,0 +1,241 @@
+"""Structured JSONL tracing: events, nested spans, and the run manifest.
+
+A trace is a flat append-only file of JSON lines.  Every line is one
+*event* with at minimum::
+
+    {"kind": "<dotted.kind>", "seq": <int>, "t": <seconds since open>}
+
+plus arbitrary JSON-serializable payload fields.  Spans are expressed as
+paired ``span_begin`` / ``span_end`` events carrying a process-unique
+``id``, their ``parent`` span id (0 at top level), and nesting ``depth``;
+``span_end`` adds the monotonic duration ``dur_s``.  Emitting both edges
+(rather than a single record at exit) keeps the file strictly
+time-ordered and makes balance checkable from the trace alone.
+
+Timing uses ``time.perf_counter`` relative to writer creation, so ``t``
+and ``dur_s`` are monotonic but *not* reproducible across runs.  Tools
+that diff traces (the golden-trace regression test) must project onto the
+deterministic payload fields — see
+:func:`repro.analysis.trace_report.explorer_sequence`.
+
+The default tracer everywhere is :data:`NULL_TRACER`, whose methods are
+empty: instrumented code pays one no-op call per milestone, nothing per
+simulated event or simplex pivot.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Union
+
+#: Events whose payloads (beyond ``kind``) are structural rather than
+#: domain data; readers usually filter on ``kind`` anyway.
+SPAN_BEGIN = "span_begin"
+SPAN_END = "span_end"
+MANIFEST = "manifest"
+
+
+class TraceWriter:
+    """Append-only JSONL trace file with span bookkeeping.
+
+    Parameters
+    ----------
+    path:
+        Output file; truncated on open (one trace per run).
+    autoflush:
+        Flush after every line (default) so a crashed run still leaves a
+        readable prefix.  Trace emission happens at milestone grain —
+        per explorer iteration, per oracle evaluation, per MILP solve —
+        so the flush cost is irrelevant next to the work being traced.
+    """
+
+    def __init__(self, path, autoflush: bool = True) -> None:
+        self.path = path
+        self._fh = open(path, "w", encoding="utf-8")
+        self._autoflush = autoflush
+        self._t0 = time.perf_counter()
+        self._seq = 0
+        self._next_span = 1
+        self._stack: List[int] = []
+        self._closed = False
+
+    # -- emission ----------------------------------------------------------------
+
+    def _emit(self, payload: dict) -> None:
+        if self._closed:
+            return
+        self._fh.write(json.dumps(payload, separators=(",", ":")) + "\n")
+        if self._autoflush:
+            self._fh.flush()
+
+    def event(self, kind: str, **fields) -> None:
+        """Record one event line (payload fields must be JSON-serializable)."""
+        self._seq += 1
+        payload = {
+            "kind": kind,
+            "seq": self._seq,
+            "t": round(time.perf_counter() - self._t0, 6),
+        }
+        if self._stack:
+            payload["span"] = self._stack[-1]
+        payload.update(fields)
+        self._emit(payload)
+
+    def manifest(self, **fields) -> None:
+        """Record the run manifest (conventionally the first line)."""
+        self.event(MANIFEST, **fields)
+
+    @contextmanager
+    def span(self, name: str, **fields):
+        """Time a nested region; emits ``span_begin``/``span_end`` pairs."""
+        span_id = self._next_span
+        self._next_span += 1
+        parent = self._stack[-1] if self._stack else 0
+        depth = len(self._stack)
+        self.event(SPAN_BEGIN, name=name, id=span_id, parent=parent,
+                   depth=depth, **fields)
+        self._stack.append(span_id)
+        start = time.perf_counter()
+        try:
+            yield span_id
+        finally:
+            dur = time.perf_counter() - start
+            self._stack.pop()
+            self.event(SPAN_END, name=name, id=span_id, parent=parent,
+                       depth=depth, dur_s=round(dur, 6))
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def flush(self) -> None:
+        if not self._closed:
+            self._fh.flush()
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._fh.close()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class _NullSpan:
+    """Reusable no-op context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> int:
+        return 0
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The zero-cost default: every method is a constant-time no-op."""
+
+    __slots__ = ()
+
+    path = None
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def event(self, kind: str, **fields) -> None:
+        return None
+
+    def manifest(self, **fields) -> None:
+        return None
+
+    def span(self, name: str, **fields) -> _NullSpan:
+        return _NULL_SPAN
+
+    def flush(self) -> None:
+        return None
+
+    def close(self) -> None:
+        return None
+
+    def __enter__(self) -> "NullTracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+#: Shared no-op tracer instance (stateless, safe to share globally).
+NULL_TRACER = NullTracer()
+
+Tracer = Union[TraceWriter, NullTracer]
+
+
+def iter_trace(path) -> Iterator[dict]:
+    """Yield trace events from a JSONL file, skipping blank or partially
+    written (corrupt) lines — the same tolerance as the result cache."""
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(payload, dict):
+                yield payload
+
+
+def read_trace(path) -> List[dict]:
+    """Load a whole trace file into memory (see :func:`iter_trace`)."""
+    return list(iter_trace(path))
+
+
+def check_span_balance(events: List[dict]) -> Optional[str]:
+    """Validate span nesting in an event stream.
+
+    Returns ``None`` when every ``span_begin`` is closed by a matching
+    ``span_end`` in LIFO order with consistent parent/depth fields, or a
+    human-readable description of the first violation.  Used by tests and
+    by ``trace_report`` to flag truncated traces.
+    """
+    stack: List[dict] = []
+    for ev in events:
+        kind = ev.get("kind")
+        if kind == SPAN_BEGIN:
+            expected_parent = stack[-1]["id"] if stack else 0
+            if ev.get("parent") != expected_parent:
+                return (
+                    f"span {ev.get('id')} ({ev.get('name')!r}) declares "
+                    f"parent {ev.get('parent')} but {expected_parent} is open"
+                )
+            if ev.get("depth") != len(stack):
+                return (
+                    f"span {ev.get('id')} declares depth {ev.get('depth')} "
+                    f"at stack depth {len(stack)}"
+                )
+            stack.append(ev)
+        elif kind == SPAN_END:
+            if not stack:
+                return f"span_end {ev.get('id')} with no span open"
+            top = stack.pop()
+            if ev.get("id") != top["id"]:
+                return (
+                    f"span_end {ev.get('id')} closes out of order "
+                    f"(innermost open span is {top['id']})"
+                )
+    if stack:
+        return f"{len(stack)} span(s) left open (innermost {stack[-1]['id']})"
+    return None

@@ -1,0 +1,23 @@
+"""Shared test fixtures and options.
+
+``--update-golden`` regenerates the golden-trace snapshots under
+``tests/golden/`` from the current code instead of comparing against
+them.  Use it deliberately: a diff in the regenerated file IS the
+behaviour change the golden test exists to catch — review it like code.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate golden trace snapshots instead of comparing",
+    )
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    return request.config.getoption("--update-golden")

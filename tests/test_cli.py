@@ -1,0 +1,191 @@
+"""CLI coverage: parsing, flag propagation, observability outputs.
+
+Execution-heavy subcommands are exercised only on the smoke preset (or
+parse-only) so the suite stays fast; the point is the *plumbing* — every
+flag must reach the layer that consumes it.
+"""
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.analysis.trace_report import summarize
+from repro.obs import read_trace
+
+ALL_COMMANDS = (
+    "solve", "figure3", "reduction", "annealing",
+    "table1", "dual", "extensions", "space",
+)
+
+#: minimal valid argv per subcommand (parse-level only)
+PARSE_ARGV = {
+    "solve": ["solve", "--pdr-min", "90"],
+    "figure3": ["figure3"],
+    "reduction": ["reduction"],
+    "annealing": ["annealing"],
+    "table1": ["table1"],
+    "dual": ["dual", "--min-lifetime-days", "15"],
+    "extensions": ["extensions"],
+    "space": ["space"],
+}
+
+
+class TestParsing:
+    @pytest.mark.parametrize("command", ALL_COMMANDS)
+    def test_every_subcommand_parses(self, command):
+        args = cli.build_parser().parse_args(PARSE_ARGV[command])
+        assert args.command == command
+
+    @pytest.mark.parametrize("command", sorted(set(ALL_COMMANDS) - {"table1"}))
+    def test_common_flags_parse_everywhere(self, command):
+        argv = PARSE_ARGV[command] + [
+            "--preset", "smoke", "--seed", "7", "--jobs", "2",
+            "--cache-dir", "/tmp/c", "--trace-out", "/tmp/t.jsonl",
+            "--metrics-out", "/tmp/m.json",
+        ]
+        args = cli.build_parser().parse_args(argv)
+        assert (args.preset, args.seed, args.jobs) == ("smoke", 7, 2)
+        assert args.cache_dir == "/tmp/c"
+        assert args.trace_out == "/tmp/t.jsonl"
+        assert args.metrics_out == "/tmp/m.json"
+
+    def test_unknown_flag_exits_nonzero(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            cli.build_parser().parse_args(["solve", "--pdr-min", "90",
+                                           "--no-such-flag"])
+        assert exc.value.code != 0
+
+    def test_missing_subcommand_exits_nonzero(self):
+        with pytest.raises(SystemExit) as exc:
+            cli.build_parser().parse_args([])
+        assert exc.value.code != 0
+
+    def test_bad_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["solve", "--pdr-min", "90",
+                                           "--preset", "nope"])
+
+    def test_solve_requires_pdr_min(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["solve"])
+
+
+class TestFlagPropagation:
+    def test_jobs_and_cache_dir_reach_make_problem(self, monkeypatch, tmp_path):
+        """--jobs/--cache-dir must flow into the problem construction."""
+        from repro.experiments import scenario as scenario_mod
+
+        seen = {}
+        real_make_problem = scenario_mod.make_problem
+
+        def spy(pdr_min, preset, **kwargs):
+            seen.update(kwargs, pdr_min=pdr_min, preset=preset)
+            # run serially regardless, to keep the test light
+            kwargs = dict(kwargs, n_jobs=1)
+            return real_make_problem(pdr_min, preset, **kwargs)
+
+        monkeypatch.setattr(scenario_mod, "make_problem", spy)
+        code = cli.main([
+            "solve", "--pdr-min", "90", "--preset", "smoke",
+            "--seed", "3", "--jobs", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert code == 0
+        assert seen["pdr_min"] == 0.90
+        assert seen["preset"] == "smoke"
+        assert seen["seed"] == 3
+        assert seen["n_jobs"] == 2
+        assert seen["cache_dir"] == str(tmp_path / "cache")
+        # the persistent cache actually materialized where we pointed it
+        assert list((tmp_path / "cache").glob("*.jsonl"))
+
+    def test_pdr_min_accepts_percent_or_fraction(self, monkeypatch):
+        from repro.experiments import scenario as scenario_mod
+
+        captured = []
+        real = scenario_mod.make_problem
+
+        def spy(pdr_min, preset, **kwargs):
+            captured.append(pdr_min)
+            return real(pdr_min, preset, **dict(kwargs, n_jobs=1))
+
+        monkeypatch.setattr(scenario_mod, "make_problem", spy)
+        cli.main(["solve", "--pdr-min", "90", "--preset", "smoke"])
+        cli.main(["solve", "--pdr-min", "0.9", "--preset", "smoke"])
+        assert captured == [0.90, 0.90]
+
+
+class TestObservabilityOutputs:
+    def test_trace_out_writes_manifest_then_events(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        code = cli.main([
+            "solve", "--pdr-min", "90", "--preset", "smoke",
+            "--trace-out", str(trace),
+        ])
+        assert code == 0
+        events = read_trace(trace)
+        assert events[0]["kind"] == "manifest"
+        manifest = events[0]
+        assert manifest["command"] == "solve"
+        assert manifest["preset"] == "smoke"
+        assert manifest["seed"] == 0
+        assert len(manifest["scenario_fingerprint"]) == 16
+        kinds = {e["kind"] for e in events}
+        # every instrumented layer contributed
+        assert "explorer.start" in kinds
+        assert "explorer.candidate" in kinds
+        assert "explorer.done" in kinds
+        assert "oracle.evaluate" in kinds
+        assert "milp.solve" in kinds
+        assert "des.run" in kinds
+        assert events[-1]["kind"] == "run.exit"
+        assert events[-1]["code"] == 0
+
+    def test_metrics_out_writes_registry_json(self, tmp_path, capsys):
+        metrics = tmp_path / "m.json"
+        code = cli.main([
+            "solve", "--pdr-min", "90", "--preset", "smoke",
+            "--metrics-out", str(metrics),
+        ])
+        assert code == 0
+        payload = json.loads(metrics.read_text())
+        assert payload["explorer.runs"]["value"] == 1
+        assert payload["milp.solves"]["value"] >= 1
+        assert payload["simplex.solves"]["value"] >= 1
+        assert payload["des.runs"]["value"] >= 1
+        assert payload["oracle.wall_seconds"]["count"] >= 1
+
+    def test_trace_report_summarizes_run(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        assert cli.main([
+            "solve", "--pdr-min", "90", "--preset", "smoke",
+            "--trace-out", str(trace),
+        ]) == 0
+        capsys.readouterr()
+        report = summarize(read_trace(trace))
+        assert "manifest" in report
+        assert "explorer trajectory" in report
+        assert "accept" in report
+        assert "oracle" in report and "milp" in report
+        from repro.analysis import trace_report
+
+        assert trace_report.main([str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "explorer trajectory" in out
+        assert trace_report.main([str(trace), "--json"]) == 0
+        json.loads(capsys.readouterr().out)  # --json emits valid JSON
+
+    def test_trace_report_usage_errors(self, tmp_path, capsys):
+        from repro.analysis import trace_report
+
+        assert trace_report.main([]) == 2
+        assert trace_report.main([str(tmp_path / "missing.jsonl")]) != 0
+
+    def test_table1_needs_no_observability(self, capsys):
+        assert cli.main(["table1"]) == 0
+        assert "CC2650" in capsys.readouterr().out
+
+    def test_space_runs_without_flags(self, capsys):
+        assert cli.main(["space", "--preset", "smoke"]) == 0
+        assert "configurations" in capsys.readouterr().out

@@ -1,0 +1,78 @@
+"""Golden-trace regression test for Algorithm 1's decision trajectory.
+
+Runs the reference scenario (smoke preset, seed 0, PDR_min = 90%)
+end-to-end with tracing enabled and compares the *deterministic
+projection* of the trace — the ordered ``explorer.*`` events with timing
+fields stripped — against the snapshot in ``tests/golden/``.  Any change
+to the candidate sequence, accept/reject verdicts, incumbent updates,
+cuts, or termination reason fails loudly instead of drifting silently.
+
+Regenerate after an intentional behaviour change with::
+
+    pytest tests/test_golden_trace.py --update-golden
+
+and review the snapshot diff like code.
+"""
+
+import json
+import pathlib
+
+from repro.analysis.trace_report import explorer_sequence
+from repro.core.explorer import HumanIntranetExplorer
+from repro.experiments.scenario import get_preset, make_problem
+from repro.obs import Instrumentation, MetricsRegistry, TraceWriter, read_trace
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+GOLDEN_PATH = GOLDEN_DIR / "explorer_smoke_pdr90.json"
+
+PRESET = "smoke"
+PDR_MIN = 0.90
+SEED = 0
+
+UPDATE_HINT = (
+    "explorer trajectory diverged from tests/golden/%s; if the change is "
+    "intentional, regenerate with `pytest tests/test_golden_trace.py "
+    "--update-golden` and review the diff" % GOLDEN_PATH.name
+)
+
+
+def run_reference(trace_path, n_jobs: int = 1):
+    """One seeded reference run; returns the deterministic projection."""
+    problem = make_problem(PDR_MIN, PRESET, seed=SEED, n_jobs=n_jobs)
+    preset = get_preset(PRESET)
+    with TraceWriter(trace_path) as tracer:
+        obs = Instrumentation(MetricsRegistry(), tracer)
+        explorer = HumanIntranetExplorer(
+            problem, candidate_cap=preset.candidate_cap, obs=obs
+        )
+        try:
+            result = explorer.explore()
+        finally:
+            explorer.oracle.close()
+    assert result.found, "reference scenario must be feasible"
+    return explorer_sequence(read_trace(trace_path))
+
+
+def test_golden_trace_reference_run(tmp_path, update_golden):
+    sequence = run_reference(tmp_path / "run.jsonl")
+    assert sequence, "traced run produced no explorer events"
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(sequence, indent=1) + "\n")
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert sequence == golden, UPDATE_HINT
+
+
+def test_golden_trace_invariant_across_n_jobs(tmp_path):
+    """The projection is bit-identical under parallel fan-out: worker
+    scheduling must never leak into the explorer's decisions."""
+    golden = json.loads(GOLDEN_PATH.read_text())
+    parallel = run_reference(tmp_path / "parallel.jsonl", n_jobs=2)
+    assert parallel == golden, UPDATE_HINT
+
+
+def test_golden_trace_repeatable_within_process(tmp_path):
+    """Two runs in one process agree (no hidden global state)."""
+    first = run_reference(tmp_path / "a.jsonl")
+    second = run_reference(tmp_path / "b.jsonl")
+    assert first == second

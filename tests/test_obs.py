@@ -1,0 +1,247 @@
+"""Unit tests for the observability substrate (repro.obs)."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    Counter,
+    Gauge,
+    Histogram,
+    Instrumentation,
+    MetricsRegistry,
+    TraceWriter,
+    activate,
+    check_span_balance,
+    get_active,
+    read_trace,
+    set_active,
+)
+
+
+class TestMetrics:
+    def test_counter_increments(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(3)
+        c.inc(0.5)
+        assert c.value == 4.5
+        c.reset()
+        assert c.value == 0
+
+    def test_gauge_last_value_wins(self):
+        g = Gauge("x")
+        g.set(3)
+        g.set(1.5)
+        assert g.value == 1.5
+
+    def test_histogram_stats(self):
+        h = Histogram("wall")
+        for v in (3.0, 1.0, 2.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 6.0
+        assert h.mean == 2.0
+        assert h.min == 1.0
+        assert h.max == 3.0
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(1.0) == 3.0
+
+    def test_histogram_empty_and_bad_quantile(self):
+        h = Histogram("w")
+        assert h.quantile(0.5) == 0.0
+        assert h.to_dict()["count"] == 0
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_registry_get_or_create(self):
+        r = MetricsRegistry()
+        assert r.counter("a") is r.counter("a")
+        with pytest.raises(TypeError):
+            r.gauge("a")  # already a counter
+        assert "a" in r
+        assert len(r) == 1
+
+    def test_registry_to_dict_and_reset(self):
+        r = MetricsRegistry()
+        r.counter("c").inc(2)
+        r.gauge("g").set(7)
+        r.histogram("h").observe(1.0)
+        d = r.to_dict()
+        assert d["c"] == {"type": "counter", "value": 2}
+        assert d["g"]["value"] == 7.0
+        assert d["h"]["count"] == 1
+        assert list(d) == sorted(d)
+        r.reset()
+        assert r.counter("c").value == 0
+        assert r.histogram("h").count == 0
+
+
+class TestTraceWriter:
+    def test_events_and_manifest(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with TraceWriter(path) as tracer:
+            tracer.manifest(seed=0, preset="ci")
+            tracer.event("hello", x=1, items=[1, 2], flag=True, none=None)
+        events = read_trace(path)
+        assert [e["kind"] for e in events] == ["manifest", "hello"]
+        assert events[0]["seed"] == 0
+        assert events[1]["items"] == [1, 2]
+        assert events[1]["none"] is None
+        # seq strictly increasing, t monotone non-decreasing
+        assert events[1]["seq"] > events[0]["seq"]
+        assert events[1]["t"] >= events[0]["t"]
+
+    def test_span_nesting_fields(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with TraceWriter(path) as tracer:
+            with tracer.span("outer"):
+                tracer.event("inside")
+                with tracer.span("inner"):
+                    pass
+        events = read_trace(path)
+        assert check_span_balance(events) is None
+        begins = [e for e in events if e["kind"] == "span_begin"]
+        outer, inner = begins
+        assert outer["depth"] == 0 and outer["parent"] == 0
+        assert inner["depth"] == 1 and inner["parent"] == outer["id"]
+        inside = next(e for e in events if e["kind"] == "inside")
+        assert inside["span"] == outer["id"]
+        end = next(e for e in events if e["kind"] == "span_end"
+                   and e["id"] == inner["id"])
+        assert end["dur_s"] >= 0.0
+
+    def test_span_closes_on_exception(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = TraceWriter(path)
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        tracer.close()
+        assert check_span_balance(read_trace(path)) is None
+
+    def test_close_idempotent_and_drops_late_events(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = TraceWriter(path)
+        tracer.event("a")
+        tracer.close()
+        tracer.close()
+        tracer.event("late")  # silently dropped, no crash
+        assert [e["kind"] for e in read_trace(path)] == ["a"]
+
+    def test_read_trace_skips_corrupt_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            json.dumps({"kind": "ok"}) + "\n"
+            + "{truncated...\n"
+            + "\n"
+            + "[1, 2]\n"
+            + json.dumps({"kind": "ok2"}) + "\n"
+        )
+        assert [e["kind"] for e in read_trace(path)] == ["ok", "ok2"]
+
+    def test_check_span_balance_detects_violations(self):
+        assert check_span_balance(
+            [{"kind": "span_begin", "id": 1, "parent": 0, "depth": 0}]
+        ) is not None  # left open
+        assert check_span_balance(
+            [{"kind": "span_end", "id": 9}]
+        ) is not None  # never opened
+        assert check_span_balance([]) is None
+
+    def test_null_tracer_is_inert(self):
+        assert NULL_TRACER.enabled is False
+        with NULL_TRACER.span("anything", x=1):
+            NULL_TRACER.event("whatever")
+        NULL_TRACER.manifest(a=1)
+        NULL_TRACER.flush()
+        NULL_TRACER.close()
+
+
+class TestRuntime:
+    def test_default_active_has_null_tracer(self):
+        assert get_active().tracing is False
+
+    def test_activate_restores_on_exit_and_exception(self):
+        outer = get_active()
+        instr = Instrumentation()
+        with activate(instr):
+            assert get_active() is instr
+        assert get_active() is outer
+        with pytest.raises(ValueError):
+            with activate(instr):
+                raise ValueError()
+        assert get_active() is outer
+
+    def test_set_active_none_restores_default(self):
+        instr = Instrumentation()
+        previous = set_active(instr)
+        try:
+            assert get_active() is instr
+        finally:
+            set_active(None)
+        assert get_active() is not instr
+        assert previous is not instr
+
+    def test_instrumentation_delegates(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with TraceWriter(path) as tracer:
+            instr = Instrumentation(MetricsRegistry(), tracer)
+            assert instr.tracing is True
+            instr.counter("c").inc()
+            instr.gauge("g").set(2)
+            instr.histogram("h").observe(1.0)
+            with instr.span("s"):
+                instr.event("e")
+        assert instr.metrics.counter("c").value == 1
+        kinds = [e["kind"] for e in read_trace(path)]
+        assert kinds == ["span_begin", "e", "span_end"]
+
+
+class TestOracleMetricsIntegration:
+    """The oracle's stats() must be pure views over its registry."""
+
+    def test_stats_single_source_of_truth(self):
+        from repro.core.evaluator import SimulationOracle
+        from repro.experiments.scenario import make_scenario, make_space
+
+        scenario = make_scenario("smoke", seed=0)
+        configs = list(make_space("smoke").feasible_configurations())[:2]
+        with SimulationOracle(scenario) as oracle:
+            oracle.evaluate(configs[0])
+            oracle.evaluate(configs[0])  # memory hit
+            oracle.evaluate(configs[1])
+            m = oracle.obs.metrics
+            assert oracle.simulations_run == m.counter("oracle.simulations").value == 2
+            assert oracle.cache_hits == m.counter("oracle.cache_hits").value == 1
+            stats = oracle.stats()
+            hist = m.histogram("oracle.wall_seconds")
+            assert stats["simulations_run"] == 2
+            assert stats["total_wall_seconds"] == hist.total
+            assert stats["p50_wall_seconds"] == hist.quantile(0.5)
+            assert stats["p95_wall_seconds"] == hist.quantile(0.95)
+            oracle.reset_counters()
+            assert oracle.simulations_run == 0
+            assert oracle.stats()["total_wall_seconds"] == 0.0
+            # cached results survive a counter reset
+            oracle.evaluate(configs[0])
+            assert oracle.simulations_run == 0
+            assert oracle.cache_hits == 1
+
+    def test_oracle_traces_evaluations(self, tmp_path):
+        from repro.core.evaluator import SimulationOracle
+        from repro.experiments.scenario import make_scenario, make_space
+
+        scenario = make_scenario("smoke", seed=0)
+        config = next(iter(make_space("smoke").feasible_configurations()))
+        path = tmp_path / "t.jsonl"
+        with TraceWriter(path) as tracer:
+            obs = Instrumentation(MetricsRegistry(), tracer)
+            with SimulationOracle(scenario, obs=obs) as oracle:
+                oracle.evaluate(config)
+                oracle.evaluate(config)
+        evals = [e for e in read_trace(path) if e["kind"] == "oracle.evaluate"]
+        assert [e["cached"] for e in evals] == [False, True]
+        assert evals[0]["config"] == config.label()

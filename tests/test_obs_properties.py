@@ -1,0 +1,236 @@
+"""Property-based tests for repro.obs and the cache fingerprint.
+
+Stdlib-``random`` driven (no hypothesis dependency): each property runs
+against a batch of seeded random structures, so failures reproduce
+exactly and the suite stays deterministic in CI.
+"""
+
+import dataclasses
+import json
+import random
+import string
+
+import pytest
+
+from repro.core.result_cache import canonicalize, scenario_fingerprint
+from repro.obs import (
+    Histogram,
+    TraceWriter,
+    check_span_balance,
+    read_trace,
+)
+
+SEEDS = range(8)
+
+
+# ---------------------------------------------------------------------------
+# Span nesting always balances
+# ---------------------------------------------------------------------------
+
+def _random_span_tree(tracer, rng, depth=0):
+    """Open/close random spans, recursing with random fan-out."""
+    for _ in range(rng.randint(0, 3)):
+        name = rng.choice(("milp.solve", "oracle.evaluate_many", "des.run"))
+        if rng.random() < 0.2:
+            tracer.event("noise", depth=depth)
+            continue
+        with tracer.span(name, depth_hint=depth):
+            if depth < 4:
+                _random_span_tree(tracer, rng, depth + 1)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_random_span_trees_balance(tmp_path, seed):
+    rng = random.Random(seed)
+    path = tmp_path / "t.jsonl"
+    with TraceWriter(path) as tracer:
+        _random_span_tree(tracer, rng)
+    events = read_trace(path)
+    assert check_span_balance(events) is None
+    # every begin has exactly one end with the same id, in LIFO order
+    begins = sum(e["kind"] == "span_begin" for e in events)
+    ends = sum(e["kind"] == "span_end" for e in events)
+    assert begins == ends
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_truncated_span_trace_is_flagged(tmp_path, seed):
+    """Dropping the tail of a trace with open spans must be detected."""
+    rng = random.Random(seed)
+    path = tmp_path / "t.jsonl"
+    with TraceWriter(path) as tracer:
+        with tracer.span("outer"):
+            _random_span_tree(tracer, rng)
+    events = read_trace(path)
+    assert check_span_balance(events) is None
+    # chop off the closing span_end of "outer" (and anything after)
+    last_end = max(
+        i for i, e in enumerate(events) if e["kind"] == "span_end"
+    )
+    assert check_span_balance(events[:last_end]) is not None
+
+
+# ---------------------------------------------------------------------------
+# Histogram quantiles
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_histogram_quantiles_bounded_and_monotone(seed):
+    rng = random.Random(seed)
+    h = Histogram("h")
+    values = [rng.uniform(-50, 50) for _ in range(rng.randint(1, 200))]
+    for v in values:
+        h.observe(v)
+    assert h.min == min(values)
+    assert h.max == max(values)
+    assert abs(h.total - sum(values)) < 1e-9
+    qs = [i / 20 for i in range(21)]
+    quantiles = [h.quantile(q) for q in qs]
+    for q_val in quantiles:
+        assert h.min <= q_val <= h.max
+    assert quantiles == sorted(quantiles)  # monotone in q
+    # every quantile is an observed value (nearest-rank, no interpolation)
+    assert all(q_val in values for q_val in quantiles)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_histogram_order_invariant(seed):
+    """Quantiles depend on the multiset of samples, not arrival order."""
+    rng = random.Random(seed)
+    values = [rng.uniform(0, 10) for _ in range(50)]
+    shuffled = list(values)
+    rng.shuffle(shuffled)
+    a, b = Histogram("a"), Histogram("b")
+    for v in values:
+        a.observe(v)
+    for v in shuffled:
+        b.observe(v)
+    # order-exact: count, extrema, every quantile (sorted data)
+    assert (a.count, a.min, a.max) == (b.count, b.min, b.max)
+    qs = [i / 10 for i in range(11)]
+    assert [a.quantile(q) for q in qs] == [b.quantile(q) for q in qs]
+    # float addition is non-associative, so sums only match approximately
+    assert a.total == pytest.approx(b.total)
+
+
+# ---------------------------------------------------------------------------
+# Trace round trip
+# ---------------------------------------------------------------------------
+
+def _random_json_value(rng, depth=0):
+    kinds = ["int", "float", "str", "bool", "none"]
+    if depth < 2:
+        kinds += ["list", "dict"]
+    kind = rng.choice(kinds)
+    if kind == "int":
+        return rng.randint(-10**6, 10**6)
+    if kind == "float":
+        return rng.uniform(-1e6, 1e6)
+    if kind == "str":
+        return "".join(rng.choices(string.printable, k=rng.randint(0, 12)))
+    if kind == "bool":
+        return rng.random() < 0.5
+    if kind == "none":
+        return None
+    if kind == "list":
+        return [_random_json_value(rng, depth + 1) for _ in range(rng.randint(0, 4))]
+    return {
+        "".join(rng.choices(string.ascii_lowercase, k=5)):
+            _random_json_value(rng, depth + 1)
+        for _ in range(rng.randint(0, 4))
+    }
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_trace_round_trip(tmp_path, seed):
+    """Arbitrary JSON-typed event payloads survive write → read intact."""
+    rng = random.Random(seed)
+    payloads = [
+        {
+            "".join(rng.choices(string.ascii_lowercase, k=6)):
+                _random_json_value(rng)
+            for _ in range(rng.randint(1, 5))
+        }
+        for _ in range(rng.randint(1, 20))
+    ]
+    path = tmp_path / "t.jsonl"
+    with TraceWriter(path) as tracer:
+        for i, payload in enumerate(payloads):
+            tracer.event(f"k{i}", **payload)
+    events = read_trace(path)
+    assert len(events) == len(payloads)
+    for i, (event, payload) in enumerate(zip(events, payloads)):
+        assert event["kind"] == f"k{i}"
+        for key, value in payload.items():
+            assert event[key] == value
+
+
+# ---------------------------------------------------------------------------
+# Cache fingerprint invariance
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class _FakeScenario:
+    """Minimal stand-in with the field shapes ScenarioParameters uses."""
+    name: str
+    tsim_s: float
+    rates: dict
+    tags: tuple
+    n_jobs: int = 1
+    cache_dir: object = None
+
+
+def _shuffled_dict(d, rng):
+    items = list(d.items())
+    rng.shuffle(items)
+    return dict(items)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fingerprint_invariant_under_dict_key_order(seed):
+    rng = random.Random(seed)
+    rates = {
+        "".join(rng.choices(string.ascii_lowercase, k=4)): rng.uniform(0, 9)
+        for _ in range(rng.randint(2, 8))
+    }
+    base = _FakeScenario("s", 8.0, rates, ("a", "b"))
+    reordered = _FakeScenario("s", 8.0, _shuffled_dict(rates, rng), ("a", "b"))
+    assert scenario_fingerprint(base) == scenario_fingerprint(reordered)
+    assert canonicalize(base) == canonicalize(reordered)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fingerprint_ignores_execution_knobs_but_not_physics(seed):
+    rng = random.Random(seed)
+    rates = {"chest": rng.uniform(0, 9)}
+    base = _FakeScenario("s", 8.0, rates, ())
+    execution_variant = _FakeScenario(
+        "s", 8.0, dict(rates), (), n_jobs=8, cache_dir="/tmp/x"
+    )
+    physics_variant = _FakeScenario("s", 600.0, dict(rates), ())
+    assert scenario_fingerprint(base) == scenario_fingerprint(execution_variant)
+    assert scenario_fingerprint(base) != scenario_fingerprint(physics_variant)
+
+
+def test_fingerprint_real_scenario_stable_and_jobs_free():
+    """The real ScenarioParameters fingerprints identically across n_jobs
+    and across repeated construction (no id()/hash leakage)."""
+    from repro.experiments.scenario import make_scenario
+
+    a = make_scenario("smoke", seed=0)
+    b = make_scenario("smoke", seed=0, n_jobs=4)
+    c = make_scenario("smoke", seed=0)
+    assert scenario_fingerprint(a) == scenario_fingerprint(b)
+    assert scenario_fingerprint(a) == scenario_fingerprint(c)
+    assert scenario_fingerprint(a) != scenario_fingerprint(
+        make_scenario("smoke", seed=1)
+    )
+
+
+def test_canonicalize_is_json_stable():
+    """canonicalize output survives a JSON round trip unchanged —
+    the property the on-disk fingerprint relies on."""
+    from repro.experiments.scenario import make_scenario
+
+    payload = canonicalize(make_scenario("smoke", seed=0))
+    assert payload == json.loads(json.dumps(payload))

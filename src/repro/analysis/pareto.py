@@ -38,12 +38,20 @@ def dominates(a: EvaluationRecord, b: EvaluationRecord, tol: float = 1e-12) -> b
     return ge_nlt and ge_pdr and gt_any
 
 
-def pareto_front(records: Iterable[EvaluationRecord]) -> List[ParetoPoint]:
+def pareto_front(
+    records: Iterable[EvaluationRecord], tol: float = 1e-12
+) -> List[ParetoPoint]:
     """Non-dominated subset, sorted by descending lifetime.
 
     Standard sweep: sort by NLT descending (ties: PDR descending), then
     keep every record whose PDR strictly exceeds the best PDR seen so far.
     O(n log n); duplicate-objective records are collapsed to one point.
+
+    Tolerances match :func:`dominates`: a record whose NLT is within
+    ``tol`` of an earlier front member but whose PDR is higher *replaces*
+    that member (they tie on lifetime, so the higher-PDR one dominates)
+    — otherwise sub-``tol`` lifetime noise could seat two points on the
+    front that ``dominates`` considers ordered.
     """
     pool: Sequence[EvaluationRecord] = sorted(
         records, key=lambda r: (-r.nlt_days, -r.pdr)
@@ -51,7 +59,9 @@ def pareto_front(records: Iterable[EvaluationRecord]) -> List[ParetoPoint]:
     front: List[ParetoPoint] = []
     best_pdr = -1.0
     for record in pool:
-        if record.pdr > best_pdr + 1e-12:
+        if record.pdr > best_pdr + tol:
+            while front and front[-1].nlt_days <= record.nlt_days + tol:
+                front.pop()  # lifetime tie with lower PDR: dominated
             front.append(
                 ParetoPoint(nlt_days=record.nlt_days, pdr=record.pdr,
                             record=record)

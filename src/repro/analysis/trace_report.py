@@ -3,13 +3,23 @@
 Usage::
 
     python -m repro.analysis.trace_report run.jsonl
+    python -m repro.analysis.trace_report --metrics run.metrics.json run.jsonl
 
 The report reconstructs, from the trace alone, what a run did and where
 its wall clock went: the manifest, the explorer's full candidate
-accept/reject trajectory (every ``explorer.*`` milestone), oracle
-activity (simulations vs. cache hits, wall-time percentiles), MILP solve
-statistics (B&B nodes, LP pivots, incumbent updates), DES milestones,
-and a per-span time rollup.
+accept/reject trajectory (every ``explorer.*`` milestone, nominal and
+robust), the fault campaign (``faults.inject`` timeline plus per-config
+``faults.resilience`` summaries), oracle activity (simulations vs. cache
+hits, wall-time percentiles), MILP solve statistics (B&B nodes, LP
+pivots, incumbent updates), DES milestones, and a per-span time rollup.
+With ``--metrics`` the final ``--metrics-out`` counter snapshot is
+appended.
+
+Broken inputs degrade gracefully rather than raising: a missing, empty,
+or fully corrupt trace (or metrics) file produces a one-line diagnostic
+on stderr and exit code 1; a trace truncated mid-line (e.g. the run was
+killed while writing) still renders a report for the readable prefix,
+with a skipped-line warning, and also exits 1 so CI scripts notice.
 
 :func:`explorer_sequence` is the *deterministic projection* of a trace:
 the ordered ``explorer.*`` events with all timing/bookkeeping fields
@@ -25,7 +35,7 @@ import sys
 from collections import defaultdict
 from typing import Dict, List, Optional
 
-from repro.obs.tracing import check_span_balance, read_trace
+from repro.obs.tracing import check_span_balance
 
 #: Trace bookkeeping fields that vary run-to-run even for identical
 #: behaviour; stripped by the deterministic projection.
@@ -33,6 +43,53 @@ NONDETERMINISTIC_FIELDS = frozenset({"t", "seq", "span"})
 
 #: Event kinds that constitute the explorer's decision trajectory.
 EXPLORER_KINDS_PREFIX = "explorer."
+
+
+def load_trace(path) -> "tuple[List[dict], int]":
+    """Read a JSONL trace, tolerating partial writes.
+
+    Returns ``(events, skipped)`` where ``skipped`` counts non-blank
+    lines that were not valid JSON objects — a truncated final line from
+    a killed run being the common case.  Raises :class:`OSError` only
+    when the file itself cannot be opened.
+    """
+    events: List[dict] = []
+    skipped = 0
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except ValueError:
+                skipped += 1
+                continue
+            if isinstance(payload, dict):
+                events.append(payload)
+            else:
+                skipped += 1
+    return events, skipped
+
+
+def load_metrics(path) -> Dict[str, dict]:
+    """Read a ``--metrics-out`` JSON snapshot.
+
+    Raises :class:`OSError` when unreadable and :class:`ValueError` when
+    the content is empty, truncated, or not a JSON object — callers turn
+    both into a diagnostic rather than a traceback.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    if not text.strip():
+        raise ValueError("file is empty")
+    try:
+        payload = json.loads(text)
+    except ValueError as exc:
+        raise ValueError(f"not valid JSON (truncated write?): {exc}") from None
+    if not isinstance(payload, dict):
+        raise ValueError("expected a JSON object of instruments")
+    return payload
 
 
 def explorer_sequence(events: List[dict]) -> List[dict]:
@@ -122,6 +179,48 @@ def _explorer_section(events: List[dict], lines: List[str]) -> None:
                 f"{ev.get('iterations')} iterations / "
                 f"{ev.get('milp_solves')} MILP solves"
             )
+        elif kind == "explorer.robust_start":
+            lines.append(
+                f"  robust run: PDRmin={100.0 * ev.get('pdr_min', 0):.2f}% "
+                f"at quantile q={ev.get('quantile', 0):.2f}"
+            )
+        elif kind == "explorer.robust_iteration":
+            lines.append(
+                f"  robust iteration {ev.get('iteration')}: analytic "
+                f"P*={ev.get('p_star_mw', 0):.4f} mW, "
+                f"{ev.get('num_candidates')} candidates"
+            )
+        elif kind == "explorer.robust_candidate":
+            verdict = "accept" if ev.get("accepted") else "reject"
+            lines.append(
+                f"    {verdict:6s} {ev.get('config')}  "
+                f"q-PDR={100.0 * ev.get('q_pdr', 0):.2f}%  "
+                f"healthy={100.0 * ev.get('healthy_pdr', 0):.2f}%  "
+                f"P={ev.get('power_mw', 0):.4f} mW  ({ev.get('reason')})"
+            )
+        elif kind == "explorer.robust_incumbent":
+            lines.append(
+                f"    incumbent -> {ev.get('config')}  "
+                f"P={ev.get('power_mw', 0):.4f} mW  "
+                f"q-PDR={100.0 * ev.get('q_pdr', 0):.2f}%"
+            )
+        elif kind == "explorer.robust_cut":
+            lines.append(
+                f"    cut: P > {ev.get('p_star_mw', 0):.4f} mW added"
+            )
+        elif kind == "explorer.robust_bound":
+            lines.append(
+                f"    alpha bound {ev.get('bound_mw', 0):.4f} mW exceeds "
+                f"incumbent {ev.get('incumbent_power_mw', 0):.4f} mW -> stop"
+            )
+        elif kind == "explorer.robust_done":
+            lines.append(
+                f"  robust done: {ev.get('status')} ({ev.get('termination')}), "
+                f"best={ev.get('best')}, "
+                f"{ev.get('simulations')} simulations over "
+                f"{ev.get('iterations')} iterations / "
+                f"{ev.get('milp_solves')} MILP solves"
+            )
         elif kind == "explorer.dual_start":
             lines.append(
                 f"  dual run: NLT >= {ev.get('min_lifetime_days')} days "
@@ -138,6 +237,53 @@ def _explorer_section(events: List[dict], lines: List[str]) -> None:
                 f"{ev.get('within_budget')}/{ev.get('evaluated')} "
                 f"within budget"
             )
+
+
+def _faults_section(events: List[dict], lines: List[str]) -> None:
+    injects = [e for e in events if e.get("kind") == "faults.inject"]
+    resilience = [e for e in events if e.get("kind") == "faults.resilience"]
+    if not injects and not resilience:
+        return
+    lines.append("fault campaign")
+    if injects:
+        by_scenario: Dict[str, Dict[str, int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+        for e in injects:
+            by_scenario[str(e.get("scenario"))][str(e.get("action"))] += 1
+        lines.append(f"  injections: {len(injects)}")
+        for scenario in sorted(by_scenario):
+            actions = by_scenario[scenario]
+            detail = ", ".join(
+                f"{actions[a]}x {a}" for a in sorted(actions)
+            )
+            lines.append(f"    {scenario}: {detail}")
+    if resilience:
+        lines.append(f"  resilience evaluations: {len(resilience)}")
+        worst = min(resilience, key=lambda e: float(e.get("pdr_min_fault", 1.0)))
+        lines.append(
+            f"    worst PDR under fault: "
+            f"{100.0 * float(worst.get('pdr_min_fault', 0.0)):.2f}% "
+            f"({worst.get('config')})"
+        )
+        recoveries = [
+            float(e["worst_recovery_s"])
+            for e in resilience
+            if e.get("worst_recovery_s") is not None
+        ]
+        if recoveries:
+            lines.append(
+                f"    recovery times: "
+                f"p50={_quantile(recoveries, 0.5):.2f}s "
+                f"max={max(recoveries):.2f}s "
+                f"over {len(recoveries)} measurable"
+            )
+        degradations = [
+            float(e.get("lifetime_degradation", 0.0)) for e in resilience
+        ]
+        lines.append(
+            f"    max lifetime degradation: {100.0 * max(degradations):.2f}%"
+        )
 
 
 def _oracle_section(events: List[dict], lines: List[str]) -> None:
@@ -212,6 +358,30 @@ def _span_section(events: List[dict], lines: List[str]) -> None:
         )
 
 
+def format_metrics(metrics: Dict[str, dict]) -> str:
+    """Render a ``--metrics-out`` snapshot as a report section."""
+    lines = ["metrics"]
+    if not metrics:
+        lines.append("  (no instruments recorded)")
+        return "\n".join(lines)
+    width = max(len(n) for n in metrics)
+    for name in sorted(metrics):
+        inst = metrics[name] if isinstance(metrics[name], dict) else {}
+        itype = inst.get("type", "?")
+        if itype == "histogram":
+            lines.append(
+                f"  {name:<{width}}  count={inst.get('count', 0)} "
+                f"mean={inst.get('mean', 0.0):.4g} "
+                f"p95={inst.get('p95', 0.0):.4g} "
+                f"max={inst.get('max', 0.0):.4g}"
+            )
+        else:
+            lines.append(
+                f"  {name:<{width}}  {inst.get('value', 0.0):g}"
+            )
+    return "\n".join(lines)
+
+
 def summarize(events: List[dict]) -> str:
     """Render the full report for an event list (see module docstring)."""
     lines: List[str] = []
@@ -221,6 +391,7 @@ def summarize(events: List[dict]) -> str:
     for section in (
         _manifest_section,
         _explorer_section,
+        _faults_section,
         _oracle_section,
         _milp_section,
         _des_section,
@@ -236,7 +407,14 @@ def summarize(events: List[dict]) -> str:
 
 
 def summarize_file(path) -> str:
-    return summarize(read_trace(path))
+    events, _skipped = load_trace(path)
+    return summarize(events)
+
+
+USAGE = (
+    "usage: python -m repro.analysis.trace_report [--json] "
+    "[--metrics <metrics.json>] <trace.jsonl>"
+)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -244,27 +422,73 @@ def main(argv: Optional[List[str]] = None) -> int:
     json_out = "--json" in argv
     if json_out:
         argv.remove("--json")
+    metrics_path: Optional[str] = None
+    if "--metrics" in argv:
+        at = argv.index("--metrics")
+        rest = argv[at + 1 : at + 2]
+        if not rest:
+            print(USAGE, file=sys.stderr)
+            return 2
+        metrics_path = rest[0]
+        del argv[at : at + 2]
     if len(argv) != 1:
+        print(USAGE, file=sys.stderr)
+        return 2
+    trace_path = argv[0]
+
+    try:
+        events, skipped = load_trace(trace_path)
+    except OSError as exc:
         print(
-            "usage: python -m repro.analysis.trace_report [--json] "
-            "<trace.jsonl>",
+            f"trace_report: cannot read trace {trace_path}: {exc}",
             file=sys.stderr,
         )
-        return 2
-    try:
-        events = read_trace(argv[0])
-    except OSError as exc:
-        print(f"trace_report: cannot read {argv[0]}: {exc}", file=sys.stderr)
         return 1
+    code = 0
+    if not events:
+        print(
+            f"trace_report: {trace_path} contains no trace events "
+            "(empty or fully corrupt file)",
+            file=sys.stderr,
+        )
+        return 1
+    if skipped:
+        print(
+            f"trace_report: {trace_path}: skipped {skipped} malformed "
+            "line(s) — trace was truncated mid-line?",
+            file=sys.stderr,
+        )
+        code = 1
+
+    metrics: Optional[Dict[str, dict]] = None
+    if metrics_path is not None:
+        try:
+            metrics = load_metrics(metrics_path)
+        except OSError as exc:
+            print(
+                f"trace_report: cannot read metrics {metrics_path}: {exc}",
+                file=sys.stderr,
+            )
+            code = 1
+        except ValueError as exc:
+            print(
+                f"trace_report: bad metrics file {metrics_path}: {exc}",
+                file=sys.stderr,
+            )
+            code = 1
+
     try:
         if json_out:
             print(json.dumps(explorer_sequence(events), indent=1))
         else:
             print(summarize(events))
+            if metrics is not None:
+                print()
+                print(format_metrics(metrics))
     except BrokenPipeError:  # e.g. `... | head`
         sys.stderr.close()  # suppress the interpreter's EPIPE warning
-        return 0
-    return 0
+        return code
+    return code
 
 
 if __name__ == "__main__":

@@ -3,11 +3,13 @@
 Subcommands mirror the experiment harnesses::
 
     hi-explore solve --pdr-min 90 [--preset ci]     # one Algorithm 1 run
+    hi-explore robust --pdr-min 85 [--hub-stress]   # chance-constrained run
     hi-explore dual --min-lifetime-days 15          # the dual problem
     hi-explore figure3 [--preset ci]                # the Fig. 3 sweep
     hi-explore reduction [--preset ci]              # R1: vs exhaustive
     hi-explore annealing [--preset ci]              # R2: vs SA
     hi-explore extensions [--preset ci]             # E1-E3 studies
+    hi-explore robustness [--preset ci]             # E4: nominal vs robust
     hi-explore table1                               # Table 1
     hi-explore space                                # design-space summary
 """
@@ -17,6 +19,26 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import List, Optional
+
+
+def _positive_jobs(text: str) -> int:
+    """argparse type for ``--jobs``: a positive worker count.
+
+    ``resolve_jobs`` still accepts 0/negative (joblib convention) for
+    programmatic callers, but on the command line those spellings are far
+    more often typos than intent, so the CLI rejects them up front.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--jobs must be a positive integer, got {text!r}"
+        )
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"--jobs must be a positive integer, got {value}"
+        )
+    return value
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -29,10 +51,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="root random seed")
     parser.add_argument(
         "--jobs",
-        type=int,
+        type=_positive_jobs,
         default=1,
         help="worker processes for the simulation oracle "
-        "(1 = serial, 0 = all cores; results are bit-identical)",
+        "(positive integer; 1 = serial; results are bit-identical "
+        "at any count)",
     )
     parser.add_argument(
         "--cache-dir",
@@ -78,6 +101,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(solve)
 
+    robust = sub.add_parser(
+        "robust",
+        help="chance-constrained Algorithm 1 over a fault ensemble",
+    )
+    robust.add_argument(
+        "--pdr-min",
+        type=float,
+        required=True,
+        help="reliability bound in percent (e.g. 85), enforced on the "
+        "ensemble PDR quantile instead of the healthy PDR",
+    )
+    robust.add_argument(
+        "--quantile",
+        type=float,
+        default=0.25,
+        help="chance-constraint quantile q in [0, 1]: the bound must "
+        "hold in at least a (1-q) fraction of fault worlds (0 = worst "
+        "case over the ensemble)",
+    )
+    robust.add_argument(
+        "--ensemble-size",
+        type=int,
+        default=3,
+        help="number of fault scenarios in the ensemble",
+    )
+    robust.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        help="seed for the sampled fault ensemble (default: --seed)",
+    )
+    robust.add_argument(
+        "--hub-stress",
+        action="store_true",
+        help="use the deterministic coordinator-outage ensemble instead "
+        "of sampled mixed faults",
+    )
+    robust.add_argument(
+        "--outage-fraction",
+        type=float,
+        default=0.2,
+        help="hub-stress only: fraction of the horizon the coordinator "
+        "radio is down in every scenario",
+    )
+    _add_common(robust)
+
     fig3 = sub.add_parser("figure3", help="reproduce Figure 3")
     _add_common(fig3)
 
@@ -103,6 +172,36 @@ def build_parser() -> argparse.ArgumentParser:
         "extensions", help="E1-E3: routing comparison, posture, dual staircase"
     )
     _add_common(ext)
+
+    rob = sub.add_parser(
+        "robustness",
+        help="E4: nominal vs chance-constrained design under hub-stress faults",
+    )
+    rob.add_argument(
+        "--pdr-min",
+        type=float,
+        default=85.0,
+        help="reliability bound in percent (default 85)",
+    )
+    rob.add_argument(
+        "--quantile",
+        type=float,
+        default=0.0,
+        help="chance-constraint quantile (default 0 = ensemble minimum)",
+    )
+    rob.add_argument(
+        "--outage-fraction",
+        type=float,
+        default=0.2,
+        help="fraction of the horizon the coordinator radio is down",
+    )
+    rob.add_argument(
+        "--ensemble-size",
+        type=int,
+        default=2,
+        help="number of hub-stress scenarios",
+    )
+    _add_common(rob)
 
     space = sub.add_parser("space", help="summarize the design space")
     _add_common(space)
@@ -199,6 +298,76 @@ def _run_command(args, obs) -> int:
         print(explorer.oracle.format_stats())
         explorer.oracle.close()
         return 0 if result.found else 1
+
+    if args.command == "robust":
+        from repro.core.explorer import HumanIntranetExplorer
+        from repro.experiments.robustness import resilience_line
+        from repro.experiments.scenario import get_preset, make_problem
+        from repro.faults.model import hub_stress_ensemble, sample_fault_ensemble
+        from repro.faults.resilience import EnsembleOracle
+
+        pdr_min = args.pdr_min / 100.0 if args.pdr_min > 1 else args.pdr_min
+        problem = make_problem(
+            pdr_min, args.preset, seed=args.seed,
+            n_jobs=args.jobs, cache_dir=args.cache_dir,
+        )
+        scenario = problem.scenario
+        if args.hub_stress:
+            ensemble = hub_stress_ensemble(
+                scenario.tsim_s,
+                coordinator=scenario.coordinator_location,
+                outage_fraction=args.outage_fraction,
+                size=args.ensemble_size,
+            )
+        else:
+            fault_seed = (
+                args.fault_seed if args.fault_seed is not None else args.seed
+            )
+            ensemble = sample_fault_ensemble(
+                args.ensemble_size,
+                fault_seed,
+                scenario.tsim_s,
+                coordinator=scenario.coordinator_location,
+            )
+        preset = get_preset(args.preset)
+        oracle = EnsembleOracle(
+            scenario, ensemble,
+            n_jobs=args.jobs, cache_dir=args.cache_dir, obs=obs,
+        )
+        explorer = HumanIntranetExplorer(
+            problem, candidate_cap=preset.candidate_cap, obs=obs
+        )
+        result = explorer.explore_robust(oracle, quantile=args.quantile)
+        print("fault ensemble:")
+        for fs in ensemble:
+            print("  " + fs.describe())
+        print(result.summary())
+        if result.best is not None:
+            print("  " + resilience_line(result.best, args.quantile))
+        print(oracle.healthy_oracle.format_stats())
+        oracle.close()
+        return 0 if result.found else 1
+
+    if args.command == "robustness":
+        from repro.experiments.robustness import (
+            format_robustness,
+            run_robustness_comparison,
+        )
+
+        pdr_min = args.pdr_min / 100.0 if args.pdr_min > 1 else args.pdr_min
+        data = run_robustness_comparison(
+            args.preset,
+            seed=args.seed,
+            pdr_min=pdr_min,
+            quantile=args.quantile,
+            outage_fraction=args.outage_fraction,
+            ensemble_size=args.ensemble_size,
+            n_jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            obs=obs,
+        )
+        print(format_robustness(data))
+        return 0
 
     if args.command == "figure3":
         from repro.experiments.figure3 import format_figure3, run_figure3

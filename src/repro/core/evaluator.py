@@ -99,11 +99,19 @@ class SimulationOracle:
         n_jobs: Optional[int] = None,
         cache_dir: Optional[str] = None,
         obs: Optional[Instrumentation] = None,
+        pool: Optional[WorkerPool] = None,
     ) -> None:
         self.scenario = scenario
         requested = n_jobs if n_jobs is not None else getattr(scenario, "n_jobs", 1)
         self.n_jobs = resolve_jobs(requested)
-        self._pool = WorkerPool(self.n_jobs)
+        # `pool` lets an ensemble of oracles (one per fault scenario —
+        # repro.faults.resilience) share one set of worker processes
+        # instead of forking a pool each; a shared pool is never shut
+        # down by close().
+        self._owns_pool = pool is None
+        self._pool = pool if pool is not None else WorkerPool(self.n_jobs)
+        if pool is not None:
+            self.n_jobs = pool.n_jobs
         #: first-request-ordered journal of distinct evaluations.
         self._cache: Dict[Tuple, EvaluationRecord] = {}
         directory = cache_dir if cache_dir is not None else getattr(
@@ -185,9 +193,8 @@ class SimulationOracle:
         fanned out across the pool (waves for the adaptive protocol) and
         aggregated in replicate-index order.
         """
-        record = self._lookup(config.key())
+        record = self.lookup(config)
         if record is not None:
-            self._trace_record(record, cached=True)
             return record
 
         start = time.perf_counter()
@@ -258,6 +265,40 @@ class SimulationOracle:
                     self._store(record)
                     self._trace_record(record, cached=False)
             return [self._cache[c.key()] for c in configs]
+
+    def lookup(self, config: Configuration) -> Optional[EvaluationRecord]:
+        """Public cache probe (memory, then disk) with full hit
+        accounting; returns ``None`` on a miss without simulating.  Lets
+        external dispatchers (the ensemble oracle) split lookup from
+        execution while keeping counters and trace milestones identical
+        to :meth:`evaluate`."""
+        record = self._lookup(config.key())
+        if record is not None:
+            self._trace_record(record, cached=True)
+        return record
+
+    def record_outcome(
+        self, config: Configuration, outcome: SimulationOutcome, wall: float
+    ) -> EvaluationRecord:
+        """Store an outcome produced *outside* this oracle's own dispatch.
+
+        The ensemble oracle fans evaluation tasks for several scenarios
+        out over one shared pool and hands each result back to the oracle
+        that owns the matching scenario; accounting (journal order, disk
+        persistence, counters, trace milestones) is identical to
+        :meth:`evaluate` producing the record itself.
+        """
+        record = EvaluationRecord(
+            config=config,
+            pdr=outcome.pdr,
+            power_mw=outcome.worst_power_mw,
+            nlt_days=outcome.nlt_days,
+            wall_seconds=wall,
+            outcome=outcome,
+        )
+        self._store(record)
+        self._trace_record(record, cached=False)
+        return record
 
     def _trace_record(self, record: EvaluationRecord, cached: bool) -> None:
         """Emit the per-evaluation trace milestone (no-op by default)."""
@@ -365,8 +406,10 @@ class SimulationOracle:
         self._h_wall.reset()
 
     def close(self) -> None:
-        """Shut down the worker pool (idempotent)."""
-        self._pool.shutdown()
+        """Shut down the worker pool (idempotent).  A pool injected at
+        construction belongs to its creator and is left running."""
+        if self._owns_pool:
+            self._pool.shutdown()
 
     def __enter__(self) -> "SimulationOracle":
         return self

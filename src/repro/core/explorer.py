@@ -134,6 +134,93 @@ class ExplorationResult:
         }
 
 
+@dataclass
+class RobustIterationRecord:
+    """Journal entry for one chance-constrained explorer iteration."""
+
+    index: int
+    analytic_power_mw: float
+    #: ResilienceRecord per simulated candidate (duck-typed: defined in
+    #: :mod:`repro.faults.resilience`; this module never imports it).
+    records: List = field(default_factory=list)
+    feasible: List = field(default_factory=list)
+    incumbent_power_mw: float = math.inf
+    incumbent: Optional[Configuration] = None
+
+
+@dataclass
+class RobustExplorationResult:
+    """Outcome of one chance-constrained (robust) Algorithm 1 run.
+
+    The accept test is ``quantile_q(PDR over the fault ensemble) ≥
+    PDR_min`` instead of the nominal ``PDR ≥ PDR_min``; the objective and
+    the α-corrected termination bound are unchanged (healthy power), so
+    the result is the minimum-power design that stays reliable in at
+    least a (1−q) fraction of fault worlds.
+    """
+
+    pdr_min: float
+    quantile: float
+    status: str  # "optimal" | "infeasible"
+    termination_reason: str
+    #: ResilienceRecord of the winner (None when infeasible).
+    best: Optional[object]
+    iterations: List[RobustIterationRecord] = field(default_factory=list)
+    simulations_run: int = 0
+    milp_solves: int = 0
+    wall_seconds: float = 0.0
+    oracle_stats: Optional[dict] = None
+
+    @property
+    def found(self) -> bool:
+        return self.best is not None
+
+    def summary(self) -> str:
+        if self.best is None:
+            return (
+                f"PDRmin={100 * self.pdr_min:.0f}% @q={self.quantile:.2f}: "
+                f"infeasible ({self.simulations_run} simulations)"
+            )
+        b = self.best
+        return (
+            f"PDRmin={100 * self.pdr_min:.0f}% @q={self.quantile:.2f}: "
+            f"{b.config.label()}  "
+            f"healthy PDR={100 * b.healthy.pdr:.1f}%  "
+            f"q-PDR={100 * b.pdr_quantile(self.quantile):.1f}%  "
+            f"NLT={b.healthy.nlt_days:.1f} days  "
+            f"({self.simulations_run} simulations, "
+            f"{len(self.iterations)} iterations)"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "pdr_min": self.pdr_min,
+            "quantile": self.quantile,
+            "status": self.status,
+            "termination_reason": self.termination_reason,
+            "simulations_run": self.simulations_run,
+            "milp_solves": self.milp_solves,
+            "wall_seconds": self.wall_seconds,
+            "oracle_stats": self.oracle_stats,
+            "best": self.best.to_dict() if self.best is not None else None,
+            "iterations": [
+                {
+                    "index": it.index,
+                    "analytic_power_mw": it.analytic_power_mw,
+                    "num_candidates": len(it.records),
+                    "num_feasible": len(it.feasible),
+                    "incumbent_power_mw": (
+                        it.incumbent_power_mw
+                        if it.incumbent_power_mw != math.inf
+                        else None
+                    ),
+                    "records": [r.to_dict() for r in it.records],
+                }
+                for it in self.iterations
+            ],
+        }
+
+
 class HumanIntranetExplorer:
     """Algorithm 1.
 
@@ -338,6 +425,162 @@ class HumanIntranetExplorer:
     def sweep(self) -> ExplorationResult:
         """Exhaustive MILP-ordered sweep of the whole feasible space."""
         return self.explore(exhaustive=True)
+
+    # -- chance-constrained (robust) exploration ---------------------------------
+
+    def explore_robust(
+        self,
+        ensemble_oracle,
+        quantile: float = 0.25,
+    ) -> RobustExplorationResult:
+        """Algorithm 1 with a chance-constrained accept test.
+
+        ``ensemble_oracle`` is duck-typed (an
+        :class:`repro.faults.resilience.EnsembleOracle`): it must offer
+        ``evaluate_many(configs) -> [ResilienceRecord]`` and ``stats()``.
+        A candidate is feasible when the lower ``quantile`` of its PDR
+        over the fault ensemble meets PDR_min — i.e. the reliability
+        bound holds in at least a (1 − quantile) fraction of fault
+        worlds.  The objective and the α-corrected termination bound stay
+        on *healthy* power: faults do not reduce any candidate's healthy
+        power, so the bound argument of line 5 carries over unchanged,
+        and the cut sequence is the same ascending analytical-power walk.
+        """
+        if not 0.0 <= quantile <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {quantile}")
+        start = time.perf_counter()
+        power_model = self.problem.scenario.power_model()
+        pdr_min = self.problem.pdr_min
+        obs = self.obs
+        obs.event(
+            "explorer.robust_start",
+            pdr_min=pdr_min,
+            quantile=quantile,
+            candidate_cap=self.candidate_cap,
+            use_alpha=self.use_alpha,
+        )
+
+        cuts: List[float] = []
+        incumbent = None  # ResilienceRecord
+        p_min = math.inf
+        iterations: List[RobustIterationRecord] = []
+        milp_solves = 0
+        sims_before = int(ensemble_oracle.stats()["simulations_run"])
+        termination = "max_iterations"
+
+        for index in range(self.max_iterations):
+            status, candidates, p_star = self.formulation.enumerate_candidates(
+                cuts, max_solutions=self.milp_max_solutions
+            )
+            milp_solves += 1
+            if status is SolveStatus.INFEASIBLE or not candidates:
+                termination = (
+                    "milp_exhausted" if incumbent is not None else "milp_infeasible"
+                )
+                break
+            if status is not SolveStatus.OPTIMAL:
+                raise RuntimeError(f"unexpected MILP status {status}")
+            assert p_star is not None
+            obs.event(
+                "explorer.robust_iteration",
+                iteration=index,
+                p_star_mw=p_star,
+                num_candidates=len(candidates),
+            )
+
+            if incumbent is not None:
+                if self.use_alpha:
+                    bound = power_model.power_lower_bound_mw(
+                        p_star, pdr_min, self.alpha_slack
+                    )
+                else:
+                    bound = p_star
+                if bound > p_min:
+                    termination = "alpha_bound"
+                    obs.event(
+                        "explorer.robust_bound",
+                        iteration=index,
+                        bound_mw=bound,
+                        incumbent_power_mw=p_min,
+                    )
+                    break
+
+            if self.candidate_cap is not None:
+                candidates = candidates[: self.candidate_cap]
+
+            records = ensemble_oracle.evaluate_many(candidates)
+            feasible = [
+                r
+                for r in records
+                if r.pdr_quantile(quantile) >= pdr_min - self.pdr_tolerance
+            ]
+            if obs.tracing:
+                for r in records:
+                    q_pdr = r.pdr_quantile(quantile)
+                    accepted = q_pdr >= pdr_min - self.pdr_tolerance
+                    obs.event(
+                        "explorer.robust_candidate",
+                        iteration=index,
+                        config=r.config.label(),
+                        healthy_pdr=r.healthy.pdr,
+                        q_pdr=q_pdr,
+                        pdr_min_fault=r.pdr_min_fault,
+                        power_mw=r.healthy.power_mw,
+                        accepted=accepted,
+                        reason=(
+                            "meets_quantile_pdr" if accepted else "quantile_pdr_below_min"
+                        ),
+                    )
+            feasible.sort(key=lambda r: (r.healthy.power_mw, r.config.key()))
+            if feasible and feasible[0].healthy.power_mw <= p_min:
+                incumbent = feasible[0]
+                p_min = incumbent.healthy.power_mw
+                obs.event(
+                    "explorer.robust_incumbent",
+                    iteration=index,
+                    config=incumbent.config.label(),
+                    power_mw=p_min,
+                    q_pdr=incumbent.pdr_quantile(quantile),
+                )
+
+            iterations.append(
+                RobustIterationRecord(
+                    index=index,
+                    analytic_power_mw=p_star,
+                    records=list(records),
+                    feasible=feasible,
+                    incumbent_power_mw=p_min,
+                    incumbent=incumbent.config if incumbent else None,
+                )
+            )
+            cuts.append(p_star)
+            obs.event("explorer.robust_cut", iteration=index, p_star_mw=p_star)
+
+        wall = time.perf_counter() - start
+        stats = ensemble_oracle.stats()
+        obs.counter("explorer.robust_runs").inc()
+        obs.event(
+            "explorer.robust_done",
+            status="optimal" if incumbent is not None else "infeasible",
+            termination=termination,
+            best=incumbent.config.label() if incumbent else None,
+            best_power_mw=p_min if incumbent is not None else None,
+            iterations=len(iterations),
+            milp_solves=milp_solves,
+            simulations=int(stats["simulations_run"]) - sims_before,
+        )
+        return RobustExplorationResult(
+            pdr_min=pdr_min,
+            quantile=quantile,
+            status="optimal" if incumbent is not None else "infeasible",
+            termination_reason=termination,
+            best=incumbent,
+            iterations=iterations,
+            simulations_run=int(stats["simulations_run"]) - sims_before,
+            milp_solves=milp_solves,
+            wall_seconds=wall,
+            oracle_stats=stats,
+        )
 
     # -- the dual problem -----------------------------------------------------------
 

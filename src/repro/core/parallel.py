@@ -123,6 +123,7 @@ def replicate_job(
         body=scenario.body,
         pathloss_params=scenario.pathloss,
         fading_params=scenario.fading,
+        fault_scenario=scenario.fault_scenario,
     )
 
 

@@ -22,6 +22,7 @@ from repro.channel.fading import FadingParameters
 from repro.channel.pathloss import PathLossParameters
 from repro.core.design_space import Configuration, DesignSpace
 from repro.core.power_model import CoarsePowerModel
+from repro.faults.model import FaultScenario
 from repro.library.batteries import CR2032, BatterySpec
 from repro.library.mac_options import (
     CsmaAccessMode,
@@ -61,6 +62,12 @@ class ScenarioParameters:
     body: BodyModel = STANDARD_BODY
     pathloss: Optional[PathLossParameters] = None
     fading: Optional[FadingParameters] = None
+    #: Optional fault scenario injected into every replicate (``None`` =
+    #: healthy network).  Unlike the execution knobs below this *is* part
+    #: of the cache fingerprint: faults change simulation results, so a
+    #: faulted campaign must never share cached outcomes with the healthy
+    #: scenario (or with a different fault scenario).
+    fault_scenario: Optional[FaultScenario] = None
     #: Execution knobs, not physics: worker processes for the simulation
     #: oracle's parallel fan-out (1 = serial, 0 = all cores) and the
     #: directory of the persistent result cache (None = memory-only).

@@ -104,6 +104,7 @@ def record_to_dict(record) -> dict:
             "events_executed": o.events_executed,
             "replicates": o.replicates,
             "mean_latency_s": o.mean_latency_s,
+            "windowed_pdr": [list(bin_) for bin_ in o.windowed_pdr],
         },
     }
 
@@ -134,6 +135,11 @@ def record_from_dict(payload: dict):
         events_executed=o["events_executed"],
         replicates=o["replicates"],
         mean_latency_s=o["mean_latency_s"],
+        # Tolerant get: lines written before fault campaigns existed have
+        # no windowed series, and a healthy run's series is empty anyway.
+        windowed_pdr=tuple(
+            (bin_[0], bin_[1]) for bin_ in o.get("windowed_pdr", ())
+        ),
     )
     return EvaluationRecord(
         config=config,

@@ -23,6 +23,15 @@ from typing import Any, Callable, List, Optional, Tuple
 
 from repro.obs.runtime import get_active
 
+#: Priority lane for environment interventions (fault injection).  An
+#: intervention scheduled at time t must take effect before any protocol
+#: event at the same timestamp — a node dying at exactly a slot boundary
+#: must not transmit in that slot — and the engine's stable (priority,
+#: seq) ordering makes that deterministic rather than insertion-order
+#: dependent.  Protocol code uses the default priority 0; anything more
+#: urgent than a fault would break the "faults preempt protocol" contract.
+FAULT_PRIORITY = -100
+
 
 class Event:
     """A scheduled callback.

@@ -1,0 +1,324 @@
+"""Declarative fault scenarios for the Human Intranet simulator.
+
+A :class:`FaultScenario` is pure data: a named tuple of :class:`FaultSpec`
+entries, each describing one deviation from healthy operation on the
+scenario's absolute simulation timeline.  Scenarios reference *body
+locations*, not nodes of a particular placement — a fault targeting a
+location that a candidate configuration does not occupy is silently
+inapplicable, so the same scenario is meaningful across the whole design
+space and resilience numbers stay comparable between configurations.
+
+Four fault kinds (the failure modes D'Andreagiovanni et al.'s robust WBAN
+design work optimizes against, mapped onto our DES):
+
+* ``NODE_DEATH`` — the node at ``location`` is permanently lost at
+  ``start_s`` (crushed sensor, detached electrode).  Its radio goes dark
+  and its application stops producing payloads.
+* ``HUB_OUTAGE`` — the radio at ``location`` (typically the star
+  coordinator) is down for ``duration_s`` seconds and then recovers —
+  the transient outage whose aftermath defines *recovery time*.
+* ``LINK_BLACKOUT`` — the body channel between the two ``link``
+  locations is in a deep-shadowing episode for ``duration_s`` seconds:
+  packets between the pair fall below sensitivity in both directions.
+* ``BATTERY_DRAIN`` — the battery at ``location`` depletes ``factor``
+  times faster from ``start_s`` on (cold, aging, defect); it reduces the
+  node's effective lifetime without changing traffic.
+
+All randomness used to *generate* scenarios is drawn from dedicated
+``faults/*`` substreams of :class:`repro.des.rng.RngStreams` at ensemble
+construction time; injection itself is deterministic event scheduling.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.des.rng import RngStreams
+
+
+class FaultKind(enum.Enum):
+    NODE_DEATH = "node_death"
+    HUB_OUTAGE = "hub_outage"
+    LINK_BLACKOUT = "link_blackout"
+    BATTERY_DRAIN = "battery_drain"
+
+
+#: Kinds that end and leave the network to recover.
+RECOVERABLE_KINDS = frozenset({FaultKind.HUB_OUTAGE, FaultKind.LINK_BLACKOUT})
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault on the simulation timeline (see the module docstring)."""
+
+    kind: FaultKind
+    start_s: float
+    #: Episode length; ``inf`` means "until the end of the run".
+    duration_s: float = math.inf
+    #: Target body location (all kinds except ``LINK_BLACKOUT``).
+    location: Optional[int] = None
+    #: Target location pair (``LINK_BLACKOUT`` only); stored sorted.
+    link: Optional[Tuple[int, int]] = None
+    #: Depletion acceleration (``BATTERY_DRAIN`` only, > 1).
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0:
+            raise ValueError("fault start time cannot be negative")
+        if self.duration_s <= 0:
+            raise ValueError("fault duration must be positive")
+        if self.kind is FaultKind.LINK_BLACKOUT:
+            if self.link is None:
+                raise ValueError("LINK_BLACKOUT needs a `link` pair")
+            a, b = self.link
+            if a == b:
+                raise ValueError("a link connects two distinct locations")
+            object.__setattr__(self, "link", tuple(sorted((a, b))))
+            if not math.isfinite(self.duration_s):
+                raise ValueError("LINK_BLACKOUT episodes must be finite")
+        else:
+            if self.location is None:
+                raise ValueError(f"{self.kind.value} needs a `location`")
+            if self.link is not None:
+                raise ValueError(f"{self.kind.value} does not take a `link`")
+        if self.kind is FaultKind.HUB_OUTAGE and not math.isfinite(
+            self.duration_s
+        ):
+            raise ValueError(
+                "HUB_OUTAGE must recover; use NODE_DEATH for permanent loss"
+            )
+        if self.kind is FaultKind.BATTERY_DRAIN and self.factor <= 1.0:
+            raise ValueError("BATTERY_DRAIN factor must exceed 1")
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+    @property
+    def recoverable(self) -> bool:
+        return self.kind in RECOVERABLE_KINDS and math.isfinite(self.end_s)
+
+    def applies_to(self, placement: Sequence[int]) -> bool:
+        """Whether this fault touches any node of ``placement``."""
+        occupied = set(placement)
+        if self.link is not None:
+            return self.link[0] in occupied and self.link[1] in occupied
+        return self.location in occupied
+
+    def describe(self) -> str:
+        target = (
+            f"link {self.link[0]}-{self.link[1]}"
+            if self.link is not None
+            else f"loc {self.location}"
+        )
+        window = (
+            f"t={self.start_s:g}s.."
+            if not math.isfinite(self.duration_s)
+            else f"t={self.start_s:g}s+{self.duration_s:g}s"
+        )
+        extra = f" x{self.factor:g}" if self.kind is FaultKind.BATTERY_DRAIN else ""
+        return f"{self.kind.value}({target}, {window}{extra})"
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind.value,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s if math.isfinite(self.duration_s) else None,
+            "location": self.location,
+            "link": list(self.link) if self.link is not None else None,
+            "factor": self.factor,
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "FaultSpec":
+        duration = payload.get("duration_s")
+        link = payload.get("link")
+        return FaultSpec(
+            kind=FaultKind(payload["kind"]),
+            start_s=payload["start_s"],
+            duration_s=math.inf if duration is None else duration,
+            location=payload.get("location"),
+            link=tuple(link) if link is not None else None,
+            factor=payload.get("factor", 1.0),
+        )
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """A named, ordered collection of faults — one campaign member.
+
+    The empty scenario (no faults) is the healthy network; it is valid and
+    simulates identically to a run with no fault machinery attached.
+    """
+
+    name: str
+    faults: Tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def applicable(self, placement: Sequence[int]) -> Tuple[FaultSpec, ...]:
+        return tuple(f for f in self.faults if f.applies_to(placement))
+
+    def clear_time_s(self, placement: Sequence[int]) -> Optional[float]:
+        """When the last applicable *recoverable* fault clears — the
+        reference point of the recovery-time metric.  ``None`` when the
+        scenario has no recoverable fault on this placement."""
+        ends = [
+            f.end_s for f in self.applicable(placement) if f.recoverable
+        ]
+        return max(ends) if ends else None
+
+    def describe(self) -> str:
+        if not self.faults:
+            return f"{self.name}: healthy"
+        return f"{self.name}: " + ", ".join(f.describe() for f in self.faults)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "faults": [f.to_dict() for f in self.faults],
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "FaultScenario":
+        return FaultScenario(
+            name=payload["name"],
+            faults=tuple(
+                FaultSpec.from_dict(f) for f in payload.get("faults", ())
+            ),
+        )
+
+
+# -- ensemble generators ---------------------------------------------------------
+
+
+def sample_fault_ensemble(
+    size: int,
+    seed: int,
+    horizon_s: float,
+    locations: Sequence[int] = tuple(range(10)),
+    coordinator: int = 0,
+    name: str = "sampled",
+) -> Tuple[FaultScenario, ...]:
+    """``size`` single- and double-fault scenarios with seeded randomness.
+
+    Scenario ``k`` draws all its random choices from the ``faults/*``
+    streams of ``RngStreams(seed, replicate=k)`` — disjoint from every
+    simulation stream and from every other scenario, so the ensemble is a
+    pure function of ``(seed, size, horizon_s, locations, coordinator)``.
+
+    Each scenario contains one link blackout in the first half of the run
+    plus, round-robin by index, one of: a hub outage, a non-coordinator
+    node death, or a battery-drain acceleration.
+    """
+    if size < 1:
+        raise ValueError("ensemble size must be positive")
+    if horizon_s <= 0:
+        raise ValueError("horizon must be positive")
+    locations = sorted(set(locations))
+    if len(locations) < 2:
+        raise ValueError("need at least two locations to draw faults over")
+    scenarios: List[FaultScenario] = []
+    for k in range(size):
+        rng = RngStreams(seed=seed, replicate=k)
+        faults: List[FaultSpec] = []
+
+        # A deep-shadowing episode on a random pair, first half of the run.
+        idx_a = rng.integers("faults/link_a", 0, len(locations))
+        idx_b = rng.integers("faults/link_b", 0, len(locations) - 1)
+        if idx_b >= idx_a:
+            idx_b += 1
+        start = rng.uniform("faults/link_start", 0.05, 0.45) * horizon_s
+        duration = rng.uniform("faults/link_dur", 0.10, 0.25) * horizon_s
+        faults.append(
+            FaultSpec(
+                kind=FaultKind.LINK_BLACKOUT,
+                start_s=start,
+                duration_s=duration,
+                link=(locations[idx_a], locations[idx_b]),
+            )
+        )
+
+        mode = k % 3
+        if mode == 0:
+            start = rng.uniform("faults/hub_start", 0.30, 0.50) * horizon_s
+            duration = rng.uniform("faults/hub_dur", 0.10, 0.25) * horizon_s
+            faults.append(
+                FaultSpec(
+                    kind=FaultKind.HUB_OUTAGE,
+                    start_s=start,
+                    duration_s=duration,
+                    location=coordinator,
+                )
+            )
+        elif mode == 1:
+            others = [loc for loc in locations if loc != coordinator]
+            victim = others[rng.integers("faults/death_loc", 0, len(others))]
+            start = rng.uniform("faults/death_start", 0.50, 0.90) * horizon_s
+            faults.append(
+                FaultSpec(
+                    kind=FaultKind.NODE_DEATH, start_s=start, location=victim
+                )
+            )
+        else:
+            victim = locations[rng.integers("faults/drain_loc", 0, len(locations))]
+            factor = rng.uniform("faults/drain_factor", 1.5, 4.0)
+            start = rng.uniform("faults/drain_start", 0.0, 0.50) * horizon_s
+            faults.append(
+                FaultSpec(
+                    kind=FaultKind.BATTERY_DRAIN,
+                    start_s=start,
+                    location=victim,
+                    factor=factor,
+                )
+            )
+        scenarios.append(FaultScenario(name=f"{name}-{k}", faults=tuple(faults)))
+    return tuple(scenarios)
+
+
+def hub_stress_ensemble(
+    horizon_s: float,
+    coordinator: int = 0,
+    outage_fraction: float = 0.35,
+    size: int = 3,
+) -> Tuple[FaultScenario, ...]:
+    """A deterministic coordinator-hostile ensemble (no sampling).
+
+    Every member takes the hub radio down for ``outage_fraction`` of the
+    horizon, each at a different phase of the run.  Star topologies lose
+    all relay traffic during the outage while flooding merely loses one
+    relay, so this is the canonical workload under which the nominal- and
+    robust-optimal designs diverge (experiment E4).
+    """
+    if not 0.0 < outage_fraction < 1.0:
+        raise ValueError("outage fraction must be in (0, 1)")
+    if size < 1:
+        raise ValueError("ensemble size must be positive")
+    duration = outage_fraction * horizon_s
+    scenarios = []
+    for k in range(size):
+        # Phases spread over the feasible window, always clearing before
+        # the horizon so recovery is observable.
+        latest_start = horizon_s - duration
+        start = latest_start * (k + 1) / (size + 1)
+        scenarios.append(
+            FaultScenario(
+                name=f"hub-stress-{k}",
+                faults=(
+                    FaultSpec(
+                        kind=FaultKind.HUB_OUTAGE,
+                        start_s=start,
+                        duration_s=duration,
+                        location=coordinator,
+                    ),
+                ),
+            )
+        )
+    return tuple(scenarios)

@@ -74,6 +74,7 @@ class Application:
         self._seq = 0
         self._dst_cursor = 0
         self._generation_stopped = False
+        self._halted = False
         self._stop_at: Optional[float] = None
         if self.peers:
             phase = rng.uniform(f"app_phase/{location}", 0.0, params.period_s)
@@ -85,10 +86,19 @@ class Application:
         bias)."""
         self._stop_at = t
 
+    def halt(self) -> None:
+        """Permanently stop producing payloads (fault injection: a dead
+        node creates no data).  Unlike :meth:`stop_generation_at`, this
+        takes effect at the next scheduled generation regardless of its
+        timestamp."""
+        self._halted = True
+
     # -- traffic generation ---------------------------------------------------
 
     def _generate(self) -> None:
-        if self._stop_at is not None and self.sim.now >= self._stop_at:
+        if self._halted or (
+            self._stop_at is not None and self.sim.now >= self._stop_at
+        ):
             self._generation_stopped = True
             return
         destination = self.peers[self._dst_cursor % len(self.peers)]
@@ -101,7 +111,7 @@ class Application:
             created_at=self.sim.now,
         )
         self._seq += 1
-        self.stats.record_sent(destination)
+        self.stats.record_sent(destination, t=self.sim.now)
         self.routing_send(packet)
         self.sim.schedule(self.params.period_s, self._generate)
 
@@ -113,7 +123,10 @@ class Application:
         if packet.destination != self.location:
             return
         self.stats.record_delivery(
-            packet.origin, packet.uid, self.sim.now - packet.created_at
+            packet.origin,
+            packet.uid,
+            self.sim.now - packet.created_at,
+            created_at=packet.created_at,
         )
 
     @property

@@ -13,7 +13,7 @@ running independent replicates with disjoint random streams.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.channel.body import BodyModel
 from repro.channel.fading import FadingParameters
@@ -57,6 +57,11 @@ class SimulationOutcome:
     #: TDMA pays slot waiting, CSMA pays backoffs — a secondary metric the
     #: paper does not evaluate but any deployment asks about.
     mean_latency_s: float = 0.0
+    #: Time-resolved network delivery ratio, ``((bin_end_s, pdr-or-None),
+    #: ...)``, keyed by payload *generation* time — populated only for
+    #: fault-injected runs (see :meth:`repro.net.stats.NetworkStats.
+    #: windowed_pdr`); empty for healthy runs.
+    windowed_pdr: Tuple[Tuple[float, Optional[float]], ...] = ()
 
     @property
     def pdr_percent(self) -> float:
@@ -82,7 +87,18 @@ class Network:
         Channel model configuration (defaults reproduce the paper setup).
     trace:
         Enable structured event tracing (tests/debugging only).
+    fault_scenario:
+        Optional :class:`repro.faults.model.FaultScenario`.  Its faults
+        that apply to this placement are compiled into simulator events;
+        time-binned PDR accounting is switched on so the outcome carries
+        a ``windowed_pdr`` series.  ``None`` (the default) builds the
+        healthy network with zero fault machinery on any hot path.
     """
+
+    #: Generation-time bin width for fault-injected runs (seconds).  One
+    #: second resolves recovery transients at the paper's φ = 10 pkt/s
+    #: (≈ 10 payloads per node per bin) without ballooning the outcome.
+    FAULT_WINDOW_S = 1.0
 
     def __init__(
         self,
@@ -101,6 +117,7 @@ class Network:
         fading_params: Optional[FadingParameters] = None,
         posture_params: Optional[PostureParameters] = None,
         trace: bool = False,
+        fault_scenario=None,
     ) -> None:
         placement = tuple(sorted(set(placement)))
         if len(placement) < 2:
@@ -129,8 +146,24 @@ class Network:
             fading_params=fading_params, posture_params=posture_params,
         )
         self.channel = channel
-        self.medium = Medium(self.sim, channel, self.trace)
+
+        self.fault_scenario = fault_scenario
+        self._fault_injector = None
+        self.fault_state = None
+        if fault_scenario is not None and fault_scenario.applicable(placement):
+            # Imported lazily: repro.faults pulls in the resilience layer,
+            # which imports the oracle, which imports this module.
+            from repro.faults.injector import FaultInjector
+
+            self._fault_injector = FaultInjector(self, fault_scenario)
+            self.fault_state = self._fault_injector.state
+
+        self.medium = Medium(
+            self.sim, channel, self.trace, faults=self.fault_state
+        )
         self.stats = NetworkStats(list(placement))
+        if self._fault_injector is not None:
+            self.stats.enable_windows(self.FAULT_WINDOW_S)
 
         self.nodes: Dict[int, Node] = {}
         for slot_index, loc in enumerate(placement):
@@ -150,6 +183,9 @@ class Network:
                 slot_index=slot_index,
                 num_slots=len(placement),
             )
+
+        if self._fault_injector is not None:
+            self._fault_injector.install()
 
     @property
     def coordinator_locations(self) -> Set[int]:
@@ -182,9 +218,19 @@ class Network:
             loc: self.stats.node_power_mw(loc, tsim_s, tx_mw, rx_mw, baseline)
             for loc in self.placement
         }
-        worst = self.stats.max_noncoordinator_power_mw(
-            tsim_s, tx_mw, rx_mw, baseline, exclude=exclude
-        )
+        windowed: Tuple[Tuple[float, Optional[float]], ...] = ()
+        if self.fault_state is not None:
+            # Battery-drain faults deplete energy faster without changing
+            # traffic: fold them in as an equivalent average-power scaling.
+            node_powers = {
+                loc: power * self.fault_state.power_scale(loc, tsim_s)
+                for loc, power in node_powers.items()
+            }
+            windowed = self.stats.windowed_pdr(tsim_s)
+        candidates = [loc for loc in self.placement if loc not in exclude]
+        if not candidates:
+            raise ValueError("no battery-limited nodes")
+        worst = max(node_powers[loc] for loc in candidates)
         nlt_days = self.battery.lifetime_days(worst)
         deliveries = sum(s.deliveries for s in self.stats.nodes.values())
         latency_total = sum(s.latency_sum for s in self.stats.nodes.values())
@@ -200,6 +246,11 @@ class Network:
                 node_pdrs={str(k): v for k, v in node_pdrs.items()},
                 worst_power_mw=worst,
                 nlt_days=nlt_days,
+                fault_scenario=(
+                    self.fault_scenario.name
+                    if self.fault_scenario is not None
+                    else None
+                ),
             )
         return SimulationOutcome(
             pdr=self.stats.network_pdr(),
@@ -211,6 +262,7 @@ class Network:
             totals=self.stats.totals(),
             events_executed=self.sim.events_executed,
             mean_latency_s=latency_total / deliveries if deliveries else 0.0,
+            windowed_pdr=windowed,
         )
 
 
@@ -229,6 +281,7 @@ def simulate_configuration(
     pathloss_params: Optional[PathLossParameters] = None,
     fading_params: Optional[FadingParameters] = None,
     posture_params: Optional[PostureParameters] = None,
+    fault_scenario=None,
 ) -> SimulationOutcome:
     """Run ``replicates`` independent simulations and average the metrics.
 
@@ -256,6 +309,7 @@ def simulate_configuration(
                 pathloss_params=pathloss_params,
                 fading_params=fading_params,
                 posture_params=posture_params,
+                fault_scenario=fault_scenario,
             )
         )
     return average_outcomes(outcomes, battery)
@@ -276,6 +330,7 @@ def simulate_replicate(
     pathloss_params: Optional[PathLossParameters] = None,
     fading_params: Optional[FadingParameters] = None,
     posture_params: Optional[PostureParameters] = None,
+    fault_scenario=None,
 ) -> SimulationOutcome:
     """One independent replicate (disjoint random streams per index)."""
     network = Network(
@@ -292,6 +347,7 @@ def simulate_replicate(
         pathloss_params=pathloss_params,
         fading_params=fading_params,
         posture_params=posture_params,
+        fault_scenario=fault_scenario,
     )
     return network.run(tsim_s)
 
@@ -322,6 +378,8 @@ class ReplicateJob:
     pathloss_params: Optional[PathLossParameters] = None
     fading_params: Optional[FadingParameters] = None
     posture_params: Optional[PostureParameters] = None
+    #: Frozen FaultScenario (or None); frozen dataclasses pickle cleanly.
+    fault_scenario: Optional[object] = None
 
     def run(self) -> SimulationOutcome:
         return simulate_replicate(
@@ -339,6 +397,7 @@ class ReplicateJob:
             pathloss_params=self.pathloss_params,
             fading_params=self.fading_params,
             posture_params=self.posture_params,
+            fault_scenario=self.fault_scenario,
         )
 
 
@@ -367,6 +426,20 @@ def average_outcomes(
     for o in outcomes:
         for key, value in o.totals.items():
             totals[key] = totals.get(key, 0) + value
+    windowed: Tuple[Tuple[float, Optional[float]], ...] = ()
+    if outcomes[0].windowed_pdr:
+        # Average each generation-time bin over the replicates that
+        # observed traffic in it; a bin empty in every replicate stays
+        # None rather than polluting the mean with zeros.
+        bins = []
+        for i, (t_end, _ratio) in enumerate(outcomes[0].windowed_pdr):
+            values = [
+                o.windowed_pdr[i][1]
+                for o in outcomes
+                if i < len(o.windowed_pdr) and o.windowed_pdr[i][1] is not None
+            ]
+            bins.append((t_end, sum(values) / len(values) if values else None))
+        windowed = tuple(bins)
     return SimulationOutcome(
         pdr=mean_pdr,
         node_pdrs=node_pdrs,
@@ -378,4 +451,5 @@ def average_outcomes(
         events_executed=sum(o.events_executed for o in outcomes),
         replicates=n,
         mean_latency_s=sum(o.mean_latency_s for o in outcomes) / n,
+        windowed_pdr=windowed,
     )

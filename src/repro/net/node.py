@@ -74,6 +74,21 @@ class Node:
         self.radio.on_receive = self.routing.on_receive
         self.routing.deliver_up = self.app.on_receive
 
+    # -- fault hooks ------------------------------------------------------------
+
+    def fail(self, permanent: bool = False) -> None:
+        """Take this node down (fault injection).  The radio goes dark;
+        for a permanent death the application also stops producing
+        payloads (a transient outage keeps generating so that PDR
+        reflects the traffic lost during the blackout)."""
+        self.radio.fail()
+        if permanent:
+            self.app.halt()
+
+    def recover(self) -> None:
+        """Bring the node's radio back after a transient outage."""
+        self.radio.recover()
+
     @property
     def is_coordinator(self) -> bool:
         return (

@@ -81,14 +81,29 @@ class _Transmission:
 
 
 class Medium:
-    """The shared wireless medium connecting all radios of one network."""
+    """The shared wireless medium connecting all radios of one network.
 
-    def __init__(self, sim: Simulator, channel: Channel, trace: Optional[TraceLog] = None):
+    ``faults`` is an optional fault-state object (see
+    :class:`repro.faults.injector.FaultState`) consulted on the hot path
+    through two narrow hooks: ``link_blocked(a, b)`` forces the received
+    power of a blacked-out pair below sensitivity, and a failed radio
+    (``radio.failed``) neither senses, receives, nor reaches the medium.
+    Healthy networks pass ``None`` and pay nothing.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        channel: Channel,
+        trace: Optional[TraceLog] = None,
+        faults=None,
+    ):
         self.sim = sim
         self.channel = channel
         # Explicit None check: TraceLog has __len__, so an (empty) enabled
         # log is falsy and `trace or ...` would silently discard it.
         self.trace = trace if trace is not None else TraceLog(enabled=False)
+        self.faults = faults
         self._radios: Dict[int, "Radio"] = {}
         self._active: List[_Transmission] = []
 
@@ -107,6 +122,8 @@ class Medium:
         """Whether a node at ``location`` currently senses energy above its
         carrier-sense threshold (uses powers sampled at each transmission's
         start; the fading coherence time far exceeds packet airtimes)."""
+        if self._radios[location].failed:
+            return False  # a dark radio senses nothing
         for tx in self._active:
             if tx.sender == location:
                 return True
@@ -122,8 +139,14 @@ class Medium:
         now = self.sim.now
         airtime = radio.spec.packet_airtime_s(packet.length_bytes)
         rx_power: Dict[int, float] = {}
+        blocked = self.faults.link_blocked if self.faults is not None else None
         for loc in self._radios:
             if loc == radio.location:
+                continue
+            if blocked is not None and blocked(radio.location, loc):
+                # Blackout episode: the pair is in deep shadowing, below
+                # sensitivity in both directions for the episode.
+                rx_power[loc] = -math.inf
                 continue
             rx_power[loc] = self.channel.received_power_dbm(
                 radio.tx_mode.output_dbm, radio.location, loc, now
@@ -156,6 +179,11 @@ class Medium:
         duration = tx.end - tx.start
         for loc, radio in self._radios.items():
             if loc == tx.sender:
+                continue
+            if radio.failed:
+                # A dark radio never wakes its receive chain: no RX
+                # energy, no delivery.
+                radio.stats.fault_rx_suppressed += 1
                 continue
             power = tx.rx_power[loc]
             if power < radio.spec.sensitivity_dbm:
@@ -202,6 +230,10 @@ class Radio:
         self.tx_mode = tx_mode
         self.stats = stats
         self.state = RadioState.SLEEP
+        #: Fault-injection switch: a failed radio is electrically dark —
+        #: it neither transmits onto the medium, receives, senses, nor
+        #: draws radio energy.  Toggled by the fault injector only.
+        self.failed = False
         self.on_receive: Optional[Callable[[Packet, float], None]] = None
         self.on_tx_done: Optional[Callable[[Packet], None]] = None
         medium.register(self)
@@ -209,6 +241,19 @@ class Radio:
     @property
     def is_transmitting(self) -> bool:
         return self.state is RadioState.TX
+
+    # -- fault hooks ------------------------------------------------------------
+
+    def fail(self) -> None:
+        """Take the radio down (fault injection).  A transmission already
+        on the air completes — airtimes are milliseconds, far below any
+        meaningful fault timescale — but nothing new reaches the medium
+        and nothing is received until :meth:`recover`."""
+        self.failed = True
+
+    def recover(self) -> None:
+        """Bring the radio back up after a transient outage."""
+        self.failed = False
 
     def transmit(self, packet: Packet) -> float:
         """Broadcast a packet copy; returns its airtime in seconds.
@@ -221,6 +266,16 @@ class Radio:
             raise RuntimeError(
                 f"radio at location {self.location} is already transmitting"
             )
+        if self.failed:
+            # The MAC's state machine still sees its transmit attempt
+            # complete after the nominal airtime — keeping TDMA slots and
+            # CSMA cycles deterministic through an outage — but the packet
+            # never reaches the medium and no energy is drawn.
+            airtime = self.spec.packet_airtime_s(packet.length_bytes)
+            self.state = RadioState.TX
+            self.stats.fault_tx_suppressed += 1
+            self.sim.schedule(airtime, self._void_transmission_ended, packet)
+            return airtime
         self.state = RadioState.TX
         airtime = self.medium.begin_transmission(self, packet)
         self.stats.transmissions += 1
@@ -231,6 +286,12 @@ class Radio:
         self.state = RadioState.SLEEP
         if self.on_tx_done is not None:
             self.on_tx_done(tx.packet)
+
+    def _void_transmission_ended(self, packet: Packet) -> None:
+        """Tail of a transmission suppressed by a radio fault."""
+        self.state = RadioState.SLEEP
+        if self.on_tx_done is not None:
+            self.on_tx_done(packet)
 
     def deliver(self, packet: Packet, rssi_dbm: float) -> None:
         if self.on_receive is not None:

@@ -15,6 +15,7 @@ the container computes exactly the paper's estimators:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -40,13 +41,35 @@ class NodeStats:
     below_sensitivity: int = 0
     buffer_drops: int = 0
     relays: int = 0
+    #: transmissions/arrivals suppressed because this node's radio was
+    #: taken down by fault injection (zero in healthy runs).
+    fault_tx_suppressed: int = 0
+    fault_rx_suppressed: int = 0
     #: sum of delivery latencies for delivered payloads (first copy only).
     latency_sum: float = 0.0
+    #: optional time-binned payload accounting (fault campaigns only):
+    #: bin index -> payloads generated / delivered, keyed by the payload's
+    #: *generation* time so a bin's ratio is the delivery probability of
+    #: traffic born in that window — the time-resolved PDR behind the
+    #: recovery-time metric.  ``None`` disables binning (the default;
+    #: healthy runs pay nothing).
+    window_s: Optional[float] = None
+    win_sent: Dict[int, int] = field(default_factory=dict)
+    win_delivered: Dict[int, int] = field(default_factory=dict)
 
-    def record_sent(self, destination: int) -> None:
+    def record_sent(self, destination: int, t: Optional[float] = None) -> None:
         self.sent[destination] = self.sent.get(destination, 0) + 1
+        if self.window_s is not None and t is not None:
+            index = int(t / self.window_s)
+            self.win_sent[index] = self.win_sent.get(index, 0) + 1
 
-    def record_delivery(self, origin: int, uid: Tuple[int, int], latency: float) -> bool:
+    def record_delivery(
+        self,
+        origin: int,
+        uid: Tuple[int, int],
+        latency: float,
+        created_at: Optional[float] = None,
+    ) -> bool:
         """Record an application-level delivery; returns False for a
         duplicate copy of an already-delivered payload."""
         if uid in self.delivered_uids:
@@ -54,6 +77,9 @@ class NodeStats:
         self.delivered_uids.add(uid)
         self.received[origin] = self.received.get(origin, 0) + 1
         self.latency_sum += latency
+        if self.window_s is not None and created_at is not None:
+            index = int(created_at / self.window_s)
+            self.win_delivered[index] = self.win_delivered.get(index, 0) + 1
         return True
 
     @property
@@ -74,9 +100,52 @@ class NetworkStats:
         self.nodes: Dict[int, NodeStats] = {
             loc: NodeStats(loc) for loc in self.locations
         }
+        self.window_s: Optional[float] = None
 
     def node(self, location: int) -> NodeStats:
         return self.nodes[location]
+
+    # -- time-resolved PDR (fault campaigns) -------------------------------------
+
+    def enable_windows(self, window_s: float) -> None:
+        """Turn on time-binned payload accounting on every node.  Must be
+        called before traffic starts; healthy runs never call it."""
+        if window_s <= 0:
+            raise ValueError("window must be positive")
+        self.window_s = window_s
+        for stats in self.nodes.values():
+            stats.window_s = window_s
+
+    def windowed_pdr(self, horizon_s: float) -> Tuple[Tuple[float, Optional[float]], ...]:
+        """Network delivery ratio per generation-time bin.
+
+        Returns ``((bin_end_s, pdr-or-None), ...)`` covering the horizon;
+        ``None`` marks bins in which no payload was generated (possible
+        when every application is halted by faults).  This is a packet
+        ratio over all pairs — coarser than the paper's Eq. 7 estimator
+        but time-resolved, which Eq. 7 is not; it exists to locate *when*
+        delivery collapses and recovers, not to restate the run-level PDR.
+        """
+        if self.window_s is None:
+            return ()
+        n_bins = max(1, int(math.ceil(horizon_s / self.window_s - 1e-9)))
+        sent = [0] * n_bins
+        delivered = [0] * n_bins
+        for stats in self.nodes.values():
+            for index, count in stats.win_sent.items():
+                if index < n_bins:
+                    sent[index] += count
+            for index, count in stats.win_delivered.items():
+                if index < n_bins:
+                    delivered[index] += count
+        out = []
+        for index in range(n_bins):
+            t_end = min(horizon_s, (index + 1) * self.window_s)
+            ratio = (
+                min(1.0, delivered[index] / sent[index]) if sent[index] else None
+            )
+            out.append((t_end, ratio))
+        return tuple(out)
 
     # -- PDR ---------------------------------------------------------------
 
@@ -190,6 +259,8 @@ class NetworkStats:
             "below_sensitivity",
             "buffer_drops",
             "relays",
+            "fault_tx_suppressed",
+            "fault_rx_suppressed",
         )
         return {
             key: sum(getattr(s, key) for s in self.nodes.values()) for key in keys

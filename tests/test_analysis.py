@@ -224,3 +224,103 @@ class TestAsciiPlot:
         )
         assert "a/b/c = star" in text
         assert "b" in text and "C" in text
+
+
+class TestParetoEdgeCases:
+    def test_empty_front_summary(self):
+        assert pareto_front([]) == []
+        assert "0 points" in front_summary([])
+
+    def test_single_point_is_its_own_front(self):
+        only = record(10, 0.9)
+        front = pareto_front([only])
+        assert len(front) == 1
+        assert front[0].record is only
+        assert is_on_front(only, [only])
+
+    def test_duplicate_objectives_collapse_to_one_point(self):
+        twins = [record(10, 0.9, 0), record(10, 0.9, 1)]
+        front = pareto_front(twins)
+        assert len(front) == 1
+        assert (front[0].nlt_days, front[0].pdr) == (10, 0.9)
+
+    def test_duplicates_of_dominated_point_stay_off_front(self):
+        records = [record(20, 0.95), record(10, 0.5, 1), record(10, 0.5, 2)]
+        front = pareto_front(records)
+        assert [(p.nlt_days, p.pdr) for p in front] == [(20, 0.95)]
+
+
+class TestExplorationResultToDict:
+    """`ExplorationResult.to_dict` is the archival format of a run; it
+    must survive a JSON round trip without loss."""
+
+    def _result(self):
+        import math
+
+        from repro.core.explorer import ExplorationResult, IterationRecord
+
+        best = record(25, 0.95, 1)
+        loser = record(30, 0.60, 2)
+        return ExplorationResult(
+            pdr_min=0.9,
+            status="optimal",
+            termination_reason="alpha_bound",
+            best=best,
+            iterations=[
+                IterationRecord(
+                    index=0,
+                    analytic_power_mw=1.25,
+                    candidates=[best.config, loser.config],
+                    evaluations=[best, loser],
+                    feasible=[best],
+                    incumbent_power_mw=best.power_mw,
+                    incumbent=best.config,
+                ),
+                IterationRecord(
+                    index=1,
+                    analytic_power_mw=1.5,
+                    candidates=[],
+                    evaluations=[],
+                    feasible=[],
+                    incumbent_power_mw=math.inf,  # never-updated sentinel
+                    incumbent=None,
+                ),
+            ],
+            simulations_run=2,
+            milp_solves=2,
+            wall_seconds=0.5,
+            oracle_stats={"simulations_run": 2, "cache_hits": 0},
+        )
+
+    def test_json_round_trip_is_lossless(self):
+        import json
+
+        payload = self._result().to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_serialized_shape(self):
+        payload = self._result().to_dict()
+        assert payload["status"] == "optimal"
+        assert payload["best"]["pdr"] == 0.95
+        assert payload["best"]["placement"] == [0, 1, 3, 6]
+        assert len(payload["iterations"]) == 2
+        first, second = payload["iterations"]
+        assert first["num_candidates"] == 2
+        assert first["num_feasible"] == 1
+        assert len(first["evaluations"]) == 2
+        # The inf sentinel maps to None so the payload stays valid JSON.
+        assert second["incumbent_power_mw"] is None
+
+    def test_infeasible_result_serializes(self):
+        import json
+
+        from repro.core.explorer import ExplorationResult
+
+        payload = ExplorationResult(
+            pdr_min=0.99,
+            status="infeasible",
+            termination_reason="milp_infeasible",
+            best=None,
+        ).to_dict()
+        assert payload["best"] is None
+        assert json.loads(json.dumps(payload)) == payload

@@ -16,6 +16,7 @@ from repro.obs import read_trace
 ALL_COMMANDS = (
     "solve", "figure3", "reduction", "annealing",
     "table1", "dual", "extensions", "space",
+    "robust", "robustness",
 )
 
 #: minimal valid argv per subcommand (parse-level only)
@@ -28,6 +29,8 @@ PARSE_ARGV = {
     "dual": ["dual", "--min-lifetime-days", "15"],
     "extensions": ["extensions"],
     "space": ["space"],
+    "robust": ["robust", "--pdr-min", "85"],
+    "robustness": ["robustness"],
 }
 
 
@@ -189,3 +192,167 @@ class TestObservabilityOutputs:
     def test_space_runs_without_flags(self, capsys):
         assert cli.main(["space", "--preset", "smoke"]) == 0
         assert "configurations" in capsys.readouterr().out
+
+
+class TestJobsValidation:
+    """``--jobs`` must be a positive integer; 0 and negatives used to be
+    silently forwarded to ``resolve_jobs`` with surprising semantics."""
+
+    @pytest.mark.parametrize("bad", ["0", "-2", "1.5", "many"])
+    def test_invalid_jobs_rejected_at_parse_time(self, bad, capsys):
+        with pytest.raises(SystemExit) as exc:
+            cli.build_parser().parse_args(
+                ["solve", "--pdr-min", "90", "--jobs", bad]
+            )
+        assert exc.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_positive_jobs_accepted(self):
+        args = cli.build_parser().parse_args(
+            ["solve", "--pdr-min", "90", "--jobs", "3"]
+        )
+        assert args.jobs == 3
+
+
+class TestRobustCommands:
+    def test_robust_requires_pdr_min(self):
+        with pytest.raises(SystemExit) as exc:
+            cli.build_parser().parse_args(["robust"])
+        assert exc.value.code != 0
+
+    def test_robust_flags_parse(self):
+        args = cli.build_parser().parse_args([
+            "robust", "--pdr-min", "85", "--quantile", "0.25",
+            "--ensemble-size", "4", "--hub-stress",
+            "--outage-fraction", "0.3", "--fault-seed", "9",
+        ])
+        assert args.pdr_min == 85.0
+        assert args.quantile == 0.25
+        assert args.ensemble_size == 4
+        assert args.hub_stress is True
+        assert args.outage_fraction == 0.3
+        assert args.fault_seed == 9
+
+    def test_robust_runs_on_smoke(self, capsys):
+        assert cli.main([
+            "robust", "--pdr-min", "85", "--preset", "smoke", "--seed", "3",
+            "--ensemble-size", "2", "--hub-stress", "--quantile", "0",
+            "--outage-fraction", "0.2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fault ensemble" in out
+        assert "q-PDR" in out
+
+    def test_robust_infeasible_exits_one(self, capsys):
+        # A 60% outage at quantile 0 is unsatisfiable at PDRmin=95%.
+        assert cli.main([
+            "robust", "--pdr-min", "95", "--preset", "smoke", "--seed", "3",
+            "--ensemble-size", "1", "--hub-stress", "--quantile", "0",
+            "--outage-fraction", "0.6",
+        ]) == 1
+        assert "infeasible" in capsys.readouterr().out
+
+
+class TestTraceReportDegradation:
+    """Broken inputs produce a diagnostic and exit 1, never a traceback."""
+
+    def _report(self, argv, capsys):
+        from repro.analysis import trace_report
+
+        code = trace_report.main(argv)
+        captured = capsys.readouterr()
+        return code, captured.out, captured.err
+
+    def test_missing_trace_file(self, tmp_path, capsys):
+        code, _out, err = self._report(
+            [str(tmp_path / "missing.jsonl")], capsys
+        )
+        assert code == 1
+        assert "cannot read trace" in err
+
+    def test_empty_trace_file(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("\n  \n")
+        code, _out, err = self._report([str(empty)], capsys)
+        assert code == 1
+        assert "no trace events" in err
+
+    def test_truncated_trace_still_reports(self, tmp_path, capsys):
+        truncated = tmp_path / "truncated.jsonl"
+        truncated.write_text(
+            json.dumps({"kind": "manifest", "seq": 1, "t": 0.0,
+                        "command": "solve"}) + "\n"
+            + json.dumps({"kind": "oracle.evaluate", "seq": 2, "t": 0.1,
+                          "cached": False, "wall_s": 0.05,
+                          "replicates": 1}) + "\n"
+            + '{"kind": "oracle.eval'  # the kill-mid-write case
+        )
+        code, out, err = self._report([str(truncated)], capsys)
+        assert code == 1
+        assert "skipped 1 malformed line" in err
+        # The readable prefix is still reported.
+        assert "manifest" in out and "oracle" in out
+
+    def test_missing_metrics_file(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        trace.write_text(
+            json.dumps({"kind": "manifest", "seq": 1, "t": 0.0}) + "\n"
+        )
+        code, out, err = self._report(
+            ["--metrics", str(tmp_path / "missing.json"), str(trace)], capsys
+        )
+        assert code == 1
+        assert "cannot read metrics" in err
+        assert "manifest" in out  # the trace report itself still renders
+
+    def test_empty_metrics_file(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        trace.write_text(
+            json.dumps({"kind": "manifest", "seq": 1, "t": 0.0}) + "\n"
+        )
+        metrics = tmp_path / "m.json"
+        metrics.write_text("")
+        code, _out, err = self._report(
+            ["--metrics", str(metrics), str(trace)], capsys
+        )
+        assert code == 1
+        assert "bad metrics file" in err and "empty" in err
+
+    def test_truncated_metrics_file(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        trace.write_text(
+            json.dumps({"kind": "manifest", "seq": 1, "t": 0.0}) + "\n"
+        )
+        metrics = tmp_path / "m.json"
+        metrics.write_text('{"oracle.simulations": {"type": "coun')
+        code, _out, err = self._report(
+            ["--metrics", str(metrics), str(trace)], capsys
+        )
+        assert code == 1
+        assert "bad metrics file" in err and "truncated" in err
+
+    def test_valid_metrics_render_section(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        trace.write_text(
+            json.dumps({"kind": "manifest", "seq": 1, "t": 0.0}) + "\n"
+        )
+        metrics = tmp_path / "m.json"
+        metrics.write_text(json.dumps({
+            "oracle.simulations": {"type": "counter", "value": 12},
+            "oracle.wall_seconds": {
+                "type": "histogram", "count": 12, "total": 0.6,
+                "mean": 0.05, "min": 0.01, "max": 0.2,
+                "p50": 0.04, "p95": 0.18, "p99": 0.2,
+            },
+        }))
+        code, out, _err = self._report(
+            ["--metrics", str(metrics), str(trace)], capsys
+        )
+        assert code == 0
+        assert "metrics" in out
+        assert "oracle.simulations" in out
+        assert "p95=0.18" in out
+
+    def test_metrics_without_path_is_usage_error(self, tmp_path, capsys):
+        code, _out, _err = self._report(["--metrics"], capsys)
+        assert code == 2

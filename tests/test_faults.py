@@ -1,0 +1,310 @@
+"""Fault model + injector: validation, determinism, simulated behaviour.
+
+The behavioural tests run single smoke-preset replicates (8 s of
+simulated time) through :func:`run_configuration_outcome` with a fault
+scenario attached, asserting the *direction* of each fault's effect —
+node death and link blackout reduce PDR, hub outages dent the windowed
+PDR and then recover, battery drain shortens lifetime — plus the two
+invariants everything else rests on: injection is deterministic, and an
+inapplicable fault changes nothing.
+"""
+
+import json
+import math
+from dataclasses import replace
+
+import pytest
+
+from repro.core.design_space import Configuration
+from repro.core.parallel import run_configuration_outcome
+from repro.experiments.scenario import make_problem
+from repro.faults.model import (
+    FaultKind,
+    FaultScenario,
+    FaultSpec,
+    hub_stress_ensemble,
+    sample_fault_ensemble,
+)
+from repro.library.mac_options import MacKind, RoutingKind
+
+PLACEMENT = (0, 1, 3, 6)
+
+
+def spec(kind=FaultKind.HUB_OUTAGE, start=2.0, dur=2.0, loc=0, **kw):
+    return FaultSpec(kind=kind, start_s=start, duration_s=dur, location=loc, **kw)
+
+
+class TestFaultSpecValidation:
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError, match="start"):
+            spec(start=-1.0)
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ValueError, match="duration"):
+            spec(dur=0.0)
+
+    def test_blackout_requires_link(self):
+        with pytest.raises(ValueError, match="link"):
+            FaultSpec(FaultKind.LINK_BLACKOUT, start_s=1.0, duration_s=1.0)
+
+    def test_blackout_link_must_be_distinct(self):
+        with pytest.raises(ValueError, match="distinct"):
+            FaultSpec(
+                FaultKind.LINK_BLACKOUT, start_s=1.0, duration_s=1.0, link=(3, 3)
+            )
+
+    def test_blackout_must_be_finite(self):
+        with pytest.raises(ValueError, match="finite"):
+            FaultSpec(FaultKind.LINK_BLACKOUT, start_s=1.0, link=(0, 3))
+
+    def test_node_kinds_require_location(self):
+        with pytest.raises(ValueError, match="location"):
+            FaultSpec(FaultKind.NODE_DEATH, start_s=1.0)
+
+    def test_node_kinds_reject_link(self):
+        with pytest.raises(ValueError, match="link"):
+            FaultSpec(
+                FaultKind.NODE_DEATH, start_s=1.0, location=1, link=(0, 1)
+            )
+
+    def test_hub_outage_must_recover(self):
+        with pytest.raises(ValueError, match="recover"):
+            FaultSpec(FaultKind.HUB_OUTAGE, start_s=1.0, location=0)
+
+    def test_drain_factor_must_exceed_one(self):
+        with pytest.raises(ValueError, match="factor"):
+            FaultSpec(
+                FaultKind.BATTERY_DRAIN, start_s=1.0, location=1, factor=1.0
+            )
+
+    def test_link_stored_sorted(self):
+        s = FaultSpec(
+            FaultKind.LINK_BLACKOUT, start_s=1.0, duration_s=1.0, link=(6, 1)
+        )
+        assert s.link == (1, 6)
+
+
+class TestFaultSpecSemantics:
+    def test_applies_to_location(self):
+        s = spec(kind=FaultKind.NODE_DEATH, dur=math.inf, loc=3)
+        assert s.applies_to(PLACEMENT)
+        assert not s.applies_to((0, 1, 2))
+
+    def test_applies_to_link_needs_both_endpoints(self):
+        s = FaultSpec(
+            FaultKind.LINK_BLACKOUT, start_s=1.0, duration_s=1.0, link=(1, 6)
+        )
+        assert s.applies_to(PLACEMENT)
+        assert not s.applies_to((0, 1, 3))  # only one endpoint placed
+
+    def test_recoverable(self):
+        assert spec().recoverable
+        assert not spec(kind=FaultKind.NODE_DEATH, dur=math.inf).recoverable
+
+    def test_clear_time_is_last_recoverable_end(self):
+        scenario = FaultScenario(
+            "s",
+            (
+                spec(start=1.0, dur=2.0),  # clears at 3
+                FaultSpec(
+                    FaultKind.LINK_BLACKOUT,
+                    start_s=2.0,
+                    duration_s=3.0,
+                    link=(1, 3),
+                ),  # clears at 5
+                spec(kind=FaultKind.NODE_DEATH, dur=math.inf, loc=6),
+            ),
+        )
+        assert scenario.clear_time_s(PLACEMENT) == 5.0
+        # Without the blackout's endpoints, only the outage counts.
+        assert scenario.clear_time_s((0, 2, 6)) == 3.0
+        # No recoverable fault applicable at all.
+        assert FaultScenario("empty").clear_time_s(PLACEMENT) is None
+
+    def test_describe_mentions_kind_and_target(self):
+        text = spec(kind=FaultKind.BATTERY_DRAIN, loc=3, factor=2.5).describe()
+        assert "battery_drain" in text and "loc 3" in text and "x2.5" in text
+
+
+class TestRoundTrip:
+    def test_spec_json_round_trip(self):
+        for s in (
+            spec(),
+            spec(kind=FaultKind.NODE_DEATH, dur=math.inf, loc=6),
+            FaultSpec(
+                FaultKind.LINK_BLACKOUT, start_s=0.5, duration_s=1.5, link=(6, 1)
+            ),
+            FaultSpec(
+                FaultKind.BATTERY_DRAIN, start_s=0.0, location=3, factor=3.0
+            ),
+        ):
+            payload = json.loads(json.dumps(s.to_dict()))
+            assert FaultSpec.from_dict(payload) == s
+
+    def test_scenario_json_round_trip(self):
+        scenario = FaultScenario("rt", (spec(), spec(start=5.0, dur=1.0)))
+        payload = json.loads(json.dumps(scenario.to_dict()))
+        assert FaultScenario.from_dict(payload) == scenario
+
+
+class TestEnsembleGenerators:
+    def test_sampled_ensemble_is_deterministic(self):
+        a = sample_fault_ensemble(6, seed=11, horizon_s=8.0)
+        b = sample_fault_ensemble(6, seed=11, horizon_s=8.0)
+        assert a == b
+
+    def test_sampled_ensembles_differ_across_seeds(self):
+        assert sample_fault_ensemble(6, seed=11, horizon_s=8.0) != (
+            sample_fault_ensemble(6, seed=12, horizon_s=8.0)
+        )
+
+    def test_sampled_ensemble_shape(self):
+        ensemble = sample_fault_ensemble(6, seed=0, horizon_s=8.0)
+        assert len(ensemble) == 6
+        assert len({fs.name for fs in ensemble}) == 6
+        for fs in ensemble:
+            assert len(fs) == 2  # one blackout + one round-robin fault
+            assert fs.faults[0].kind is FaultKind.LINK_BLACKOUT
+
+    def test_sampled_ensemble_validates_inputs(self):
+        with pytest.raises(ValueError):
+            sample_fault_ensemble(0, seed=0, horizon_s=8.0)
+        with pytest.raises(ValueError):
+            sample_fault_ensemble(1, seed=0, horizon_s=-1.0)
+        with pytest.raises(ValueError):
+            sample_fault_ensemble(1, seed=0, horizon_s=8.0, locations=(0,))
+
+    def test_hub_stress_ensemble_phases(self):
+        ensemble = hub_stress_ensemble(8.0, outage_fraction=0.25, size=3)
+        assert len(ensemble) == 3
+        starts = []
+        for fs in ensemble:
+            (fault,) = fs.faults
+            assert fault.kind is FaultKind.HUB_OUTAGE
+            assert fault.location == 0
+            assert fault.end_s < 8.0  # always clears before the horizon
+            starts.append(fault.start_s)
+        assert starts == sorted(starts) and len(set(starts)) == 3
+
+    def test_hub_stress_validates_fraction(self):
+        with pytest.raises(ValueError):
+            hub_stress_ensemble(8.0, outage_fraction=1.0)
+
+
+# -- simulated behaviour -------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return make_problem(0.9, "smoke", seed=1).scenario
+
+
+@pytest.fixture(scope="module")
+def config():
+    return Configuration(PLACEMENT, 0.0, MacKind.TDMA, RoutingKind.STAR)
+
+
+def outcome_under(scenario, config, fault_scenario):
+    return run_configuration_outcome(
+        replace(scenario, fault_scenario=fault_scenario), config
+    )
+
+
+class TestInjectedBehaviour:
+    def test_node_death_reduces_pdr(self, scenario, config):
+        healthy = outcome_under(scenario, config, None)
+        dead = outcome_under(
+            scenario,
+            config,
+            FaultScenario(
+                "death",
+                (
+                    FaultSpec(
+                        FaultKind.NODE_DEATH, start_s=2.0, location=6
+                    ),
+                ),
+            ),
+        )
+        assert dead.pdr < healthy.pdr
+
+    def test_link_blackout_reduces_pdr(self, scenario, config):
+        healthy = outcome_under(scenario, config, None)
+        blacked = outcome_under(
+            scenario,
+            config,
+            FaultScenario(
+                "blackout",
+                (
+                    FaultSpec(
+                        FaultKind.LINK_BLACKOUT,
+                        start_s=1.0,
+                        duration_s=6.0,
+                        link=(0, 6),
+                    ),
+                ),
+            ),
+        )
+        assert blacked.pdr < healthy.pdr
+
+    def test_hub_outage_dents_windowed_pdr_then_recovers(
+        self, scenario, config
+    ):
+        healthy = outcome_under(scenario, config, None)
+        faulted = outcome_under(
+            scenario,
+            config,
+            FaultScenario("outage", (spec(start=3.0, dur=2.0),)),
+        )
+        assert faulted.windowed_pdr, "faulted runs must expose windowed PDR"
+        ratios = {t: r for t, r in faulted.windowed_pdr if r is not None}
+        during = [r for t, r in ratios.items() if 3.0 < t <= 5.0]
+        after = [r for t, r in ratios.items() if t > 6.0]
+        assert min(during) < healthy.pdr - 0.3  # the outage bites
+        assert max(after) >= healthy.pdr - 0.1  # and the network recovers
+
+    def test_battery_drain_shortens_lifetime(self, scenario, config):
+        healthy = outcome_under(scenario, config, None)
+        drained = outcome_under(
+            scenario,
+            config,
+            FaultScenario(
+                "drain",
+                (
+                    # Location 6, not the coordinator: the NLT is the
+                    # first *sensor* battery to die.
+                    FaultSpec(
+                        FaultKind.BATTERY_DRAIN,
+                        start_s=0.0,
+                        location=6,
+                        factor=3.0,
+                    ),
+                ),
+            ),
+        )
+        assert drained.nlt_days < healthy.nlt_days
+        assert drained.pdr == healthy.pdr  # drain never perturbs traffic
+
+    def test_inapplicable_fault_changes_nothing(self, scenario, config):
+        healthy = outcome_under(scenario, config, None)
+        untouched = outcome_under(
+            scenario,
+            config,
+            FaultScenario(
+                "elsewhere",
+                (
+                    FaultSpec(
+                        FaultKind.NODE_DEATH, start_s=1.0, location=9
+                    ),
+                ),
+            ),
+        )
+        assert untouched.pdr == healthy.pdr
+        assert untouched.nlt_days == healthy.nlt_days
+
+    def test_injection_is_deterministic(self, scenario, config):
+        fs = FaultScenario("outage", (spec(start=3.0, dur=2.0),))
+        first = outcome_under(scenario, config, fs)
+        second = outcome_under(scenario, config, fs)
+        assert first.pdr == second.pdr
+        assert first.windowed_pdr == second.windowed_pdr
+        assert first.nlt_days == second.nlt_days

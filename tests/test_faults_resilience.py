@@ -1,0 +1,166 @@
+"""Resilience evaluation: EnsembleOracle, quantiles, E4 divergence.
+
+Pins the PR's acceptance criteria: the same ensemble + seed is
+bit-identical at ``--jobs 1`` and ``--jobs 4``, a warm cache replays a
+campaign with zero new simulations, and experiment E4 has at least one
+regime where the robust optimum differs from the nominal one.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.design_space import Configuration
+from repro.experiments.robustness import run_robustness_comparison
+from repro.experiments.scenario import make_problem
+from repro.faults.model import FaultScenario, hub_stress_ensemble
+from repro.faults.resilience import EnsembleOracle, pdr_quantile
+from repro.library.mac_options import MacKind, RoutingKind
+
+CONFIGS = (
+    Configuration((0, 1, 3, 6), 0.0, MacKind.TDMA, RoutingKind.STAR),
+    Configuration((0, 1, 3, 6), 0.0, MacKind.CSMA, RoutingKind.MESH),
+)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return make_problem(0.9, "smoke", seed=1).scenario
+
+
+@pytest.fixture(scope="module")
+def ensemble(scenario):
+    return hub_stress_ensemble(
+        scenario.tsim_s, outage_fraction=0.25, size=2
+    )
+
+
+class TestPdrQuantile:
+    def test_extremes(self):
+        values = (0.4, 0.9, 0.7)
+        assert pdr_quantile(values, 0.0) == 0.4
+        assert pdr_quantile(values, 1.0) == 0.9
+
+    def test_nearest_rank_is_observed_value(self):
+        values = (0.1, 0.2, 0.3, 0.4)
+        assert pdr_quantile(values, 0.25) == 0.1
+        assert pdr_quantile(values, 0.5) == 0.2
+        assert pdr_quantile(values, 0.75) == 0.3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pdr_quantile((), 0.5)
+        with pytest.raises(ValueError):
+            pdr_quantile((0.5,), 1.5)
+
+
+class TestEnsembleOracleValidation:
+    def test_rejects_faulted_base_scenario(self, scenario, ensemble):
+        with pytest.raises(ValueError, match="healthy"):
+            EnsembleOracle(
+                replace(scenario, fault_scenario=ensemble[0]), ensemble
+            )
+
+    def test_rejects_empty_ensemble(self, scenario):
+        with pytest.raises(ValueError, match="empty"):
+            EnsembleOracle(scenario, ())
+
+    def test_rejects_duplicate_names(self, scenario, ensemble):
+        with pytest.raises(ValueError, match="duplicate"):
+            EnsembleOracle(scenario, (ensemble[0], ensemble[0]))
+
+
+class TestResilienceEvaluation:
+    def test_record_internally_consistent(self, scenario, ensemble):
+        with EnsembleOracle(scenario, ensemble, n_jobs=1) as oracle:
+            record = oracle.evaluate(CONFIGS[0])
+        assert len(record.fault_pdrs) == len(ensemble)
+        assert record.pdr_min_fault == min(record.fault_pdrs)
+        assert record.pdr_quantile(0.0) == record.pdr_min_fault
+        assert record.pdr_mean_fault == pytest.approx(
+            sum(record.fault_pdrs) / len(record.fault_pdrs)
+        )
+        assert 0.0 <= record.lifetime_degradation <= 1.0
+        # A hub outage hurts but the healthy run does not see it.
+        assert record.pdr_min_fault < record.healthy.pdr
+        payload = record.to_dict()
+        assert set(payload["fault_pdrs"]) == {fs.name for fs in ensemble}
+
+    def test_bit_identical_across_jobs(self, scenario, ensemble):
+        with EnsembleOracle(scenario, ensemble, n_jobs=1) as serial:
+            one = [r.to_dict() for r in serial.evaluate_many(CONFIGS)]
+        with EnsembleOracle(scenario, ensemble, n_jobs=4) as parallel:
+            four = [r.to_dict() for r in parallel.evaluate_many(CONFIGS)]
+        assert one == four
+
+    def test_warm_cache_replays_without_simulating(
+        self, scenario, ensemble, tmp_path
+    ):
+        cache_dir = str(tmp_path / "cache")
+        with EnsembleOracle(
+            scenario, ensemble, n_jobs=1, cache_dir=cache_dir
+        ) as cold:
+            first = cold.evaluate(CONFIGS[0])
+            assert cold.stats()["simulations_run"] == 1 + len(ensemble)
+        with EnsembleOracle(
+            scenario, ensemble, n_jobs=1, cache_dir=cache_dir
+        ) as warm:
+            second = warm.evaluate(CONFIGS[0])
+            stats = warm.stats()
+        assert stats["simulations_run"] == 0
+        assert stats["disk_hits"] == 1 + len(ensemble)
+        assert second.to_dict() == first.to_dict()
+
+    def test_stats_reports_ensemble_shape(self, scenario, ensemble):
+        with EnsembleOracle(scenario, ensemble, n_jobs=1) as oracle:
+            oracle.evaluate(CONFIGS[0])
+            stats = oracle.stats()
+        assert stats["ensemble_size"] == len(ensemble)
+        assert stats["ensemble_evaluations"] == 1
+
+
+class TestE4Divergence:
+    """The pinned regime where pricing faults in changes the answer."""
+
+    @pytest.fixture(scope="class")
+    def data(self):
+        return run_robustness_comparison(
+            preset="smoke",
+            seed=3,
+            pdr_min=0.85,
+            quantile=0.0,
+            outage_fraction=0.2,
+            ensemble_size=2,
+            n_jobs=1,
+        )
+
+    def test_robust_optimum_differs_from_nominal(self, data):
+        assert data.nominal.found and data.robust.found
+        assert data.divergent, (
+            "E4 must exhibit at least one scenario where the "
+            "chance-constrained optimum differs from the nominal one"
+        )
+
+    def test_robust_design_meets_chance_constraint(self, data):
+        assert (
+            data.robust.best.pdr_quantile(data.quantile)
+            >= data.pdr_min - 0.01
+        )
+
+    def test_nominal_design_violates_it(self, data):
+        # ... which is exactly why the optima diverge.
+        assert (
+            data.nominal_resilience.pdr_quantile(data.quantile)
+            < data.pdr_min
+        )
+
+    def test_robust_pays_power_for_reliability(self, data):
+        assert (
+            data.robust.best.healthy.power_mw
+            >= data.nominal.best.power_mw
+        )
+
+    def test_per_routing_results_present(self, data):
+        assert set(data.per_routing) == {RoutingKind.STAR, RoutingKind.MESH}
+        for result in data.per_routing.values():
+            assert result.status in ("optimal", "infeasible")

@@ -1,0 +1,26 @@
+"""Benchmark regression subsystem (see DESIGN.md §8).
+
+``repro.bench.hotpath`` measures the three optimized layers (DES kernel,
+PHY fan-out, MILP warm starts) against the frozen seed implementations in
+``repro.bench.reference``, asserting bit-identical results before any
+speedup is reported.  The ``repro bench`` CLI subcommand writes the
+``BENCH_hotpath.json`` report consumed by CI.
+"""
+
+from repro.bench.hotpath import (
+    bench_des_throughput,
+    bench_explore_smoke,
+    bench_milp_warm_vs_cold,
+    bench_single_replicate,
+    run_hotpath_benchmarks,
+    write_report,
+)
+
+__all__ = [
+    "bench_des_throughput",
+    "bench_explore_smoke",
+    "bench_milp_warm_vs_cold",
+    "bench_single_replicate",
+    "run_hotpath_benchmarks",
+    "write_report",
+]

@@ -87,8 +87,17 @@ class OrnsteinUhlenbeckFading:
     def __init__(self, params: FadingParameters, rng: RngStreams) -> None:
         self.params = params
         self.rng = rng
-        # Per-link state: (last_time, last_value).
-        self._state: Dict[Tuple[int, int], Tuple[float, float]] = {}
+        # Per-link state: [stream, last_time, last_value].  The stream
+        # handle lives in the state record so the hot path never pays the
+        # f-string + registry lookup of :meth:`RngStreams.stream` again
+        # after a link's first use (profile: that lookup dominated the
+        # per-sample cost).  A list (not a tuple) so updates are in place.
+        self._state: Dict[Tuple[int, int], list] = {}
+        # Hot-path constants hoisted out of the frozen-dataclass attribute
+        # chain (sample() runs once per link per transmission).
+        self._sigma = params.sigma_db
+        self._clip_limit = params.clip_db
+        self._tau = params.coherence_time_s
 
     def sample(self, i: int, j: int, t: float) -> float:
         """Draw δPL(i,j,t) in dB, conditioned on the link's history.
@@ -98,38 +107,47 @@ class OrnsteinUhlenbeckFading:
         value, so both endpoints of one transmission see one channel.
         """
         key = (i, j) if i <= j else (j, i)
-        stream = self.rng.stream(f"fading/{key[0]}-{key[1]}")
-        p = self.params
         state = self._state.get(key)
+        sigma = self._sigma
         if state is None:
-            value = float(stream.normal(0.0, p.sigma_db)) if p.sigma_db > 0 else 0.0
-            value = _clip(value, p.clip_db)
-            self._state[key] = (t, value)
+            stream = self.rng.stream(f"fading/{key[0]}-{key[1]}")
+            value = float(stream.normal(0.0, sigma)) if sigma > 0 else 0.0
+            value = _clip(value, self._clip_limit)
+            self._state[key] = [stream, t, value]
             return value
-        last_t, last_v = state
-        if t < last_t - 1e-12:
-            raise ValueError(
-                f"fading sampled backwards in time on link {key}: {t} < {last_t}"
-            )
-        dt = max(0.0, t - last_t)
-        if dt == 0.0:
-            return last_v
-        if p.sigma_db == 0:
+        last_t = state[1]
+        dt = t - last_t
+        if dt <= 0.0:
+            if dt < -1e-12:
+                raise ValueError(
+                    f"fading sampled backwards in time on link {key}: "
+                    f"{t} < {last_t}"
+                )
+            return state[2]
+        if sigma == 0:
             value = 0.0
         else:
-            rho = math.exp(-dt / p.coherence_time_s)
-            mean = last_v * rho
-            std = p.sigma_db * math.sqrt(max(0.0, 1.0 - rho * rho))
-            value = float(stream.normal(mean, std))
-            value = _clip(value, p.clip_db)
-        self._state[key] = (t, value)
+            rho = math.exp(-dt / self._tau)
+            mean = state[2] * rho
+            std = sigma * math.sqrt(max(0.0, 1.0 - rho * rho))
+            # numpy's scalar normal(mean, std) is exactly
+            # mean + std*standard_normal() (same draw, same IEEE ops);
+            # the raw form skips the broadcasting machinery.
+            value = mean + std * float(state[0].standard_normal())
+            limit = self._clip_limit
+            if value > limit:
+                value = limit
+            elif value < -limit:
+                value = -limit
+        state[1] = t
+        state[2] = value
         return value
 
     def peek(self, i: int, j: int) -> float:
         """Last sampled value without advancing the process (0 if unused)."""
         key = (i, j) if i <= j else (j, i)
         state = self._state.get(key)
-        return 0.0 if state is None else state[1]
+        return 0.0 if state is None else state[2]
 
     def reset(self) -> None:
         """Forget all link histories (used between replicate runs)."""
@@ -153,8 +171,9 @@ class NodeShadowing:
     def __init__(self, params: FadingParameters, rng: RngStreams) -> None:
         self.params = params
         self.rng = rng
-        # Per-node state: (last_time, occluded?).
-        self._state: Dict[int, Tuple[float, bool]] = {}
+        # Per-node state: [stream, last_time, occluded?] — stream handle
+        # cached for the same reason as in OrnsteinUhlenbeckFading.
+        self._state: Dict[int, list] = {}
         p = params
         if p.shadow_fraction > 0:
             self._exit_rate = 1.0 / p.shadow_dwell_s
@@ -164,35 +183,39 @@ class NodeShadowing:
             self._relax = self._exit_rate + self._entry_rate
         else:
             self._exit_rate = self._entry_rate = self._relax = 0.0
+        # Hot-path constants (is_occluded runs twice per link sample).
+        self._pi = p.shadow_fraction
+        self._enabled = p.shadow_fraction > 0 and p.shadow_depth_db > 0
 
     def is_occluded(self, node: int, t: float) -> bool:
         """Sample the node's occlusion state at time t (non-decreasing per
         node; repeated queries at the same time agree)."""
-        p = self.params
-        if p.shadow_fraction <= 0 or p.shadow_depth_db <= 0:
+        if not self._enabled:
             return False
-        stream = self.rng.stream(f"shadow/{node}")
         state = self._state.get(node)
-        pi = p.shadow_fraction
+        pi = self._pi
         if state is None:
+            stream = self.rng.stream(f"shadow/{node}")
             occluded = bool(stream.uniform() < pi)
-            self._state[node] = (t, occluded)
+            self._state[node] = [stream, t, occluded]
             return occluded
-        last_t, was_occluded = state
-        if t < last_t - 1e-12:
-            raise ValueError(
-                f"shadowing sampled backwards in time for node {node}"
-            )
-        dt = max(0.0, t - last_t)
-        if dt == 0.0:
-            return was_occluded
+        dt = t - state[1]
+        if dt <= 0.0:
+            if dt < -1e-12:
+                raise ValueError(
+                    f"shadowing sampled backwards in time for node {node}"
+                )
+            return state[2]
         decay = math.exp(-self._relax * dt)
-        if was_occluded:
+        if state[2]:
             p_on = pi + (1.0 - pi) * decay
         else:
             p_on = pi * (1.0 - decay)
-        occluded = bool(stream.uniform() < p_on)
-        self._state[node] = (t, occluded)
+        # uniform() is the raw next-double; random() returns it without
+        # the low/high scaling prologue.
+        occluded = bool(state[0].random() < p_on)
+        state[1] = t
+        state[2] = occluded
         return occluded
 
     def extra_loss_db(self, i: int, j: int, t: float) -> float:

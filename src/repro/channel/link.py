@@ -10,8 +10,9 @@ that close the link?" (Sec. 2.1.2: successful reception requires
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence, Tuple
 
 from repro.channel.fading import (
     FadingParameters,
@@ -108,6 +109,167 @@ class Channel:
     ) -> bool:
         """The paper's reception condition at time t."""
         return self.received_power_dbm(tx_dbm, i, j, t) >= sensitivity_dbm
+
+    def max_fade_gain_db(self) -> float:
+        """Largest amount by which the instantaneous path loss can fall
+        *below* the mean: the OU fade is clipped at ±``clip_db`` and both
+        shadowing and posture only ever add loss.  This bounds the best
+        case a link can ever see — the basis for the dead-pair skip."""
+        p = self.fading.params
+        return p.clip_db if p.sigma_db > 0 else 0.0
+
+    def fanout_powers(
+        self,
+        sender: int,
+        tx_dbm: float,
+        entries: Sequence[Tuple[int, float, bool]],
+        t: float,
+        blocked=None,
+    ) -> List[float]:
+        """Received power at every receiver of one broadcast, bit-identical
+        to calling :meth:`received_power_dbm` per receiver in order.
+
+        ``entries`` is the precomputed fan-out plan: ``(receiver,
+        mean_path_loss, skip)`` tuples where ``mean_path_loss`` is the
+        precomputed ``PL̄(sender, receiver)`` (hoisting the per-packet
+        model lookup out of the hot loop) and ``skip`` marks a pair whose
+        best-case power (``tx − PL̄ + max_fade_gain_db()``) is
+        unobservable in *both* directions — such a pair's OU draw
+        is never consulted by any reception, capture, or carrier-sense
+        decision, so the sample is skipped and −inf returned.  The node
+        shadowing chains of both endpoints are still advanced (they are
+        shared with the node's other links), so every other draw in the
+        run is unchanged.  ``blocked`` is the fault-layer pair predicate;
+        blocked receivers get −inf with *no* sampling at all, exactly like
+        the pre-fast-path reception loop.
+
+        Skips are disabled at plan-build time when the posture process is
+        active (posture draws are time-keyed and shared across pairs);
+        that path falls back to the generic per-receiver computation.
+        """
+        if self.posture is not None:
+            out: List[float] = []
+            for loc, _det, _skip in entries:
+                if blocked is not None and blocked(sender, loc):
+                    out.append(-math.inf)
+                else:
+                    out.append(tx_dbm - self.path_loss(sender, loc, t))
+            return out
+        fading = self.fading
+        fading_sample = fading.sample
+        fading_state = fading._state
+        sigma = fading._sigma
+        clip_limit = fading._clip_limit
+        tau = fading._tau
+        shadow = self.shadowing
+        params = shadow.params
+        depth = params.shadow_depth_db
+        shadow_on = depth > 0 and params.shadow_fraction > 0
+        is_occ = shadow.is_occluded
+        shadow_state = shadow._state
+        pi = shadow._pi
+        relax = shadow._relax
+        exp = math.exp
+        sqrt = math.sqrt
+        out = []
+        append = out.append
+
+        # The warm-state update of both processes (a state record exists
+        # and time strictly advanced — by far the common case on the
+        # per-packet fan-out) is inlined below with the exact arithmetic
+        # of OrnsteinUhlenbeckFading.sample / NodeShadowing.is_occluded;
+        # cold starts, repeated timestamps, and backwards-time errors
+        # delegate to those methods, which remain the single source of
+        # truth for the non-hot branches.  The raw-draw forms
+        # ``random()`` and ``mean + std*standard_normal()`` are what
+        # numpy's ``uniform()``/``normal(mean, std)`` compute internally
+        # (same bit-stream consumption, same IEEE operations), minus the
+        # scalar broadcasting overhead.  The channel-unit tests assert
+        # bit-equality of this loop against the generic path.
+        def tick_shadow(node: int) -> bool:
+            state = shadow_state.get(node)
+            if state is not None and t > state[1]:
+                decay = exp(-relax * (t - state[1]))
+                if state[2]:
+                    p_on = pi + (1.0 - pi) * decay
+                else:
+                    p_on = pi * (1.0 - decay)
+                occluded = bool(state[0].random() < p_on)
+                state[1] = t
+                state[2] = occluded
+                return occluded
+            return is_occ(node, t)
+
+        # The sender's occlusion state is the same for every receiver at
+        # this timestamp; compute it once, but only when the first
+        # non-blocked receiver needs it — the per-receiver loop must
+        # advance each node's chain in exactly the order the generic path
+        # does (sender first, then receivers), and must not touch the
+        # sender's chain at all when every receiver is fault-blocked.
+        sender_occ = -1
+        # Grouping note: the generic path computes the loss as
+        # ``(mean + fading) + extra`` and the power as ``tx − loss``; the
+        # same association is kept here so every float is bit-identical.
+        for loc, mean_pl, skip in entries:
+            if blocked is not None and blocked(sender, loc):
+                append(-math.inf)
+                continue
+            if skip:
+                # Unobservable pair: keep the shared shadowing chains in
+                # step but leave the pair's private OU stream untouched.
+                if shadow_on:
+                    if sender_occ < 0:
+                        sender_occ = 1 if tick_shadow(sender) else 0
+                    tick_shadow(loc)
+                append(-math.inf)
+                continue
+            key = (sender, loc) if sender <= loc else (loc, sender)
+            state = fading_state.get(key)
+            if state is not None and t > state[1]:
+                if sigma == 0:
+                    value = 0.0
+                else:
+                    dt = t - state[1]
+                    rho = exp(-dt / tau)
+                    mean = state[2] * rho
+                    var = 1.0 - rho * rho
+                    std = sigma * sqrt(var if var > 0.0 else 0.0)
+                    value = mean + std * float(state[0].standard_normal())
+                    if value > clip_limit:
+                        value = clip_limit
+                    elif value < -clip_limit:
+                        value = -clip_limit
+                state[1] = t
+                state[2] = value
+            else:
+                value = fading_sample(sender, loc, t)
+            loss = mean_pl + value
+            if shadow_on:
+                if sender_occ < 0:
+                    sender_occ = 1 if tick_shadow(sender) else 0
+                extra = depth if sender_occ else 0.0
+                # Receiver shadow tick, inlined once more (same warm
+                # branch as tick_shadow) — it runs for every receiver of
+                # every packet and the closure call was measurable.
+                state = shadow_state.get(loc)
+                if state is not None and t > state[1]:
+                    decay = exp(-relax * (t - state[1]))
+                    if state[2]:
+                        p_on = pi + (1.0 - pi) * decay
+                    else:
+                        p_on = pi * (1.0 - decay)
+                    occluded = bool(state[0].random() < p_on)
+                    state[1] = t
+                    state[2] = occluded
+                else:
+                    occluded = is_occ(loc, t)
+                if occluded:
+                    extra += depth
+                loss = loss + extra
+            else:
+                loss = loss + 0.0
+            append(tx_dbm - loss)
+        return out
 
     def budget(self, tx_dbm: float, sensitivity_dbm: float, i: int, j: int) -> LinkBudget:
         """Static (mean) link budget for planning and diagnostics."""

@@ -52,10 +52,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs",
         type=_positive_jobs,
-        default=1,
+        default=None,
         help="worker processes for the simulation oracle "
-        "(positive integer; 1 = serial; results are bit-identical "
-        "at any count)",
+        "(positive integer; 1 = the serial escape hatch; omitted = "
+        "auto-detect all cores, capped at the configuration count; "
+        "results are bit-identical at any count)",
     )
     parser.add_argument(
         "--cache-dir",
@@ -206,6 +207,35 @@ def build_parser() -> argparse.ArgumentParser:
     space = sub.add_parser("space", help="summarize the design space")
     _add_common(space)
 
+    bench = sub.add_parser(
+        "bench",
+        help="hot-path microbenchmarks (DES kernel, PHY fan-out, MILP "
+        "warm starts, end-to-end explore); writes a JSON report",
+    )
+    bench.add_argument(
+        "--preset",
+        default="ci",
+        choices=("paper", "ci", "smoke"),
+        help="measurement preset for the simulation/MILP benchmarks",
+    )
+    bench.add_argument(
+        "--out",
+        default="BENCH_hotpath.json",
+        help="path of the JSON report (BENCH_parallel.json style)",
+    )
+    bench.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="best-of repeat count per timed section",
+    )
+    bench.add_argument(
+        "--des-events",
+        type=int,
+        default=50_000,
+        help="timer-churn workload size for the DES kernel benchmark",
+    )
+
     return parser
 
 
@@ -217,6 +247,33 @@ def _open_instrumentation(args):
     if getattr(args, "trace_out", None):
         tracer = TraceWriter(args.trace_out)
     return Instrumentation(MetricsRegistry(), tracer)
+
+
+def _resolve_jobs(args) -> None:
+    """Resolve an omitted ``--jobs`` to the auto-detected worker count.
+
+    Detection is ``os.cpu_count()`` clamped to the preset's feasible
+    configuration count (no point forking more workers than there are
+    configurations to simulate).  An explicit ``--jobs 1`` remains the
+    serial escape hatch and is passed through untouched, as is any other
+    explicit count.  Both the request and the resolution are recorded on
+    ``args`` so the run manifest can report them.
+    """
+    if not hasattr(args, "jobs"):
+        return
+    args.jobs_requested = args.jobs
+    if args.jobs is not None:
+        return
+    from repro.core.parallel import auto_jobs
+
+    limit = None
+    try:
+        from repro.experiments.scenario import make_space
+
+        limit = make_space(args.preset).feasible_count()
+    except Exception:
+        limit = None  # unknown space: fall back to plain core count
+    args.jobs = auto_jobs(limit)
 
 
 def _write_manifest(args, obs) -> None:
@@ -232,6 +289,7 @@ def _write_manifest(args, obs) -> None:
         preset=args.preset,
         seed=args.seed,
         jobs=args.jobs,
+        jobs_requested=getattr(args, "jobs_requested", args.jobs),
         cache_dir=args.cache_dir,
         scenario_fingerprint=scenario_fingerprint(scenario),
     )
@@ -239,6 +297,7 @@ def _write_manifest(args, obs) -> None:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    _resolve_jobs(args)
 
     if args.command == "table1":
         from repro.experiments.table1 import format_table1
@@ -266,6 +325,23 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 def _run_command(args, obs) -> int:
+    if args.command == "bench":
+        from repro.bench import run_hotpath_benchmarks, write_report
+
+        report = run_hotpath_benchmarks(
+            preset=args.preset,
+            repeats=args.repeats,
+            des_events=args.des_events,
+        )
+        write_report(report, args.out)
+        print(f"wrote {args.out}")
+        print(
+            f"single replicate: {report['speedup_single_replicate']:.2f}x  "
+            f"MILP warm starts: {report['speedup_milp_warm']:.2f}x  "
+            f"DES throughput: {report['speedup_des_events']:.2f}x"
+        )
+        return 0
+
     if args.command == "space":
         from repro.experiments.scenario import make_space
 

@@ -36,6 +36,7 @@ from repro.core.design_space import Configuration
 from repro.core.problem import DesignProblem
 from repro.library.mac_options import MacKind, RoutingKind
 from repro.milp import Model, SolveStatus, enumerate_optimal_solutions
+from repro.milp.branch_bound import BranchAndBoundSolver
 from repro.milp.expr import LinExpr, Var
 from repro.obs.runtime import Instrumentation, get_active
 
@@ -75,6 +76,13 @@ class MilpFormulation:
         self.obs = obs
         self._cost_table = self._build_cost_table()
         self._cut_epsilon_mw = self._derive_cut_epsilon()
+        # Persistent B&B solver: Algorithm 1 re-solves the same model with
+        # only the cut rhs tightened, so the previous root basis warm
+        # starts the next root relaxation (iteration 0 has no cut row and
+        # its basis is shape-incompatible with iteration 1 — the simplex
+        # signature check falls back cold automatically).
+        self._solver = BranchAndBoundSolver()
+        self._root_basis = None
 
     # -- cost table ---------------------------------------------------------------
 
@@ -264,10 +272,12 @@ class MilpFormulation:
             raise ValueError(f"unknown enumeration method {method!r}")
 
         with obs.span("milp.solve", method="combo"):
-            result = model.solve()
+            result = self._solver.solve(model, root_warm_start=self._root_basis)
+        self._root_basis = result.root_basis
         obs.counter("milp.solves").inc()
         obs.counter("milp.nodes").inc(result.nodes_explored)
         obs.counter("milp.lp_iterations").inc(result.lp_iterations)
+        obs.counter("milp.warm_lp_solves").inc(result.warm_lp_solves)
         obs.event(
             "milp.solve",
             method="combo",
@@ -276,6 +286,7 @@ class MilpFormulation:
             nodes=result.nodes_explored,
             lp_iterations=result.lp_iterations,
             incumbent_updates=result.incumbent_updates,
+            warm_lp_solves=result.warm_lp_solves,
         )
         if not result.is_optimal:
             return result.status, [], None

@@ -66,6 +66,17 @@ def resolve_jobs(n_jobs: Optional[int]) -> int:
     return n_jobs
 
 
+def auto_jobs(limit: Optional[int] = None) -> int:
+    """Worker count when the caller expressed no preference: every core,
+    clamped to ``limit`` (typically the number of configurations to
+    evaluate — more workers than work items would only pay fork cost).
+    """
+    cores = os.cpu_count() or 1
+    if limit is not None:
+        cores = min(cores, max(1, int(limit)))
+    return max(1, cores)
+
+
 class WorkerPool:
     """A lazily created, reusable ``ProcessPoolExecutor`` wrapper.
 

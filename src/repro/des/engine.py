@@ -12,6 +12,15 @@ properties matter for reproducibility and are guaranteed here:
 * **Cheap cancellation.**  Cancelled events stay in the heap but are marked
   dead and skipped on pop, so timers (MAC backoffs, retransmission guards)
   can be cancelled in O(1).
+
+Performance notes (profile-guided, see DESIGN.md §8): the kernel keeps a
+live-event counter so :attr:`Simulator.pending_count` is O(1) instead of a
+heap walk; the run loop binds the heap and ``heappop`` to locals and pops
+events directly rather than peeking then re-scanning; and when cancelled
+events come to dominate the heap (timer-heavy MACs cancel most of what
+they schedule) the heap is lazily compacted — a filter + ``heapify`` that
+preserves the (time, priority, seq) total order exactly, so execution
+order is bit-identical with or without compaction.
 """
 
 from __future__ import annotations
@@ -41,7 +50,9 @@ class Event:
     are inert.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled", "done")
+    __slots__ = (
+        "time", "priority", "seq", "callback", "args", "cancelled", "done", "sim",
+    )
 
     def __init__(
         self,
@@ -50,6 +61,7 @@ class Event:
         seq: int,
         callback: Callable[..., None],
         args: Tuple[Any, ...],
+        sim: Optional["Simulator"] = None,
     ) -> None:
         self.time = time
         self.priority = priority
@@ -58,10 +70,14 @@ class Event:
         self.args = args
         self.cancelled = False
         self.done = False
+        self.sim = sim
 
     def cancel(self) -> None:
         """Mark the event dead; it will be skipped when popped."""
-        self.cancelled = True
+        if not self.cancelled and not self.done:
+            self.cancelled = True
+            if self.sim is not None:
+                self.sim._note_cancel()
 
     @property
     def pending(self) -> bool:
@@ -86,12 +102,22 @@ class Simulator:
     in :mod:`repro.net` builds on it through callbacks and processes.
     """
 
+    #: Compaction policy: rebuild the heap when cancelled entries both
+    #: exceed this count and outnumber the live ones.  The threshold keeps
+    #: tiny heaps (where a rebuild costs more than it saves) untouched.
+    COMPACT_MIN_DEAD = 64
+
     def __init__(self) -> None:
         self._now = 0.0
         self._heap: List[Tuple[float, int, int, Event]] = []
         self._counter = itertools.count()
         self._running = False
         self._events_executed = 0
+        # Live/dead bookkeeping: _live counts pending events in the heap
+        # (O(1) pending_count); _dead counts cancelled entries not yet
+        # popped, driving the lazy compaction.
+        self._live = 0
+        self._dead = 0
 
     # -- time ------------------------------------------------------------------
 
@@ -107,8 +133,24 @@ class Simulator:
 
     @property
     def pending_count(self) -> int:
-        """Number of live events still in the queue."""
-        return sum(1 for *_rest, ev in self._heap if ev.pending)
+        """Number of live events still in the queue (O(1): maintained on
+        schedule/cancel/pop instead of walking the heap)."""
+        return self._live
+
+    def _note_cancel(self) -> None:
+        """Called by :meth:`Event.cancel` for a previously pending event."""
+        self._live -= 1
+        self._dead += 1
+        if self._dead >= self.COMPACT_MIN_DEAD and self._dead > self._live:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify.  Entries are totally
+        ordered by their unique (time, priority, seq) key, so rebuilding
+        the heap cannot change pop order — only the constant factor."""
+        self._heap = [entry for entry in self._heap if not entry[3].cancelled]
+        heapq.heapify(self._heap)
+        self._dead = 0
 
     # -- scheduling ---------------------------------------------------------------
 
@@ -122,7 +164,17 @@ class Simulator:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback, *args, priority=priority)
+        # Inlined schedule_at: this is the hottest scheduling entry point
+        # (timers, MAC backoffs, app traffic all come through here) and a
+        # non-negative delay from a finite `now` already implies the
+        # time-ordering checks.
+        time = self._now + delay
+        if not math.isfinite(time):
+            raise ValueError("event time must be finite")
+        event = Event(time, priority, next(self._counter), callback, args, self)
+        heapq.heappush(self._heap, (time, priority, event.seq, event))
+        self._live += 1
+        return event
 
     def schedule_at(
         self,
@@ -138,20 +190,25 @@ class Simulator:
             )
         if not math.isfinite(time):
             raise ValueError("event time must be finite")
-        event = Event(time, priority, next(self._counter), callback, args)
+        event = Event(time, priority, next(self._counter), callback, args, self)
         heapq.heappush(self._heap, (time, priority, event.seq, event))
+        self._live += 1
         return event
 
     # -- execution ------------------------------------------------------------------
 
     def step(self) -> bool:
         """Execute the next live event.  Returns False when none remain."""
-        while self._heap:
-            time, _priority, _seq, event = heapq.heappop(self._heap)
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            time, _priority, _seq, event = pop(heap)
             if event.cancelled:
+                self._dead -= 1
                 continue
             self._now = time
             event.done = True
+            self._live -= 1
             self._events_executed += 1
             event.callback(*event.args)
             return True
@@ -170,17 +227,33 @@ class Simulator:
             raise RuntimeError("simulator is not reentrant")
         self._running = True
         executed = 0
+        # Hot loop: everything the per-event path touches is a local.
+        heap = self._heap
+        pop = heapq.heappop
         try:
-            while self._heap:
-                next_time = self._next_live_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
+            while heap:
+                entry = heap[0]
+                event = entry[3]
+                if event.cancelled:
+                    pop(heap)
+                    self._dead -= 1
+                    continue
+                if until is not None and entry[0] > until:
                     break
                 if max_events is not None and executed >= max_events:
                     break
-                self.step()
+                pop(heap)
+                self._now = event.time
+                event.done = True
+                self._live -= 1
+                self._events_executed += 1
+                event.callback(*event.args)
                 executed += 1
+                if heap is not self._heap:
+                    # A callback cancelled enough timers to trigger heap
+                    # compaction (or scheduled into a rebuilt heap); pick
+                    # up the replacement list.
+                    heap = self._heap
             if until is not None and until > self._now:
                 self._now = until
         finally:
@@ -204,6 +277,7 @@ class Simulator:
             time, _priority, _seq, event = self._heap[0]
             if event.cancelled:
                 heapq.heappop(self._heap)
+                self._dead -= 1
                 continue
             return time
         return None

@@ -27,7 +27,12 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.milp.model import Model
-from repro.milp.simplex import LinearProgram, SimplexSolver, SimplexStatus
+from repro.milp.simplex import (
+    LinearProgram,
+    SimplexSolver,
+    SimplexStatus,
+    WarmStartBasis,
+)
 from repro.milp.solution import SolveResult, SolveStatus
 
 #: A solution component within this distance of an integer counts as integral.
@@ -46,6 +51,11 @@ class _Node:
     sequence: int
     lower: np.ndarray = None  # type: ignore[assignment]
     upper: np.ndarray = None  # type: ignore[assignment]
+    #: Parent relaxation's optimal basis: the child LP differs by one
+    #: bound, so re-optimizing from here is a few dual pivots instead of
+    #: a full two-phase solve.  Never part of the heap ordering (bound,
+    #: sequence) key.
+    basis: Optional[WarmStartBasis] = None
 
     def __post_init__(self) -> None:
         # dataclass(order=True) would compare arrays; exclude them by
@@ -68,6 +78,12 @@ class BranchAndBoundSolver:
         objective whose distinct values are well separated.
     lp_solver:
         Simplex engine; injectable for testing.
+    use_warm_starts:
+        Re-optimize each child relaxation from its parent's optimal basis
+        (and the root from ``root_warm_start``, when given) instead of a
+        cold two-phase solve.  The simplex layer falls back cold on any
+        numerical doubt, so the search trajectory and results do not
+        depend on this flag — only the pivot counts do.
     """
 
     def __init__(
@@ -75,12 +91,16 @@ class BranchAndBoundSolver:
         max_nodes: int = 100000,
         gap_tol: float = 1e-9,
         lp_solver: Optional[SimplexSolver] = None,
+        use_warm_starts: bool = True,
     ) -> None:
         self.max_nodes = max_nodes
         self.gap_tol = gap_tol
         self.lp_solver = lp_solver or SimplexSolver()
+        self.use_warm_starts = use_warm_starts
 
-    def solve(self, model: Model) -> SolveResult:
+    def solve(
+        self, model: Model, root_warm_start: Optional[WarmStartBasis] = None
+    ) -> SolveResult:
         """Solve ``model`` to optimality (in the model's objective sense)."""
         c, a_ub, b_ub, a_eq, b_eq, bounds, c0 = model.to_standard_arrays()
         int_indices = np.array(model.integer_indices, dtype=int)
@@ -98,6 +118,8 @@ class BranchAndBoundSolver:
         root = _Node(-math.inf, next(counter))
         root.lower = bounds[:, 0].copy()
         root.upper = bounds[:, 1].copy()
+        if self.use_warm_starts:
+            root.basis = root_warm_start
         heap: List[_Node] = [root]
 
         incumbent_value: Optional[np.ndarray] = None
@@ -105,7 +127,10 @@ class BranchAndBoundSolver:
         nodes = 0
         lp_iters = 0
         incumbent_updates = 0
+        warm_lp_solves = 0
+        root_basis: Optional[WarmStartBasis] = None
         saw_unbounded_relaxation = False
+        warm = self.use_warm_starts
 
         while heap and nodes < self.max_nodes:
             node = heapq.heappop(heap)
@@ -117,8 +142,14 @@ class BranchAndBoundSolver:
                 c, a_ub, b_ub, a_eq, b_eq,
                 np.column_stack([node.lower, node.upper]), 0.0,
             )
-            result = self.lp_solver.solve(lp)
+            result = self.lp_solver.solve(
+                lp, warm_start=node.basis if warm else None, want_basis=warm
+            )
             lp_iters += result.iterations
+            if result.warm_started:
+                warm_lp_solves += 1
+            if node is root:
+                root_basis = result.basis
             if result.status is SimplexStatus.INFEASIBLE:
                 continue
             if result.status is SimplexStatus.UNBOUNDED:
@@ -175,6 +206,7 @@ class BranchAndBoundSolver:
             down.lower = node.lower.copy()
             down.upper = node.upper.copy()
             down.upper[frac_j] = float(floor_v)
+            down.basis = result.basis
             if down.lower[frac_j] <= down.upper[frac_j]:
                 heapq.heappush(heap, down)
             # Up child: x_j >= floor(v) + 1
@@ -182,18 +214,23 @@ class BranchAndBoundSolver:
             up.lower = node.lower.copy()
             up.upper = node.upper.copy()
             up.lower[frac_j] = float(floor_v + 1)
+            up.basis = result.basis
             if up.lower[frac_j] <= up.upper[frac_j]:
                 heapq.heappush(heap, up)
 
         if saw_unbounded_relaxation and incumbent_value is None:
             return SolveResult(SolveStatus.UNBOUNDED, nodes_explored=nodes,
-                               lp_iterations=lp_iters)
+                               lp_iterations=lp_iters,
+                               warm_lp_solves=warm_lp_solves,
+                               root_basis=root_basis)
         if incumbent_value is None:
             status = (
                 SolveStatus.NODE_LIMIT if heap and nodes >= self.max_nodes
                 else SolveStatus.INFEASIBLE
             )
-            return SolveResult(status, nodes_explored=nodes, lp_iterations=lp_iters)
+            return SolveResult(status, nodes_explored=nodes, lp_iterations=lp_iters,
+                               warm_lp_solves=warm_lp_solves,
+                               root_basis=root_basis)
         if heap and nodes >= self.max_nodes:
             # Incumbent exists but optimality was not proven: report it as a
             # best-effort bound under the NODE_LIMIT status.
@@ -205,6 +242,8 @@ class BranchAndBoundSolver:
                 nodes_explored=nodes,
                 lp_iterations=lp_iters,
                 incumbent_updates=incumbent_updates,
+                warm_lp_solves=warm_lp_solves,
+                root_basis=root_basis,
             )
 
         # incumbent_obj is in minimization space without c0; map back.
@@ -220,6 +259,8 @@ class BranchAndBoundSolver:
             nodes_explored=nodes,
             lp_iterations=lp_iters,
             incumbent_updates=incumbent_updates,
+            warm_lp_solves=warm_lp_solves,
+            root_basis=root_basis,
         )
 
     @staticmethod

@@ -84,16 +84,46 @@ class LinearProgram:
         return self.c.shape[0]
 
 
+@dataclass(frozen=True)
+class WarmStartBasis:
+    """An optimal basis exported from one solve for reuse in the next.
+
+    ``basis`` holds the standard-form column index that is basic in each
+    row; ``signature`` fingerprints the standard form it belongs to
+    (row count, column count, and the per-variable encoding kinds).  A
+    warm start is only attempted against an LP whose standard form has
+    the identical signature — which is exactly the Algorithm-1 situation
+    (same model, one cut rhs tightened) and the B&B parent→child situation
+    (same model, one finite bound moved).  Anything else falls back to the
+    cold two-phase solve.
+    """
+
+    basis: np.ndarray
+    signature: Tuple
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "basis", np.asarray(self.basis, dtype=int).copy()
+        )
+
+
 @dataclass
 class SimplexResult:
     """Solution report: status, point in the *original* variable space,
-    objective value (including ``c0``), and iteration count."""
+    objective value (including ``c0``), and iteration count.
+
+    ``basis`` is populated (on optimal solves) only when the caller asked
+    for it with ``want_basis=True``; ``warm_started`` records whether the
+    reported solution actually came from the warm path rather than the
+    two-phase fallback."""
 
     status: SimplexStatus
     x: Optional[np.ndarray]
     objective: Optional[float]
     iterations: int = 0
     phase1_objective: float = 0.0
+    basis: Optional[WarmStartBasis] = None
+    warm_started: bool = False
 
     @property
     def is_optimal(self) -> bool:
@@ -145,28 +175,137 @@ class SimplexSolver:
 
     # -- public API -----------------------------------------------------------
 
-    def solve(self, lp: LinearProgram) -> SimplexResult:
-        """Solve the LP and return a :class:`SimplexResult`."""
+    def solve(
+        self,
+        lp: LinearProgram,
+        warm_start: Optional[WarmStartBasis] = None,
+        want_basis: bool = False,
+    ) -> SimplexResult:
+        """Solve the LP and return a :class:`SimplexResult`.
+
+        ``warm_start`` (from a previous solve's ``result.basis``) skips
+        phase 1 entirely: the stored basis is refactorized against the new
+        constraint data, primal feasibility is restored with a handful of
+        dual-simplex pivots, and phase 2 polishes to optimality.  Any sign
+        of trouble — signature mismatch, singular or ill-conditioned
+        basis, iteration budget, an infeasibility verdict — abandons the
+        warm path and reruns the cold two-phase solve, so the result is
+        the same with or without a warm start.  ``want_basis=True``
+        attaches the optimal basis to the result for the next solve.
+        """
         std, transform = self._to_standard_form(lp)
         if std is None:
             # A variable had lb > ub (caught upstream normally) or an
             # immediately contradictory bound row.
             return SimplexResult(SimplexStatus.INFEASIBLE, None, None)
         a, b, c = std
-        result = self._two_phase(a, b, c)
+        signature = (
+            a.shape[0], a.shape[1], tuple(e[0] for e in transform.encodings),
+        )
+        result: Optional[SimplexResult] = None
+        basis: Optional[np.ndarray] = None
+        warm_used = False
+        if warm_start is not None and warm_start.signature == signature:
+            warm = self._warm_solve(a, b, c, warm_start.basis)
+            if warm is not None:
+                result, basis = warm
+                warm_used = True
+        if result is None:
+            result, basis = self._two_phase(a, b, c)
         # Per-solve (not per-pivot) instrumentation: two counter adds per
         # LP relaxation, invisible next to the pivoting work above.
         obs = get_active()
         obs.counter("simplex.solves").inc()
         obs.counter("simplex.pivots").inc(result.iterations)
+        if warm_used:
+            obs.counter("simplex.warm_solves").inc()
         if result.status is not SimplexStatus.OPTIMAL:
+            result.warm_started = warm_used
             return result
         assert result.x is not None
         x_original = transform.recover(result.x)
         objective = float(lp.c @ x_original + lp.c0)
+        exported = None
+        if want_basis and basis is not None:
+            exported = WarmStartBasis(basis=basis, signature=signature)
         return SimplexResult(
             SimplexStatus.OPTIMAL, x_original, objective, result.iterations,
-            result.phase1_objective,
+            result.phase1_objective, basis=exported, warm_started=warm_used,
+        )
+
+    # -- warm-start path --------------------------------------------------------
+
+    def _warm_solve(
+        self, a: np.ndarray, b: np.ndarray, c: np.ndarray, basis0: np.ndarray
+    ) -> Optional[Tuple[SimplexResult, Optional[np.ndarray]]]:
+        """Re-optimize from a previously optimal basis; None = go cold.
+
+        The stored basis B is refactorized against the *new* (A, b) by one
+        dense solve ``B⁻¹ [A | b]``.  Constraint-data changes that keep the
+        signature (a cut rhs tightened, a variable bound moved) typically
+        leave the basis dual-feasible but primal-infeasible in a few rows,
+        which dual-simplex pivots repair; a final primal pass certifies
+        optimality, so even a stale or dual-infeasible start still ends at
+        a true optimum — or falls back cold.
+        """
+        m, n = a.shape
+        basis = np.asarray(basis0, dtype=int)
+        if m == 0 or basis.shape[0] != m:
+            return None
+        if np.any(basis < 0) or np.any(basis >= n):
+            return None
+        if len(np.unique(basis)) != m:
+            return None
+        try:
+            sol = np.linalg.solve(
+                a[:, basis], np.concatenate([a, b[:, None]], axis=1)
+            )
+        except np.linalg.LinAlgError:
+            return None
+        if not np.all(np.isfinite(sol)):
+            return None
+        tableau = np.ascontiguousarray(sol[:, :n])
+        rhs = sol[:, n].copy()
+        # Snap the basic columns to exact unit vectors: _optimize/_pivot
+        # maintain this invariant and the refactorization only gives it up
+        # to round-off.
+        for i in range(m):
+            tableau[:, basis[i]] = 0.0
+            tableau[i, basis[i]] = 1.0
+
+        iterations = 0
+        while np.any(rhs < -EPS):
+            if iterations >= self.max_iterations:
+                return None
+            # Dual simplex: leave the most infeasible row, enter the column
+            # minimizing the dual ratio (first index on ties — deterministic).
+            leaving = int(np.argmin(rhs))
+            row = tableau[leaving]
+            candidates = np.nonzero(row < -EPS)[0]
+            if len(candidates) == 0:
+                # Dual-simplex proof of primal infeasibility; let the cold
+                # two-phase solve deliver that verdict through its own
+                # (numerically independent) route.
+                return None
+            reduced = c - c[basis] @ tableau
+            reduced[basis] = 0.0
+            ratios = reduced[candidates] / -row[candidates]
+            entering = int(candidates[np.argmin(ratios)])
+            self._pivot(tableau, rhs, basis, leaving, entering)
+            iterations += 1
+
+        status, iters = self._optimize(tableau, rhs, c, basis)
+        iterations += iters
+        if status is SimplexStatus.ITERATION_LIMIT:
+            return None
+        if status is not SimplexStatus.OPTIMAL:
+            # UNBOUNDED: a sound conclusion from a primal-feasible basis.
+            return SimplexResult(status, None, None, iterations), None
+        y = np.zeros(n)
+        y[basis] = rhs
+        return (
+            SimplexResult(SimplexStatus.OPTIMAL, y, float(c @ y), iterations),
+            basis,
         )
 
     # -- standard-form reduction ----------------------------------------------
@@ -258,14 +397,16 @@ class SimplexSolver:
 
     def _two_phase(
         self, a: np.ndarray, b: np.ndarray, c: np.ndarray
-    ) -> SimplexResult:
+    ) -> Tuple[SimplexResult, Optional[np.ndarray]]:
+        """Cold solve; returns the result and, on optimal solves whose
+        final basis is artificial-free, the basis for warm-start export."""
         m, n = a.shape
         if m == 0:
             # No constraints: minimum of c'y over y >= 0 is 0 unless some
             # cost is negative, in which case the LP is unbounded.
             if np.any(c < -EPS):
-                return SimplexResult(SimplexStatus.UNBOUNDED, None, None)
-            return SimplexResult(SimplexStatus.OPTIMAL, np.zeros(n), 0.0)
+                return SimplexResult(SimplexStatus.UNBOUNDED, None, None), None
+            return SimplexResult(SimplexStatus.OPTIMAL, np.zeros(n), 0.0), None
 
         # Identify rows already covered by a positive slack column usable as
         # an initial basic variable; give the rest artificial variables.
@@ -296,14 +437,14 @@ class SimplexSolver:
             status, iters = self._optimize(tableau, rhs, phase1_cost, basis)
             iterations += iters
             if status is not SimplexStatus.OPTIMAL:
-                return SimplexResult(status, None, None, iterations)
+                return SimplexResult(status, None, None, iterations), None
             phase1_obj = float(
                 sum(rhs[i] for i in range(m) if basis[i] >= n)
             )
             if phase1_obj > 1e-7:
                 return SimplexResult(
                     SimplexStatus.INFEASIBLE, None, None, iterations, phase1_obj
-                )
+                ), None
             # Drive any remaining (degenerate, zero-valued) artificials out
             # of the basis, or drop their rows if they are redundant.
             for i in range(m):
@@ -327,15 +468,19 @@ class SimplexSolver:
         status, iters = self._optimize(tableau, rhs, phase2_cost, basis, forbidden)
         iterations += iters
         if status is not SimplexStatus.OPTIMAL:
-            return SimplexResult(status, None, None, iterations, phase1_obj)
+            return SimplexResult(status, None, None, iterations, phase1_obj), None
 
         y = np.zeros(n)
         for i in range(m):
             if basis[i] < n:
                 y[basis[i]] = rhs[i]
+        # Export the basis only when fully artificial-free (a zeroed
+        # redundant row keeps its artificial and cannot be refactorized
+        # against a future A).
+        exportable = basis.copy() if bool(np.all(basis < n)) else None
         return SimplexResult(
             SimplexStatus.OPTIMAL, y, float(c @ y), iterations, phase1_obj
-        )
+        ), exportable
 
     # -- core pivoting loop -------------------------------------------------------
 

@@ -43,6 +43,14 @@ class SolveResult:
         How many times the search improved its best integral solution —
         1 on the Human Intranet models when best-bound search walks
         straight to the optimum; larger values indicate weak pruning.
+    warm_lp_solves:
+        Node relaxations solved from a warm-start basis rather than the
+        cold two-phase path (see :mod:`repro.milp.simplex`).
+    root_basis:
+        The root relaxation's optimal basis, exported so the *next* solve
+        of the same formulation (an Algorithm-1 cut iteration) can warm
+        start; ``None`` when the root was infeasible or the solver was
+        built with warm starts disabled.
     """
 
     status: SolveStatus
@@ -51,6 +59,8 @@ class SolveResult:
     nodes_explored: int = 0
     lp_iterations: int = 0
     incumbent_updates: int = 0
+    warm_lp_solves: int = 0
+    root_basis: Optional[object] = None
 
     @property
     def is_optimal(self) -> bool:

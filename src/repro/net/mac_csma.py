@@ -44,6 +44,9 @@ class CsmaMac(MacBase):
         super().__init__(sim, radio, options, stats, rng)
         self._pending_attempt: Optional[Event] = None
         self.backoffs = 0
+        # Stream handle cached once: the backoff draw is on the contention
+        # hot path and the name-keyed registry lookup is not.
+        self._backoff_stream = rng.stream(f"csma_backoff/{self.location}")
 
     def _kick(self) -> None:
         if not self.queue or self._in_flight is not None:
@@ -64,10 +67,11 @@ class CsmaMac(MacBase):
             return
         self.backoffs += 1
         if self.options.access_mode is CsmaAccessMode.NON_PERSISTENT:
-            delay = self.rng.uniform(
-                f"csma_backoff/{self.location}",
-                self.options.csma_backoff_min_s,
-                self.options.csma_backoff_max_s,
+            delay = float(
+                self._backoff_stream.uniform(
+                    self.options.csma_backoff_min_s,
+                    self.options.csma_backoff_max_s,
+                )
             )
         else:
             delay = PERSISTENT_SPIN_S

@@ -159,7 +159,11 @@ class Network:
             self.fault_state = self._fault_injector.state
 
         self.medium = Medium(
-            self.sim, channel, self.trace, faults=self.fault_state
+            self.sim, channel, self.trace, faults=self.fault_state,
+            # The lowest threshold any MAC will carrier-sense with; lets
+            # the medium prove which link pairs are never observable and
+            # skip their fading draws (see Medium docstring).
+            carrier_sense_floor_dbm=mac_options.carrier_sense_dbm,
         )
         self.stats = NetworkStats(list(placement))
         if self._fault_injector is not None:

@@ -13,7 +13,7 @@ by the PDR estimator (Eq. 6).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import FrozenSet, Optional
 
 _copy_counter = itertools.count()
@@ -74,21 +74,35 @@ class Packet:
     def relayed_by(self, node: int) -> "Packet":
         """A new copy as rebroadcast by ``node``: hop counter incremented,
         node appended to the visited history."""
-        return replace(
-            self,
+        # Direct construction instead of dataclasses.replace: copies are
+        # minted once per relay on the hot path, and replace() pays a
+        # fields() walk per call.
+        return Packet(
+            origin=self.origin,
+            seq=self.seq,
+            destination=self.destination,
+            length_bytes=self.length_bytes,
             hops_used=self.hops_used + 1,
             visited=self.visited | {node},
             relayer=node,
+            created_at=self.created_at,
+            next_hop=self.next_hop,
             copy_id=next(_copy_counter),
         )
 
     def originated(self) -> "Packet":
         """The original transmission copy: origin in the visited set and
         marked as the current relayer."""
-        return replace(
-            self,
+        return Packet(
+            origin=self.origin,
+            seq=self.seq,
+            destination=self.destination,
+            length_bytes=self.length_bytes,
+            hops_used=self.hops_used,
             visited=self.visited | {self.origin},
             relayer=self.origin,
+            created_at=self.created_at,
+            next_hop=self.next_hop,
             copy_id=next(_copy_counter),
         )
 

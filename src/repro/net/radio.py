@@ -22,7 +22,9 @@ from __future__ import annotations
 
 import enum
 import math
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.channel.link import Channel
 from repro.des.engine import Simulator
@@ -80,6 +82,33 @@ class _Transmission:
             self.interference[receiver] = power_dbm
 
 
+class _FanoutPlan:
+    """Per-sender precomputed reception geometry (see DESIGN.md §8).
+
+    Everything deterministic about one sender's broadcast fan-out —
+    receiver order, mean path losses, each receiver's radio object and
+    sensitivity, and which pairs are provably unobservable — is computed
+    once per (sender, tx-mode) and reused for every packet.  Plans are
+    invalidated whenever a radio registers.
+    """
+
+    __slots__ = ("entries", "radios", "sens", "locs", "sens_py")
+
+    def __init__(
+        self,
+        entries: List[Tuple[int, float, bool]],
+        radios: List["Radio"],
+        sens: "np.ndarray",
+    ) -> None:
+        self.entries = entries
+        self.radios = radios
+        self.sens = sens
+        # Receiver order and sensitivities as plain Python objects, for
+        # the scalar delivery loop and the rx-power dict construction.
+        self.locs = tuple(e[0] for e in entries)
+        self.sens_py = [float(s) for s in sens]
+
+
 class Medium:
     """The shared wireless medium connecting all radios of one network.
 
@@ -89,6 +118,21 @@ class Medium:
     power of a blacked-out pair below sensitivity, and a failed radio
     (``radio.failed``) neither senses, receives, nor reaches the medium.
     Healthy networks pass ``None`` and pay nothing.
+
+    ``carrier_sense_floor_dbm`` is the lowest carrier-sense threshold any
+    MAC in this network will ever pass to :meth:`sensed_busy`.  Supplying
+    it enables the dead-pair skip: a pair whose best-case received power
+    (mean path loss minus the fading clip) is below
+    ``min(sensitivity, floor) − CAPTURE_THRESHOLD_DB`` in *both*
+    directions can never decode, never trips carrier sense, and can never
+    decide a capture comparison, so its fading draw is provably
+    unobservable and is skipped.  Left ``None`` (the default), no pair is
+    ever skipped.
+
+    ``use_fast_path=False`` selects the original per-receiver reference
+    implementation; the fast path must produce bit-identical results, and
+    the A/B tests plus the ``repro.bench`` harness rely on both paths
+    staying callable.
     """
 
     def __init__(
@@ -97,6 +141,8 @@ class Medium:
         channel: Channel,
         trace: Optional[TraceLog] = None,
         faults=None,
+        carrier_sense_floor_dbm: Optional[float] = None,
+        use_fast_path: bool = True,
     ):
         self.sim = sim
         self.channel = channel
@@ -104,13 +150,64 @@ class Medium:
         # log is falsy and `trace or ...` would silently discard it.
         self.trace = trace if trace is not None else TraceLog(enabled=False)
         self.faults = faults
+        self.carrier_sense_floor_dbm = carrier_sense_floor_dbm
+        self.use_fast_path = use_fast_path
         self._radios: Dict[int, "Radio"] = {}
         self._active: List[_Transmission] = []
+        self._plans: Dict[int, _FanoutPlan] = {}
 
     def register(self, radio: "Radio") -> None:
         if radio.location in self._radios:
             raise ValueError(f"two radios registered at location {radio.location}")
         self._radios[radio.location] = radio
+        self._plans.clear()
+
+    def _plan_for(self, radio: "Radio") -> _FanoutPlan:
+        plan = self._plans.get(radio.location)
+        if plan is None:
+            plan = self._build_plan(radio)
+            self._plans[radio.location] = plan
+        return plan
+
+    def _build_plan(self, radio: "Radio") -> _FanoutPlan:
+        sender = radio.location
+        channel = self.channel
+        mean_pl = channel.mean_model.mean_path_loss
+        gain = channel.max_fade_gain_db()
+        cs_floor = self.carrier_sense_floor_dbm
+        # Posture draws are time-keyed and shared across pairs, so no OU
+        # draw is skippable while the posture process is active; without a
+        # carrier-sense floor the skip is disabled outright.
+        allow_skip = cs_floor is not None and channel.posture is None
+        entries: List[Tuple[int, float, bool]] = []
+        radios: List["Radio"] = []
+        sens: List[float] = []
+        for loc, other in self._radios.items():
+            if loc == sender:
+                continue
+            mean = mean_pl(sender, loc)
+            skip = False
+            if allow_skip:
+                # Dead in the sender→receiver direction...
+                floor_out = min(other.spec.sensitivity_dbm, cs_floor)
+                dead_out = (
+                    radio.tx_mode.output_dbm - mean + gain
+                    < floor_out - CAPTURE_THRESHOLD_DB
+                )
+                # ...and in the reverse direction, because the OU stream
+                # is shared per unordered pair: skipping a draw for one
+                # direction must not shift draws the other direction
+                # would observe.
+                floor_back = min(radio.spec.sensitivity_dbm, cs_floor)
+                dead_back = (
+                    other.tx_mode.output_dbm - mean_pl(loc, sender) + gain
+                    < floor_back - CAPTURE_THRESHOLD_DB
+                )
+                skip = dead_out and dead_back
+            entries.append((loc, mean, skip))
+            radios.append(other)
+            sens.append(other.spec.sensitivity_dbm)
+        return _FanoutPlan(entries, radios, np.asarray(sens, dtype=np.float64))
 
     @property
     def radios(self) -> Dict[int, "Radio"]:
@@ -138,37 +235,49 @@ class Medium:
         """Start broadcasting ``packet`` from ``radio``; returns airtime."""
         now = self.sim.now
         airtime = radio.spec.packet_airtime_s(packet.length_bytes)
-        rx_power: Dict[int, float] = {}
         blocked = self.faults.link_blocked if self.faults is not None else None
-        for loc in self._radios:
-            if loc == radio.location:
-                continue
-            if blocked is not None and blocked(radio.location, loc):
-                # Blackout episode: the pair is in deep shadowing, below
-                # sensitivity in both directions for the episode.
-                rx_power[loc] = -math.inf
-                continue
-            rx_power[loc] = self.channel.received_power_dbm(
-                radio.tx_mode.output_dbm, radio.location, loc, now
+        sender = radio.location
+        if self.use_fast_path:
+            plan = self._plan_for(radio)
+            powers = self.channel.fanout_powers(
+                sender, radio.tx_mode.output_dbm, plan.entries, now, blocked
             )
+            rx_power = dict(zip(plan.locs, powers))
+        else:
+            # Reference path: per-receiver link-budget derivation, kept
+            # callable for A/B bit-identity tests and benchmarks.
+            rx_power = {}
+            for loc in self._radios:
+                if loc == sender:
+                    continue
+                if blocked is not None and blocked(sender, loc):
+                    # Blackout episode: the pair is in deep shadowing,
+                    # below sensitivity in both directions.
+                    rx_power[loc] = -math.inf
+                    continue
+                rx_power[loc] = self.channel.received_power_dbm(
+                    radio.tx_mode.output_dbm, sender, loc, now
+                )
         tx = _Transmission(
-            radio.location, packet, now, now + airtime, radio.tx_mode.output_dbm,
+            sender, packet, now, now + airtime, radio.tx_mode.output_dbm,
             rx_power,
         )
 
         # Mutual interference with every overlapping transmission.
         for other in self._active:
+            other_rx = other.rx_power
             for loc in self._radios:
-                if loc != tx.sender and loc != other.sender:
-                    other.note_interference(loc, tx.rx_power.get(loc, -math.inf))
-                    tx.note_interference(loc, other.rx_power.get(loc, -math.inf))
+                if loc != sender and loc != other.sender:
+                    other.note_interference(loc, rx_power.get(loc, -math.inf))
+                    tx.note_interference(loc, other_rx.get(loc, -math.inf))
             # Half duplex: each transmitter destroys the other's copy at
             # its own location.
-            other.note_interference(tx.sender, math.inf)
+            other.note_interference(sender, math.inf)
             tx.note_interference(other.sender, math.inf)
 
         self._active.append(tx)
-        self.trace.log(now, "phy_tx_start", sender=tx.sender, packet=repr(packet))
+        if self.trace.enabled:
+            self.trace.log(now, "phy_tx_start", sender=sender, packet=repr(packet))
         self.sim.schedule(airtime, self._finish_transmission, tx)
         return airtime
 
@@ -176,6 +285,13 @@ class Medium:
         self._active.remove(tx)
         sender_radio = self._radios[tx.sender]
         sender_radio._transmission_ended(tx)
+        if self.use_fast_path:
+            self._deliver_fast(tx)
+        else:
+            self._deliver_reference(tx)
+
+    def _deliver_reference(self, tx: _Transmission) -> None:
+        """Original per-receiver decodability/capture resolution."""
         duration = tx.end - tx.start
         for loc, radio in self._radios.items():
             if loc == tx.sender:
@@ -204,6 +320,123 @@ class Medium:
                 packet=repr(tx.packet),
             )
             radio.deliver(tx.packet, power)
+
+    #: Receiver count at which :meth:`_deliver_fast` switches from the
+    #: scalar loop to numpy masks.  Array setup costs ~2 µs per call,
+    #: which only amortizes once the fan-out is wide; both branches make
+    #: identical float64 comparisons, so the results are bit-equal.
+    VECTOR_MIN_RECEIVERS = 8
+
+    def _deliver_fast(self, tx: _Transmission) -> None:
+        """Vectorized decodability/capture over all receivers at once.
+
+        The boolean masks are computed with numpy (float64 comparisons
+        are bit-identical to the scalar path); per-receiver effects —
+        stats, traces, delivery — still run in registration order with
+        the original Python floats, so nothing downstream ever sees a
+        numpy scalar.
+        """
+        duration = tx.end - tx.start
+        plan = self._plan_for(self._radios[tx.sender])
+        entries = plan.entries
+        n = len(entries)
+        rx_power = tx.rx_power
+        interf = tx.interference
+        if n < self.VECTOR_MIN_RECEIVERS:
+            self._deliver_scalar(tx, plan, duration)
+            return
+        powers = np.fromiter(
+            (rx_power[e[0]] for e in entries), dtype=np.float64, count=n
+        )
+        if interf:
+            ints = np.fromiter(
+                (interf.get(e[0], -math.inf) for e in entries),
+                dtype=np.float64,
+                count=n,
+            )
+            with np.errstate(invalid="ignore"):
+                # −inf − −inf → NaN, which correctly compares False.
+                collided = (ints > -math.inf) & (
+                    powers - ints < CAPTURE_THRESHOLD_DB
+                )
+        else:
+            collided = None
+        decodable = powers >= plan.sens
+        trace = self.trace
+        now = self.sim.now
+        packet = tx.packet
+        sender = tx.sender
+        for k in range(n):
+            radio = plan.radios[k]
+            if radio.failed:
+                # A dark radio never wakes its receive chain: no RX
+                # energy, no delivery.
+                radio.stats.fault_rx_suppressed += 1
+                continue
+            if not decodable[k]:
+                radio.stats.below_sensitivity += 1
+                continue
+            stats = radio.stats
+            # The receive chain locked onto this arrival: pay RX energy.
+            stats.rx_seconds += duration
+            loc = entries[k][0]
+            if collided is not None and collided[k]:
+                stats.collisions_seen += 1
+                if trace.enabled:
+                    trace.log(now, "phy_collision", receiver=loc, sender=sender)
+                continue
+            stats.receptions += 1
+            if trace.enabled:
+                trace.log(
+                    now, "phy_rx", receiver=loc, sender=sender,
+                    packet=repr(packet),
+                )
+            radio.deliver(packet, rx_power[loc])
+
+    def _deliver_scalar(self, tx, plan, duration: float) -> None:
+        """Plan-ordered delivery loop without array setup, for narrow
+        fan-outs.  Decision-for-decision the same comparisons as the
+        vectorized branch (and the reference loop), on the same floats."""
+        rx_power = tx.rx_power
+        interf = tx.interference
+        trace = self.trace
+        now = self.sim.now
+        packet = tx.packet
+        sender = tx.sender
+        for loc, radio, sensitivity in zip(
+            plan.locs, plan.radios, plan.sens_py
+        ):
+            if radio.failed:
+                # A dark radio never wakes its receive chain: no RX
+                # energy, no delivery.
+                radio.stats.fault_rx_suppressed += 1
+                continue
+            power = rx_power[loc]
+            stats = radio.stats
+            if power < sensitivity:
+                stats.below_sensitivity += 1
+                continue
+            # The receive chain locked onto this arrival: pay RX energy.
+            stats.rx_seconds += duration
+            if interf:
+                interference = interf.get(loc, -math.inf)
+                if (
+                    interference > -math.inf
+                    and power - interference < CAPTURE_THRESHOLD_DB
+                ):
+                    stats.collisions_seen += 1
+                    if trace.enabled:
+                        trace.log(
+                            now, "phy_collision", receiver=loc, sender=sender
+                        )
+                    continue
+            stats.receptions += 1
+            if trace.enabled:
+                trace.log(
+                    now, "phy_rx", receiver=loc, sender=sender,
+                    packet=repr(packet),
+                )
+            radio.deliver(packet, rx_power[loc])
 
 
 class Radio:

@@ -42,14 +42,18 @@ class StarRouting:
         self.rng = rng
         self.deliver_up: Optional[Callable[[Packet, float], None]] = None
         self._relayed: Set[Tuple[int, int]] = set()
+        # Both are fixed at construction; cached so the per-copy receive
+        # path skips the three-property chain down to the radio.
+        self._location = mac.location
+        self._is_coordinator = self._location == options.coordinator
 
     @property
     def location(self) -> int:
-        return self.mac.location
+        return self._location
 
     @property
     def is_coordinator(self) -> bool:
-        return self.location == self.options.coordinator
+        return self._is_coordinator
 
     # -- downward path (app -> network) --------------------------------------
 
@@ -64,14 +68,15 @@ class StarRouting:
         the coordinator, relay it."""
         if self.deliver_up is not None:
             self.deliver_up(packet, rssi_dbm)
-        if not self.is_coordinator:
+        if not self._is_coordinator:
             return
-        if packet.origin == self.location:
+        location = self._location
+        if packet.origin == location:
             return  # our own payload echoed back by someone (cannot happen
             # in star, but harmless to guard)
-        if packet.destination == self.location:
+        if packet.destination == location:
             return  # addressed to the coordinator: no relay needed
-        if packet.relayer == self.location:
+        if packet.relayer == location:
             return
         uid = packet.uid
         if uid in self._relayed:

@@ -214,6 +214,70 @@ class TestJobsValidation:
         assert args.jobs == 3
 
 
+class TestJobsAutoDetect:
+    """An omitted ``--jobs`` resolves to the detected core count (clamped
+    to the preset's feasible-configuration count); explicit values pass
+    through untouched.  The manifest records both request and resolution."""
+
+    def test_omitted_jobs_autodetects(self):
+        args = cli.build_parser().parse_args(
+            ["solve", "--pdr-min", "90", "--preset", "smoke"]
+        )
+        assert args.jobs is None
+        cli._resolve_jobs(args)
+        assert args.jobs_requested is None
+        assert args.jobs >= 1
+
+    def test_explicit_jobs_passes_through(self):
+        args = cli.build_parser().parse_args(
+            ["solve", "--pdr-min", "90", "--jobs", "1"]
+        )
+        cli._resolve_jobs(args)
+        assert args.jobs == 1
+        assert args.jobs_requested == 1
+
+    def test_auto_jobs_clamps_to_work_items(self):
+        from repro.core.parallel import auto_jobs
+
+        assert auto_jobs(limit=1) == 1
+        assert auto_jobs(limit=None) >= 1
+        # A limit below one still yields a worker.
+        assert auto_jobs(limit=0) == 1
+
+
+class TestBenchCommand:
+    def test_bench_parses_with_defaults(self):
+        args = cli.build_parser().parse_args(["bench"])
+        assert args.command == "bench"
+        assert args.preset == "ci"
+        assert args.out == "BENCH_hotpath.json"
+        assert args.repeats == 3
+        assert args.des_events == 50_000
+
+    def test_bench_flags_parse(self):
+        args = cli.build_parser().parse_args([
+            "bench", "--preset", "smoke", "--out", "x.json",
+            "--repeats", "1", "--des-events", "1000",
+        ])
+        assert (args.preset, args.out, args.repeats, args.des_events) == (
+            "smoke", "x.json", 1, 1000
+        )
+
+    def test_bench_runs_on_smoke(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "bench.json"
+        assert cli.main([
+            "bench", "--preset", "smoke", "--out", str(out),
+            "--repeats", "1", "--des-events", "2000",
+        ]) == 0
+        report = json.loads(out.read_text())
+        assert report["benchmark"] == "hotpath"
+        assert report["single_replicate"]["bit_identical_outcome"]
+        assert report["milp_warm_vs_cold"]["identical_objectives"]
+        assert "wrote" in capsys.readouterr().out
+
+
 class TestRobustCommands:
     def test_robust_requires_pdr_min(self):
         with pytest.raises(SystemExit) as exc:

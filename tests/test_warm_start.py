@@ -1,0 +1,249 @@
+"""Warm-started simplex and the Dantzig→Bland anti-cycling switch.
+
+The warm-start contract is behavioural: with or without a warm basis the
+solver must return the *same* verdict and optimum (warm starting is a
+pure speedup).  These tests drive the contract at three levels — a single
+LP re-solved after an rhs change, the branch-and-bound solver across
+parent→child bound changes, and the full Algorithm-1 formulation over
+randomized tightening-cut sequences.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from scipy.optimize import linprog
+
+from repro.milp.branch_bound import BranchAndBoundSolver
+from repro.milp.simplex import (
+    LinearProgram,
+    SimplexSolver,
+    SimplexStatus,
+    solve_lp,
+)
+
+
+def lp(c, a_ub=None, b_ub=None, a_eq=None, b_eq=None, bounds=None, c0=0.0):
+    c = np.asarray(c, dtype=float)
+    n = len(c)
+    return LinearProgram(
+        c=c,
+        a_ub=np.asarray(a_ub if a_ub is not None else np.zeros((0, n))),
+        b_ub=np.asarray(b_ub if b_ub is not None else np.zeros(0)),
+        a_eq=np.asarray(a_eq if a_eq is not None else np.zeros((0, n))),
+        b_eq=np.asarray(b_eq if b_eq is not None else np.zeros(0)),
+        bounds=np.asarray(
+            bounds if bounds is not None else [[0.0, math.inf]] * n
+        ),
+        c0=c0,
+    )
+
+
+class TestBlandAntiCycling:
+    """Degenerate problems must terminate under the Bland switch."""
+
+    # Beale's classic cycling example: Dantzig's most-negative rule can
+    # cycle forever on this highly degenerate LP.
+    BEALE = dict(
+        c=[-0.75, 150.0, -0.02, 6.0],
+        a_ub=[
+            [0.25, -60.0, -0.04, 9.0],
+            [0.5, -90.0, -0.02, 3.0],
+            [0.0, 0.0, 1.0, 0.0],
+        ],
+        b_ub=[0.0, 0.0, 1.0],
+    )
+
+    def test_beale_terminates_and_matches_scipy(self):
+        result = solve_lp(lp(**self.BEALE))
+        assert result.status is SimplexStatus.OPTIMAL
+        ref = linprog(
+            self.BEALE["c"], A_ub=self.BEALE["a_ub"], b_ub=self.BEALE["b_ub"],
+            bounds=[(0, None)] * 4, method="highs",
+        )
+        assert result.objective == pytest.approx(ref.fun, abs=1e-9)
+
+    def test_immediate_bland_switch_agrees_with_dantzig(self):
+        """Forcing Bland's rule from the first degenerate pivot must not
+        change the optimum, only the pivot path."""
+        eager = SimplexSolver(bland_threshold=1).solve(lp(**self.BEALE))
+        default = solve_lp(lp(**self.BEALE))
+        assert eager.status is SimplexStatus.OPTIMAL
+        assert eager.objective == pytest.approx(default.objective, abs=1e-12)
+
+    def test_degenerate_random_lps_terminate_under_eager_bland(self):
+        """Randomized degenerate LPs (duplicated rows, zero rhs) solved
+        with an immediate Bland switch agree with scipy."""
+        rng = np.random.default_rng(7)
+        solver = SimplexSolver(bland_threshold=1)
+        for _ in range(20):
+            n = int(rng.integers(2, 5))
+            m = int(rng.integers(1, 4))
+            a = rng.integers(-2, 3, size=(m, n)).astype(float)
+            a = np.vstack([a, a])  # duplicated rows force degeneracy
+            b = np.concatenate([np.zeros(m), np.zeros(m)])
+            c = rng.integers(-3, 4, size=n).astype(float)
+            result = solver.solve(lp(c, a_ub=a, b_ub=b))
+            ref = linprog(
+                c, A_ub=a, b_ub=b, bounds=[(0, None)] * n, method="highs"
+            )
+            # x = 0 is always feasible here, so the only legal verdicts
+            # are optimal and unbounded (termination is Bland's guarantee).
+            assert result.status in (
+                SimplexStatus.OPTIMAL, SimplexStatus.UNBOUNDED,
+            )
+            if result.status is SimplexStatus.OPTIMAL:
+                assert ref.status == 0
+                assert result.objective == pytest.approx(ref.fun, abs=1e-7)
+            else:
+                assert ref.status == 3
+
+
+class TestSimplexWarmStart:
+    def _base(self):
+        # min -x - 2y s.t. x + y <= 4, x + 3y <= 9
+        return dict(
+            c=[-1.0, -2.0],
+            a_ub=[[1.0, 1.0], [1.0, 3.0]],
+            bounds=[[0.0, 10.0], [0.0, 10.0]],
+        )
+
+    def test_rhs_change_warm_solve_matches_cold(self):
+        solver = SimplexSolver()
+        first = solver.solve(lp(b_ub=[4.0, 9.0], **self._base()), want_basis=True)
+        assert first.status is SimplexStatus.OPTIMAL
+        assert first.basis is not None
+
+        tightened = lp(b_ub=[3.0, 9.0], **self._base())
+        warm = solver.solve(tightened, warm_start=first.basis)
+        cold = solver.solve(tightened)
+        assert warm.status is SimplexStatus.OPTIMAL
+        assert warm.warm_started
+        assert warm.objective == cold.objective  # bitwise, not approx
+        assert np.array_equal(warm.x, cold.x)
+
+    def test_signature_mismatch_falls_back_cold(self):
+        solver = SimplexSolver()
+        first = solver.solve(lp(b_ub=[4.0, 9.0], **self._base()), want_basis=True)
+        other = lp(
+            [-1.0, -2.0, 0.0],
+            a_ub=[[1.0, 1.0, 0.0], [1.0, 3.0, 1.0]],
+            b_ub=[4.0, 9.0],
+            bounds=[[0.0, 10.0]] * 3,
+        )
+        result = solver.solve(other, warm_start=first.basis)
+        assert result.status is SimplexStatus.OPTIMAL
+        assert not result.warm_started
+
+    def test_warm_start_on_infeasible_tightening(self):
+        """Tightening the rhs to infeasibility must be detected on the
+        warm path (or via its cold fallback) exactly like cold."""
+        base = dict(
+            c=[1.0],
+            a_ub=[[-1.0]],  # -x <= b  i.e. x >= -b
+            bounds=[[0.0, 2.0]],
+        )
+        solver = SimplexSolver()
+        first = solver.solve(lp(b_ub=[-1.0], **base), want_basis=True)
+        assert first.status is SimplexStatus.OPTIMAL
+        infeasible = lp(b_ub=[-3.0], **base)  # x >= 3 with x <= 2
+        warm = solver.solve(infeasible, warm_start=first.basis)
+        cold = solver.solve(infeasible)
+        assert warm.status is cold.status is SimplexStatus.INFEASIBLE
+
+    def test_randomized_rhs_sequences_warm_equals_cold(self):
+        """Random walks over the rhs, warm-starting each solve from the
+        previous basis, agree with cold solves throughout.  (Up to an ulp:
+        the two pivot paths accumulate round-off differently; exact
+        equality is only promised at the MILP level, where incumbents are
+        rounded integer points — see TestBranchAndBoundWarmStart.)"""
+        rng = np.random.default_rng(11)
+        solver = SimplexSolver()
+        for _ in range(10):
+            n = int(rng.integers(2, 5))
+            m = int(rng.integers(2, 5))
+            a = rng.normal(size=(m, n)).round(2)
+            c = rng.normal(size=n).round(2)
+            b = (np.abs(rng.normal(size=m)) + 1.0).round(2)
+            bounds = [[0.0, 5.0]] * n
+            basis = None
+            for _step in range(6):
+                problem = lp(c, a_ub=a, b_ub=b.copy(), bounds=bounds)
+                warm = solver.solve(problem, warm_start=basis, want_basis=True)
+                cold = solver.solve(problem)
+                assert warm.status is cold.status
+                if warm.status is SimplexStatus.OPTIMAL:
+                    assert warm.objective == pytest.approx(
+                        cold.objective, rel=1e-12, abs=1e-12
+                    )
+                basis = warm.basis
+                b[int(rng.integers(0, m))] -= float(
+                    np.abs(rng.normal()) * 0.1
+                )
+
+
+class TestBranchAndBoundWarmStart:
+    def _model(self, cut_mw=None):
+        from repro.experiments.scenario import make_problem
+        from repro.core.milp_builder import MilpFormulation
+
+        form = MilpFormulation(make_problem(pdr_min=0.9, preset="ci"))
+        model, _ = form.build([cut_mw] if cut_mw is not None else [])
+        return form, model
+
+    def test_warm_solver_matches_cold_over_tightening_cuts(self):
+        form, _ = self._model()
+        warm_solver = BranchAndBoundSolver(use_warm_starts=True)
+        cold_solver = BranchAndBoundSolver(use_warm_starts=False)
+        basis = None
+        cuts = []
+        for _ in range(4):
+            model_w, _ = form.build(cuts)
+            model_c, _ = form.build(cuts)
+            warm = warm_solver.solve(model_w, root_warm_start=basis)
+            cold = cold_solver.solve(model_c)
+            assert warm.status is cold.status
+            assert warm.objective == cold.objective  # bitwise
+            if not warm.is_optimal:
+                break
+            basis = warm.root_basis
+            cuts = [warm.objective]
+
+    def test_warm_lp_solves_counted(self):
+        # Adding a cut row changes the standard-form signature, so the
+        # warmable sequence is one-cut model → one-cut model (the steady
+        # state of Algorithm 1's loop, and what the bench measures).
+        form, _ = self._model()
+        probe = BranchAndBoundSolver(use_warm_starts=False)
+        base = probe.solve(form.build([])[0])
+        assert base.is_optimal
+        solver = BranchAndBoundSolver(use_warm_starts=True)
+        first = solver.solve(form.build([base.objective])[0])
+        assert first.is_optimal
+        second = solver.solve(
+            form.build([first.objective])[0],
+            root_warm_start=first.root_basis,
+        )
+        assert second.warm_lp_solves > 0
+
+    def test_randomized_cut_sequences_warm_equals_cold(self):
+        """Random (not just monotone) cut sequences: every solve must
+        agree with a cold solver bit for bit."""
+        form, _ = self._model()
+        rng = np.random.default_rng(3)
+        probe = BranchAndBoundSolver(use_warm_starts=False)
+        base = probe.solve(form.build([])[0])
+        assert base.is_optimal
+        lo, hi = base.objective, base.objective + 0.4
+
+        warm_solver = BranchAndBoundSolver(use_warm_starts=True)
+        basis = None
+        for _ in range(6):
+            cut = float(rng.uniform(lo, hi))
+            model_w, _ = form.build([cut])
+            model_c, _ = form.build([cut])
+            warm = warm_solver.solve(model_w, root_warm_start=basis)
+            cold = probe.solve(model_c)
+            assert warm.status is cold.status
+            assert warm.objective == cold.objective
+            basis = warm.root_basis if warm.is_optimal else None

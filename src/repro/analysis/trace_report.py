@@ -308,6 +308,46 @@ def _oracle_section(events: List[dict], lines: List[str]) -> None:
         )
 
 
+def _pool_section(events: List[dict], lines: List[str]) -> None:
+    """Worker-pool resilience activity (``pool.*`` events, PR 5).
+
+    Traces recorded before the fault-tolerant pool existed simply have no
+    ``pool.*`` events and skip this section — every field access below
+    uses ``.get`` with a default, so old traces can never KeyError.
+    """
+    retries = [e for e in events if e.get("kind") == "pool.retry"]
+    respawns = [e for e in events if e.get("kind") == "pool.respawn"]
+    quarantines = [e for e in events if e.get("kind") == "pool.quarantine"]
+    degraded = [e for e in events if e.get("kind") == "pool.degraded"]
+    if not (retries or respawns or quarantines or degraded):
+        return
+    lines.append("worker pool resilience")
+    retried_tasks = sum(int(e.get("tasks", 0) or 0) for e in retries)
+    lines.append(
+        f"  retries: {retried_tasks} task(s) over {len(retries)} round(s)"
+    )
+    if respawns:
+        reasons: Dict[str, int] = defaultdict(int)
+        for e in respawns:
+            reasons[str(e.get("reason", "unknown"))] += 1
+        detail = ", ".join(
+            f"{reasons[r]}x {r}" for r in sorted(reasons)
+        )
+        lines.append(f"  pool respawns: {len(respawns)} ({detail})")
+    if quarantines:
+        tasks = sorted(
+            str(e.get("task_index", "?")) for e in quarantines
+        )
+        lines.append(
+            f"  quarantined tasks: {len(quarantines)} "
+            f"(indices {', '.join(tasks)}) — executed in-process"
+        )
+    for e in degraded:
+        lines.append(
+            f"  DEGRADED TO SERIAL: {e.get('reason', 'unknown reason')}"
+        )
+
+
 def _milp_section(events: List[dict], lines: List[str]) -> None:
     solves = [e for e in events if e.get("kind") == "milp.solve"]
     if not solves:
@@ -393,6 +433,7 @@ def summarize(events: List[dict]) -> str:
         _explorer_section,
         _faults_section,
         _oracle_section,
+        _pool_section,
         _milp_section,
         _des_section,
         _span_section,

@@ -81,6 +81,27 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_journal_flags(parser: argparse.ArgumentParser) -> None:
+    """Checkpoint/resume flags (mutually exclusive run-directory modes)."""
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="run directory: record a crash-safe journal of every "
+        "evaluated candidate and MILP cut, plus a deterministic "
+        "summary.json; a killed run can be continued with --resume DIR",
+    )
+    group.add_argument(
+        "--resume",
+        default=None,
+        metavar="DIR",
+        help="resume the journaled run in DIR: replay its evaluations "
+        "(zero re-simulation), verify the trajectory, and continue — "
+        "the final result is bit-identical to an uninterrupted run",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="hi-explore",
@@ -100,6 +121,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable early termination and sweep every power level",
     )
+    _add_journal_flags(solve)
     _add_common(solve)
 
     robust = sub.add_parser(
@@ -146,6 +168,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="hub-stress only: fraction of the horizon the coordinator "
         "radio is down in every scenario",
     )
+    robust.add_argument(
+        "--correlated-links",
+        action="store_true",
+        help="sampled ensemble only: replace the independent link "
+        "blackout with a correlated group blacking out every "
+        "torso-crossing link simultaneously",
+    )
+    _add_journal_flags(robust)
     _add_common(robust)
 
     fig3 = sub.add_parser("figure3", help="reproduce Figure 3")
@@ -311,7 +341,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     _write_manifest(args, obs)
     try:
         with obs_runtime.activate(obs):
-            code = _run_command(args, obs)
+            try:
+                code = _run_command(args, obs)
+            except Exception as exc:
+                from repro.core.journal import JournalError
+
+                if not isinstance(exc, JournalError):
+                    raise
+                print(f"hi-explore: {exc}", file=sys.stderr)
+                code = 2
         obs.event("run.exit", code=code)
         return code
     finally:
@@ -322,6 +360,36 @@ def main(argv: Optional[List[str]] = None) -> int:
                 json.dump(obs.metrics.to_dict(), fh, indent=1, sort_keys=True)
                 fh.write("\n")
         obs.tracer.close()
+
+
+def _open_journal(args, **manifest):
+    """Open the run journal when --out/--resume was given (else None).
+
+    The manifest pins every argument the trajectory depends on; resuming
+    with different arguments is rejected up front rather than producing a
+    silently diverging run.
+    """
+    out = getattr(args, "out", None)
+    resume = getattr(args, "resume", None)
+    if out is None and resume is None:
+        return None
+    from repro.core.journal import RunJournal
+
+    if resume is not None:
+        return RunJournal.resume(resume, **manifest)
+    return RunJournal.create(out, **manifest)
+
+
+def _finish_journal(journal, result) -> None:
+    """Write the deterministic summary next to the journal and close it."""
+    if journal is None:
+        return
+    from repro.core.journal import write_summary
+
+    path = write_summary(journal.directory, result.to_dict())
+    journal.close()
+    print(f"run journal: {journal.path}")
+    print(f"run summary: {path}")
 
 
 def _run_command(args, obs) -> int:
@@ -361,10 +429,21 @@ def _run_command(args, obs) -> int:
             n_jobs=args.jobs, cache_dir=args.cache_dir,
         )
         preset = get_preset(args.preset)
+        from repro.core.result_cache import scenario_fingerprint
+
+        journal = _open_journal(
+            args,
+            command="solve",
+            preset=args.preset,
+            seed=args.seed,
+            pdr_min=pdr_min,
+            exhaustive=bool(args.exhaustive),
+            scenario_fingerprint=scenario_fingerprint(problem.scenario),
+        )
         explorer = HumanIntranetExplorer(
             problem, candidate_cap=preset.candidate_cap, obs=obs
         )
-        result = explorer.explore(exhaustive=args.exhaustive)
+        result = explorer.explore(exhaustive=args.exhaustive, journal=journal)
         print(result.summary())
         for record in result.iterations:
             print(
@@ -372,6 +451,7 @@ def _run_command(args, obs) -> int:
                 f"{record.num_candidates} candidates, {len(record.feasible)} feasible"
             )
         print(explorer.oracle.format_stats())
+        _finish_journal(journal, result)
         explorer.oracle.close()
         return 0 if result.found else 1
 
@@ -404,8 +484,21 @@ def _run_command(args, obs) -> int:
                 fault_seed,
                 scenario.tsim_s,
                 coordinator=scenario.coordinator_location,
+                correlated_links=args.correlated_links,
             )
         preset = get_preset(args.preset)
+        from repro.core.result_cache import scenario_fingerprint
+
+        journal = _open_journal(
+            args,
+            command="robust",
+            preset=args.preset,
+            seed=args.seed,
+            pdr_min=pdr_min,
+            quantile=args.quantile,
+            scenario_fingerprint=scenario_fingerprint(scenario),
+            ensemble=[fs.to_dict() for fs in ensemble],
+        )
         oracle = EnsembleOracle(
             scenario, ensemble,
             n_jobs=args.jobs, cache_dir=args.cache_dir, obs=obs,
@@ -413,7 +506,9 @@ def _run_command(args, obs) -> int:
         explorer = HumanIntranetExplorer(
             problem, candidate_cap=preset.candidate_cap, obs=obs
         )
-        result = explorer.explore_robust(oracle, quantile=args.quantile)
+        result = explorer.explore_robust(
+            oracle, quantile=args.quantile, journal=journal
+        )
         print("fault ensemble:")
         for fs in ensemble:
             print("  " + fs.describe())
@@ -421,6 +516,7 @@ def _run_command(args, obs) -> int:
         if result.best is not None:
             print("  " + resilience_line(result.best, args.quantile))
         print(oracle.healthy_oracle.format_stats())
+        _finish_journal(journal, result)
         oracle.close()
         return 0 if result.found else 1
 

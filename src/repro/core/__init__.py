@@ -25,8 +25,11 @@ from repro.core.explorer import (
     HumanIntranetExplorer,
     IterationRecord,
 )
+from repro.core.journal import JournalError, RunJournal
 
 __all__ = [
+    "JournalError",
+    "RunJournal",
     "Configuration",
     "DesignSpace",
     "CoarsePowerModel",

@@ -136,6 +136,10 @@ class SimulationOracle:
         #: serial execution.
         self._c_elapsed = self.obs.counter("oracle.elapsed_seconds")
         self._h_wall = self.obs.histogram("oracle.wall_seconds")
+        self._c_replayed = self.obs.counter("oracle.journal_replayed")
+        #: Records restored from a run journal, waiting to be adopted on
+        #: first request (see :meth:`preload_journal`).
+        self._journal_pending: Dict[Tuple, EvaluationRecord] = {}
 
     # -- cache plumbing ----------------------------------------------------------
 
@@ -162,6 +166,36 @@ class SimulationOracle:
         if self._disk is not None:
             self._disk.put(record)
 
+    # -- journal replay (checkpoint/resume, DESIGN.md §9) ------------------------
+
+    def preload_journal(self, records: Sequence[EvaluationRecord]) -> None:
+        """Stage records restored from a run journal for adoption.
+
+        A staged record is *adopted* the first time its configuration is
+        requested: it enters the journal at that request's position and
+        is accounted exactly as if the simulation had just run —
+        ``simulations_run`` increments, the persisted wall time lands in
+        the histogram, the trace milestone says ``cached=False`` — so a
+        resumed run's counters, summary, and trace are bit-identical to
+        the uninterrupted run it replays.  ``journal_replayed`` counts
+        adoptions separately, which is how tests assert that a resume
+        re-simulated nothing.
+        """
+        for record in records:
+            key = record.config.key()
+            if key not in self._cache:
+                self._journal_pending[key] = record
+
+    def _take_journaled(self, key: Tuple) -> Optional[EvaluationRecord]:
+        """Adopt a staged journal record on its first request (or None)."""
+        record = self._journal_pending.pop(key, None)
+        if record is None:
+            return None
+        self._store(record)
+        self._c_replayed.inc()
+        self._trace_record(record, cached=False)
+        return record
+
     # -- telemetry counters (registry-backed, read-only) -------------------------
 
     @property
@@ -179,6 +213,11 @@ class SimulationOracle:
     @property
     def total_wall_seconds(self) -> float:
         return self._h_wall.total
+
+    @property
+    def journal_replayed(self) -> int:
+        """Simulations answered by journal replay instead of execution."""
+        return int(self._c_replayed.value)
 
     @property
     def elapsed_seconds(self) -> float:
@@ -242,6 +281,8 @@ class SimulationOracle:
                     # here.
                     self._c_hits.inc()
                     continue
+                if self._take_journaled(key) is not None:
+                    continue  # resumed run: adopted, not re-simulated
                 if self._lookup(key) is None:
                     pending_keys.add(key)
                     pending.append(config)
@@ -271,7 +312,15 @@ class SimulationOracle:
         accounting; returns ``None`` on a miss without simulating.  Lets
         external dispatchers (the ensemble oracle) split lookup from
         execution while keeping counters and trace milestones identical
-        to :meth:`evaluate`."""
+        to :meth:`evaluate`.
+
+        A record staged by :meth:`preload_journal` is adopted here (and
+        accounted as a fresh simulation, not a hit) so resumed runs see
+        journaled results exactly where the original run simulated them.
+        """
+        record = self._take_journaled(config.key())
+        if record is not None:
+            return record
         record = self._lookup(config.key())
         if record is not None:
             self._trace_record(record, cached=True)
@@ -342,6 +391,7 @@ class SimulationOracle:
             "simulations_run": sims,
             "cache_hits": hits,
             "disk_hits": self.disk_hits,
+            "journal_replayed": self.journal_replayed,
             "hit_rate": hits / lookups if lookups else 0.0,
             "total_wall_seconds": total_wall,
             "elapsed_seconds": elapsed,
@@ -403,6 +453,7 @@ class SimulationOracle:
         self._c_hits.reset()
         self._c_disk.reset()
         self._c_elapsed.reset()
+        self._c_replayed.reset()
         self._h_wall.reset()
 
     def close(self) -> None:

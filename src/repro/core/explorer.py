@@ -282,9 +282,21 @@ class HumanIntranetExplorer:
         self.alpha_slack = alpha_slack
         self.formulation = MilpFormulation(problem, obs=self.obs)
 
-    def explore(self, exhaustive: bool = False) -> ExplorationResult:
-        """Run Algorithm 1 (or the exhaustive sweep variant)."""
+    def explore(
+        self, exhaustive: bool = False, journal=None
+    ) -> ExplorationResult:
+        """Run Algorithm 1 (or the exhaustive sweep variant).
+
+        ``journal`` is an optional :class:`repro.core.journal.RunJournal`
+        (duck-typed).  When present, every candidate verdict and every
+        cut is recorded as the loop advances — and, on a resumed journal,
+        its recorded evaluations are preloaded into the oracle so the
+        replayed prefix re-simulates nothing while reproducing the exact
+        same trajectory, counters, and trace (DESIGN.md §9).
+        """
         start = time.perf_counter()
+        if journal is not None:
+            journal.preload_into(self.oracle)
         power_model = self.problem.scenario.power_model()
         pdr_min = self.problem.pdr_min
         obs = self.obs
@@ -351,6 +363,11 @@ class HumanIntranetExplorer:
             feasible = [
                 e for e in evaluations if e.pdr >= pdr_min - self.pdr_tolerance
             ]
+            if journal is not None:
+                for e in evaluations:
+                    journal.candidate(
+                        e, e.pdr >= pdr_min - self.pdr_tolerance
+                    )
             if obs.tracing:
                 for e in evaluations:
                     accepted = e.pdr >= pdr_min - self.pdr_tolerance
@@ -393,6 +410,8 @@ class HumanIntranetExplorer:
             # the paper observes termination "soon after the first feasible
             # configuration was found".
             cuts.append(p_star)
+            if journal is not None:
+                journal.cut(p_star)
             obs.event("explorer.cut", iteration=index, p_star_mw=p_star)
 
         wall = time.perf_counter() - start
@@ -432,6 +451,7 @@ class HumanIntranetExplorer:
         self,
         ensemble_oracle,
         quantile: float = 0.25,
+        journal=None,
     ) -> RobustExplorationResult:
         """Algorithm 1 with a chance-constrained accept test.
 
@@ -445,10 +465,16 @@ class HumanIntranetExplorer:
         on *healthy* power: faults do not reduce any candidate's healthy
         power, so the bound argument of line 5 carries over unchanged,
         and the cut sequence is the same ascending analytical-power walk.
+
+        ``journal`` works as in :meth:`explore`, with per-fault-world
+        records journaled per candidate and preloaded into the ensemble
+        oracle's sub-oracles on resume.
         """
         if not 0.0 <= quantile <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {quantile}")
         start = time.perf_counter()
+        if journal is not None:
+            journal.preload_robust_into(ensemble_oracle)
         power_model = self.problem.scenario.power_model()
         pdr_min = self.problem.pdr_min
         obs = self.obs
@@ -514,6 +540,13 @@ class HumanIntranetExplorer:
                 for r in records
                 if r.pdr_quantile(quantile) >= pdr_min - self.pdr_tolerance
             ]
+            if journal is not None:
+                for r in records:
+                    journal.robust_candidate(
+                        r,
+                        r.pdr_quantile(quantile)
+                        >= pdr_min - self.pdr_tolerance,
+                    )
             if obs.tracing:
                 for r in records:
                     q_pdr = r.pdr_quantile(quantile)
@@ -554,6 +587,8 @@ class HumanIntranetExplorer:
                 )
             )
             cuts.append(p_star)
+            if journal is not None:
+                journal.cut(p_star)
             obs.event("explorer.robust_cut", iteration=index, p_star_mw=p_star)
 
         wall = time.perf_counter() - start

@@ -1,0 +1,373 @@
+"""Crash-safe run journal: checkpoint/resume for Algorithm 1 campaigns.
+
+A :class:`RunJournal` is an append-only, fsynced JSONL file recording the
+*logical trajectory* of one exploration run — every evaluated candidate
+(with its full simulation record and accept/reject verdict) and every
+MILP cut, in the exact order Algorithm 1 produced them — plus a manifest
+line that fingerprints everything the trajectory depends on (scenario
+fingerprint, PDR bound, chance-constraint quantile, fault ensemble,
+explorer switches).  Because each line is flushed and ``fsync``'d before
+the run advances, a SIGKILL at any point loses at most the line being
+written, and that torn tail is detected (per-line CRC32) and dropped on
+resume.
+
+Resume protocol (``hi-explore solve/robust --resume <dir>``):
+
+1. The journal is replayed: the manifest must match the resumed run's
+   arguments field-for-field, and every journaled candidate's
+   :class:`~repro.core.evaluator.EvaluationRecord` is *preloaded* into the
+   simulation oracle (:meth:`SimulationOracle.preload_journal`), where its
+   first touch counts as a simulation — not a cache hit — so counters,
+   summaries, and traces of the resumed run are identical to an
+   uninterrupted one.
+2. Algorithm 1 then runs from iteration 0.  MILP levels are re-solved
+   (cheap — warm-started, and orders of magnitude below simulation cost)
+   while every journaled candidate evaluation is answered from the replay
+   set with zero new simulations; the cut sequence regenerates itself and
+   is *verified* against the journaled cuts as the loop advances
+   (:meth:`RunJournal.cut`), so solver state is restored by validated
+   replay rather than trusted blindly.
+3. Past the journaled prefix the run continues live, appending new
+   entries to the same file — a run can be killed and resumed any number
+   of times and still produce the bit-identical final result, summary,
+   and golden trace of a never-interrupted run.
+
+Any divergence between the replaying run and the journal (different
+candidate, different verdict, different cut) raises :class:`JournalError`
+instead of silently producing a franken-trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import zlib
+from typing import Dict, Iterable, List, Optional
+
+#: Bumped when the journal line schema changes incompatibly.
+JOURNAL_VERSION = 1
+
+#: File name of the journal inside its run directory.
+JOURNAL_FILENAME = "journal.jsonl"
+
+#: File name of the deterministic run summary written next to the journal.
+SUMMARY_FILENAME = "summary.json"
+
+#: ``oracle_stats`` keys that are deterministic across interrupted/resumed
+#: and uninterrupted runs of the same campaign (wall-clock-derived keys are
+#: not, and are stripped from the summary projection).
+DETERMINISTIC_STAT_KEYS = (
+    "simulations_run",
+    "cache_hits",
+    "ensemble_size",
+    "ensemble_evaluations",
+)
+
+
+class JournalError(RuntimeError):
+    """A journal could not be created, replayed, or matched to its run."""
+
+
+def _canonical(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _crc(payload: dict) -> str:
+    return format(zlib.crc32(_canonical(payload).encode("utf-8")), "08x")
+
+
+def _load_entries(path: pathlib.Path):
+    """Replay a journal file, verifying per-line CRCs.
+
+    A torn *final* line (the crash-mid-append case) is dropped silently;
+    a bad line anywhere else means the fsynced prefix itself is damaged,
+    which is not survivable — that raises :class:`JournalError`.
+
+    Returns ``(entries, valid_bytes)`` where ``valid_bytes`` is the byte
+    length of the intact prefix: everything past it is the torn tail,
+    which :meth:`RunJournal.resume` physically truncates away so the
+    append handle never writes after a fragment.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        raw = fh.readlines()
+    lines = [
+        (i, line.strip()) for i, line in enumerate(raw) if line.strip()
+    ]
+    entries: List[dict] = []
+    last_index = lines[-1][0] if lines else -1
+    valid_bytes = 0
+    offset = 0
+    offsets = []
+    for line in raw:
+        offset += len(line.encode("utf-8"))
+        offsets.append(offset)
+    for i, line in lines:
+        entry: Optional[dict] = None
+        try:
+            wrapper = json.loads(line)
+            if (
+                isinstance(wrapper, dict)
+                and isinstance(wrapper.get("entry"), dict)
+                and wrapper.get("crc") == _crc(wrapper["entry"])
+            ):
+                entry = wrapper["entry"]
+        except ValueError:
+            entry = None
+        if entry is None:
+            if i == last_index:
+                break  # torn tail from a kill mid-append: drop it
+            raise JournalError(
+                f"corrupt journal line {i + 1} in {path} (not a torn "
+                "tail); the journal cannot be trusted"
+            )
+        entries.append(entry)
+        valid_bytes = offsets[i]
+    return entries, valid_bytes
+
+
+def summary_projection(payload: dict) -> dict:
+    """The deterministic projection of an ``ExplorationResult.to_dict()``.
+
+    Strips wall-clock fields and reduces ``oracle_stats`` to the keys in
+    :data:`DETERMINISTIC_STAT_KEYS`; what remains is bit-identical between
+    an uninterrupted run and any kill/resume sequence of the same
+    campaign — the artifact the chaos-smoke CI job diffs.
+    """
+    out = dict(payload)
+    out.pop("wall_seconds", None)
+    stats = out.get("oracle_stats") or {}
+    out["oracle_stats"] = {
+        k: stats[k] for k in DETERMINISTIC_STAT_KEYS if k in stats
+    }
+    return out
+
+
+def write_summary(directory, payload: dict) -> pathlib.Path:
+    """Atomically write the deterministic run summary into ``directory``."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / SUMMARY_FILENAME
+    tmp = directory / (SUMMARY_FILENAME + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(summary_projection(payload), fh, indent=1, sort_keys=True)
+        fh.write("\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    return path
+
+
+class RunJournal:
+    """One run's append-only checkpoint log (see the module docstring).
+
+    Use the :meth:`create` / :meth:`resume` constructors; the journal then
+    rides along inside
+    :meth:`~repro.core.explorer.HumanIntranetExplorer.explore` or
+    :meth:`~repro.core.explorer.HumanIntranetExplorer.explore_robust`,
+    which call :meth:`candidate` / :meth:`robust_candidate` / :meth:`cut`
+    as the trajectory advances.  While the replay cursor is inside the
+    journaled prefix those calls *verify* instead of write; past it they
+    append.
+    """
+
+    def __init__(
+        self,
+        directory: pathlib.Path,
+        manifest: dict,
+        entries: List[dict],
+        fh,
+    ) -> None:
+        self.directory = pathlib.Path(directory)
+        self.path = self.directory / JOURNAL_FILENAME
+        self.manifest = manifest
+        self._entries = entries
+        self._cursor = 0
+        self._fh = fh
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def create(cls, directory, **manifest) -> "RunJournal":
+        """Start a fresh journal in ``directory`` (must not hold one)."""
+        directory = pathlib.Path(directory)
+        path = directory / JOURNAL_FILENAME
+        if path.exists():
+            raise JournalError(
+                f"{path} already exists; use --resume to continue that "
+                "run (or point --out at a fresh directory)"
+            )
+        directory.mkdir(parents=True, exist_ok=True)
+        fh = open(path, "a", encoding="utf-8")
+        manifest_entry = {
+            "kind": "manifest",
+            "version": JOURNAL_VERSION,
+            **manifest,
+        }
+        journal = cls(directory, manifest_entry, [], fh)
+        journal._append(manifest_entry)
+        return journal
+
+    @classmethod
+    def resume(cls, directory, **expected_manifest) -> "RunJournal":
+        """Reopen a journal, verifying its manifest against the resumed
+        run's arguments.  Returns a journal whose replay cursor covers the
+        recorded prefix."""
+        directory = pathlib.Path(directory)
+        path = directory / JOURNAL_FILENAME
+        if not path.exists():
+            raise JournalError(f"no journal to resume at {path}")
+        entries, valid_bytes = _load_entries(path)
+        if valid_bytes < path.stat().st_size:
+            # physically drop the torn tail: the append handle must
+            # start at a clean line boundary, or the fragment would
+            # fuse with the next entry and corrupt the journal
+            with open(path, "r+b") as fh:
+                fh.truncate(valid_bytes)
+                fh.flush()
+                os.fsync(fh.fileno())
+        if not entries or entries[0].get("kind") != "manifest":
+            raise JournalError(f"{path} has no readable manifest line")
+        manifest = entries[0]
+        if manifest.get("version") != JOURNAL_VERSION:
+            raise JournalError(
+                f"journal version {manifest.get('version')} in {path} is "
+                f"not version {JOURNAL_VERSION}"
+            )
+        for key, value in expected_manifest.items():
+            if manifest.get(key) != value:
+                raise JournalError(
+                    f"journal manifest mismatch on {key!r}: journal has "
+                    f"{manifest.get(key)!r}, the resumed run supplies "
+                    f"{value!r} — refusing to mix trajectories"
+                )
+        fh = open(path, "a", encoding="utf-8")
+        return cls(directory, manifest, entries[1:], fh)
+
+    # -- low-level append --------------------------------------------------------
+
+    def _append(self, entry: dict) -> None:
+        if self._fh is None:
+            raise JournalError("journal is closed")
+        line = json.dumps({"crc": _crc(entry), "entry": entry})
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def _record(self, entry: dict, what: str) -> bool:
+        """Advance the replay cursor (verifying) or append ``entry``.
+
+        Returns ``True`` when the entry was newly appended, ``False`` when
+        it matched the journaled prefix.
+        """
+        if self._cursor < len(self._entries):
+            expected = self._entries[self._cursor]
+            if expected != entry:
+                raise JournalError(
+                    f"resumed trajectory diverged from the journal at "
+                    f"entry {self._cursor + 1} ({what}): journal has "
+                    f"{_canonical(expected)[:200]}, the run produced "
+                    f"{_canonical(entry)[:200]}"
+                )
+            self._cursor += 1
+            return False
+        self._append(entry)
+        self._entries.append(entry)
+        self._cursor += 1
+        return True
+
+    # -- trajectory recording ----------------------------------------------------
+
+    def candidate(self, record, accepted: bool) -> bool:
+        """Record one nominal candidate evaluation and its verdict."""
+        from repro.core.result_cache import record_to_dict
+
+        entry = {
+            "kind": "candidate",
+            "record": record_to_dict(record),
+            "accepted": bool(accepted),
+        }
+        return self._record(entry, "candidate")
+
+    def robust_candidate(self, resilience_record, accepted: bool) -> bool:
+        """Record one chance-constrained candidate: the healthy record
+        plus every per-fault-world record, keyed by scenario name."""
+        from repro.core.result_cache import record_to_dict
+
+        entry = {
+            "kind": "robust_candidate",
+            "healthy": record_to_dict(resilience_record.healthy),
+            "faulted": [
+                [scenario.name, record_to_dict(rec)]
+                for scenario, rec in resilience_record.faulted
+            ],
+            "accepted": bool(accepted),
+        }
+        return self._record(entry, "robust candidate")
+
+    def cut(self, p_star_mw: float) -> bool:
+        """Record one MILP cut (floats round-trip JSON exactly, so replay
+        verification is bit-exact)."""
+        entry = {"kind": "cut", "p_star_mw": float(p_star_mw)}
+        return self._record(entry, "cut")
+
+    # -- replay access -----------------------------------------------------------
+
+    @property
+    def entries(self) -> List[dict]:
+        return list(self._entries)
+
+    def replay_cuts(self) -> List[float]:
+        return [
+            e["p_star_mw"] for e in self._entries if e.get("kind") == "cut"
+        ]
+
+    def replay_records(self) -> List[object]:
+        """Every journaled nominal :class:`EvaluationRecord`, in order."""
+        from repro.core.result_cache import record_from_dict
+
+        return [
+            record_from_dict(e["record"])
+            for e in self._entries
+            if e.get("kind") == "candidate"
+        ]
+
+    def replay_robust_payloads(self) -> List[dict]:
+        """Journaled robust candidates as raw payload dicts (the ensemble
+        oracle deserializes them into its per-fault-world sub-oracles)."""
+        return [
+            e for e in self._entries if e.get("kind") == "robust_candidate"
+        ]
+
+    def preload_into(self, oracle) -> int:
+        """Feed the journaled nominal records into a simulation oracle's
+        replay set; returns the number of preloaded records."""
+        records = self.replay_records()
+        oracle.preload_journal(records)
+        return len(records)
+
+    def preload_robust_into(self, ensemble_oracle) -> int:
+        """Feed the journaled robust records into an ensemble oracle's
+        per-fault-world sub-oracles; returns the number of candidates."""
+        payloads = self.replay_robust_payloads()
+        ensemble_oracle.preload_journal(payloads)
+        return len(payloads)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"RunJournal({str(self.path)!r}, entries={len(self._entries)}, "
+            f"cursor={self._cursor})"
+        )

@@ -26,13 +26,28 @@ loop would.
 
 ``n_jobs=1`` never creates a pool: every code path below degrades to the
 plain in-process loop with zero behavioural change.
+
+Fault tolerance (DESIGN.md §9): the parallel path survives crashed
+workers (``BrokenProcessPool``), hung workers (per-task deadline), and
+poison tasks.  Failed tasks are retried with exponential backoff + jitter
+drawn from a *dedicated* ``random.Random`` instance — never from the
+simulation RNG streams, which are keyed purely by ``(seed, replicate,
+stream-name)``, so recovery cannot perturb simulated results.  A task
+that keeps failing is quarantined to in-process execution; a pool that
+keeps breaking degrades (stickily, loudly) to serial.  Because every
+task is a pure function of its description, a retried/quarantined/serial
+execution returns bit-identical results — resilience is invisible in the
+output and visible only in the ``pool.*`` metrics and trace events.
 """
 
 from __future__ import annotations
 
 import os
+import random
+import sys
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.design_space import Configuration
@@ -77,31 +92,289 @@ def auto_jobs(limit: Optional[int] = None) -> int:
     return max(1, cores)
 
 
+#: Environment variable enabling the chaos hook inside pool workers, in
+#: the form ``<flag_file_path>:<nth>``: the first worker whose per-process
+#: task counter reaches ``nth`` while the flag file still exists consumes
+#: the file (atomic ``unlink`` — exactly one worker wins) and dies with
+#: ``os._exit``, i.e. a real, unannounced worker crash.  Used by the test
+#: suite and the chaos-smoke CI job to exercise the recovery path; inert
+#: unless the variable is set AND the flag file exists.
+CHAOS_CRASH_ENV = "REPRO_POOL_CHAOS_CRASH"
+
+#: Exit status of a chaos-crashed worker (distinctive in core dumps/CI logs).
+CHAOS_EXIT_STATUS = 17
+
+_chaos_tasks_seen = 0
+
+
+def _maybe_chaos_crash() -> None:
+    """Kill this worker process if the chaos hook says it is our turn."""
+    global _chaos_tasks_seen
+    spec = os.environ.get(CHAOS_CRASH_ENV)
+    if not spec:
+        return
+    _chaos_tasks_seen += 1
+    flag, _, nth_text = spec.rpartition(":")
+    try:
+        nth = int(nth_text)
+    except ValueError:
+        flag, nth = spec, 1
+    if not flag or _chaos_tasks_seen < nth:
+        return
+    try:
+        os.unlink(flag)  # claim the crash token; losers keep working
+    except OSError:
+        return
+    os._exit(CHAOS_EXIT_STATUS)
+
+
+def pool_task(fn: Callable, task):
+    """The wrapper actually submitted to worker processes.
+
+    Exists so the chaos-crash hook runs *only* inside pool workers —
+    serial, quarantine, and degraded paths call ``fn`` directly in the
+    parent and are never chaos targets.
+    """
+    _maybe_chaos_crash()
+    return fn(task)
+
+
+def _observe(kind: str, counter: Optional[str] = None, **fields) -> None:
+    """Emit a pool resilience event + counter on the ambient obs."""
+    from repro.obs import runtime
+
+    obs = runtime.get_active()
+    if counter:
+        obs.counter(counter).inc()
+    obs.event(kind, **fields)
+
+
 class WorkerPool:
-    """A lazily created, reusable ``ProcessPoolExecutor`` wrapper.
+    """A lazily created, reusable, fault-tolerant process-pool wrapper.
 
     With ``n_jobs=1`` (the default everywhere) no processes are ever
     forked and :meth:`map_ordered` is a plain list comprehension.  The
     executor is created on first parallel use and reused across calls so
     repeated ``evaluate_many`` batches amortize worker startup.
+
+    The parallel path tolerates worker faults (see the module docstring):
+
+    * a crashed worker (``BrokenProcessPool``) or hung worker (no result
+      within ``task_timeout_s``) triggers a pool respawn and a retry of
+      the unfinished tasks, after an exponential-backoff sleep whose
+      jitter comes from a dedicated RNG (``_backoff_rng``) that shares no
+      state with simulation streams;
+    * a task blamed for ``quarantine_after`` failures is quarantined:
+      executed in-process in the parent, where a pure function returns
+      the identical result without risking the pool again.  (Blame is
+      necessarily approximate — a broken pool cannot say which task
+      killed it — so every task unfinished at the break is charged one
+      strike; innocents get re-charged only if the pool keeps dying.)
+    * more than ``max_respawns`` respawns within one :meth:`map_ordered`
+      call flips the pool into sticky serial degradation with a loud
+      stderr diagnostic — forward progress beats parallelism.
+
+    Counters ``pool.retries`` / ``pool.respawns`` / ``pool.quarantined``
+    and events ``pool.retry`` / ``pool.respawn`` / ``pool.quarantine`` /
+    ``pool.degraded`` are emitted on the ambient instrumentation.
     """
 
-    def __init__(self, n_jobs: int = 1) -> None:
+    def __init__(
+        self,
+        n_jobs: int = 1,
+        task_timeout_s: Optional[float] = None,
+        quarantine_after: int = 3,
+        max_respawns: int = 3,
+        backoff_base_s: float = 0.05,
+    ) -> None:
         self.n_jobs = resolve_jobs(n_jobs)
+        self.task_timeout_s = task_timeout_s
+        self.quarantine_after = max(1, int(quarantine_after))
+        self.max_respawns = max(0, int(max_respawns))
+        self.backoff_base_s = max(0.0, float(backoff_base_s))
         self._executor: Optional[ProcessPoolExecutor] = None
+        self._degraded = False
+        # Dedicated jitter source: fixed seed, one stream per pool, no
+        # relation to the simulation RNG keying (seed, replicate, name).
+        self._backoff_rng = random.Random(0x5EEDBAC0)
+        #: Lifetime resilience tallies (mirrored into ambient metrics).
+        self.retries = 0
+        self.respawns = 0
+        self.quarantined = 0
 
     @property
     def parallel(self) -> bool:
-        return self.n_jobs > 1
+        return self.n_jobs > 1 and not self._degraded
+
+    @property
+    def degraded(self) -> bool:
+        return self._degraded
 
     def map_ordered(self, fn: Callable, tasks: Sequence) -> List:
-        """Apply ``fn`` to each task, returning results in task order."""
+        """Apply ``fn`` to each task, returning results in task order.
+
+        Results are bit-identical to ``[fn(t) for t in tasks]`` no matter
+        how many workers crash, hang, or get quarantined along the way.
+        """
         tasks = list(tasks)
         if not self.parallel or len(tasks) <= 1:
             return [fn(task) for task in tasks]
+        return self._map_resilient(fn, tasks)
+
+    # -- resilient parallel execution --------------------------------------------
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
         if self._executor is None:
             self._executor = ProcessPoolExecutor(max_workers=self.n_jobs)
-        return list(self._executor.map(fn, tasks))
+        return self._executor
+
+    def _kill_executor(self) -> None:
+        """Tear the executor down even if its workers are unresponsive."""
+        executor = self._executor
+        self._executor = None
+        if executor is None:
+            return
+        processes = list(getattr(executor, "_processes", {}).values())
+        for proc in processes:
+            try:
+                proc.terminate()
+            except Exception:
+                pass
+        try:
+            executor.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+
+    def _backoff(self, round_index: int) -> None:
+        if self.backoff_base_s <= 0:
+            return
+        delay = self.backoff_base_s * (2**round_index)
+        delay *= 0.5 + self._backoff_rng.random()  # jitter in [0.5, 1.5)
+        time.sleep(min(delay, 5.0))
+
+    def _degrade(self, reason: str) -> None:
+        self._degraded = True
+        print(
+            f"repro.core.parallel: WORKER POOL DEGRADED TO SERIAL — "
+            f"{reason}; continuing in-process (correctness unaffected, "
+            f"parallel speedup lost)",
+            file=sys.stderr,
+            flush=True,
+        )
+        _observe("pool.degraded", reason=reason, n_jobs=self.n_jobs)
+
+    def _map_resilient(self, fn: Callable, tasks: List) -> List:
+        results: List = [None] * len(tasks)
+        pending = set(range(len(tasks)))
+        strikes = [0] * len(tasks)
+        respawns_this_call = 0
+        round_index = 0
+
+        while pending:
+            # Quarantine poison suspects: run them here in the parent,
+            # where they cannot take the pool down (pure function ⇒ same
+            # result as a healthy worker would have produced).
+            for i in sorted(pending):
+                if strikes[i] >= self.quarantine_after:
+                    self.quarantined += 1
+                    _observe(
+                        "pool.quarantine",
+                        counter="pool.quarantined",
+                        task_index=i,
+                        strikes=strikes[i],
+                    )
+                    results[i] = fn(tasks[i])
+                    pending.discard(i)
+            if not pending:
+                break
+            if self._degraded:
+                for i in sorted(pending):
+                    results[i] = fn(tasks[i])
+                return results
+
+            executor = self._ensure_executor()
+            order = sorted(pending)
+            try:
+                futures = {
+                    i: executor.submit(pool_task, fn, tasks[i])
+                    for i in order
+                }
+            except BrokenProcessPool:
+                futures = {}
+            failed: List[int] = []
+            hung: Optional[int] = None
+            if not futures:
+                failed = list(order)
+            for i in order:
+                if i not in futures or hung is not None:
+                    continue
+                try:
+                    results[i] = futures[i].result(
+                        timeout=self.task_timeout_s
+                    )
+                    pending.discard(i)
+                except FutureTimeout:
+                    hung = i
+                    failed.append(i)
+                except BrokenProcessPool:
+                    failed.append(i)
+            if hung is not None:
+                # A deadline expired: the worker is presumed wedged, and
+                # the futures behind it are useless once we kill the pool.
+                # Harvest whatever already finished, blame only the hung
+                # task, and requeue the rest without a strike.
+                for j in order:
+                    if j in pending and j != hung and j in futures:
+                        fut = futures[j]
+                        if fut.done():
+                            try:
+                                results[j] = fut.result(timeout=0)
+                                pending.discard(j)
+                            except Exception:
+                                failed.append(j)
+
+            if not failed and pending:
+                # Shouldn't happen (every pending index either succeeded
+                # or failed above), but never spin silently.
+                failed = sorted(pending)
+            if not pending:
+                break
+
+            # Recovery: count strikes, respawn the pool, back off, retry.
+            for i in failed:
+                if i in pending:
+                    strikes[i] += 1
+            retrying = [i for i in failed if i in pending]
+            self.retries += len(retrying)
+            _observe(
+                "pool.retry",
+                tasks=len(retrying),
+                hung_task=hung,
+                round=round_index,
+            )
+            from repro.obs import runtime
+
+            runtime.get_active().counter("pool.retries").inc(len(retrying))
+
+            self._kill_executor()
+            respawns_this_call += 1
+            self.respawns += 1
+            _observe(
+                "pool.respawn",
+                counter="pool.respawns",
+                round=round_index,
+                reason="hung worker" if hung is not None else "broken pool",
+            )
+            if respawns_this_call > self.max_respawns:
+                self._degrade(
+                    f"{respawns_this_call} pool respawns in one batch "
+                    f"(limit {self.max_respawns})"
+                )
+                continue
+            self._backoff(round_index)
+            round_index += 1
+
+        return results
 
     def shutdown(self) -> None:
         if self._executor is not None:

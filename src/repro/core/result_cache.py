@@ -19,6 +19,18 @@ excludes pure execution knobs (``n_jobs``, ``cache_dir``).  Consequences:
 Floats survive the JSON round trip exactly (``json`` emits ``repr``-style
 shortest representations, which parse back to the identical double), so a
 record loaded from disk is bit-identical to the one that was stored.
+
+The cache is *self-healing*.  Each line is a versioned envelope
+(``{"v": 2, "crc": ..., "record": {...}}``) whose CRC32 covers the
+canonical-JSON record body; on load, any line that fails to parse, fails
+its CRC, or fails record deserialization — a half-written tail after
+``kill -9``, a flipped bit, foreign content — is moved to a
+``<cache>.quarantine`` sidecar (with the failure reason) instead of being
+silently dropped or raising.  Legacy v1 lines (bare record dicts from
+before the envelope existed) still load.  After a load that encountered
+corruption or legacy lines, the file is compacted: the surviving records
+are atomically rewritten (temp file + ``os.replace``) in the current
+format, so damage never accumulates and old files converge to v2.
 """
 
 from __future__ import annotations
@@ -27,10 +39,16 @@ import dataclasses
 import enum
 import hashlib
 import json
+import os
 import pathlib
-from typing import Dict, Iterator, Optional, Tuple
+import zlib
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.net.network import SimulationOutcome
+
+#: Version stamp written into each cache-line envelope; bump when the
+#: record schema changes incompatibly.
+CACHE_SCHEMA_VERSION = 2
 
 #: ScenarioParameters fields that cannot influence simulation results:
 #: they configure *how* the oracle executes, not *what* it simulates.
@@ -151,38 +169,142 @@ def record_from_dict(payload: dict):
     )
 
 
+def _record_crc(record_dict: dict) -> str:
+    blob = json.dumps(record_dict, sort_keys=True, separators=(",", ":"))
+    return format(zlib.crc32(blob.encode("utf-8")), "08x")
+
+
+def encode_cache_line(record) -> str:
+    """One v2 cache line: a CRC32-sealed, version-stamped envelope."""
+    record_dict = record_to_dict(record)
+    return json.dumps(
+        {
+            "v": CACHE_SCHEMA_VERSION,
+            "crc": _record_crc(record_dict),
+            "record": record_dict,
+        }
+    )
+
+
+def decode_cache_line(line: str):
+    """Decode one cache line, returning ``(record, is_legacy)``.
+
+    Accepts the current envelope format (CRC-verified) and legacy v1
+    lines (a bare record dict, recognized by its ``config`` field).
+    Raises ``ValueError``/``KeyError``/``TypeError`` on anything else —
+    the caller quarantines those.
+    """
+    payload = json.loads(line)
+    if not isinstance(payload, dict):
+        raise ValueError("cache line is not a JSON object")
+    if "v" in payload or "crc" in payload or "record" in payload:
+        if payload.get("v") != CACHE_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported cache schema version {payload.get('v')!r}"
+            )
+        record_dict = payload.get("record")
+        if not isinstance(record_dict, dict):
+            raise ValueError("cache envelope has no record body")
+        if payload.get("crc") != _record_crc(record_dict):
+            raise ValueError("cache line failed CRC32 check")
+        return record_from_dict(record_dict), False
+    # Legacy v1: the record dict itself was the line.
+    return record_from_dict(payload), True
+
+
+def _count(name: str, amount: int = 1) -> None:
+    """Best-effort ambient metric (no-op when obs isn't active)."""
+    from repro.obs import runtime
+
+    obs = runtime.get_active()
+    if obs is not None:
+        obs.counter(name).inc(amount)
+
+
 class ResultCache:
     """One scenario's persistent result store (JSON lines, append-only).
 
     Records are loaded lazily on first access and indexed by
     ``Configuration.key()``.  ``put`` appends immediately, so results
-    survive even if the process dies mid-experiment.
+    survive even if the process dies mid-experiment.  Corrupt lines are
+    quarantined rather than fatal, and files carrying damage or legacy
+    formatting are compacted in place — see the module docstring.
     """
 
     def __init__(self, directory, fingerprint: str) -> None:
         self.directory = pathlib.Path(directory)
         self.fingerprint = fingerprint
         self.path = self.directory / f"{fingerprint}.jsonl"
+        self.quarantine_path = self.directory / f"{fingerprint}.jsonl.quarantine"
         self._records: Dict[Tuple, object] = {}
         self._loaded = False
+        #: Lines moved to the quarantine sidecar by the last load().
+        self.quarantined_lines = 0
+        #: Whether the last load() triggered an atomic compaction.
+        self.compacted = False
 
     def load(self) -> None:
-        """Read the backing file (idempotent; skips corrupt lines)."""
+        """Read the backing file (idempotent; heals corruption).
+
+        Damaged lines — truncated tails from a crash mid-append, bit
+        rot, foreign content — are appended to the ``.quarantine``
+        sidecar with a reason, never raised.  If any line was damaged or
+        written in the legacy v1 format, the surviving records are
+        compacted back to disk atomically in the current format.
+        """
         if self._loaded:
             return
         self._loaded = True
         if not self.path.exists():
             return
+        quarantined: List[dict] = []
+        legacy_lines = 0
         with open(self.path, "r", encoding="utf-8") as fh:
-            for line in fh:
+            for lineno, line in enumerate(fh, start=1):
                 line = line.strip()
                 if not line:
                     continue
                 try:
-                    record = record_from_dict(json.loads(line))
-                except (ValueError, KeyError, TypeError):
-                    continue  # partial write or foreign content
+                    record, is_legacy = decode_cache_line(line)
+                except Exception as exc:  # any damage: quarantine, not fatal
+                    quarantined.append(
+                        {
+                            "line_number": lineno,
+                            "reason": f"{type(exc).__name__}: {exc}",
+                            "line": line,
+                        }
+                    )
+                    continue
+                if is_legacy:
+                    legacy_lines += 1
                 self._records[record.config.key()] = record
+        self.quarantined_lines = len(quarantined)
+        if quarantined:
+            self._write_quarantine(quarantined)
+            _count("cache.quarantined_lines", len(quarantined))
+        if quarantined or legacy_lines:
+            self._compact()
+
+    def _write_quarantine(self, quarantined: List[dict]) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        with open(self.quarantine_path, "a", encoding="utf-8") as fh:
+            for item in quarantined:
+                fh.write(json.dumps(item) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def _compact(self) -> None:
+        """Atomically rewrite the file as the loaded records, v2 format."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            for record in self._records.values():
+                fh.write(encode_cache_line(record) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        self.compacted = True
+        _count("cache.compactions")
 
     def get(self, key: Tuple):
         self.load()
@@ -197,7 +319,7 @@ class ResultCache:
         self._records[key] = record
         self.directory.mkdir(parents=True, exist_ok=True)
         with open(self.path, "a", encoding="utf-8") as fh:
-            fh.write(json.dumps(record_to_dict(record)) + "\n")
+            fh.write(encode_cache_line(record) + "\n")
 
     def invalidate(self) -> None:
         """Drop every stored result (memory and disk)."""

@@ -29,6 +29,7 @@ from repro.faults.model import (
     FaultSpec,
     hub_stress_ensemble,
     sample_fault_ensemble,
+    torso_crossing_links,
 )
 from repro.faults.injector import FaultInjector, FaultState
 
@@ -58,4 +59,5 @@ __all__ = [
     "pdr_quantile",
     "sample_fault_ensemble",
     "hub_stress_ensemble",
+    "torso_crossing_links",
 ]

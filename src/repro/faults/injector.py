@@ -108,9 +108,21 @@ class FaultInjector:
         self.installed = 0
 
     def install(self) -> FaultState:
-        """Compile the scenario into simulator events; returns the state."""
+        """Compile the scenario into simulator events; returns the state.
+
+        Blackouts sharing a correlation group are compiled as *one lane*:
+        a single begin event blocks every member link and a single end
+        event clears them, so the correlated set flips atomically at one
+        timestamp instead of as N independent event pairs.  (Member specs
+        must agree on their window — one physical shadowing episode has
+        one timeline.)
+        """
         sim = self.network.sim
+        groups: Dict[str, List[FaultSpec]] = {}
         for spec in self.scenario.applicable(self.network.placement):
+            if spec.kind is FaultKind.LINK_BLACKOUT and spec.group is not None:
+                groups.setdefault(spec.group, []).append(spec)
+                continue
             if spec.kind is FaultKind.NODE_DEATH:
                 sim.schedule_at(
                     spec.start_s, self._node_death, spec, priority=FAULT_PRIORITY
@@ -138,6 +150,30 @@ class FaultInjector:
                 )
                 self._note("battery_drain", spec, at=spec.start_s)
             self.installed += 1
+        for name, members in sorted(groups.items()):
+            windows = {(m.start_s, m.duration_s) for m in members}
+            if len(windows) != 1:
+                raise ValueError(
+                    f"correlated blackout group {name!r} mixes windows "
+                    f"{sorted(windows)}; one group is one shadowing "
+                    "episode and must share start/duration"
+                )
+            lead = members[0]
+            sim.schedule_at(
+                lead.start_s,
+                self._group_blackout_begin,
+                name,
+                members,
+                priority=FAULT_PRIORITY,
+            )
+            sim.schedule_at(
+                lead.end_s,
+                self._group_blackout_end,
+                name,
+                members,
+                priority=FAULT_PRIORITY,
+            )
+            self.installed += len(members)
         return self.state
 
     # -- event handlers (run inside the simulation) ------------------------------
@@ -161,6 +197,35 @@ class FaultInjector:
     def _blackout_end(self, spec: FaultSpec) -> None:
         self.state.unblock(spec.link)
         self._note("blackout_end", spec)
+
+    def _group_blackout_begin(
+        self, name: str, members: List[FaultSpec]
+    ) -> None:
+        for spec in members:
+            self.state.block(spec.link)
+        self._note_group("group_blackout_begin", name, members)
+
+    def _group_blackout_end(
+        self, name: str, members: List[FaultSpec]
+    ) -> None:
+        for spec in members:
+            self.state.unblock(spec.link)
+        self._note_group("group_blackout_end", name, members)
+
+    def _note_group(
+        self, action: str, name: str, members: List[FaultSpec]
+    ) -> None:
+        obs = get_active()
+        obs.counter("faults.injected").inc(len(members))
+        if obs.tracing:
+            obs.event(
+                "faults.inject",
+                scenario=self.scenario.name,
+                action=action,
+                group=name,
+                links=[list(m.link) for m in members],
+                sim_t=round(self.network.sim.now, 9),
+            )
 
     def _note(self, action: str, spec: FaultSpec, at: float = None) -> None:
         obs = get_active()

@@ -64,6 +64,13 @@ class FaultSpec:
     link: Optional[Tuple[int, int]] = None
     #: Depletion acceleration (``BATTERY_DRAIN`` only, > 1).
     factor: float = 1.0
+    #: Correlation-group label (``LINK_BLACKOUT`` only).  Blackouts that
+    #: share a group model one physical shadowing event hitting a
+    #: spatially correlated link set (e.g. every torso-crossing path when
+    #: the wearer turns); the injector compiles the whole group into one
+    #: synchronized begin/end lane, and all members must share their
+    #: ``start_s``/``duration_s`` window.
+    group: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.start_s < 0:
@@ -84,6 +91,11 @@ class FaultSpec:
                 raise ValueError(f"{self.kind.value} needs a `location`")
             if self.link is not None:
                 raise ValueError(f"{self.kind.value} does not take a `link`")
+            if self.group is not None:
+                raise ValueError(
+                    f"{self.kind.value} does not take a `group` (correlated "
+                    "groups are a LINK_BLACKOUT concept)"
+                )
         if self.kind is FaultKind.HUB_OUTAGE and not math.isfinite(
             self.duration_s
         ):
@@ -120,7 +132,8 @@ class FaultSpec:
             else f"t={self.start_s:g}s+{self.duration_s:g}s"
         )
         extra = f" x{self.factor:g}" if self.kind is FaultKind.BATTERY_DRAIN else ""
-        return f"{self.kind.value}({target}, {window}{extra})"
+        tag = f" @{self.group}" if self.group is not None else ""
+        return f"{self.kind.value}({target}, {window}{extra}{tag})"
 
     def to_dict(self) -> dict:
         return {
@@ -130,6 +143,7 @@ class FaultSpec:
             "location": self.location,
             "link": list(self.link) if self.link is not None else None,
             "factor": self.factor,
+            "group": self.group,
         }
 
     @staticmethod
@@ -143,6 +157,7 @@ class FaultSpec:
             location=payload.get("location"),
             link=tuple(link) if link is not None else None,
             factor=payload.get("factor", 1.0),
+            group=payload.get("group"),
         )
 
 
@@ -199,6 +214,26 @@ class FaultScenario:
 # -- ensemble generators ---------------------------------------------------------
 
 
+def torso_crossing_links(
+    locations: Sequence[int],
+) -> Tuple[Tuple[int, int], ...]:
+    """Every location pair whose line of sight the torso occludes.
+
+    These links share the dominant shadowing mechanism (the trunk itself),
+    so one posture change degrades them *together* — the physical basis of
+    the correlated blackout group.
+    """
+    from repro.channel.body import STANDARD_BODY
+
+    locations = sorted(set(locations))
+    return tuple(
+        (a, b)
+        for i, a in enumerate(locations)
+        for b in locations[i + 1 :]
+        if STANDARD_BODY.is_occluded(a, b)
+    )
+
+
 def sample_fault_ensemble(
     size: int,
     seed: int,
@@ -206,6 +241,7 @@ def sample_fault_ensemble(
     locations: Sequence[int] = tuple(range(10)),
     coordinator: int = 0,
     name: str = "sampled",
+    correlated_links: bool = False,
 ) -> Tuple[FaultScenario, ...]:
     """``size`` single- and double-fault scenarios with seeded randomness.
 
@@ -217,6 +253,13 @@ def sample_fault_ensemble(
     Each scenario contains one link blackout in the first half of the run
     plus, round-robin by index, one of: a hub outage, a non-coordinator
     node death, or a battery-drain acceleration.
+
+    With ``correlated_links=True`` the independent single-link blackout is
+    replaced by one *correlated group*: every torso-crossing link
+    (:func:`torso_crossing_links`) blacks out simultaneously for one
+    shared window, modeling a deep whole-trunk shadowing episode.  The
+    group window is drawn from dedicated ``faults/group_*`` streams, so
+    enabling correlation never perturbs the draws of the default mode.
     """
     if size < 1:
         raise ValueError("ensemble size must be positive")
@@ -225,26 +268,51 @@ def sample_fault_ensemble(
     locations = sorted(set(locations))
     if len(locations) < 2:
         raise ValueError("need at least two locations to draw faults over")
+    correlated_pairs = (
+        torso_crossing_links(locations) if correlated_links else ()
+    )
+    if correlated_links and not correlated_pairs:
+        raise ValueError(
+            "no torso-crossing links among the given locations; "
+            "correlated_links has nothing to correlate"
+        )
     scenarios: List[FaultScenario] = []
     for k in range(size):
         rng = RngStreams(seed=seed, replicate=k)
         faults: List[FaultSpec] = []
 
-        # A deep-shadowing episode on a random pair, first half of the run.
-        idx_a = rng.integers("faults/link_a", 0, len(locations))
-        idx_b = rng.integers("faults/link_b", 0, len(locations) - 1)
-        if idx_b >= idx_a:
-            idx_b += 1
-        start = rng.uniform("faults/link_start", 0.05, 0.45) * horizon_s
-        duration = rng.uniform("faults/link_dur", 0.10, 0.25) * horizon_s
-        faults.append(
-            FaultSpec(
-                kind=FaultKind.LINK_BLACKOUT,
-                start_s=start,
-                duration_s=duration,
-                link=(locations[idx_a], locations[idx_b]),
+        if correlated_links:
+            # One shadowing event, many links: a synchronized blackout of
+            # every torso-crossing pair, one shared window per scenario.
+            start = rng.uniform("faults/group_start", 0.05, 0.45) * horizon_s
+            duration = rng.uniform("faults/group_dur", 0.10, 0.25) * horizon_s
+            for pair in correlated_pairs:
+                faults.append(
+                    FaultSpec(
+                        kind=FaultKind.LINK_BLACKOUT,
+                        start_s=start,
+                        duration_s=duration,
+                        link=pair,
+                        group=f"torso-{k}",
+                    )
+                )
+        else:
+            # A deep-shadowing episode on a random pair, first half of
+            # the run.
+            idx_a = rng.integers("faults/link_a", 0, len(locations))
+            idx_b = rng.integers("faults/link_b", 0, len(locations) - 1)
+            if idx_b >= idx_a:
+                idx_b += 1
+            start = rng.uniform("faults/link_start", 0.05, 0.45) * horizon_s
+            duration = rng.uniform("faults/link_dur", 0.10, 0.25) * horizon_s
+            faults.append(
+                FaultSpec(
+                    kind=FaultKind.LINK_BLACKOUT,
+                    start_s=start,
+                    duration_s=duration,
+                    link=(locations[idx_a], locations[idx_b]),
+                )
             )
-        )
 
         mode = k % 3
         if mode == 0:

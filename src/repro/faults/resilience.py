@@ -207,6 +207,44 @@ class EnsembleOracle:
     def healthy_oracle(self) -> SimulationOracle:
         return self._oracles[0]
 
+    # -- journal replay (checkpoint/resume, DESIGN.md §9) ------------------------
+
+    def preload_journal(self, payloads: Sequence[dict]) -> None:
+        """Stage journaled robust candidates into the sub-oracles.
+
+        Each payload is one ``robust_candidate`` journal entry: a healthy
+        record plus per-fault-world records keyed by scenario name.  Each
+        record is routed to the sub-oracle owning that fault world, where
+        its first request is adopted as-if-simulated (see
+        :meth:`SimulationOracle.preload_journal`), so a resumed robust
+        run replays the journaled prefix with zero re-simulation.
+        Payloads naming fault worlds outside this ensemble are rejected —
+        that is a journal/arguments mismatch, not recoverable drift.
+        """
+        from repro.core.result_cache import record_from_dict
+
+        by_name = {
+            fs.name: self._oracles[oi + 1]
+            for oi, fs in enumerate(self.ensemble)
+        }
+        healthy_records = []
+        world_records: Dict[str, List[EvaluationRecord]] = {
+            name: [] for name in by_name
+        }
+        for payload in payloads:
+            healthy_records.append(record_from_dict(payload["healthy"]))
+            for name, record_dict in payload["faulted"]:
+                if name not in world_records:
+                    raise ValueError(
+                        f"journaled fault world {name!r} is not in this "
+                        f"ensemble ({sorted(by_name)}); the journal "
+                        "belongs to a different campaign"
+                    )
+                world_records[name].append(record_from_dict(record_dict))
+        self.healthy_oracle.preload_journal(healthy_records)
+        for name, oracle in by_name.items():
+            oracle.preload_journal(world_records[name])
+
     # -- evaluation --------------------------------------------------------------
 
     def evaluate(self, config: Configuration) -> ResilienceRecord:

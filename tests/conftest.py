@@ -21,3 +21,26 @@ def pytest_addoption(parser):
 @pytest.fixture
 def update_golden(request) -> bool:
     return request.config.getoption("--update-golden")
+
+
+@pytest.fixture
+def crash_worker(tmp_path, monkeypatch):
+    """Arm the worker-pool chaos hook (see ``repro.core.parallel``).
+
+    Returns an ``arm(nth=1)`` callable: after arming, the first pool
+    worker whose per-process task counter reaches ``nth`` consumes the
+    flag file and dies with ``os._exit`` — a real, unannounced crash the
+    pool must recover from.  Exactly one crash per arming; the hook is
+    inert in the parent process (serial/quarantine paths never crash).
+    The environment variable is inherited by workers because the pool
+    forks lazily, on first parallel use.
+    """
+    from repro.core.parallel import CHAOS_CRASH_ENV
+
+    def arm(nth: int = 1):
+        flag = tmp_path / "chaos-crash.flag"
+        flag.write_text("armed")
+        monkeypatch.setenv(CHAOS_CRASH_ENV, f"{flag}:{nth}")
+        return flag
+
+    return arm

@@ -317,6 +317,159 @@ class TestRobustCommands:
         assert "infeasible" in capsys.readouterr().out
 
 
+class TestJournalFlags:
+    """--out/--resume plumbing: crash-safe journals from the CLI."""
+
+    def test_out_and_resume_are_mutually_exclusive(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            cli.build_parser().parse_args(
+                ["solve", "--pdr-min", "90", "--out", "a", "--resume", "b"]
+            )
+        assert exc.value.code == 2
+
+    def test_journal_flags_parse_on_solve_and_robust(self):
+        args = cli.build_parser().parse_args(
+            ["solve", "--pdr-min", "90", "--out", "run"]
+        )
+        assert args.out == "run" and args.resume is None
+        args = cli.build_parser().parse_args(
+            ["robust", "--pdr-min", "85", "--resume", "run"]
+        )
+        assert args.resume == "run" and args.out is None
+
+    def test_correlated_links_parses(self):
+        args = cli.build_parser().parse_args(
+            ["robust", "--pdr-min", "85", "--correlated-links"]
+        )
+        assert args.correlated_links is True
+        args = cli.build_parser().parse_args(["robust", "--pdr-min", "85"])
+        assert args.correlated_links is False
+
+    def _solve_argv(self, extra):
+        return [
+            "solve", "--pdr-min", "90", "--preset", "smoke", "--jobs", "1",
+        ] + extra
+
+    def test_solve_kill_and_resume_reproduces_summary(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        assert cli.main(self._solve_argv(["--out", str(run_dir)])) == 0
+        out = capsys.readouterr().out
+        assert "run journal:" in out and "run summary:" in out
+        summary_path = run_dir / "summary.json"
+        golden = summary_path.read_text()
+
+        # simulate a SIGKILL mid-run: keep a journal prefix + torn tail,
+        # drop the summary (it is written only at completion)
+        journal_path = run_dir / "journal.jsonl"
+        lines = journal_path.read_text().splitlines()
+        assert len(lines) > 5
+        journal_path.write_text("\n".join(lines[:4]) + "\n" + lines[4][:30])
+        summary_path.unlink()
+
+        assert cli.main(self._solve_argv(["--resume", str(run_dir)])) == 0
+        capsys.readouterr()
+        assert summary_path.read_text() == golden
+        # the journal healed back to the full trajectory
+        assert len(journal_path.read_text().splitlines()) == len(lines)
+
+    def test_resume_with_mismatched_arguments_exits_two(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        assert cli.main(self._solve_argv(["--out", str(run_dir)])) == 0
+        capsys.readouterr()
+        code = cli.main([
+            "solve", "--pdr-min", "80", "--preset", "smoke", "--jobs", "1",
+            "--resume", str(run_dir),
+        ])
+        assert code == 2
+        assert "manifest mismatch" in capsys.readouterr().err
+
+    def test_resume_without_journal_exits_two(self, tmp_path, capsys):
+        code = cli.main(
+            self._solve_argv(["--resume", str(tmp_path / "nowhere")])
+        )
+        assert code == 2
+        assert "no journal to resume" in capsys.readouterr().err
+
+    def test_out_refuses_existing_journal(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        assert cli.main(self._solve_argv(["--out", str(run_dir)])) == 0
+        capsys.readouterr()
+        assert cli.main(self._solve_argv(["--out", str(run_dir)])) == 2
+        assert "already exists" in capsys.readouterr().err
+
+    def test_robust_kill_and_resume_reproduces_summary(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        argv = [
+            "robust", "--pdr-min", "85", "--preset", "smoke", "--seed", "3",
+            "--ensemble-size", "2", "--hub-stress", "--quantile", "0",
+            "--outage-fraction", "0.2", "--jobs", "1",
+        ]
+        assert cli.main(argv + ["--out", str(run_dir)]) == 0
+        capsys.readouterr()
+        summary_path = run_dir / "summary.json"
+        golden = summary_path.read_text()
+        journal_path = run_dir / "journal.jsonl"
+        lines = journal_path.read_text().splitlines()
+        assert len(lines) > 3
+        journal_path.write_text("\n".join(lines[:3]) + "\n" + lines[3][:30])
+        summary_path.unlink()
+
+        assert cli.main(argv + ["--resume", str(run_dir)]) == 0
+        capsys.readouterr()
+        assert summary_path.read_text() == golden
+        assert len(journal_path.read_text().splitlines()) == len(lines)
+
+
+class TestPoolReportSection:
+    """Satellite: ``trace_report`` renders pool resilience activity and
+    degrades gracefully on traces that predate the pool events."""
+
+    def test_pool_events_render(self):
+        report = summarize([
+            {"kind": "pool.retry", "seq": 1, "t": 0.1, "tasks": 3,
+             "hung_task": None, "round": 0},
+            {"kind": "pool.respawn", "seq": 2, "t": 0.2,
+             "reason": "broken pool", "round": 0},
+            {"kind": "pool.retry", "seq": 3, "t": 0.3, "tasks": 1,
+             "hung_task": 4, "round": 1},
+            {"kind": "pool.respawn", "seq": 4, "t": 0.4,
+             "reason": "hung worker", "round": 1},
+            {"kind": "pool.quarantine", "seq": 5, "t": 0.5,
+             "task_index": 4, "strikes": 3},
+            {"kind": "pool.degraded", "seq": 6, "t": 0.6,
+             "reason": "5 pool respawns in one batch (limit 3)"},
+        ])
+        assert "worker pool resilience" in report
+        assert "retries: 4 task(s) over 2 round(s)" in report
+        assert "pool respawns: 2" in report
+        assert "1x broken pool" in report and "1x hung worker" in report
+        assert "quarantined tasks: 1 (indices 4)" in report
+        assert "DEGRADED TO SERIAL: 5 pool respawns" in report
+
+    def test_partial_pool_events_never_keyerror(self):
+        # fields stripped entirely — the renderer must fall back, not raise
+        report = summarize([
+            {"kind": "pool.retry", "seq": 1, "t": 0.1},
+            {"kind": "pool.respawn", "seq": 2, "t": 0.2},
+            {"kind": "pool.quarantine", "seq": 3, "t": 0.3},
+            {"kind": "pool.degraded", "seq": 4, "t": 0.4},
+        ])
+        assert "worker pool resilience" in report
+        assert "1x unknown" in report
+        assert "indices ?" in report
+        assert "DEGRADED TO SERIAL: unknown reason" in report
+
+    def test_pre_pool_trace_skips_section(self, tmp_path, capsys):
+        assert cli.main([
+            "solve", "--pdr-min", "90", "--preset", "smoke", "--jobs", "1",
+            "--trace-out", str(tmp_path / "run.jsonl"),
+        ]) == 0
+        capsys.readouterr()
+        report = summarize(read_trace(tmp_path / "run.jsonl"))
+        assert "worker pool resilience" not in report
+        assert "explorer trajectory" in report  # everything else intact
+
+
 class TestTraceReportDegradation:
     """Broken inputs produce a diagnostic and exit 1, never a traceback."""
 

@@ -24,6 +24,7 @@ from repro.faults.model import (
     FaultSpec,
     hub_stress_ensemble,
     sample_fault_ensemble,
+    torso_crossing_links,
 )
 from repro.library.mac_options import MacKind, RoutingKind
 
@@ -191,6 +192,87 @@ class TestEnsembleGenerators:
             hub_stress_ensemble(8.0, outage_fraction=1.0)
 
 
+class TestCorrelatedGroups:
+    """Satellite: correlated link-fault groups — one shadowing event that
+    blacks out every torso-crossing link simultaneously."""
+
+    def test_group_is_a_blackout_only_concept(self):
+        with pytest.raises(ValueError, match="group"):
+            spec(group="torso")  # hub outage
+        with pytest.raises(ValueError, match="group"):
+            FaultSpec(
+                FaultKind.NODE_DEATH, start_s=1.0, location=3, group="torso"
+            )
+
+    def test_group_survives_round_trip_and_describe(self):
+        s = FaultSpec(
+            FaultKind.LINK_BLACKOUT,
+            start_s=1.0,
+            duration_s=2.0,
+            link=(0, 6),
+            group="torso-0",
+        )
+        assert FaultSpec.from_dict(json.loads(json.dumps(s.to_dict()))) == s
+        assert "@torso-0" in s.describe()
+
+    def test_torso_crossing_links_are_occluded_pairs(self):
+        from repro.channel.body import STANDARD_BODY
+
+        pairs = torso_crossing_links(range(10))
+        assert pairs, "the standard body must occlude some link"
+        assert list(pairs) == sorted(pairs)
+        for a, b in pairs:
+            assert a < b
+            assert STANDARD_BODY.is_occluded(a, b)
+
+    def test_correlated_ensemble_is_deterministic_and_synchronized(self):
+        a = sample_fault_ensemble(
+            4, seed=11, horizon_s=8.0, correlated_links=True
+        )
+        assert a == sample_fault_ensemble(
+            4, seed=11, horizon_s=8.0, correlated_links=True
+        )
+        expected_pairs = set(torso_crossing_links(range(10)))
+        for k, fs in enumerate(a):
+            grouped = [f for f in fs.faults if f.group is not None]
+            assert {f.link for f in grouped} == expected_pairs
+            # one shadowing event: every member shares group and window
+            assert {f.group for f in grouped} == {f"torso-{k}"}
+            assert len({(f.start_s, f.duration_s) for f in grouped}) == 1
+
+    def test_correlation_never_perturbs_the_default_draws(self):
+        """The group window comes from dedicated ``faults/group_*``
+        streams, so the round-robin faults (hub/death/drain) are drawn
+        identically whether or not correlation is on."""
+        plain = sample_fault_ensemble(6, seed=3, horizon_s=8.0)
+        correlated = sample_fault_ensemble(
+            6, seed=3, horizon_s=8.0, correlated_links=True
+        )
+        for p, c in zip(plain, correlated):
+            assert [f for f in p.faults if f.kind is not FaultKind.LINK_BLACKOUT] == [
+                f for f in c.faults if f.kind is not FaultKind.LINK_BLACKOUT
+            ]
+
+    def test_correlation_requires_an_occluded_pair(self):
+        from repro.channel.body import STANDARD_BODY
+
+        clear = next(
+            (a, b)
+            for a in range(10)
+            for b in range(a + 1, 10)
+            if not STANDARD_BODY.is_occluded(a, b)
+        )
+        with pytest.raises(ValueError, match="nothing to correlate"):
+            sample_fault_ensemble(
+                2,
+                seed=0,
+                horizon_s=8.0,
+                locations=clear,
+                correlated_links=True,
+                coordinator=clear[0],
+            )
+
+
 # -- simulated behaviour -------------------------------------------------------
 
 
@@ -308,3 +390,58 @@ class TestInjectedBehaviour:
         assert first.pdr == second.pdr
         assert first.windowed_pdr == second.windowed_pdr
         assert first.nlt_days == second.nlt_days
+
+
+def _blackout(link, group=None, start=1.0, dur=6.0):
+    return FaultSpec(
+        FaultKind.LINK_BLACKOUT,
+        start_s=start,
+        duration_s=dur,
+        link=link,
+        group=group,
+    )
+
+
+class TestGroupInjection:
+    """The injector compiles a correlation group into one synchronized
+    lane of blackout events — semantically identical to the same
+    blackouts injected individually with equal windows."""
+
+    def test_group_blackout_reduces_pdr(self, scenario, config):
+        healthy = outcome_under(scenario, config, None)
+        grouped = outcome_under(
+            scenario,
+            config,
+            FaultScenario(
+                "group",
+                (_blackout((0, 6), "g"), _blackout((1, 3), "g")),
+            ),
+        )
+        assert grouped.pdr < healthy.pdr
+
+    def test_grouped_equals_ungrouped_with_same_windows(self, scenario, config):
+        links = ((0, 6), (1, 3))
+        grouped = outcome_under(
+            scenario,
+            config,
+            FaultScenario("g", tuple(_blackout(l, "g") for l in links)),
+        )
+        ungrouped = outcome_under(
+            scenario,
+            config,
+            FaultScenario("u", tuple(_blackout(l) for l in links)),
+        )
+        assert grouped.pdr == ungrouped.pdr
+        assert grouped.windowed_pdr == ungrouped.windowed_pdr
+        assert grouped.nlt_days == ungrouped.nlt_days
+
+    def test_mixed_window_group_is_rejected(self, scenario, config):
+        torn = FaultScenario(
+            "torn",
+            (
+                _blackout((0, 6), "g", start=1.0),
+                _blackout((1, 3), "g", start=2.0),
+            ),
+        )
+        with pytest.raises(ValueError, match="mixes windows"):
+            outcome_under(scenario, config, torn)

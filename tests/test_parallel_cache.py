@@ -404,6 +404,126 @@ class TestScenarioAndCliKnobs:
         assert args.cache_dir == str(tmp_path)
 
 
+class TestSelfHealingCache:
+    """Satellite regression (DESIGN.md §9): cache damage is survivable.
+
+    Torn tails, bit rot, and legacy formatting are quarantined to a
+    sidecar and healed by atomic compaction — never fatal, and never
+    silently wrong (the per-record CRC catches damage that still parses
+    as JSON)."""
+
+    def _warm_records(self, n=2):
+        scenario = tiny_scenario()
+        configs = list(tiny_space().feasible_configurations())[:n]
+        return SimulationOracle(scenario).evaluate_many(configs)
+
+    def test_encode_decode_round_trip(self):
+        from repro.core.result_cache import decode_cache_line, encode_cache_line
+
+        record = self._warm_records(1)[0]
+        clone, is_legacy = decode_cache_line(encode_cache_line(record))
+        assert not is_legacy
+        assert_records_identical(record, clone, compare_wall=True)
+
+    def test_truncation_at_every_byte_recovers_intact_prefix(self, tmp_path):
+        """The satellite sweep: truncate a two-record cache file at every
+        byte offset and assert lossless recovery of whatever prefix is
+        still intact — the second record survives iff its line (sans the
+        cosmetic trailing newline) survives, and loading never raises."""
+        records = self._warm_records(2)
+        reference = ResultCache(tmp_path / "ref", "fp")
+        for record in records:
+            reference.put(record)
+        data = reference.path.read_bytes()
+        first_len = data.index(b"\n") + 1
+
+        for cut in range(len(data)):
+            cache = ResultCache(tmp_path / f"cut{cut}", "fp")
+            cache.path.parent.mkdir(exist_ok=True)
+            cache.path.write_bytes(data[:cut])
+            cache.load()
+            if cut < first_len - 1:
+                expected = 0
+            elif cut < len(data) - 1:
+                expected = 1
+            else:
+                expected = 2
+            assert len(cache) == expected, f"truncation at byte {cut}"
+            for original, recovered in zip(records, list(cache)):
+                assert_records_identical(original, recovered, compare_wall=True)
+
+    def test_bit_rot_is_quarantined_and_compacted(self, tmp_path):
+        import json as _json
+
+        records = self._warm_records(2)
+        cache = ResultCache(tmp_path, "fp")
+        for record in records:
+            cache.put(record)
+        lines = cache.path.read_text().splitlines()
+        # valid JSON, wrong content: only the CRC can catch this
+        lines[0] = lines[0].replace('"pdr"', '"qdr"', 1)
+        cache.path.write_text("\n".join(lines) + "\n")
+
+        healed = ResultCache(tmp_path, "fp")
+        healed.load()
+        assert len(healed) == 1
+        assert healed.quarantined_lines == 1
+        assert healed.compacted
+        assert_records_identical(records[1], next(iter(healed)), compare_wall=True)
+        sidecar = [
+            _json.loads(line)
+            for line in healed.quarantine_path.read_text().splitlines()
+        ]
+        assert len(sidecar) == 1
+        assert sidecar[0]["line_number"] == 1
+        assert sidecar[0]["reason"]
+        assert sidecar[0]["line"] == lines[0]
+
+        # the compacted file is clean: a reload quarantines nothing
+        again = ResultCache(tmp_path, "fp")
+        again.load()
+        assert len(again) == 1
+        assert again.quarantined_lines == 0
+        assert not again.compacted
+
+    def test_legacy_v1_lines_load_and_upgrade(self, tmp_path):
+        from repro.core.result_cache import decode_cache_line
+
+        record = self._warm_records(1)[0]
+        cache = ResultCache(tmp_path, "fp")
+        cache.path.parent.mkdir(exist_ok=True)
+        import json as _json
+
+        cache.path.write_text(_json.dumps(record_to_dict(record)) + "\n")
+        cache.load()
+        assert len(cache) == 1
+        assert cache.compacted  # rewritten in the current envelope
+        assert cache.quarantined_lines == 0
+        first_line = cache.path.read_text().splitlines()[0]
+        clone, is_legacy = decode_cache_line(first_line)
+        assert not is_legacy
+        assert_records_identical(record, clone, compare_wall=True)
+
+    def test_oracle_survives_damaged_warm_cache(self, tmp_path):
+        """End to end: a warm oracle pointed at a damaged cache re-runs
+        only the lost record and never aborts."""
+        scenario = tiny_scenario(cache_dir=str(tmp_path))
+        configs = list(tiny_space().feasible_configurations())[:2]
+        cold = SimulationOracle(scenario)
+        cold_records = cold.evaluate_many(configs)
+        path = cold.disk_cache.path
+        lines = path.read_text().splitlines()
+        lines[0] = lines[0][:-15]  # torn mid-file line
+        path.write_text("\n".join(lines) + "\n")
+
+        warm = SimulationOracle(scenario)
+        warm_records = warm.evaluate_many(configs)
+        assert warm.simulations_run == 1
+        assert warm.disk_hits == 1
+        for a, b in zip(cold_records, warm_records):
+            assert_records_identical(a, b)
+
+
 class TestResultCacheUnit:
     def test_put_is_idempotent_on_disk(self, tmp_path):
         scenario = tiny_scenario()

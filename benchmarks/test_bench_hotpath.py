@@ -1,6 +1,7 @@
-"""Hot-path microbenchmarks: DES kernel, PHY fan-out, MILP warm starts.
+"""Hot-path microbenchmarks: DES kernel, PHY fan-out, MILP warm starts,
+batched ensemble kernel.
 
-Runs the same four measurements as ``repro bench`` (see
+Runs the same five measurements as ``repro bench`` (see
 ``repro.bench.hotpath``) and writes ``BENCH_hotpath.json`` to the repo
 root plus a copy under ``benchmarks/results/``.
 
@@ -35,6 +36,7 @@ def test_bench_hotpath(report, preset, results_dir):
     assert report["single_replicate"]["bit_identical_outcome"]
     assert report["milp_warm_vs_cold"]["identical_objectives"]
     assert report["explore_smoke"]["status"] == "optimal"
+    assert report["ensemble_batched"]["identical_outcomes"]
 
     write_report(report, str(REPO_ROOT / ARTIFACT))
     write_report(report, str(results_dir / ARTIFACT))
@@ -46,3 +48,4 @@ def test_bench_hotpath(report, preset, results_dir):
     # produced by a dedicated `repro bench` run).
     assert report["speedup_single_replicate"] > 0
     assert report["speedup_milp_warm"] > 0
+    assert report["speedup_ensemble_batched"] > 0

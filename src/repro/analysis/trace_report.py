@@ -288,23 +288,37 @@ def _faults_section(events: List[dict], lines: List[str]) -> None:
 
 def _oracle_section(events: List[dict], lines: List[str]) -> None:
     evals = [e for e in events if e.get("kind") == "oracle.evaluate"]
-    if not evals:
+    batches = [e for e in events if e.get("kind") == "oracle.batch"]
+    if not evals and not batches:
         return
-    cached = sum(1 for e in evals if e.get("cached"))
-    simulated = [e for e in evals if not e.get("cached")]
-    walls = [float(e.get("wall_s", 0.0)) for e in simulated]
-    replicates = sum(int(e.get("replicates", 1)) for e in simulated)
     lines.append("oracle")
-    lines.append(
-        f"  evaluations: {len(evals)} ({len(simulated)} simulated, "
-        f"{cached} cache hits)"
-    )
-    if simulated:
+    if evals:
+        cached = sum(1 for e in evals if e.get("cached"))
+        simulated = [e for e in evals if not e.get("cached")]
+        walls = [float(e.get("wall_s", 0.0)) for e in simulated]
+        replicates = sum(int(e.get("replicates", 1)) for e in simulated)
         lines.append(
-            f"  replicates: {replicates}  wall "
-            f"p50={_fmt_seconds(_quantile(walls, 0.5))} "
-            f"p95={_fmt_seconds(_quantile(walls, 0.95))} "
-            f"total={_fmt_seconds(sum(walls))}"
+            f"  evaluations: {len(evals)} ({len(simulated)} simulated, "
+            f"{cached} cache hits)"
+        )
+        if simulated:
+            lines.append(
+                f"  replicates: {replicates}  wall "
+                f"p50={_fmt_seconds(_quantile(walls, 0.5))} "
+                f"p95={_fmt_seconds(_quantile(walls, 0.95))} "
+                f"total={_fmt_seconds(sum(walls))}"
+            )
+    if batches:
+        # Batched-kernel dispatch (PR 6).  Older traces simply have no
+        # ``oracle.batch`` events and skip this subsection; every access
+        # uses ``.get`` with a default so they can never KeyError.
+        lanes = sum(int(e.get("lanes", 0) or 0) for e in batches)
+        configs = sum(int(e.get("configs", 0) or 0) for e in batches)
+        walls = [float(e.get("wall_s", 0.0) or 0.0) for e in batches]
+        lines.append(
+            f"  batched kernel: {len(batches)} call(s), {lanes} lane(s) "
+            f"over {configs} configuration(s), "
+            f"wall total={_fmt_seconds(sum(walls))}"
         )
 
 

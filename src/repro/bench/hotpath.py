@@ -1,6 +1,6 @@
 """Microbenchmarks for the hot-path overhaul, with built-in A/B checks.
 
-Four benchmarks, one per optimized layer plus an end-to-end smoke:
+Five benchmarks, one per optimized layer plus an end-to-end smoke:
 
 * :func:`bench_des_throughput` — raw event throughput of the DES kernel
   under timer churn (schedule + cancel + drain), new kernel vs the seed
@@ -8,6 +8,11 @@ Four benchmarks, one per optimized layer plus an end-to-end smoke:
 * :func:`bench_single_replicate` — one full simulation replicate, fast
   stack vs the end-to-end legacy stack, with a bit-identity assertion on
   every outcome field;
+* :func:`bench_ensemble_batched` — the batched replicate kernel
+  (:mod:`repro.core.batch`) racing a whole lane grid — TX variants of
+  one topology across healthy + fault worlds — against both the fast
+  scalar per-lane loop and the legacy reference stack, with a
+  full-field bit-identity assertion on every lane;
 * :func:`bench_milp_warm_vs_cold` — Algorithm 1's cut loop re-solved
   with and without warm-started bases; only ``solver.solve`` calls are
   timed (model construction is identical on both sides and excluded);
@@ -173,6 +178,148 @@ def bench_single_replicate(preset: str = "ci", repeats: int = 3) -> Dict:
     }
 
 
+# -- batched ensemble -------------------------------------------------------------
+
+
+def bench_ensemble_batched(preset: str = "ci", repeats: int = 3) -> Dict:
+    """The batched replicate kernel vs per-lane scalar evaluation.
+
+    The lane grid mirrors the production ensemble workloads: the densest
+    feasible placement at two TX levels, each evaluated healthy, under
+    the E4 hub-stress ensemble, and under sampled correlated fault
+    worlds.  Before any timing, every batched lane is asserted
+    bit-identical — every ``SimulationOutcome`` field, including the
+    windowed PDR series — to both the fast scalar path and the legacy
+    reference stack; the headline ``speedup`` follows the repo
+    convention of racing the frozen legacy reference, with the fast
+    scalar path reported alongside.
+    """
+    import dataclasses
+
+    from repro.core.batch import batch_unsupported_reason, evaluate_batch
+    from repro.core.parallel import run_fixed_replicates
+    from repro.experiments.scenario import make_scenario, make_space
+    from repro.faults.model import hub_stress_ensemble, sample_fault_ensemble
+    from repro.net.network import average_outcomes
+
+    scenario = make_scenario(preset)
+    dense = max(
+        make_space(preset).feasible_configurations(),
+        key=lambda c: (len(c.placement), c.key()),
+    )
+    # Two TX variants of the dense topology: the kernel shares one event
+    # skeleton across them (different fan-out power plans only).
+    tx_levels = sorted(
+        {c.tx_dbm for c in make_space(preset).feasible_configurations()
+         if c.placement == dense.placement
+         and c.mac == dense.mac and c.routing == dense.routing}
+    )
+    configs = [
+        dataclasses.replace(dense, tx_dbm=tx)
+        for tx in (tx_levels[0], tx_levels[-1])
+    ]
+    reason = batch_unsupported_reason(scenario, configs[0])
+    if reason is not None:
+        raise AssertionError(f"benchmark configuration not batchable: {reason}")
+    worlds = [None]
+    worlds += list(hub_stress_ensemble(
+        scenario.tsim_s,
+        coordinator=scenario.coordinator_location,
+        outage_fraction=0.2,
+        size=2,
+    ))
+    worlds += list(sample_fault_ensemble(
+        9,
+        scenario.seed + 11,
+        scenario.tsim_s,
+        locations=dense.placement,
+        coordinator=scenario.coordinator_location,
+        correlated_links=True,
+    ))
+    lanes = len(configs) * len(worlds)
+
+    def scalar_outcome(config, world):
+        faulted = dataclasses.replace(scenario, fault_scenario=world)
+        return run_fixed_replicates(faulted, config)
+
+    def legacy_outcome(config, world):
+        """One lane on the frozen reference stack (replicate average)."""
+        outcomes = [
+            legacy_network(
+                scenario, config, seed=scenario.seed, replicate=rep,
+                fault_scenario=world,
+            ).run(scenario.tsim_s)
+            for rep in range(scenario.replicates)
+        ]
+        return average_outcomes(outcomes, scenario.battery)
+
+    # Bit identity first: a kernel that got faster by changing answers
+    # must fail loudly before any speedup is computed.
+    batched = evaluate_batch(scenario, configs, worlds)
+    for ci, config in enumerate(configs):
+        for wi, world in enumerate(worlds):
+            got = batched[(ci, wi)]
+            for kind, ref in (
+                ("scalar", scalar_outcome(config, world)),
+                ("legacy", legacy_outcome(config, world)),
+            ):
+                mismatched = [
+                    f.name
+                    for f in dataclasses.fields(ref)
+                    if getattr(got, f.name) != getattr(ref, f.name)
+                ]
+                if mismatched:
+                    raise AssertionError(
+                        f"batched lane (config {ci}, world {wi}, "
+                        f"{getattr(world, 'name', 'healthy')}) disagrees "
+                        f"with the {kind} path on {mismatched}"
+                    )
+
+    # Interleave the three stacks per repeat so machine drift hits all
+    # sides equally; best-of rejects transient spikes.  The batched pass
+    # is an order of magnitude shorter than the other two, so a single
+    # scheduling hiccup distorts it far more — it gets three samples per
+    # round (still a tiny fraction of the round's wall time) so its
+    # best-of reaches the same noise floor as the long passes.
+    batched_times: List[float] = []
+    scalar_times: List[float] = []
+    legacy_times: List[float] = []
+    for _ in range(max(1, repeats)):
+        for _inner in range(3):
+            t0 = time.perf_counter()
+            evaluate_batch(scenario, configs, worlds)
+            batched_times.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        for config in configs:
+            for world in worlds:
+                scalar_outcome(config, world)
+        scalar_times.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        for config in configs:
+            for world in worlds:
+                legacy_outcome(config, world)
+        legacy_times.append(time.perf_counter() - t0)
+    batched_wall = min(batched_times)
+    scalar_wall = min(scalar_times)
+    legacy_wall = min(legacy_times)
+
+    return {
+        "preset": preset,
+        "tsim_s": scenario.tsim_s,
+        "replicates": scenario.replicates,
+        "configs": len(configs),
+        "worlds": len(worlds),
+        "world_names": [getattr(w, "name", "healthy") for w in worlds],
+        "lanes": lanes,
+        "batched_wall_seconds": batched_wall,
+        "scalar_wall_seconds": scalar_wall,
+        "legacy_wall_seconds": legacy_wall,
+        "speedup": legacy_wall / batched_wall,
+        "speedup_vs_fast_scalar": scalar_wall / batched_wall,
+        "identical_outcomes": True,
+    }
+
+
 # -- MILP warm starts -------------------------------------------------------------
 
 
@@ -281,32 +428,65 @@ def bench_explore_smoke(preset: str = "ci", pdr_min: float = 0.9) -> Dict:
 # -- harness ----------------------------------------------------------------------
 
 
+def environment_fingerprint() -> Dict:
+    """Where the numbers came from: interpreter, numpy, host shape.
+
+    Benchmark reports are compared across machines and over time; the
+    fingerprint makes a regression distinguishable from an environment
+    change (different interpreter, different numpy, different core
+    count).
+    """
+    import platform
+
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a baked-in dependency
+        numpy_version = None
+    return {
+        "python_version": platform.python_version(),
+        "python_implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "numpy_version": numpy_version,
+        "cpu_count": os.cpu_count(),
+        "cpu_count_provenance": "os.cpu_count()",
+    }
+
+
 def run_hotpath_benchmarks(
     preset: str = "ci",
     repeats: int = 3,
     des_events: int = 50_000,
 ) -> Dict:
-    """Run all four benchmarks and assemble the report payload."""
+    """Run all five benchmarks and assemble the report payload."""
     des = bench_des_throughput(n_events=des_events, repeats=repeats)
     replicate = bench_single_replicate(preset=preset, repeats=repeats)
+    ensemble = bench_ensemble_batched(preset=preset, repeats=repeats)
     milp = bench_milp_warm_vs_cold(preset=preset, repeats=repeats)
     explore = bench_explore_smoke(preset=preset)
     return {
         "benchmark": "hotpath",
         "preset": preset,
         "cpu_count": os.cpu_count(),
+        "environment": environment_fingerprint(),
         "des_throughput": des,
         "single_replicate": replicate,
+        "ensemble_batched": ensemble,
         "milp_warm_vs_cold": milp,
         "explore_smoke": explore,
         "speedup_single_replicate": replicate["speedup"],
+        "speedup_ensemble_batched": ensemble["speedup"],
         "speedup_milp_warm": milp["speedup"],
         "speedup_des_events": des["speedup"],
         "note": (
             "Legacy side runs the seed implementations (reference PHY "
             "loop, per-sample RNG registry lookups, seed DES kernel) "
             "preserved in repro.bench.reference; every benchmark asserts "
-            "bit-identical results before reporting a speedup."
+            "bit-identical results before reporting a speedup.  The "
+            "ensemble_batched speedup additionally reports the batched "
+            "kernel vs the fast scalar per-lane loop "
+            "(speedup_vs_fast_scalar)."
         ),
     }
 

@@ -275,8 +275,14 @@ class LegacyNodeShadowing:
         self._state.clear()
 
 
-def build_network(scenario, config, seed: int = 0, replicate: int = 0):
-    """A current-stack Network for one (scenario, configuration) pair."""
+def build_network(
+    scenario, config, seed: int = 0, replicate: int = 0, fault_scenario=None
+):
+    """A current-stack Network for one (scenario, configuration) pair.
+
+    ``fault_scenario`` overrides the scenario's own fault world (the
+    ensemble benchmark races one topology across many explicit worlds).
+    """
     from repro.net.network import Network
 
     return Network(
@@ -292,10 +298,17 @@ def build_network(scenario, config, seed: int = 0, replicate: int = 0):
         body=scenario.body,
         pathloss_params=scenario.pathloss,
         fading_params=scenario.fading,
+        fault_scenario=(
+            fault_scenario
+            if fault_scenario is not None
+            else getattr(scenario, "fault_scenario", None)
+        ),
     )
 
 
-def legacy_network(scenario, config, seed: int = 0, replicate: int = 0):
+def legacy_network(
+    scenario, config, seed: int = 0, replicate: int = 0, fault_scenario=None
+):
     """A Network running the seed hot paths end to end.
 
     Three swaps reconstruct the pre-overhaul stack:
@@ -317,7 +330,10 @@ def legacy_network(scenario, config, seed: int = 0, replicate: int = 0):
     original = network_mod.Simulator
     network_mod.Simulator = LegacySimulator  # type: ignore[misc]
     try:
-        net = build_network(scenario, config, seed=seed, replicate=replicate)
+        net = build_network(
+            scenario, config, seed=seed, replicate=replicate,
+            fault_scenario=fault_scenario,
+        )
     finally:
         network_mod.Simulator = original  # type: ignore[misc]
     net.medium.use_fast_path = False

@@ -1,0 +1,105 @@
+"""Shared raw-draw blocks: the batch kernel's structure-of-arrays RNG.
+
+The scalar simulator draws from per-stream ``numpy.random.Generator``
+objects one value at a time, paying a Generator method call per sample.
+The batched kernel (:mod:`repro.core.batch`) evaluates many *lanes* —
+fault worlds and TX-power variants — of the same ``(seed, replicate)``
+pair, and every lane owns streams with identical names and therefore
+identical seeding: lane i's k-th draw from stream s equals lane j's k-th
+draw bit-for-bit.  A :class:`Block` materializes one stream's raw draw
+sequence once, in vectorized chunks with amortized doubling, and each
+lane indexes into it with a private cursor.
+
+Bit-identity contract: numpy's ``Generator.standard_normal(size=n)``
+consumes the underlying bit stream exactly as n successive scalar
+``standard_normal()`` calls do (the array path repeats the same
+per-value routine), and ``random(size=n)`` likewise; chained block
+extensions therefore continue the same sequence scalar draws would have
+produced.  The scalar consumers draw via ``normal(loc, scale)`` (which
+numpy computes as ``loc + scale * standard_normal()``) and ``uniform()``
+with default bounds (identical to ``random()``), so block values map
+onto the scalar path's draws exactly.  ``tests/test_batch_kernel.py``
+asserts all four equivalences against the installed numpy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.des.rng import RngStreams
+
+#: Raw-draw kinds: standard-normal raws feed the OU fading streams,
+#: uniform raws feed the node-shadowing streams.
+NORMAL = "normal"
+UNIFORM = "uniform"
+
+#: First allocation per stream; doubles on exhaustion.  128 covers a
+#: short lane outright while keeping unused streams cheap.
+_INITIAL_BLOCK = 128
+
+
+class Block:
+    """The materialized raw-draw sequence of one named stream.
+
+    ``values`` holds plain Python floats (via ``ndarray.tolist``) so the
+    consuming arithmetic runs on the exact same objects the scalar path's
+    ``float(...)`` conversions produce.
+    """
+
+    __slots__ = ("_gen", "_kind", "values")
+
+    def __init__(self, gen, kind: str, initial: int = _INITIAL_BLOCK) -> None:
+        if kind not in (NORMAL, UNIFORM):
+            raise ValueError(f"unknown draw kind {kind!r}")
+        self._gen = gen
+        self._kind = kind
+        self.values: list = []
+        self._extend(initial)
+
+    def _extend(self, n: int) -> None:
+        if self._kind == NORMAL:
+            chunk = self._gen.standard_normal(size=n)
+        else:
+            chunk = self._gen.random(size=n)
+        self.values.extend(chunk.tolist())
+
+    def get(self, index: int) -> float:
+        """The stream's ``index``-th raw draw (growing the block to reach
+        it)."""
+        values = self.values
+        while index >= len(values):
+            self._extend(len(values))
+        return values[index]
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+class DrawBlocks:
+    """All blocks of one ``(seed, replicate)``: a lazy dict of streams.
+
+    Stream names and seeding are exactly those of
+    :class:`repro.des.rng.RngStreams` — the generator behind each block
+    *is* an ``RngStreams.stream(name)`` handle, so derivation stays a
+    single source of truth.
+    """
+
+    __slots__ = ("_rng", "_blocks")
+
+    def __init__(self, seed: int, replicate: int) -> None:
+        self._rng = RngStreams(seed=seed, replicate=replicate)
+        self._blocks: Dict[str, Block] = {}
+
+    def block(self, name: str, kind: str) -> Block:
+        """Return (creating on first use) the block for stream ``name``."""
+        block = self._blocks.get(name)
+        if block is None:
+            block = Block(self._rng.stream(name), kind)
+            self._blocks[name] = block
+        return block
+
+    def __repr__(self) -> str:
+        return (
+            f"DrawBlocks(seed={self._rng.seed}, "
+            f"replicate={self._rng.replicate}, streams={len(self._blocks)})"
+        )

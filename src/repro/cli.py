@@ -65,6 +65,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "(shared across experiments; reruns become near-free)",
     )
     parser.add_argument(
+        "--batch",
+        default="auto",
+        choices=("auto", "on", "off"),
+        help="batched-lane kernel dispatch for the simulation oracle: "
+        "auto = batch whenever the kernel supports the configuration "
+        "and at least two lanes share a topology, on = batch every "
+        "supported evaluation, off = always scalar DES; results are "
+        "bit-identical in every mode",
+    )
+    parser.add_argument(
         "--trace-out",
         default=None,
         metavar="PATH",
@@ -321,6 +331,7 @@ def _write_manifest(args, obs) -> None:
         jobs=args.jobs,
         jobs_requested=getattr(args, "jobs_requested", args.jobs),
         cache_dir=args.cache_dir,
+        batch=getattr(args, "batch", "auto"),
         scenario_fingerprint=scenario_fingerprint(scenario),
     )
 
@@ -427,6 +438,7 @@ def _run_command(args, obs) -> int:
         problem = make_problem(
             pdr_min, args.preset, seed=args.seed,
             n_jobs=args.jobs, cache_dir=args.cache_dir,
+            batch_mode=args.batch,
         )
         preset = get_preset(args.preset)
         from repro.core.result_cache import scenario_fingerprint
@@ -466,6 +478,7 @@ def _run_command(args, obs) -> int:
         problem = make_problem(
             pdr_min, args.preset, seed=args.seed,
             n_jobs=args.jobs, cache_dir=args.cache_dir,
+            batch_mode=args.batch,
         )
         scenario = problem.scenario
         if args.hub_stress:
@@ -536,6 +549,7 @@ def _run_command(args, obs) -> int:
             ensemble_size=args.ensemble_size,
             n_jobs=args.jobs,
             cache_dir=args.cache_dir,
+            batch_mode=args.batch,
             obs=obs,
         )
         print(format_robustness(data))
@@ -574,6 +588,7 @@ def _run_command(args, obs) -> int:
         problem = make_problem(
             0.5, args.preset, seed=args.seed,
             n_jobs=args.jobs, cache_dir=args.cache_dir,
+            batch_mode=args.batch,
         )
         preset = get_preset(args.preset)
         explorer = HumanIntranetExplorer(

@@ -29,6 +29,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.batch import batch_unsupported_reason, evaluate_batch
 from repro.core.design_space import Configuration
 from repro.core.parallel import (
     WorkerPool,
@@ -137,6 +138,14 @@ class SimulationOracle:
         self._c_elapsed = self.obs.counter("oracle.elapsed_seconds")
         self._h_wall = self.obs.histogram("oracle.wall_seconds")
         self._c_replayed = self.obs.counter("oracle.journal_replayed")
+        #: Batched-lane dispatch (DESIGN.md §10): ``scenario.batch_mode``
+        #: picks the policy; the counters record how much of the work
+        #: took the batched kernel vs the scalar DES.
+        self.batch_mode = getattr(scenario, "batch_mode", "auto")
+        self._c_batch_calls = self.obs.counter("oracle.batch_calls")
+        self._c_batched = self.obs.counter("oracle.batched_evaluations")
+        self._c_batch_lanes = self.obs.counter("oracle.batched_lanes")
+        self._c_scalar = self.obs.counter("oracle.scalar_evaluations")
         #: Records restored from a run journal, waiting to be adopted on
         #: first request (see :meth:`preload_journal`).
         self._journal_pending: Dict[Tuple, EvaluationRecord] = {}
@@ -235,7 +244,17 @@ class SimulationOracle:
         record = self.lookup(config)
         if record is not None:
             return record
+        if (
+            self.batch_mode == "on"
+            and batch_unsupported_reason(self.scenario, config) is None
+        ):
+            self._run_batched([config])
+            return self._cache[config.key()]
+        return self._evaluate_scalar(config)
 
+    def _evaluate_scalar(self, config: Configuration) -> EvaluationRecord:
+        """Run the scalar replicate protocol for one known-uncached
+        configuration and store the record."""
         start = time.perf_counter()
         map_fn = self._pool.map_ordered if self._pool.parallel else None
         outcome = run_configuration_outcome(
@@ -251,6 +270,7 @@ class SimulationOracle:
             outcome=outcome,
         )
         self._c_elapsed.inc(wall)
+        self._c_scalar.inc()
         self._store(record)
         self._trace_record(record, cached=False)
         return record
@@ -262,11 +282,17 @@ class SimulationOracle:
 
         With ``n_jobs > 1``, uncached configurations are evaluated
         concurrently at configuration grain (each worker runs its full
-        replicate protocol in-process).  Hit accounting, journal insertion
-        order, and results are identical to the serial loop.
+        replicate protocol in-process).  With batching enabled (the
+        default ``batch_mode="auto"``), misses sharing a topology take
+        the batched kernel instead (:mod:`repro.core.batch`) — one pass
+        over all TX variants — and only the rest goes to the pool.  Hit
+        accounting, journal insertion order, and results are identical
+        to the serial loop in every mode.
         """
         configs = list(configs)
-        if not self._pool.parallel or len(configs) < 2:
+        min_lanes = {"off": None, "on": 1, "auto": 2}[self.batch_mode]
+        batching = min_lanes is not None and len(configs) >= min_lanes
+        if not batching and (not self._pool.parallel or len(configs) < 2):
             with self.obs.span("oracle.evaluate_many", n=len(configs)):
                 return [self.evaluate(c) for c in configs]
 
@@ -287,25 +313,102 @@ class SimulationOracle:
                     pending_keys.add(key)
                     pending.append(config)
 
+            if batching and pending:
+                pending = self._dispatch_batched(pending, min_lanes)
             if pending:
-                start = time.perf_counter()
-                results = self._pool.map_ordered(
-                    evaluate_configuration_task,
-                    [(self.scenario, c) for c in pending],
-                )
-                self._c_elapsed.inc(time.perf_counter() - start)
-                for config, (outcome, wall) in zip(pending, results):
-                    record = EvaluationRecord(
-                        config=config,
-                        pdr=outcome.pdr,
-                        power_mw=outcome.worst_power_mw,
-                        nlt_days=outcome.nlt_days,
-                        wall_seconds=wall,
-                        outcome=outcome,
-                    )
-                    self._store(record)
-                    self._trace_record(record, cached=False)
+                self._dispatch_scalar(pending)
             return [self._cache[c.key()] for c in configs]
+
+    # -- batched dispatch (repro.core.batch, DESIGN.md §10) ----------------------
+
+    def _dispatch_batched(
+        self, pending: List[Configuration], min_lanes: int
+    ) -> List[Configuration]:
+        """Route batchable topology groups through the batched kernel;
+        return the configurations left for the scalar path (unsupported
+        surface, or groups below the lane threshold)."""
+        leftovers: List[Configuration] = []
+        groups: Dict[Tuple, List[Configuration]] = {}
+        for config in pending:
+            if batch_unsupported_reason(self.scenario, config) is not None:
+                leftovers.append(config)
+                continue
+            groups.setdefault(
+                (config.placement, config.mac, config.routing), []
+            ).append(config)
+        for group in groups.values():
+            if len(group) < min_lanes:
+                leftovers.extend(group)
+            else:
+                self._run_batched(group)
+        return leftovers
+
+    def _run_batched(self, group: List[Configuration]) -> None:
+        """Evaluate one topology group (TX variants of one placement)
+        through the batched kernel and store a record per configuration.
+
+        The lanes are inseparable inside the single pass, so the batch
+        wall time is split evenly across the records; ``elapsed_seconds``
+        still advances by the true batch wall exactly once.
+        """
+        start = time.perf_counter()
+        outcomes = evaluate_batch(
+            self.scenario, group, [self.scenario.fault_scenario]
+        )
+        wall = time.perf_counter() - start
+        self._c_elapsed.inc(wall)
+        self._c_batch_calls.inc()
+        self._c_batched.inc(len(group))
+        # Lanes = scalar DES runs the batch replaced (one per replicate).
+        self._c_batch_lanes.inc(len(group) * self.scenario.replicates)
+        share = wall / len(group)
+        for ci, config in enumerate(group):
+            outcome = outcomes[(ci, 0)]
+            record = EvaluationRecord(
+                config=config,
+                pdr=outcome.pdr,
+                power_mw=outcome.worst_power_mw,
+                nlt_days=outcome.nlt_days,
+                wall_seconds=share,
+                outcome=outcome,
+            )
+            self._store(record)
+            self._trace_record(record, cached=False)
+        if self.obs.tracing:
+            self.obs.event(
+                "oracle.batch",
+                configs=len(group),
+                worlds=1,
+                lanes=len(group),
+                wall_s=round(wall, 6),
+            )
+
+    def _dispatch_scalar(self, pending: List[Configuration]) -> None:
+        """Evaluate known-uncached configurations on the scalar path —
+        pool fan-out at configuration grain when parallel, the plain
+        serial protocol otherwise."""
+        if not self._pool.parallel or len(pending) < 2:
+            for config in pending:
+                self._evaluate_scalar(config)
+            return
+        start = time.perf_counter()
+        results = self._pool.map_ordered(
+            evaluate_configuration_task,
+            [(self.scenario, c) for c in pending],
+        )
+        self._c_elapsed.inc(time.perf_counter() - start)
+        self._c_scalar.inc(len(pending))
+        for config, (outcome, wall) in zip(pending, results):
+            record = EvaluationRecord(
+                config=config,
+                pdr=outcome.pdr,
+                power_mw=outcome.worst_power_mw,
+                nlt_days=outcome.nlt_days,
+                wall_seconds=wall,
+                outcome=outcome,
+            )
+            self._store(record)
+            self._trace_record(record, cached=False)
 
     def lookup(self, config: Configuration) -> Optional[EvaluationRecord]:
         """Public cache probe (memory, then disk) with full hit
@@ -401,6 +504,11 @@ class SimulationOracle:
                 total_wall / elapsed if elapsed > 0 else 1.0
             ),
             "n_jobs": self.n_jobs,
+            "batch_mode": self.batch_mode,
+            "batch_calls": int(self._c_batch_calls.value),
+            "batched_evaluations": int(self._c_batched.value),
+            "batched_lanes": int(self._c_batch_lanes.value),
+            "scalar_evaluations": int(self._c_scalar.value),
         }
 
     def format_stats(self) -> str:
@@ -454,6 +562,10 @@ class SimulationOracle:
         self._c_disk.reset()
         self._c_elapsed.reset()
         self._c_replayed.reset()
+        self._c_batch_calls.reset()
+        self._c_batched.reset()
+        self._c_batch_lanes.reset()
+        self._c_scalar.reset()
         self._h_wall.reset()
 
     def close(self) -> None:

@@ -76,6 +76,19 @@ class ScenarioParameters:
     #: cannot influence simulation results.
     n_jobs: int = 1
     cache_dir: Optional[str] = None
+    #: Batched-lane dispatch policy for the simulation oracle (also an
+    #: execution knob: the batched kernel is bit-identical to the scalar
+    #: path).  ``"auto"`` batches whenever the kernel supports the
+    #: configuration and at least two lanes share a topology; ``"on"``
+    #: batches every supported evaluation; ``"off"`` never batches.
+    batch_mode: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.batch_mode not in ("auto", "on", "off"):
+            raise ValueError(
+                f"batch_mode must be 'auto', 'on' or 'off', "
+                f"got {self.batch_mode!r}"
+            )
 
     def tx_mode(self, tx_dbm: float) -> TxMode:
         """Resolve a design-space TX level to the radio's operating point."""

@@ -52,7 +52,7 @@ CACHE_SCHEMA_VERSION = 2
 
 #: ScenarioParameters fields that cannot influence simulation results:
 #: they configure *how* the oracle executes, not *what* it simulates.
-EXECUTION_ONLY_FIELDS = frozenset({"n_jobs", "cache_dir"})
+EXECUTION_ONLY_FIELDS = frozenset({"n_jobs", "cache_dir", "batch_mode"})
 
 
 def canonicalize(value):

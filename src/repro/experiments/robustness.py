@@ -88,12 +88,14 @@ def run_robustness_comparison(
     ensemble_size: int = DEFAULT_ENSEMBLE_SIZE,
     n_jobs: int = 1,
     cache_dir: Optional[str] = None,
+    batch_mode: str = "auto",
     obs: Optional[Instrumentation] = None,
 ) -> RobustnessData:
     """E4: nominal vs. robust design under coordinator-hostile faults."""
     p = get_preset(preset)
     problem = make_problem(
-        pdr_min, preset, seed=seed, n_jobs=n_jobs, cache_dir=cache_dir
+        pdr_min, preset, seed=seed, n_jobs=n_jobs, cache_dir=cache_dir,
+        batch_mode=batch_mode,
     )
     scenario = problem.scenario
     ensemble = hub_stress_ensemble(

@@ -75,12 +75,14 @@ def make_scenario(
     seed: int = 0,
     n_jobs: int = 1,
     cache_dir: Optional[str] = None,
+    batch_mode: str = "auto",
 ) -> ScenarioParameters:
     """The Sec. 4.1 scenario under the given measurement preset.
 
-    ``n_jobs`` and ``cache_dir`` are execution knobs threaded through to
-    the simulation oracle (parallel fan-out, persistent result cache);
-    they do not change any simulated result.
+    ``n_jobs``, ``cache_dir``, and ``batch_mode`` are execution knobs
+    threaded through to the simulation oracle (parallel fan-out,
+    persistent result cache, batched-lane kernel dispatch); they do not
+    change any simulated result.
     """
     p = get_preset(preset)
     return ScenarioParameters(
@@ -89,6 +91,7 @@ def make_scenario(
         seed=seed,
         n_jobs=n_jobs,
         cache_dir=cache_dir,
+        batch_mode=batch_mode,
     )
 
 
@@ -112,12 +115,14 @@ def make_problem(
     seed: int = 0,
     n_jobs: int = 1,
     cache_dir: Optional[str] = None,
+    batch_mode: str = "auto",
 ) -> DesignProblem:
     """Assemble the full mapping problem P for one PDR bound."""
     return DesignProblem(
         pdr_min=pdr_min,
         scenario=make_scenario(
-            preset, seed=seed, n_jobs=n_jobs, cache_dir=cache_dir
+            preset, seed=seed, n_jobs=n_jobs, cache_dir=cache_dir,
+            batch_mode=batch_mode,
         ),
         space=make_space(preset),
     )

@@ -32,6 +32,7 @@ import time
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.batch import batch_unsupported_reason, evaluate_batch
 from repro.core.design_space import Configuration
 from repro.core.evaluator import EvaluationRecord, SimulationOracle
 from repro.core.parallel import WorkerPool, evaluate_configuration_task
@@ -277,6 +278,8 @@ class EnsembleOracle:
                         pending.append((ci, oi))
                     else:
                         grid[(ci, oi)] = record
+            if pending and getattr(self.scenario, "batch_mode", "auto") != "off":
+                pending = self._dispatch_batched(configs, pending, grid)
             if pending:
                 start = time.perf_counter()
                 results = self._pool.map_ordered(
@@ -287,6 +290,7 @@ class EnsembleOracle:
                     ],
                 )
                 self._c_elapsed.inc(time.perf_counter() - start)
+                self.obs.counter("oracle.scalar_evaluations").inc(len(pending))
                 for (ci, oi), (outcome, wall) in zip(pending, results):
                     grid[(ci, oi)] = self._oracles[oi].record_outcome(
                         configs[ci], outcome, wall
@@ -316,6 +320,78 @@ class EnsembleOracle:
                         lifetime_degradation=record.lifetime_degradation,
                     )
             return records
+
+    # -- batched dispatch (repro.core.batch, DESIGN.md §10) ----------------------
+
+    def _dispatch_batched(
+        self,
+        configs: List[Configuration],
+        pending: List[Tuple[int, int]],
+        grid: Dict[Tuple[int, int], EvaluationRecord],
+    ) -> List[Tuple[int, int]]:
+        """Evaluate batchable ``(config, fault world)`` cells through the
+        batched kernel; returns the cells left for the pool.
+
+        Configurations sharing a topology *and* missing the same world
+        set merge into one kernel call — their lanes differ only in TX
+        power and fault masks, exactly the sharing the kernel exploits.
+        Each produced outcome is handed to the sub-oracle owning its
+        world via ``record_outcome``, so journal order, persistence, and
+        counters match the pool path cell for cell.
+        """
+        mode = getattr(self.scenario, "batch_mode", "auto")
+        min_lanes = 1 if mode == "on" else 2
+        by_ci: Dict[int, List[int]] = {}
+        for ci, oi in pending:
+            by_ci.setdefault(ci, []).append(oi)
+        merged: Dict[Tuple, List[int]] = {}
+        leftovers: List[Tuple[int, int]] = []
+        for ci, ois in by_ci.items():
+            config = configs[ci]
+            if batch_unsupported_reason(self.scenario, config) is not None:
+                leftovers.extend((ci, oi) for oi in ois)
+                continue
+            key = (
+                config.placement,
+                config.mac,
+                config.routing,
+                tuple(sorted(ois)),
+            )
+            merged.setdefault(key, []).append(ci)
+        for (_placement, _mac, _routing, ois), cis in merged.items():
+            lanes = len(cis) * len(ois)
+            if lanes < min_lanes:
+                leftovers.extend((ci, oi) for ci in cis for oi in ois)
+                continue
+            worlds = [
+                None if oi == 0 else self.ensemble[oi - 1] for oi in ois
+            ]
+            start = time.perf_counter()
+            outcomes = evaluate_batch(
+                self.scenario, [configs[ci] for ci in cis], worlds
+            )
+            wall = time.perf_counter() - start
+            self._c_elapsed.inc(wall)
+            self.obs.counter("oracle.batch_calls").inc()
+            self.obs.counter("oracle.batched_evaluations").inc(lanes)
+            self.obs.counter("oracle.batched_lanes").inc(
+                lanes * self.scenario.replicates
+            )
+            share = wall / lanes
+            for bi, ci in enumerate(cis):
+                for wi, oi in enumerate(ois):
+                    grid[(ci, oi)] = self._oracles[oi].record_outcome(
+                        configs[ci], outcomes[(bi, wi)], share
+                    )
+            if self.obs.tracing:
+                self.obs.event(
+                    "oracle.batch",
+                    configs=len(cis),
+                    worlds=len(ois),
+                    lanes=lanes,
+                    wall_s=round(wall, 6),
+                )
+        return leftovers
 
     # -- telemetry / lifecycle ---------------------------------------------------
 

@@ -70,6 +70,50 @@ def pareto_front(
     return front
 
 
+@dataclass(frozen=True)
+class _AtlasConfig:
+    """Label-only stand-in for :class:`Configuration` on atlas points."""
+
+    text: str
+
+    def label(self) -> str:
+        return self.text
+
+    def key(self):
+        return ("atlas", self.text)
+
+
+@dataclass(frozen=True)
+class AtlasRecord:
+    """A record rebuilt from serialized campaign results (no outcome
+    payload — just the two objectives plus identity), duck-compatible
+    with :class:`EvaluationRecord` for the front sweep."""
+
+    nlt_days: float
+    pdr: float
+    config: _AtlasConfig
+    wearer_id: str = ""
+
+
+def front_from_points(points: Iterable[dict], tol: float = 1e-12) -> List[ParetoPoint]:
+    """Pareto front over plain-dict points (campaign aggregation path).
+
+    Each point needs ``nlt_days``, ``pdr``, and ``label``; ``wearer_id``
+    is carried through so fleet atlases can attribute every front point
+    to the wearer whose design produced it.
+    """
+    records = [
+        AtlasRecord(
+            nlt_days=float(p["nlt_days"]),
+            pdr=float(p["pdr"]),
+            config=_AtlasConfig(str(p["label"])),
+            wearer_id=str(p.get("wearer_id", "")),
+        )
+        for p in points
+    ]
+    return pareto_front(records, tol=tol)
+
+
 def is_on_front(
     record: EvaluationRecord, records: Iterable[EvaluationRecord]
 ) -> bool:

@@ -362,6 +362,45 @@ def _pool_section(events: List[dict], lines: List[str]) -> None:
         )
 
 
+def _campaign_section(events: List[dict], lines: List[str]) -> None:
+    """Fleet campaign activity (``campaign.*`` events, PR 7).
+
+    Traces from single-run commands have no ``campaign.*`` events and
+    skip this section; every field access uses ``.get`` with a default
+    so pre-campaign traces can never KeyError.
+    """
+    starts = [e for e in events if e.get("kind") == "campaign.start"]
+    wearer_done = [e for e in events if e.get("kind") == "campaign.wearer_done"]
+    done = [e for e in events if e.get("kind") == "campaign.done"]
+    if not (starts or wearer_done or done):
+        return
+    lines.append("campaign")
+    for e in starts:
+        lines.append(
+            f"  start: {e.get('name', '?')} [{e.get('campaign', '?')}] "
+            f"preset={e.get('preset', '?')}  "
+            f"wearers={e.get('wearers', 0)}  "
+            f"shards={e.get('shards', 0)}  jobs={e.get('jobs', 0)}"
+        )
+    if wearer_done:
+        by_state: Dict[str, int] = defaultdict(int)
+        for e in wearer_done:
+            by_state[str(e.get("state", "?"))] += 1
+        detail = ", ".join(
+            f"{by_state[s]} {s}" for s in sorted(by_state)
+        )
+        found = sum(1 for e in wearer_done if e.get("found"))
+        lines.append(
+            f"  wearers completed: {len(wearer_done)} ({detail}), "
+            f"{found} feasible"
+        )
+    for e in done:
+        lines.append(
+            f"  done: aggregate {e.get('aggregate_fingerprint', '?')}  "
+            f"feasible {e.get('feasible', 0)}/{e.get('wearers', 0)}"
+        )
+
+
 def _milp_section(events: List[dict], lines: List[str]) -> None:
     solves = [e for e in events if e.get("kind") == "milp.solve"]
     if not solves:
@@ -448,6 +487,7 @@ def summarize(events: List[dict]) -> str:
         _faults_section,
         _oracle_section,
         _pool_section,
+        _campaign_section,
         _milp_section,
         _des_section,
         _span_section,

@@ -1,0 +1,37 @@
+"""Fleet-scale campaign layer: design a Human Intranet per wearer.
+
+The paper optimizes one network for one wearer; this package treats
+"design a network for each of N wearers" as the workload.  A
+:class:`~repro.campaign.spec.CampaignSpec` describes the population
+(per-wearer seeds, reliability bounds, solve/robust knobs) and fingerprints
+it; :mod:`~repro.campaign.shard` deterministically partitions wearers into
+shards; :mod:`~repro.campaign.runner` executes the shards over the
+fault-tolerant :class:`~repro.core.parallel.WorkerPool` with one crash-safe
+:class:`~repro.core.journal.RunJournal` per wearer run under the campaign
+directory; :mod:`~repro.campaign.aggregate` rolls the per-wearer summaries
+up into fleet-level artifacts (per-cohort Pareto atlases, deterministic
+aggregate fingerprint, throughput telemetry); and
+:mod:`~repro.campaign.service` serves submit/status/result/artifact over a
+stdlib-only async HTTP API with the journals as the durable backend, so a
+killed service resumes every in-flight campaign byte-identically.
+
+Both the ``hi-explore campaign``/``serve`` subcommands and programmatic
+callers go through the same :func:`~repro.campaign.runner.run_campaign`
+code path — the CLI is a thin shell over this package.
+"""
+
+from repro.campaign.spec import CampaignSpec, WearerSpec, make_population
+from repro.campaign.shard import shard_assignment, shard_of
+from repro.campaign.runner import CampaignReport, run_campaign
+from repro.campaign.aggregate import build_aggregate
+
+__all__ = [
+    "CampaignSpec",
+    "WearerSpec",
+    "make_population",
+    "shard_assignment",
+    "shard_of",
+    "CampaignReport",
+    "run_campaign",
+    "build_aggregate",
+]

@@ -1,0 +1,427 @@
+"""Stdlib-only async HTTP API over the campaign runtime.
+
+A tiny, dependency-free HTTP/1.1 server hand-rolled on
+:func:`asyncio.start_server` (one request per connection, JSON in/out)
+that turns :func:`repro.campaign.runner.run_campaign` into a service::
+
+    GET  /healthz                       liveness probe
+    POST /campaigns                     submit a CampaignSpec (JSON body);
+                                        202 {"id", "state"} — idempotent:
+                                        resubmitting a known spec returns
+                                        the existing campaign
+    GET  /campaigns                     list known campaigns
+    GET  /campaigns/<id>                status + progress (wearers done /
+                                        total, read from the filesystem —
+                                        the journals are the truth)
+    GET  /campaigns/<id>/result         the aggregate report (409 until done)
+    GET  /campaigns/<id>/artifacts/<n>  raw artifact file (aggregate.json,
+                                        atlas.json, telemetry.json,
+                                        campaign.json)
+
+Campaign ids are spec fingerprints, so submission is naturally
+idempotent and the id is stable across service restarts.
+
+Durability is the whole point: the service holds **no** authoritative
+state.  Every campaign lives in ``<root>/<id>/`` as manifests + per-wearer
+journals + artifacts; on startup :meth:`CampaignService.recover` scans the
+root and re-runs every campaign that has a manifest but no aggregate —
+completed wearers load their summaries, in-flight wearers replay their
+journals (PR 5), so a SIGKILLed service finishes every interrupted
+campaign with byte-identical artifacts.
+
+Campaign execution is CPU-bound and runs on a worker thread
+(``asyncio.to_thread``); inside that thread the fault-tolerant
+:class:`~repro.core.parallel.WorkerPool` fans wearers out across
+processes.  The event loop itself only parses requests and reads files.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import pathlib
+from typing import Dict, Optional, Tuple
+
+from repro.campaign.aggregate import (
+    AGGREGATE_FILENAME,
+    ATLAS_FILENAME,
+    TELEMETRY_FILENAME,
+)
+from repro.campaign.spec import CampaignSpec
+from repro.core.journal import (
+    CAMPAIGN_MANIFEST_FILENAME,
+    SUMMARY_FILENAME,
+    JournalError,
+    load_campaign_manifest,
+)
+
+#: Artifact names the API will serve (everything else 404s: the campaign
+#: directory also holds journals, which are replay state, not artifacts).
+ARTIFACTS = (
+    AGGREGATE_FILENAME,
+    ATLAS_FILENAME,
+    TELEMETRY_FILENAME,
+    CAMPAIGN_MANIFEST_FILENAME,
+)
+
+#: Request-body ceiling (a campaign spec is a few KiB; megabytes = abuse).
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    500: "Internal Server Error",
+}
+
+
+class HttpError(Exception):
+    """Maps straight to an HTTP error response."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class CampaignService:
+    """Campaign orchestration bound to one root directory.
+
+    ``jobs``/``shards``/``cache_dir``/``batch_mode`` are the execution
+    knobs applied to every campaign this service runs; they do not enter
+    any fingerprint, so a service restarted with different parallelism
+    resumes its campaigns to identical artifacts.
+    """
+
+    def __init__(
+        self,
+        root,
+        jobs: int = 1,
+        shards: Optional[int] = None,
+        cache_dir: Optional[str] = None,
+        batch_mode: str = "auto",
+    ) -> None:
+        self.root = pathlib.Path(root)
+        self.jobs = max(1, int(jobs))
+        self.shards = shards
+        self.cache_dir = cache_dir
+        self.batch_mode = batch_mode
+        #: id → "queued" | "running" | "done" | "failed"
+        self._states: Dict[str, str] = {}
+        self._errors: Dict[str, str] = {}
+        self._tasks: Dict[str, asyncio.Task] = {}
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    # -- campaign bookkeeping ----------------------------------------------------
+
+    def campaign_dir(self, campaign_id: str) -> pathlib.Path:
+        if not campaign_id or any(c in campaign_id for c in "/\\."):
+            raise HttpError(400, f"bad campaign id {campaign_id!r}")
+        return self.root / campaign_id
+
+    def known_ids(self):
+        ids = set(self._states)
+        if self.root.exists():
+            for entry in self.root.iterdir():
+                if (entry / CAMPAIGN_MANIFEST_FILENAME).exists():
+                    ids.add(entry.name)
+        return sorted(ids)
+
+    def _progress(self, directory: pathlib.Path) -> Tuple[int, int]:
+        """(done, total) wearer counts straight from the filesystem."""
+        try:
+            manifest = load_campaign_manifest(directory)
+        except JournalError:
+            return (0, 0)
+        total = len(manifest.get("spec", {}).get("wearers", ()))
+        done = len(list(directory.glob(f"shards/*/*/{SUMMARY_FILENAME}")))
+        return (done, total)
+
+    def status(self, campaign_id: str) -> dict:
+        directory = self.campaign_dir(campaign_id)
+        if campaign_id not in self._states and not (
+            directory / CAMPAIGN_MANIFEST_FILENAME
+        ).exists():
+            raise HttpError(404, f"unknown campaign {campaign_id!r}")
+        state = self._states.get(campaign_id)
+        if state is None:
+            # Not tracked in memory: the directory is from a previous
+            # service life.  The artifacts decide.
+            state = (
+                "done"
+                if (directory / AGGREGATE_FILENAME).exists()
+                else "interrupted"
+            )
+        done, total = self._progress(directory)
+        payload = {
+            "id": campaign_id,
+            "state": state,
+            "wearers_done": done,
+            "wearers_total": total,
+        }
+        if campaign_id in self._errors:
+            payload["error"] = self._errors[campaign_id]
+        return payload
+
+    def submit(self, spec: CampaignSpec) -> dict:
+        """Start (or attach to) the campaign for ``spec``."""
+        campaign_id = spec.fingerprint()
+        state = self._states.get(campaign_id)
+        if state in ("queued", "running", "done"):
+            return self.status(campaign_id)
+        directory = self.campaign_dir(campaign_id)
+        if (directory / AGGREGATE_FILENAME).exists():
+            self._states[campaign_id] = "done"
+            return self.status(campaign_id)
+        self._launch(campaign_id, spec)
+        return self.status(campaign_id)
+
+    def _launch(self, campaign_id: str, spec: CampaignSpec) -> None:
+        self._states[campaign_id] = "queued"
+        self._errors.pop(campaign_id, None)
+        self._tasks[campaign_id] = asyncio.get_running_loop().create_task(
+            self._run(campaign_id, spec)
+        )
+
+    async def _run(self, campaign_id: str, spec: CampaignSpec) -> None:
+        from repro.campaign.runner import run_campaign
+
+        self._states[campaign_id] = "running"
+        try:
+            await asyncio.to_thread(
+                run_campaign,
+                spec,
+                self.campaign_dir(campaign_id),
+                shards=self.shards,
+                jobs=self.jobs,
+                cache_dir=self.cache_dir,
+                batch_mode=self.batch_mode,
+            )
+        except Exception as exc:  # surfaced via GET status, not lost
+            self._states[campaign_id] = "failed"
+            self._errors[campaign_id] = f"{type(exc).__name__}: {exc}"
+        else:
+            self._states[campaign_id] = "done"
+
+    def recover(self) -> int:
+        """Resume every interrupted campaign found under the root.
+
+        Called at service start; each resumed campaign finishes through
+        the journal-replay path to byte-identical artifacts.  Returns the
+        number of campaigns resumed.
+        """
+        resumed = 0
+        if not self.root.exists():
+            return 0
+        for entry in sorted(self.root.iterdir()):
+            if not (entry / CAMPAIGN_MANIFEST_FILENAME).exists():
+                continue
+            if (entry / AGGREGATE_FILENAME).exists():
+                self._states.setdefault(entry.name, "done")
+                continue
+            try:
+                manifest = load_campaign_manifest(entry)
+                spec = CampaignSpec.from_dict(manifest["spec"])
+            except (JournalError, KeyError, ValueError) as exc:
+                self._states[entry.name] = "failed"
+                self._errors[entry.name] = f"unrecoverable manifest: {exc}"
+                continue
+            self._launch(entry.name, spec)
+            resumed += 1
+        return resumed
+
+    # -- HTTP layer --------------------------------------------------------------
+
+    async def start(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> Tuple[asyncio.base_events.Server, int]:
+        """Bind, recover interrupted campaigns, and begin serving.
+        Returns ``(server, bound_port)`` — pass ``port=0`` for an
+        ephemeral port (the test suite's socket-flakiness guard)."""
+        self.recover()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host, port
+        )
+        bound = self._server.sockets[0].getsockname()[1]
+        return self._server, bound
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def join(self) -> None:
+        """Wait for every launched campaign task to settle (test helper)."""
+        tasks = [t for t in self._tasks.values() if not t.done()]
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, path, body = await self._read_request(reader)
+                status, payload = self._route(method, path, body)
+            except HttpError as exc:
+                status, payload = exc.status, {"error": exc.message}
+            except Exception as exc:  # never let a request kill the server
+                status, payload = 500, {
+                    "error": f"{type(exc).__name__}: {exc}"
+                }
+            await self._respond(writer, status, payload)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[str, str, bytes]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        parts = request_line.split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise HttpError(400, f"malformed request line {request_line!r}")
+        method, path = parts[0].upper(), parts[1]
+        content_length = 0
+        while True:
+            line = (await reader.readline()).decode("latin-1")
+            if line in ("\r\n", "\n", ""):
+                break
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    raise HttpError(400, "bad Content-Length") from None
+        if content_length > MAX_BODY_BYTES:
+            raise HttpError(400, "request body too large")
+        body = (
+            await reader.readexactly(content_length)
+            if content_length
+            else b""
+        )
+        return method, path, body
+
+    async def _respond(
+        self, writer: asyncio.StreamWriter, status: int, payload: dict
+    ) -> None:
+        body = (
+            json.dumps(payload, sort_keys=True, indent=1) + "\n"
+        ).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Status')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    def _route(self, method: str, path: str, body: bytes) -> Tuple[int, dict]:
+        path = path.split("?", 1)[0]
+        segments = [s for s in path.split("/") if s]
+        if segments == ["healthz"]:
+            if method != "GET":
+                raise HttpError(405, "healthz is GET-only")
+            return 200, {"ok": True, "campaigns": len(self.known_ids())}
+        if not segments or segments[0] != "campaigns":
+            raise HttpError(404, f"no route for {path!r}")
+        if len(segments) == 1:
+            if method == "POST":
+                return self._post_campaign(body)
+            if method == "GET":
+                return 200, {
+                    "campaigns": [self.status(cid) for cid in self.known_ids()]
+                }
+            raise HttpError(405, f"{method} not allowed on /campaigns")
+        if method != "GET":
+            raise HttpError(405, f"{method} not allowed on {path!r}")
+        campaign_id = segments[1]
+        if len(segments) == 2:
+            return 200, self.status(campaign_id)
+        if len(segments) == 3 and segments[2] == "result":
+            return self._get_result(campaign_id)
+        if len(segments) == 4 and segments[2] == "artifacts":
+            return self._get_artifact(campaign_id, segments[3])
+        raise HttpError(404, f"no route for {path!r}")
+
+    def _post_campaign(self, body: bytes) -> Tuple[int, dict]:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise HttpError(400, f"body is not valid JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise HttpError(400, "body must be a JSON object")
+        try:
+            spec = CampaignSpec.from_dict(payload.get("spec", payload))
+        except ValueError as exc:
+            raise HttpError(400, f"bad campaign spec: {exc}") from None
+        status = self.submit(spec)
+        return (200 if status["state"] == "done" else 202), status
+
+    def _get_result(self, campaign_id: str) -> Tuple[int, dict]:
+        status = self.status(campaign_id)
+        path = self.campaign_dir(campaign_id) / AGGREGATE_FILENAME
+        if not path.exists():
+            raise HttpError(
+                409,
+                f"campaign {campaign_id!r} is {status['state']} "
+                f"({status['wearers_done']}/{status['wearers_total']} "
+                "wearers done); no aggregate yet",
+            )
+        with open(path, "r", encoding="utf-8") as fh:
+            return 200, json.load(fh)
+
+    def _get_artifact(
+        self, campaign_id: str, name: str
+    ) -> Tuple[int, dict]:
+        self.status(campaign_id)  # 404 on unknown campaigns
+        if name not in ARTIFACTS:
+            raise HttpError(
+                404, f"unknown artifact {name!r} (have {list(ARTIFACTS)})"
+            )
+        path = self.campaign_dir(campaign_id) / name
+        if not path.exists():
+            raise HttpError(409, f"artifact {name!r} not written yet")
+        with open(path, "r", encoding="utf-8") as fh:
+            return 200, json.load(fh)
+
+
+async def _serve(service: CampaignService, host: str, port: int) -> None:
+    server, bound = await service.start(host=host, port=port)
+    print(
+        f"hi-explore serve: campaigns root {service.root} on "
+        f"http://{host}:{bound} (jobs={service.jobs})",
+        flush=True,
+    )
+    async with server:
+        await server.serve_forever()
+
+
+def serve_forever(
+    root,
+    host: str = "127.0.0.1",
+    port: int = 8732,
+    jobs: int = 1,
+    shards: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    batch_mode: str = "auto",
+) -> int:
+    """Blocking entry point for ``hi-explore serve``."""
+    service = CampaignService(
+        root, jobs=jobs, shards=shards, cache_dir=cache_dir,
+        batch_mode=batch_mode,
+    )
+    try:
+        asyncio.run(_serve(service, host, port))
+    except KeyboardInterrupt:
+        print("hi-explore serve: interrupted, shutting down", flush=True)
+    return 0

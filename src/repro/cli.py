@@ -12,6 +12,13 @@ Subcommands mirror the experiment harnesses::
     hi-explore robustness [--preset ci]             # E4: nominal vs robust
     hi-explore table1                               # Table 1
     hi-explore space                                # design-space summary
+    hi-explore campaign --wearers 8 --out DIR       # fleet campaign
+    hi-explore serve --root DIR                     # campaign HTTP service
+
+Every subcommand accepts the same runtime flags (``--jobs``,
+``--cache-dir``, ``--batch``, ``--trace-out``, ``--metrics-out``), wired
+once by :func:`add_runtime_flags`; the campaign subcommands are thin
+shells over the shared :mod:`repro.campaign` package.
 """
 
 from __future__ import annotations
@@ -41,14 +48,13 @@ def _positive_jobs(text: str) -> int:
     return value
 
 
-def _add_common(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--preset",
-        default="ci",
-        choices=("paper", "ci", "smoke"),
-        help="measurement protocol (paper = Tsim 600 s x 3 runs)",
-    )
-    parser.add_argument("--seed", type=int, default=0, help="root random seed")
+def add_runtime_flags(parser: argparse.ArgumentParser) -> None:
+    """Execution/observability flags shared by *every* subcommand.
+
+    These knobs configure how a run executes and what it records — they
+    never change a computed result — so they are wired once here instead
+    of being duplicated per subparser (each copy used to drift).
+    """
     parser.add_argument(
         "--jobs",
         type=_positive_jobs,
@@ -89,6 +95,17 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="write the run's metrics registry (counters/histograms) "
         "as JSON on exit",
     )
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--preset",
+        default="ci",
+        choices=("paper", "ci", "smoke"),
+        help="measurement protocol (paper = Tsim 600 s x 3 runs)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root random seed")
+    add_runtime_flags(parser)
 
 
 def _add_journal_flags(parser: argparse.ArgumentParser) -> None:
@@ -198,7 +215,10 @@ def build_parser() -> argparse.ArgumentParser:
     ann.add_argument("--sa-steps", type=int, default=150, help="SA step budget")
     _add_common(ann)
 
-    sub.add_parser("table1", help="print Table 1 (CC2650 specifications)")
+    table1 = sub.add_parser(
+        "table1", help="print Table 1 (CC2650 specifications)"
+    )
+    add_runtime_flags(table1)
 
     dual = sub.add_parser(
         "dual", help="maximize reliability under a lifetime bound"
@@ -275,6 +295,125 @@ def build_parser() -> argparse.ArgumentParser:
         default=50_000,
         help="timer-churn workload size for the DES kernel benchmark",
     )
+    add_runtime_flags(bench)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="run a fleet campaign: one journaled design run per wearer, "
+        "sharded over the worker pool, aggregated into per-cohort "
+        "Pareto atlases",
+    )
+    campaign.add_argument(
+        "--wearers",
+        type=int,
+        default=4,
+        help="population size when no --spec file is given",
+    )
+    campaign.add_argument(
+        "--pdr-min",
+        type=float,
+        action="append",
+        default=None,
+        metavar="BOUND",
+        help="reliability bound in percent; repeat to split the "
+        "population into one cohort per bound (default: 90)",
+    )
+    campaign.add_argument(
+        "--mode",
+        default="solve",
+        choices=("solve", "robust"),
+        help="per-wearer accept test: nominal Algorithm 1 or the "
+        "chance-constrained robust variant",
+    )
+    campaign.add_argument(
+        "--name", default="fleet", help="campaign name (reporting only)"
+    )
+    campaign.add_argument(
+        "--spec",
+        default=None,
+        metavar="PATH",
+        help="JSON CampaignSpec file; overrides the population flags",
+    )
+    campaign.add_argument(
+        "--shards",
+        type=_positive_jobs,
+        default=None,
+        help="shard count pinning the campaign directory layout "
+        "(default: --jobs); a resumed campaign keeps its original "
+        "shard count regardless",
+    )
+    campaign.add_argument(
+        "--quantile",
+        type=float,
+        default=0.0,
+        help="robust mode: chance-constraint quantile",
+    )
+    campaign.add_argument(
+        "--ensemble-size",
+        type=int,
+        default=2,
+        help="robust mode: fault scenarios per wearer ensemble",
+    )
+    campaign.add_argument(
+        "--hub-stress",
+        action="store_true",
+        help="robust mode: deterministic coordinator-outage ensemble "
+        "instead of sampled mixed faults",
+    )
+    campaign.add_argument(
+        "--outage-fraction",
+        type=float,
+        default=0.2,
+        help="robust mode: hub-stress outage fraction of the horizon",
+    )
+    campaign.add_argument(
+        "--correlated-links",
+        action="store_true",
+        help="robust mode: correlated torso-crossing link blackouts in "
+        "the sampled ensemble",
+    )
+    campaign_dir = campaign.add_mutually_exclusive_group()
+    campaign_dir.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="fresh campaign directory: per-wearer crash-safe journals "
+        "under shards/, deterministic aggregate.json/atlas.json at the "
+        "root; continue a killed campaign with --resume DIR",
+    )
+    campaign_dir.add_argument(
+        "--resume",
+        default=None,
+        metavar="DIR",
+        help="resume the campaign in DIR: completed wearers load their "
+        "summaries, in-flight wearers replay their journals, and the "
+        "final aggregate is byte-identical to an uninterrupted run",
+    )
+    _add_common(campaign)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve campaigns over an async HTTP API "
+        "(submit/status/result/artifacts) with journals as the "
+        "durable backend; a killed service resumes every in-flight "
+        "campaign on restart",
+    )
+    serve.add_argument(
+        "--root",
+        required=True,
+        metavar="DIR",
+        help="directory holding one campaign directory per submitted "
+        "campaign (scanned for interrupted campaigns at startup)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8732)
+    serve.add_argument(
+        "--shards",
+        type=_positive_jobs,
+        default=None,
+        help="shard count per campaign (default: --jobs)",
+    )
+    add_runtime_flags(serve)
 
     return parser
 
@@ -317,34 +456,36 @@ def _resolve_jobs(args) -> None:
 
 
 def _write_manifest(args, obs) -> None:
-    """First trace line: everything needed to reproduce the run."""
+    """First trace line: everything needed to reproduce the run.
+
+    Field order is stable for the scenario-bound subcommands (the golden
+    traces pin it); subcommands without a preset/seed (``table1``,
+    ``serve``) simply omit the fields that do not apply.
+    """
     if not obs.tracing:
         return
-    from repro.core.result_cache import scenario_fingerprint
-    from repro.experiments.scenario import make_scenario
+    fields = {"command": args.command}
+    if hasattr(args, "preset"):
+        fields["preset"] = args.preset
+    if hasattr(args, "seed"):
+        fields["seed"] = args.seed
+    jobs = getattr(args, "jobs", None)
+    fields["jobs"] = jobs
+    fields["jobs_requested"] = getattr(args, "jobs_requested", jobs)
+    fields["cache_dir"] = getattr(args, "cache_dir", None)
+    fields["batch"] = getattr(args, "batch", "auto")
+    if hasattr(args, "preset") and hasattr(args, "seed"):
+        from repro.core.result_cache import scenario_fingerprint
+        from repro.experiments.scenario import make_scenario
 
-    scenario = make_scenario(args.preset, seed=args.seed)
-    obs.manifest(
-        command=args.command,
-        preset=args.preset,
-        seed=args.seed,
-        jobs=args.jobs,
-        jobs_requested=getattr(args, "jobs_requested", args.jobs),
-        cache_dir=args.cache_dir,
-        batch=getattr(args, "batch", "auto"),
-        scenario_fingerprint=scenario_fingerprint(scenario),
-    )
+        scenario = make_scenario(args.preset, seed=args.seed)
+        fields["scenario_fingerprint"] = scenario_fingerprint(scenario)
+    obs.manifest(**fields)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     _resolve_jobs(args)
-
-    if args.command == "table1":
-        from repro.experiments.table1 import format_table1
-
-        print(format_table1())
-        return 0
 
     from repro.obs import runtime as obs_runtime
 
@@ -403,7 +544,94 @@ def _finish_journal(journal, result) -> None:
     print(f"run summary: {path}")
 
 
+def _build_campaign_spec(args):
+    """The population from --spec (a JSON file) or the population flags."""
+    from repro.campaign.spec import CampaignSpec, make_population
+
+    if args.spec:
+        return CampaignSpec.load(args.spec)
+    bounds = args.pdr_min if args.pdr_min else [90.0]
+    return make_population(
+        args.wearers,
+        preset=args.preset,
+        base_seed=args.seed,
+        pdr_bounds=bounds,
+        mode=args.mode,
+        name=args.name,
+        quantile=args.quantile,
+        ensemble_size=args.ensemble_size,
+        hub_stress=args.hub_stress,
+        outage_fraction=args.outage_fraction,
+        correlated_links=args.correlated_links,
+    )
+
+
+def _run_campaign_command(args, obs) -> int:
+    import pathlib
+
+    from repro.campaign.aggregate import format_aggregate
+    from repro.campaign.runner import run_campaign
+    from repro.core.journal import CAMPAIGN_MANIFEST_FILENAME, JournalError
+
+    directory = args.out or args.resume
+    if directory is None:
+        raise JournalError(
+            "campaign needs a directory: --out DIR for a fresh campaign "
+            "or --resume DIR to continue a killed one"
+        )
+    manifest_path = pathlib.Path(directory) / CAMPAIGN_MANIFEST_FILENAME
+    if args.out is not None and manifest_path.exists():
+        raise JournalError(
+            f"{manifest_path} already exists; use --resume to continue "
+            "that campaign (or point --out at a fresh directory)"
+        )
+    if args.resume is not None and not manifest_path.exists():
+        raise JournalError(f"no campaign to resume at {manifest_path}")
+
+    spec = _build_campaign_spec(args)
+    report = run_campaign(
+        spec,
+        directory,
+        shards=args.shards,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        batch_mode=args.batch,
+    )
+    print(format_aggregate(report.aggregate))
+    telemetry = report.telemetry
+    print(
+        f"  throughput: {telemetry['wearers_per_minute'] or 0.0:.1f} wearers/min "
+        f"over {telemetry['shards']} shard(s), jobs={telemetry['jobs']}, "
+        f"{telemetry['resumed_wearers']} resumed"
+    )
+    print(f"campaign aggregate: {report.aggregate_path}")
+    print(f"campaign atlas:     {report.atlas_path}")
+    return 0
+
+
 def _run_command(args, obs) -> int:
+    if args.command == "table1":
+        from repro.experiments.table1 import format_table1
+
+        print(format_table1())
+        return 0
+
+    if args.command == "campaign":
+        return _run_campaign_command(args, obs)
+
+    if args.command == "serve":
+        from repro.campaign.service import serve_forever
+
+        return serve_forever(
+            args.root,
+            host=args.host,
+            port=args.port,
+            jobs=args.jobs or 1,
+            shards=args.shards,
+            cache_dir=args.cache_dir,
+            batch_mode=args.batch,
+        )
+
     if args.command == "bench":
         from repro.bench import run_hotpath_benchmarks, write_report
 

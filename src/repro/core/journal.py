@@ -54,6 +54,14 @@ JOURNAL_FILENAME = "journal.jsonl"
 #: File name of the deterministic run summary written next to the journal.
 SUMMARY_FILENAME = "summary.json"
 
+#: Campaign-directory layout (see DESIGN.md §11): the campaign manifest
+#: pins the spec + fingerprint, each shard directory carries its own
+#: manifest linking back to the campaign fingerprint, and every wearer
+#: run inside a shard is an ordinary journaled run directory.
+CAMPAIGN_MANIFEST_FILENAME = "campaign.json"
+SHARD_MANIFEST_FILENAME = "shard.json"
+SHARDS_DIRNAME = "shards"
+
 #: ``oracle_stats`` keys that are deterministic across interrupted/resumed
 #: and uninterrupted runs of the same campaign (wall-clock-derived keys are
 #: not, and are stripped from the summary projection).
@@ -156,6 +164,150 @@ def write_summary(directory, payload: dict) -> pathlib.Path:
         os.fsync(fh.fileno())
     os.replace(tmp, path)
     return path
+
+
+# -- multi-shard campaign manifests ----------------------------------------------
+#
+# A campaign directory holds many journaled runs (one per wearer) spread
+# over shard subdirectories.  The linkage is CRC-checked JSON manifests:
+# ``campaign.json`` at the root pins the campaign spec and fingerprint,
+# and each ``shards/shard-NN/shard.json`` pins the same fingerprint plus
+# its wearer list.  ``load_campaign_shards`` re-validates the whole chain
+# on resume, so a campaign directory can never silently mix trajectories
+# from two different specs (the per-run analogue is the RunJournal
+# manifest check above).
+
+
+def _write_checked_json(path: pathlib.Path, payload: dict) -> pathlib.Path:
+    """Atomically write ``{"crc": ..., "manifest": payload}``."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(
+            {"crc": _crc(payload), "manifest": payload},
+            fh,
+            indent=1,
+            sort_keys=True,
+        )
+        fh.write("\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    return path
+
+
+def _load_checked_json(path: pathlib.Path, what: str) -> dict:
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise JournalError(f"no {what} at {path}")
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            wrapper = json.load(fh)
+    except ValueError as exc:
+        raise JournalError(f"unreadable {what} at {path}: {exc}") from None
+    manifest = wrapper.get("manifest") if isinstance(wrapper, dict) else None
+    if not isinstance(manifest, dict) or wrapper.get("crc") != _crc(manifest):
+        raise JournalError(f"corrupt {what} at {path} (CRC mismatch)")
+    return manifest
+
+
+def shard_directory(campaign_dir, index: int) -> pathlib.Path:
+    return pathlib.Path(campaign_dir) / SHARDS_DIRNAME / f"shard-{index:02d}"
+
+
+def write_campaign_manifest(
+    campaign_dir, spec_dict: dict, fingerprint: str, shards: int
+) -> pathlib.Path:
+    payload = {
+        "kind": "campaign_manifest",
+        "version": JOURNAL_VERSION,
+        "fingerprint": fingerprint,
+        "shards": int(shards),
+        "spec": spec_dict,
+    }
+    return _write_checked_json(
+        pathlib.Path(campaign_dir) / CAMPAIGN_MANIFEST_FILENAME, payload
+    )
+
+
+def load_campaign_manifest(campaign_dir) -> dict:
+    manifest = _load_checked_json(
+        pathlib.Path(campaign_dir) / CAMPAIGN_MANIFEST_FILENAME,
+        "campaign manifest",
+    )
+    if manifest.get("kind") != "campaign_manifest":
+        raise JournalError(
+            f"{campaign_dir}: campaign.json is not a campaign manifest"
+        )
+    if manifest.get("version") != JOURNAL_VERSION:
+        raise JournalError(
+            f"campaign manifest version {manifest.get('version')} in "
+            f"{campaign_dir} is not version {JOURNAL_VERSION}"
+        )
+    return manifest
+
+
+def write_shard_manifest(
+    campaign_dir, index: int, fingerprint: str, wearer_ids: List[str]
+) -> pathlib.Path:
+    payload = {
+        "kind": "shard_manifest",
+        "version": JOURNAL_VERSION,
+        "fingerprint": fingerprint,
+        "index": int(index),
+        "wearers": list(wearer_ids),
+    }
+    return _write_checked_json(
+        shard_directory(campaign_dir, index) / SHARD_MANIFEST_FILENAME, payload
+    )
+
+
+def load_campaign_shards(campaign_dir) -> List[dict]:
+    """Load and cross-validate every shard manifest of a campaign.
+
+    Each shard must carry the campaign manifest's fingerprint and its
+    directory's own index; any mismatch means the directory holds pieces
+    of different campaigns and raises :class:`JournalError` instead of
+    letting an aggregate silently fuse them.  Returns the shard manifests
+    sorted by index.
+    """
+    campaign_dir = pathlib.Path(campaign_dir)
+    campaign = load_campaign_manifest(campaign_dir)
+    fingerprint = campaign.get("fingerprint")
+    shards_root = campaign_dir / SHARDS_DIRNAME
+    manifests: List[dict] = []
+    if shards_root.exists():
+        for entry in sorted(shards_root.iterdir()):
+            if not entry.is_dir():
+                continue
+            manifest = _load_checked_json(
+                entry / SHARD_MANIFEST_FILENAME, "shard manifest"
+            )
+            if manifest.get("fingerprint") != fingerprint:
+                raise JournalError(
+                    f"shard manifest {entry / SHARD_MANIFEST_FILENAME} "
+                    f"belongs to campaign {manifest.get('fingerprint')!r}, "
+                    f"not {fingerprint!r} — refusing to mix campaigns"
+                )
+            expected = f"shard-{manifest.get('index'):02d}"
+            if entry.name != expected:
+                raise JournalError(
+                    f"shard directory {entry} holds manifest index "
+                    f"{manifest.get('index')!r}"
+                )
+            manifests.append(manifest)
+    manifests.sort(key=lambda m: m["index"])
+    seen: set = set()
+    for manifest in manifests:
+        for wearer in manifest.get("wearers", ()):
+            if wearer in seen:
+                raise JournalError(
+                    f"wearer {wearer!r} appears in two shard manifests "
+                    f"under {campaign_dir}"
+                )
+            seen.add(wearer)
+    return manifests
 
 
 class RunJournal:

@@ -210,16 +210,34 @@ class WorkerPool:
     def degraded(self) -> bool:
         return self._degraded
 
-    def map_ordered(self, fn: Callable, tasks: Sequence) -> List:
+    def map_ordered(
+        self,
+        fn: Callable,
+        tasks: Sequence,
+        on_result: Optional[Callable] = None,
+    ) -> List:
         """Apply ``fn`` to each task, returning results in task order.
 
         Results are bit-identical to ``[fn(t) for t in tasks]`` no matter
         how many workers crash, hang, or get quarantined along the way.
+
+        ``on_result(index, result)``, when given, is invoked in the
+        *parent* as each task completes (completion order, not task
+        order) — a progress hook for long campaigns.  It only observes:
+        results are collected and returned identically with or without
+        it, and a callback that raises propagates rather than being
+        swallowed (a broken progress consumer should be loud).
         """
         tasks = list(tasks)
         if not self.parallel or len(tasks) <= 1:
-            return [fn(task) for task in tasks]
-        return self._map_resilient(fn, tasks)
+            results = []
+            for index, task in enumerate(tasks):
+                result = fn(task)
+                results.append(result)
+                if on_result is not None:
+                    on_result(index, result)
+            return results
+        return self._map_resilient(fn, tasks, on_result)
 
     # -- resilient parallel execution --------------------------------------------
 
@@ -263,12 +281,22 @@ class WorkerPool:
         )
         _observe("pool.degraded", reason=reason, n_jobs=self.n_jobs)
 
-    def _map_resilient(self, fn: Callable, tasks: List) -> List:
+    def _map_resilient(
+        self,
+        fn: Callable,
+        tasks: List,
+        on_result: Optional[Callable] = None,
+    ) -> List:
         results: List = [None] * len(tasks)
         pending = set(range(len(tasks)))
         strikes = [0] * len(tasks)
         respawns_this_call = 0
         round_index = 0
+
+        def _done(i: int) -> None:
+            pending.discard(i)
+            if on_result is not None:
+                on_result(i, results[i])
 
         while pending:
             # Quarantine poison suspects: run them here in the parent,
@@ -284,12 +312,13 @@ class WorkerPool:
                         strikes=strikes[i],
                     )
                     results[i] = fn(tasks[i])
-                    pending.discard(i)
+                    _done(i)
             if not pending:
                 break
             if self._degraded:
                 for i in sorted(pending):
                     results[i] = fn(tasks[i])
+                    _done(i)
                 return results
 
             executor = self._ensure_executor()
@@ -312,7 +341,7 @@ class WorkerPool:
                     results[i] = futures[i].result(
                         timeout=self.task_timeout_s
                     )
-                    pending.discard(i)
+                    _done(i)
                 except FutureTimeout:
                     hung = i
                     failed.append(i)
@@ -329,7 +358,7 @@ class WorkerPool:
                         if fut.done():
                             try:
                                 results[j] = fut.result(timeout=0)
-                                pending.discard(j)
+                                _done(j)
                             except Exception:
                                 failed.append(j)
 

@@ -1,0 +1,149 @@
+"""Kill/resume chaos test for fleet campaigns.
+
+The campaign-level extension of the chaos smoke: a real ``hi-explore
+campaign`` subprocess is SIGKILLed mid-shard (whole process group, so
+pool workers die too), resumed with ``--resume``, and the final
+``aggregate.json``/``atlas.json`` must be byte-identical to an
+uninterrupted golden run of the same spec.
+
+The kill point is placed inside the golden run's measured wall window so
+it reliably lands while wearer journals are being written; if a fast
+machine finishes the victim before the kill, the test degrades to a
+pure-replay check (still asserting byte identity), mirroring
+``scripts/chaos_smoke.py``.
+"""
+
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+ARGV = [
+    "campaign", "--wearers", "4", "--preset", "smoke",
+    "--pdr-min", "90", "--pdr-min", "95", "--jobs", "2", "--shards", "2",
+]
+
+
+def _child_env():
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src
+    )
+    return env
+
+
+def _cli(extra):
+    return [sys.executable, "-m", "repro.cli"] + ARGV + extra
+
+
+class TestCampaignKillResume:
+    def test_sigkilled_campaign_resumes_byte_identical(self, tmp_path):
+        golden_dir = tmp_path / "golden"
+        victim_dir = tmp_path / "victim"
+
+        start = time.monotonic()
+        subprocess.run(
+            _cli(["--out", str(golden_dir)]),
+            env=_child_env(),
+            check=True,
+            stdout=subprocess.DEVNULL,
+        )
+        wall = time.monotonic() - start
+        golden = (golden_dir / "aggregate.json").read_bytes()
+        golden_atlas = (golden_dir / "atlas.json").read_bytes()
+
+        victim = subprocess.Popen(
+            _cli(["--out", str(victim_dir)]),
+            env=_child_env(),
+            stdout=subprocess.DEVNULL,
+            start_new_session=True,  # kill must also take pool workers
+        )
+        # arm the kill only after the campaign manifest lands — before
+        # that there is nothing to resume — then strike mid-shard
+        deadline = time.monotonic() + 60.0
+        while (
+            victim.poll() is None
+            and not (victim_dir / "campaign.json").exists()
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.01)
+        try:
+            victim.wait(timeout=max(0.05, 0.3 * wall))
+        except subprocess.TimeoutExpired:
+            pass
+        if victim.poll() is None:
+            os.killpg(victim.pid, signal.SIGKILL)
+            victim.wait()
+            assert victim.returncode != 0
+        # if the kill landed during artifact writing, drop the artifacts
+        # so the diff below proves the resume rewrote them
+        for name in ("aggregate.json", "atlas.json", "telemetry.json"):
+            path = victim_dir / name
+            if path.exists():
+                path.unlink()
+
+        proc = subprocess.run(
+            _cli(["--resume", str(victim_dir)]),
+            env=_child_env(),
+            stdout=subprocess.DEVNULL,
+        )
+        assert proc.returncode == 0
+
+        assert (victim_dir / "aggregate.json").read_bytes() == golden
+        assert (victim_dir / "atlas.json").read_bytes() == golden_atlas
+
+    def test_resume_under_different_worker_count(self, tmp_path):
+        """A campaign killed under --jobs 2 finishes under --jobs 1: the
+        shard count pinned at creation keeps every journal findable."""
+        golden_dir = tmp_path / "golden"
+        victim_dir = tmp_path / "victim"
+        subprocess.run(
+            _cli(["--out", str(golden_dir)]),
+            env=_child_env(),
+            check=True,
+            stdout=subprocess.DEVNULL,
+        )
+        golden = (golden_dir / "aggregate.json").read_bytes()
+
+        victim = subprocess.Popen(
+            _cli(["--out", str(victim_dir)]),
+            env=_child_env(),
+            stdout=subprocess.DEVNULL,
+            start_new_session=True,
+        )
+        # kill as soon as the campaign manifest lands (mid-shard, past
+        # interpreter startup); fall through if the run beats us to done
+        deadline = time.monotonic() + 60.0
+        while (
+            victim.poll() is None
+            and not (victim_dir / "campaign.json").exists()
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.01)
+        if victim.poll() is None:
+            os.killpg(victim.pid, signal.SIGKILL)
+            victim.wait()
+        for name in ("aggregate.json", "atlas.json", "telemetry.json"):
+            path = victim_dir / name
+            if path.exists():
+                path.unlink()
+
+        resume_argv = [
+            sys.executable, "-m", "repro.cli", "campaign",
+            "--wearers", "4", "--preset", "smoke",
+            "--pdr-min", "90", "--pdr-min", "95",
+            "--jobs", "1",  # different parallelism than the killed run
+            "--resume", str(victim_dir),
+        ]
+        proc = subprocess.run(
+            resume_argv, env=_child_env(), stdout=subprocess.DEVNULL
+        )
+        assert proc.returncode == 0
+        assert (victim_dir / "aggregate.json").read_bytes() == golden

@@ -1,0 +1,280 @@
+"""In-process tests for the campaign HTTP service.
+
+The service binds an ephemeral loopback port (``port=0``) so the suite
+never collides with a real deployment or a parallel test run, and every
+campaign uses the smoke preset with pinned seeds so results — and the
+aggregate fingerprints the assertions pin — are deterministic.
+
+The HTTP client here is hand-rolled on asyncio streams: the tests speak
+the same stdlib-only wire format the service implements, with no test
+dependencies beyond pytest.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.campaign.runner import run_campaign
+from repro.campaign.service import CampaignService
+from repro.campaign.spec import make_population
+from repro.core.journal import write_campaign_manifest
+
+
+async def _request(port, method, path, payload=None):
+    """One HTTP exchange against loopback; returns (status, json_body)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        body = b"" if payload is None else json.dumps(payload).encode()
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            "Host: test\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode()
+        writer.write(head + body)
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    head_blob, _, body_blob = raw.partition(b"\r\n\r\n")
+    status = int(head_blob.split()[1])
+    return status, json.loads(body_blob.decode("utf-8"))
+
+
+async def _poll_until(port, campaign_id, states, attempts=600):
+    for _ in range(attempts):
+        status, payload = await _request(
+            port, "GET", f"/campaigns/{campaign_id}"
+        )
+        assert status == 200
+        if payload["state"] in states:
+            return payload
+        await asyncio.sleep(0.05)
+    raise AssertionError(f"campaign never reached {states}: {payload}")
+
+
+def _spec(size=6, base_seed=40, name="svc"):
+    return make_population(
+        size, preset="smoke", base_seed=base_seed, pdr_bounds=(90, 95),
+        name=name,
+    )
+
+
+class TestServiceApi:
+    def test_submit_poll_result_artifacts(self, tmp_path):
+        async def scenario():
+            service = CampaignService(tmp_path, jobs=1)
+            _, port = await service.start("127.0.0.1", 0)
+            try:
+                status, health = await _request(port, "GET", "/healthz")
+                assert (status, health["ok"]) == (200, True)
+
+                spec = _spec()
+                status, sub = await _request(
+                    port, "POST", "/campaigns", spec.to_dict()
+                )
+                assert status == 202
+                assert sub["id"] == spec.fingerprint()
+                assert sub["state"] in ("queued", "running")
+
+                final = await _poll_until(
+                    port, sub["id"], ("done", "failed")
+                )
+                assert final["state"] == "done"
+                assert final["wearers_done"] == final["wearers_total"] == 6
+
+                status, result = await _request(
+                    port, "GET", f"/campaigns/{sub['id']}/result"
+                )
+                assert status == 200
+                assert result["kind"] == "campaign_aggregate"
+                assert result["wearers"] == 6
+                on_disk = json.loads(
+                    (tmp_path / sub["id"] / "aggregate.json").read_text()
+                )
+                assert result == on_disk
+
+                for name, kind in (
+                    ("atlas.json", "campaign_atlas"),
+                    ("telemetry.json", "campaign_telemetry"),
+                    ("campaign.json", None),
+                ):
+                    status, artifact = await _request(
+                        port, "GET",
+                        f"/campaigns/{sub['id']}/artifacts/{name}",
+                    )
+                    assert status == 200
+                    if kind:
+                        assert artifact["kind"] == kind
+
+                # resubmission is idempotent: same id, already done, 200
+                status, again = await _request(
+                    port, "POST", "/campaigns", spec.to_dict()
+                )
+                assert (status, again["id"], again["state"]) == (
+                    200, sub["id"], "done"
+                )
+
+                status, listing = await _request(port, "GET", "/campaigns")
+                assert status == 200
+                assert [c["id"] for c in listing["campaigns"]] == [sub["id"]]
+            finally:
+                await service.stop()
+                await service.join()
+
+        asyncio.run(scenario())
+
+    def test_spec_wrapped_under_spec_key_also_accepted(self, tmp_path):
+        async def scenario():
+            service = CampaignService(tmp_path, jobs=1)
+            _, port = await service.start("127.0.0.1", 0)
+            try:
+                spec = _spec(size=1, base_seed=77, name="wrapped")
+                status, sub = await _request(
+                    port, "POST", "/campaigns", {"spec": spec.to_dict()}
+                )
+                assert status == 202
+                assert sub["id"] == spec.fingerprint()
+                await _poll_until(port, sub["id"], ("done",))
+            finally:
+                await service.stop()
+                await service.join()
+
+        asyncio.run(scenario())
+
+    def test_error_paths(self, tmp_path):
+        async def scenario():
+            service = CampaignService(tmp_path, jobs=1)
+            _, port = await service.start("127.0.0.1", 0)
+            try:
+                status, err = await _request(port, "GET", "/campaigns/feed")
+                assert status == 404 and "unknown campaign" in err["error"]
+
+                status, err = await _request(port, "GET", "/nope")
+                assert status == 404
+
+                status, err = await _request(port, "DELETE", "/campaigns")
+                assert status == 405
+
+                status, err = await _request(port, "POST", "/healthz")
+                assert status == 405
+
+                # invalid JSON and invalid specs are 400, not crashes
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port
+                )
+                writer.write(
+                    b"POST /campaigns HTTP/1.1\r\nHost: t\r\n"
+                    b"Content-Length: 9\r\nConnection: close\r\n\r\nnot-json!"
+                )
+                await writer.drain()
+                raw = await reader.read()
+                writer.close()
+                await writer.wait_closed()
+                assert b"400" in raw.split(b"\r\n", 1)[0]
+
+                status, err = await _request(
+                    port, "POST", "/campaigns", {"wearers": []}
+                )
+                assert status == 400 and "bad campaign spec" in err["error"]
+
+                # a manifest without an aggregate (created behind the
+                # service's back) reads as interrupted; result is 409
+                spec = _spec(size=1, base_seed=9, name="limbo")
+                cid = spec.fingerprint()
+                limbo = tmp_path / cid
+                limbo.mkdir()
+                write_campaign_manifest(limbo, spec.to_dict(), cid, 1)
+                status, st = await _request(port, "GET", f"/campaigns/{cid}")
+                assert (status, st["state"]) == (200, "interrupted")
+                status, err = await _request(
+                    port, "GET", f"/campaigns/{cid}/result"
+                )
+                assert status == 409 and "no aggregate" in err["error"]
+                status, err = await _request(
+                    port, "GET", f"/campaigns/{cid}/artifacts/journal.jsonl"
+                )
+                assert status == 404  # journals are replay state, not artifacts
+                assert "unknown artifact" in err["error"]
+            finally:
+                await service.stop()
+                await service.join()
+
+        asyncio.run(scenario())
+
+
+class TestServiceRecovery:
+    def test_restart_resumes_interrupted_campaign_byte_identical(
+        self, tmp_path
+    ):
+        """The durability contract: a killed service, restarted over the
+        same root, finishes every in-flight campaign through journal
+        replay to byte-identical artifacts."""
+        spec = _spec(size=3, base_seed=21, name="lazarus")
+        cid = spec.fingerprint()
+        golden_dir = tmp_path / "golden" / cid
+        report = run_campaign(spec, golden_dir, jobs=1)
+        golden = report.aggregate_path.read_bytes()
+        golden_atlas = report.atlas_path.read_bytes()
+
+        # Stage the "killed mid-campaign" root: copy the completed run,
+        # then tear one wearer back to a truncated journal and drop the
+        # fleet artifacts — exactly what SIGKILL mid-shard leaves behind.
+        import shutil
+
+        root = tmp_path / "root"
+        victim_dir = root / cid
+        shutil.copytree(golden_dir, victim_dir)
+        (victim_dir / "aggregate.json").unlink()
+        (victim_dir / "atlas.json").unlink()
+        (victim_dir / "telemetry.json").unlink()
+        journals = sorted(victim_dir.glob("shards/*/*/journal.jsonl"))
+        assert journals
+        lines = journals[0].read_text().splitlines()
+        journals[0].write_text("\n".join(lines[:3]) + "\n" + lines[3][:20])
+        (journals[0].parent / "summary.json").unlink()
+
+        async def scenario():
+            service = CampaignService(root, jobs=1)
+            _, port = await service.start("127.0.0.1", 0)  # recover() runs
+            try:
+                final = await _poll_until(port, cid, ("done", "failed"))
+                assert final["state"] == "done"
+                status, result = await _request(
+                    port, "GET", f"/campaigns/{cid}/result"
+                )
+                assert status == 200
+            finally:
+                await service.stop()
+                await service.join()
+
+        asyncio.run(scenario())
+        assert (victim_dir / "aggregate.json").read_bytes() == golden
+        assert (victim_dir / "atlas.json").read_bytes() == golden_atlas
+
+    def test_recover_marks_unreadable_manifest_failed(self, tmp_path):
+        bad = tmp_path / "feedfacecafe0000"
+        bad.mkdir()
+        (bad / "campaign.json").write_text("{ truncated garbage")
+
+        async def scenario():
+            service = CampaignService(tmp_path, jobs=1)
+            _, port = await service.start("127.0.0.1", 0)
+            try:
+                status, payload = await _request(
+                    port, "GET", "/campaigns/feedfacecafe0000"
+                )
+                assert status == 200
+                assert payload["state"] == "failed"
+                assert "unrecoverable" in payload["error"]
+            finally:
+                await service.stop()
+                await service.join()
+
+        asyncio.run(scenario())

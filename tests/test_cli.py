@@ -16,8 +16,11 @@ from repro.obs import read_trace
 ALL_COMMANDS = (
     "solve", "figure3", "reduction", "annealing",
     "table1", "dual", "extensions", "space",
-    "robust", "robustness",
+    "robust", "robustness", "bench", "campaign", "serve",
 )
+
+#: subcommands without --preset/--seed (runtime flags only)
+RUNTIME_ONLY_COMMANDS = ("table1", "bench", "serve")
 
 #: minimal valid argv per subcommand (parse-level only)
 PARSE_ARGV = {
@@ -31,6 +34,9 @@ PARSE_ARGV = {
     "space": ["space"],
     "robust": ["robust", "--pdr-min", "85"],
     "robustness": ["robustness"],
+    "bench": ["bench"],
+    "campaign": ["campaign"],
+    "serve": ["serve", "--root", "/tmp/fleet"],
 }
 
 
@@ -40,7 +46,9 @@ class TestParsing:
         args = cli.build_parser().parse_args(PARSE_ARGV[command])
         assert args.command == command
 
-    @pytest.mark.parametrize("command", sorted(set(ALL_COMMANDS) - {"table1"}))
+    @pytest.mark.parametrize(
+        "command", sorted(set(ALL_COMMANDS) - set(RUNTIME_ONLY_COMMANDS))
+    )
     def test_common_flags_parse_everywhere(self, command):
         argv = PARSE_ARGV[command] + [
             "--preset", "smoke", "--seed", "7", "--jobs", "2",
@@ -49,6 +57,21 @@ class TestParsing:
         ]
         args = cli.build_parser().parse_args(argv)
         assert (args.preset, args.seed, args.jobs) == ("smoke", 7, 2)
+        assert args.cache_dir == "/tmp/c"
+        assert args.trace_out == "/tmp/t.jsonl"
+        assert args.metrics_out == "/tmp/m.json"
+
+    @pytest.mark.parametrize("command", ALL_COMMANDS)
+    def test_runtime_flags_parse_on_every_subcommand(self, command):
+        """The add_runtime_flags hoist: every subcommand — including
+        table1, bench, campaign, and serve — takes the uniform runtime
+        surface (--jobs/--cache-dir/--trace-out/--metrics-out)."""
+        argv = PARSE_ARGV[command] + [
+            "--jobs", "2", "--cache-dir", "/tmp/c",
+            "--trace-out", "/tmp/t.jsonl", "--metrics-out", "/tmp/m.json",
+        ]
+        args = cli.build_parser().parse_args(argv)
+        assert args.jobs == 2
         assert args.cache_dir == "/tmp/c"
         assert args.trace_out == "/tmp/t.jsonl"
         assert args.metrics_out == "/tmp/m.json"
@@ -418,6 +441,131 @@ class TestJournalFlags:
         capsys.readouterr()
         assert summary_path.read_text() == golden
         assert len(journal_path.read_text().splitlines()) == len(lines)
+
+
+class TestCampaignCommand:
+    """The campaign subcommand: population flags, directory plumbing,
+    and the byte-identical resume guarantee at CLI level."""
+
+    def test_campaign_parses_with_defaults(self):
+        args = cli.build_parser().parse_args(["campaign"])
+        assert args.command == "campaign"
+        assert args.wearers == 4
+        assert args.mode == "solve"
+        assert args.pdr_min is None and args.spec is None
+        assert args.out is None and args.resume is None
+
+    def test_out_and_resume_are_mutually_exclusive(self):
+        with pytest.raises(SystemExit) as exc:
+            cli.build_parser().parse_args(
+                ["campaign", "--out", "a", "--resume", "b"]
+            )
+        assert exc.value.code == 2
+
+    def test_campaign_requires_directory(self, capsys):
+        assert cli.main(["campaign", "--preset", "smoke", "--jobs", "1"]) == 2
+        assert "--out" in capsys.readouterr().err
+
+    def _argv(self, extra):
+        return [
+            "campaign", "--wearers", "2", "--preset", "smoke",
+            "--pdr-min", "90", "--jobs", "1",
+        ] + extra
+
+    def test_campaign_runs_and_resumes_byte_identical(self, tmp_path, capsys):
+        camp = tmp_path / "camp"
+        assert cli.main(self._argv(["--out", str(camp)])) == 0
+        out = capsys.readouterr().out
+        assert "aggregate fingerprint:" in out
+        assert "campaign aggregate:" in out
+        golden = (camp / "aggregate.json").read_text()
+        golden_atlas = (camp / "atlas.json").read_text()
+
+        # simulate a kill: one wearer keeps only a torn journal prefix,
+        # losing its summary; the other is untouched (already complete)
+        victims = sorted(camp.glob("shards/*/*/journal.jsonl"))
+        assert victims
+        lines = victims[0].read_text().splitlines()
+        victims[0].write_text("\n".join(lines[:3]) + "\n" + lines[3][:25])
+        (victims[0].parent / "summary.json").unlink()
+        (camp / "aggregate.json").unlink()
+
+        assert cli.main(self._argv(["--resume", str(camp)])) == 0
+        capsys.readouterr()
+        assert (camp / "aggregate.json").read_text() == golden
+        assert (camp / "atlas.json").read_text() == golden_atlas
+
+    def test_out_refuses_existing_campaign(self, tmp_path, capsys):
+        camp = tmp_path / "camp"
+        assert cli.main(self._argv(["--out", str(camp)])) == 0
+        capsys.readouterr()
+        assert cli.main(self._argv(["--out", str(camp)])) == 2
+        assert "--resume" in capsys.readouterr().err
+
+    def test_resume_without_campaign_exits_two(self, tmp_path, capsys):
+        code = cli.main(self._argv(["--resume", str(tmp_path / "nowhere")]))
+        assert code == 2
+        assert "no campaign" in capsys.readouterr().err
+
+    def test_spec_file_round_trips(self, tmp_path, capsys):
+        from repro.campaign.spec import CampaignSpec, make_population
+
+        spec = make_population(
+            2, preset="smoke", base_seed=11, name="from-file"
+        )
+        spec_path = tmp_path / "spec.json"
+        spec.save(spec_path)
+        camp = tmp_path / "camp"
+        assert cli.main([
+            "campaign", "--spec", str(spec_path), "--jobs", "1",
+            "--out", str(camp),
+        ]) == 0
+        assert "from-file" in capsys.readouterr().out
+        assert CampaignSpec.load(spec_path).fingerprint() == spec.fingerprint()
+
+
+class TestServeParsing:
+    def test_serve_requires_root(self):
+        with pytest.raises(SystemExit) as exc:
+            cli.build_parser().parse_args(["serve"])
+        assert exc.value.code == 2
+
+    def test_serve_defaults(self):
+        args = cli.build_parser().parse_args(["serve", "--root", "/tmp/f"])
+        assert args.root == "/tmp/f"
+        assert (args.host, args.port) == ("127.0.0.1", 8732)
+        assert args.shards is None
+
+
+class TestCampaignReportSection:
+    """trace_report renders campaign fleet activity and stays silent on
+    traces that predate the campaign events."""
+
+    def test_campaign_events_render(self):
+        report = summarize([
+            {"kind": "campaign.start", "seq": 1, "t": 0.0,
+             "campaign": "abcd", "name": "fleet", "preset": "smoke",
+             "wearers": 2, "shards": 1, "jobs": 1},
+            {"kind": "campaign.wearer_done", "seq": 2, "t": 0.4,
+             "campaign": "abcd", "wearer_id": "w000", "state": "ran",
+             "found": True},
+            {"kind": "campaign.wearer_done", "seq": 3, "t": 0.8,
+             "campaign": "abcd", "wearer_id": "w001", "state": "resumed",
+             "found": True},
+            {"kind": "campaign.done", "seq": 4, "t": 1.0,
+             "campaign": "abcd", "aggregate_fingerprint": "ffff",
+             "feasible": 2, "wearers": 2},
+        ])
+        assert "campaign" in report
+        assert "start: fleet [abcd] preset=smoke" in report
+        assert "wearers completed: 2 (1 ran, 1 resumed), 2 feasible" in report
+        assert "done: aggregate ffff  feasible 2/2" in report
+
+    def test_traces_without_campaign_events_skip_section(self):
+        report = summarize([
+            {"kind": "des.run", "seq": 1, "t": 0.1, "events": 10},
+        ])
+        assert "campaign" not in report
 
 
 class TestPoolReportSection:

@@ -401,6 +401,83 @@ def _campaign_section(events: List[dict], lines: List[str]) -> None:
         )
 
 
+def _fabric_section(events: List[dict], lines: List[str]) -> None:
+    """Cross-host fabric activity (``queue.*``/``worker.*`` events, PR 8).
+
+    Traces recorded before the lease-based shard queue existed simply
+    have none of these events and skip this section; every field access
+    uses ``.get`` with a default so pre-fabric traces can never KeyError.
+    """
+    leases = [e for e in events if e.get("kind") == "queue.lease"]
+    expires = [e for e in events if e.get("kind") == "queue.expire"]
+    releases = [e for e in events if e.get("kind") == "queue.release"]
+    commits = [e for e in events if e.get("kind") == "queue.commit"]
+    done = [e for e in events if e.get("kind") == "queue.done"]
+    worker_leases = [e for e in events if e.get("kind") == "worker.lease"]
+    worker_commits = [e for e in events if e.get("kind") == "worker.commit"]
+    if not (
+        leases or expires or releases or commits or done
+        or worker_leases or worker_commits
+    ):
+        return
+    lines.append("fabric (lease queue / workers)")
+    if leases:
+        workers = sorted({str(e.get("worker", "?")) for e in leases})
+        lines.append(
+            f"  leases granted: {len(leases)} to {len(workers)} worker(s) "
+            f"({', '.join(workers)})"
+        )
+    if expires:
+        # Each expiry is a reassignment opportunity: the shard went back
+        # to the pending pool after its worker stopped heartbeating.
+        by_worker: Dict[str, int] = defaultdict(int)
+        for e in expires:
+            by_worker[str(e.get("worker", "?"))] += 1
+        detail = ", ".join(
+            f"{by_worker[w]}x {w}" for w in sorted(by_worker)
+        )
+        lines.append(
+            f"  lease expirations (reassignments): {len(expires)} ({detail})"
+        )
+    if releases:
+        lines.append(f"  voluntary releases: {len(releases)}")
+    if commits:
+        duplicates = sum(1 for e in commits if e.get("duplicate"))
+        fresh = len(commits) - duplicates
+        line = f"  shard commits: {fresh}"
+        if duplicates:
+            line += f" (+{duplicates} duplicate no-op(s))"
+        lines.append(line)
+        throughput: Dict[str, int] = defaultdict(int)
+        for e in commits:
+            if not e.get("duplicate"):
+                throughput[str(e.get("worker", "?"))] += 1
+        for w in sorted(throughput):
+            lines.append(f"    {w}: {throughput[w]} shard(s)")
+    if worker_commits and not commits:
+        # Worker-side trace: the coordinator's queue.* events live in the
+        # coordinator's own trace, so render this agent's view instead.
+        by_worker: Dict[str, int] = defaultdict(int)
+        for e in worker_commits:
+            by_worker[str(e.get("worker", "?"))] += 1
+        lines.append(f"  shards run and committed: {len(worker_commits)}")
+        for w in sorted(by_worker):
+            resumed = sum(
+                int(e.get("wearers_resumed", 0))
+                for e in worker_commits
+                if str(e.get("worker", "?")) == w
+            )
+            line = f"    {w}: {by_worker[w]} shard(s)"
+            if resumed:
+                line += f" ({resumed} wearer(s) resumed from journals)"
+            lines.append(line)
+    for e in done:
+        lines.append(
+            f"  done: aggregate {e.get('aggregate_fingerprint', '?')}  "
+            f"feasible {e.get('feasible', 0)}/{e.get('wearers', 0)}"
+        )
+
+
 def _milp_section(events: List[dict], lines: List[str]) -> None:
     solves = [e for e in events if e.get("kind") == "milp.solve"]
     if not solves:
@@ -488,6 +565,7 @@ def summarize(events: List[dict]) -> str:
         _oracle_section,
         _pool_section,
         _campaign_section,
+        _fabric_section,
         _milp_section,
         _des_section,
         _span_section,

@@ -15,6 +15,14 @@ aggregate fingerprint, throughput telemetry); and
 stdlib-only async HTTP API with the journals as the durable backend, so a
 killed service resumes every in-flight campaign byte-identically.
 
+The cross-host fabric rides on top: :mod:`~repro.campaign.queue` turns a
+submitted campaign into a lease-based shard queue (at-least-once
+execution, CRC-keyed idempotent commits, journal-backed lease recovery)
+hosted by the service's pull/lease endpoints, and
+:mod:`~repro.campaign.worker` is the agent (``hi-explore worker``) that
+turns any host into simulation capacity — the fleet's aggregate stays
+byte-identical to a single-host run of the same spec.
+
 Both the ``hi-explore campaign``/``serve`` subcommands and programmatic
 callers go through the same :func:`~repro.campaign.runner.run_campaign`
 code path — the CLI is a thin shell over this package.
@@ -24,6 +32,8 @@ from repro.campaign.spec import CampaignSpec, WearerSpec, make_population
 from repro.campaign.shard import shard_assignment, shard_of
 from repro.campaign.runner import CampaignReport, run_campaign
 from repro.campaign.aggregate import build_aggregate
+from repro.campaign.queue import CampaignQueue, QueueError, shard_payload_crc
+from repro.campaign.worker import WorkerAgent, run_worker
 
 __all__ = [
     "CampaignSpec",
@@ -34,4 +44,9 @@ __all__ = [
     "CampaignReport",
     "run_campaign",
     "build_aggregate",
+    "CampaignQueue",
+    "QueueError",
+    "shard_payload_crc",
+    "WorkerAgent",
+    "run_worker",
 ]

@@ -1,0 +1,518 @@
+"""Lease-based shard queue: the coordinator side of the campaign fabric.
+
+PR 7's campaign runtime shards a wearer population across *processes* on
+one host; this module decomposes a campaign into shard-grain work items
+that flow across *hosts*.  A :class:`CampaignQueue` owns one campaign's
+shards and hands them to pulling workers under time-limited leases:
+
+* ``acquire(worker)`` — lease the lowest pending shard to ``worker``
+  (expired leases are reclaimed first, so a dead worker's shard goes
+  back on offer after at most one TTL);
+* ``heartbeat(token)`` — renew a live lease; an unknown or expired token
+  is refused, which is how a worker that lost its lease finds out;
+* ``release(token)`` — voluntary return (graceful drain);
+* ``commit(shard, summaries, crc, ...)`` — upload the shard's per-wearer
+  summaries, CRC-checked and **idempotent**: commits are keyed by the
+  payload's content CRC, so a double-commit of identical bytes is a
+  no-op while divergent bytes are a loud integrity error (determinism
+  makes divergence a bug, never a race).
+
+Execution is therefore *at-least-once* with *idempotent commits*: a
+shard may be simulated by several workers across reassignments, but
+every one of them produces byte-identical summaries (per-wearer runs are
+pure functions of the spec), so the first commit wins and the rest
+collapse into no-ops.  That is the whole correctness argument — the
+aggregate built from committed summaries is byte-identical to a
+single-host ``run_campaign`` of the same spec.
+
+Durability mirrors the rest of the runtime: every lease/renew/expire/
+release/commit is appended to a CRC-framed
+:class:`~repro.core.journal.EventLog` (``queue.jsonl``) *after* its
+filesystem effects, so a restarted coordinator replays the log and
+recovers every in-flight lease (which then expires and is reassigned)
+and every committed shard (whose summaries are already on disk).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+import uuid
+from typing import Callable, Dict, List, Optional
+
+from repro.campaign.aggregate import (
+    AGGREGATE_FILENAME,
+    ATLAS_FILENAME,
+    TELEMETRY_FILENAME,
+    build_aggregate,
+    telemetry_payload,
+)
+from repro.campaign.shard import shard_assignment
+from repro.campaign.spec import CampaignSpec
+from repro.core.journal import (
+    CAMPAIGN_MANIFEST_FILENAME,
+    QUEUE_LOG_FILENAME,
+    SHARD_MANIFEST_FILENAME,
+    SUMMARY_FILENAME,
+    EventLog,
+    JournalError,
+    load_campaign_manifest,
+    payload_crc,
+    shard_directory,
+    write_campaign_manifest,
+    write_shard_manifest,
+    write_summary,
+)
+
+#: Default lease time-to-live in seconds: long enough for a smoke-preset
+#: shard, short enough that a dead worker's shard is back on offer fast.
+DEFAULT_LEASE_TTL = 30.0
+
+
+class QueueError(RuntimeError):
+    """A queue operation that cannot be honoured; ``status`` maps it to
+    an HTTP status when the operation arrived over the wire."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def shard_payload_crc(summaries: Dict[str, dict]) -> str:
+    """The content CRC keying a shard commit.
+
+    Computed over the wearer→summary mapping's canonical JSON by both
+    the worker (before upload) and the coordinator (on receipt), so a
+    corrupted or reordered payload is rejected before it can touch disk,
+    and two byte-identical executions of the same shard produce the same
+    commit key no matter which worker ran them.
+    """
+    return payload_crc({"summaries": summaries})
+
+
+class CampaignQueue:
+    """One campaign's shard-grain work queue (see the module docstring).
+
+    All mutation happens on the coordinator's event loop (the HTTP
+    service routes synchronously), so there is no internal locking; the
+    ``clock`` hook exists for lease-expiry tests and defaults to wall
+    time because expiries must survive a coordinator restart.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        directory,
+        shards: int,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        from repro.obs import runtime
+
+        self.spec = spec
+        self.directory = pathlib.Path(directory)
+        self.fingerprint = spec.fingerprint()
+        self.lease_ttl = float(lease_ttl)
+        self.clock = clock
+        self.obs = runtime.get_active()
+        self._started = clock()
+
+        shards = max(1, int(shards))
+        manifest_path = self.directory / CAMPAIGN_MANIFEST_FILENAME
+        if manifest_path.exists():
+            manifest = load_campaign_manifest(self.directory)
+            if manifest.get("fingerprint") != self.fingerprint:
+                raise JournalError(
+                    f"campaign directory {self.directory} belongs to "
+                    f"campaign {manifest.get('fingerprint')!r}, not "
+                    f"{self.fingerprint!r} — refusing to mix campaigns"
+                )
+            shards = int(manifest.get("shards", shards))
+        else:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            write_campaign_manifest(
+                self.directory, spec.to_dict(), self.fingerprint, shards
+            )
+        self.shards = shards
+
+        #: shard index → ordered wearer ids (the work-item decomposition).
+        assignment = shard_assignment(spec, shards)
+        self.wearers_of: Dict[int, List[str]] = {
+            index: [w.wearer_id for w in wearers]
+            for index, wearers in sorted(assignment.items())
+        }
+        for index, wearer_ids in self.wearers_of.items():
+            shard_dir = shard_directory(self.directory, index)
+            if not (shard_dir / SHARD_MANIFEST_FILENAME).exists():
+                write_shard_manifest(
+                    self.directory, index, self.fingerprint, wearer_ids
+                )
+
+        #: shard index → {"state": pending|leased|committed, ...}
+        self._shards: Dict[int, dict] = {
+            index: {"state": "pending", "worker": None, "token": None,
+                    "expires_at": None, "crc": None}
+            for index in self.wearers_of
+        }
+        #: live token → shard index (leases are single-use capabilities).
+        self._tokens: Dict[str, int] = {}
+        self._log = EventLog(self.directory / QUEUE_LOG_FILENAME)
+        self._replay(self._log.entries)
+        # An empty shard has nothing to simulate: commit it immediately
+        # (with an empty summary map) so the campaign can complete even
+        # when the sharder left holes.
+        for index, wearer_ids in self.wearers_of.items():
+            if not wearer_ids and self._shards[index]["state"] != "committed":
+                self.commit(index, {}, shard_payload_crc({}),
+                            worker="coordinator", token=None)
+
+    # -- durable state -----------------------------------------------------------
+
+    def _replay(self, entries: List[dict]) -> None:
+        """Fold the queue log back into in-memory shard state.
+
+        Commits are final; a lease without a later commit/release/expire
+        is restored verbatim (including its wall-clock expiry), so a
+        restarted coordinator neither forgets who held a shard nor
+        reassigns it before the original TTL has truly run out.
+        """
+        for entry in entries:
+            kind = entry.get("kind")
+            shard = entry.get("shard")
+            if shard not in self._shards:
+                continue
+            state = self._shards[shard]
+            if kind == "lease":
+                state.update(
+                    state="leased",
+                    worker=entry.get("worker"),
+                    token=entry.get("token"),
+                    expires_at=entry.get("expires_at"),
+                )
+            elif kind == "renew" and state["token"] == entry.get("token"):
+                state["expires_at"] = entry.get("expires_at")
+            elif kind in ("release", "expire"):
+                if state["state"] != "committed":
+                    state.update(state="pending", worker=None, token=None,
+                                 expires_at=None)
+            elif kind == "commit":
+                state.update(
+                    state="committed",
+                    worker=entry.get("worker"),
+                    token=None,
+                    expires_at=None,
+                    crc=entry.get("crc"),
+                )
+        self._tokens = {
+            s["token"]: index
+            for index, s in self._shards.items()
+            if s["state"] == "leased" and s["token"]
+        }
+
+    def _record(self, kind: str, **fields) -> None:
+        self._log.append({"kind": kind, "campaign": self.fingerprint,
+                          **fields})
+
+    # -- lease state machine -----------------------------------------------------
+
+    def reclaim_expired(self) -> List[int]:
+        """Return every shard whose lease TTL has lapsed to ``pending``.
+
+        Called lazily at the top of every queue interaction — the
+        coordinator needs no timer thread because a reclaim only matters
+        when someone is around to observe or acquire.
+        """
+        now = self.clock()
+        reclaimed = []
+        for index, state in self._shards.items():
+            if (
+                state["state"] == "leased"
+                and state["expires_at"] is not None
+                and state["expires_at"] <= now
+            ):
+                self._tokens.pop(state["token"], None)
+                self._record(
+                    "expire", shard=index, token=state["token"],
+                    worker=state["worker"],
+                )
+                self.obs.counter("queue.expirations").inc()
+                self.obs.event(
+                    "queue.expire", campaign=self.fingerprint, shard=index,
+                    worker=state["worker"],
+                )
+                state.update(state="pending", worker=None, token=None,
+                             expires_at=None)
+                reclaimed.append(index)
+        return reclaimed
+
+    def acquire(self, worker: str) -> Optional[dict]:
+        """Lease the lowest pending shard to ``worker`` (None = no work).
+
+        The lease payload is everything a remote worker needs to run the
+        shard: the campaign fingerprint, preset, shard index, the
+        shard's wearer specs, the token, and the TTL it must heartbeat
+        within.
+        """
+        self.reclaim_expired()
+        for index in sorted(self._shards):
+            state = self._shards[index]
+            if state["state"] != "pending":
+                continue
+            token = uuid.uuid4().hex
+            expires_at = self.clock() + self.lease_ttl
+            state.update(state="leased", worker=worker, token=token,
+                         expires_at=expires_at)
+            self._tokens[token] = index
+            self._record(
+                "lease", shard=index, worker=worker, token=token,
+                ttl=self.lease_ttl, expires_at=expires_at,
+            )
+            self.obs.counter("queue.leases").inc()
+            self.obs.event(
+                "queue.lease", campaign=self.fingerprint, shard=index,
+                worker=worker,
+            )
+            wearer_ids = set(self.wearers_of[index])
+            return {
+                "campaign": self.fingerprint,
+                "name": self.spec.name,
+                "preset": self.spec.preset,
+                "shard": index,
+                "token": token,
+                "ttl": self.lease_ttl,
+                "wearers": [
+                    w.to_dict()
+                    for w in self.spec.wearers
+                    if w.wearer_id in wearer_ids
+                ],
+            }
+        return None
+
+    def _lease_for(self, token: str) -> int:
+        self.reclaim_expired()
+        if token not in self._tokens:
+            raise QueueError(
+                410,
+                "lease is gone (expired, released, or never granted) — "
+                "the shard may have been reassigned",
+            )
+        return self._tokens[token]
+
+    def heartbeat(self, token: str) -> dict:
+        """Renew a live lease; returns the new expiry."""
+        index = self._lease_for(token)
+        state = self._shards[index]
+        state["expires_at"] = self.clock() + self.lease_ttl
+        self._record(
+            "renew", shard=index, token=token,
+            expires_at=state["expires_at"],
+        )
+        self.obs.counter("queue.renewals").inc()
+        return {
+            "shard": index,
+            "ttl": self.lease_ttl,
+            "expires_in": self.lease_ttl,
+        }
+
+    def release(self, token: str, reason: str = "released") -> dict:
+        """Voluntarily return a leased shard to the pending pool."""
+        index = self._lease_for(token)
+        state = self._shards[index]
+        self._tokens.pop(token, None)
+        self._record(
+            "release", shard=index, token=token, worker=state["worker"],
+            reason=reason,
+        )
+        self.obs.counter("queue.releases").inc()
+        self.obs.event(
+            "queue.release", campaign=self.fingerprint, shard=index,
+            worker=state["worker"], reason=reason,
+        )
+        state.update(state="pending", worker=None, token=None,
+                     expires_at=None)
+        return {"shard": index, "state": "pending"}
+
+    # -- commits -----------------------------------------------------------------
+
+    def commit(
+        self,
+        shard: int,
+        summaries: Dict[str, dict],
+        crc: str,
+        worker: str,
+        token: Optional[str] = None,
+    ) -> dict:
+        """Commit a shard's per-wearer summaries (idempotent, CRC-keyed).
+
+        A stale token is *not* an error: determinism means a worker that
+        lost its lease still produced the same bytes the replacement
+        will, so first-writer-wins and every later identical commit is a
+        no-op.  Only *divergent* bytes for the same shard are refused —
+        that is data corruption or a spec mismatch, never a benign race.
+        """
+        if shard not in self._shards:
+            raise QueueError(404, f"campaign has no shard {shard}")
+        expected_crc = shard_payload_crc(summaries)
+        if crc != expected_crc:
+            raise QueueError(
+                400,
+                f"shard {shard} payload CRC {crc!r} does not match its "
+                f"content ({expected_crc!r}) — refusing a corrupt upload",
+            )
+        expected_wearers = sorted(self.wearers_of[shard])
+        if sorted(summaries) != expected_wearers:
+            raise QueueError(
+                400,
+                f"shard {shard} commit must cover exactly its wearers "
+                f"{expected_wearers}, got {sorted(summaries)}",
+            )
+        state = self._shards[shard]
+        if state["state"] == "committed":
+            if state["crc"] == crc:
+                self.obs.counter("queue.duplicate_commits").inc()
+                self.obs.event(
+                    "queue.commit", campaign=self.fingerprint, shard=shard,
+                    worker=worker, duplicate=True,
+                )
+                return {"shard": shard, "state": "committed",
+                        "duplicate": True}
+            self.obs.counter("queue.divergent_commits").inc()
+            raise QueueError(
+                409,
+                f"shard {shard} is already committed with CRC "
+                f"{state['crc']!r}; a divergent commit ({crc!r}) means "
+                "two executions of the same shard disagreed — integrity "
+                "violation, refusing to overwrite",
+            )
+
+        # Summaries land on disk before the commit record: a crash in
+        # between leaves the shard uncommitted and the recommit simply
+        # rewrites identical files.
+        shard_dir = shard_directory(self.directory, shard)
+        for wearer_id in self.wearers_of[shard]:
+            write_summary(shard_dir / wearer_id, summaries[wearer_id])
+        # Invalidate every live token for this shard — including a
+        # reassigned lease held by someone else: their next heartbeat
+        # gets 410 and they learn the shard is already done.
+        for live_token, live_index in list(self._tokens.items()):
+            if live_index == shard:
+                self._tokens.pop(live_token, None)
+        self._record("commit", shard=shard, worker=worker, crc=crc,
+                     token=token)
+        state.update(state="committed", worker=worker, token=None,
+                     expires_at=None, crc=crc)
+        self.obs.counter("queue.commits").inc()
+        self.obs.event(
+            "queue.commit", campaign=self.fingerprint, shard=shard,
+            worker=worker, duplicate=False,
+        )
+        return {"shard": shard, "state": "committed", "duplicate": False}
+
+    # -- aggregation -------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return all(s["state"] == "committed" for s in self._shards.values())
+
+    def counts(self) -> Dict[str, int]:
+        tally = {"pending": 0, "leased": 0, "committed": 0}
+        for state in self._shards.values():
+            tally[state["state"]] += 1
+        return tally
+
+    def shard_states(self) -> List[dict]:
+        """Per-shard state for the status endpoint (operator view)."""
+        self.reclaim_expired()
+        now = self.clock()
+        out = []
+        for index in sorted(self._shards):
+            state = self._shards[index]
+            entry = {
+                "index": index,
+                "state": state["state"],
+                "wearers": len(self.wearers_of[index]),
+            }
+            if state["state"] == "leased":
+                entry["worker"] = state["worker"]
+                entry["expires_in"] = round(state["expires_at"] - now, 3)
+            elif state["state"] == "committed":
+                entry["worker"] = state["worker"]
+                entry["crc"] = state["crc"]
+            out.append(entry)
+        return out
+
+    def committed_summaries(self) -> Dict[str, dict]:
+        """Read every committed wearer summary back off disk (the files
+        are the truth — they survive coordinator restarts)."""
+        summaries: Dict[str, dict] = {}
+        for index, state in self._shards.items():
+            if state["state"] != "committed":
+                continue
+            shard_dir = shard_directory(self.directory, index)
+            for wearer_id in self.wearers_of[index]:
+                path = shard_dir / wearer_id / SUMMARY_FILENAME
+                with open(path, "r", encoding="utf-8") as fh:
+                    summaries[wearer_id] = json.load(fh)
+        return summaries
+
+    def worker_commits(self) -> Dict[str, int]:
+        """Distinct workers → shards they committed (telemetry only)."""
+        tally: Dict[str, int] = {}
+        for entry in self._log.entries:
+            if entry.get("kind") == "commit":
+                worker = str(entry.get("worker", "?"))
+                tally[worker] = tally.get(worker, 0) + 1
+        return tally
+
+    def finalize(self) -> dict:
+        """Build the fleet artifacts once every shard has committed.
+
+        The aggregate/atlas path is *exactly* the single-host one
+        (:func:`~repro.campaign.aggregate.build_aggregate` over the
+        deterministic summary projections), which is what makes a
+        fleet-executed campaign byte-identical to ``hi-explore
+        campaign`` on the same spec.  Non-deterministic fleet facts
+        (wall clock, worker census) go to ``telemetry.json`` as always.
+        """
+        if not self.done:
+            raise QueueError(
+                409,
+                f"campaign {self.fingerprint} is not fully committed: "
+                f"{self.counts()}",
+            )
+        from repro.campaign.runner import _write_json
+
+        aggregate = build_aggregate(self.spec, self.committed_summaries())
+        _write_json(self.directory / AGGREGATE_FILENAME, aggregate)
+        from repro.campaign.aggregate import atlas_payload
+
+        _write_json(self.directory / ATLAS_FILENAME, atlas_payload(aggregate))
+        workers = self.worker_commits()
+        telemetry = telemetry_payload(
+            self.spec,
+            aggregate,
+            wall_seconds=self.clock() - self._started,
+            shards=self.shards,
+            jobs=len(workers),
+            pool_stats={"workers": workers},
+        )
+        _write_json(self.directory / TELEMETRY_FILENAME, telemetry)
+        self.obs.event(
+            "queue.done",
+            campaign=self.fingerprint,
+            aggregate_fingerprint=aggregate["fingerprint"],
+            feasible=aggregate["feasible"],
+            wearers=aggregate["wearers"],
+        )
+        return aggregate
+
+    def close(self) -> None:
+        self._log.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"CampaignQueue({self.fingerprint!r}, shards={self.shards}, "
+            f"{self.counts()})"
+        )

@@ -8,15 +8,32 @@ that turns :func:`repro.campaign.runner.run_campaign` into a service::
     POST /campaigns                     submit a CampaignSpec (JSON body);
                                         202 {"id", "state"} — idempotent:
                                         resubmitting a known spec returns
-                                        the existing campaign
+                                        the existing campaign.  Body may
+                                        carry {"execution": "fleet"} to
+                                        queue the campaign for pulling
+                                        workers instead of running it on
+                                        the service host
     GET  /campaigns                     list known campaigns
     GET  /campaigns/<id>                status + progress (wearers done /
                                         total, read from the filesystem —
                                         the journals are the truth)
+    GET  /campaigns/<id>/status         same, spelled out (operator alias)
     GET  /campaigns/<id>/result         the aggregate report (409 until done)
     GET  /campaigns/<id>/artifacts/<n>  raw artifact file (aggregate.json,
                                         atlas.json, telemetry.json,
                                         campaign.json)
+
+Fleet-executed campaigns add the lease/commit surface of the
+distributed work queue (:mod:`repro.campaign.queue`, DESIGN.md §12)::
+
+    POST /campaigns/<id>/leases                    acquire a shard lease
+                                                   (body {"worker": name};
+                                                   {"lease": null} = no work)
+    POST /campaigns/<id>/leases/<token>/heartbeat  renew (410 once gone)
+    POST /campaigns/<id>/leases/<token>/release    graceful return
+    POST /campaigns/<id>/shards/<n>/complete       CRC-checked idempotent
+                                                   commit of the shard's
+                                                   per-wearer summaries
 
 Campaign ids are spec fingerprints, so submission is naturally
 idempotent and the id is stable across service restarts.
@@ -27,12 +44,19 @@ journals + artifacts; on startup :meth:`CampaignService.recover` scans the
 root and re-runs every campaign that has a manifest but no aggregate —
 completed wearers load their summaries, in-flight wearers replay their
 journals (PR 5), so a SIGKILLed service finishes every interrupted
-campaign with byte-identical artifacts.
+campaign with byte-identical artifacts.  Fleet campaigns recover through
+their ``queue.jsonl`` lease/commit log instead: committed shards stay
+committed (the summaries are on disk), in-flight leases are restored
+with their original expiry and reassigned once the TTL lapses, and a
+campaign killed between its last commit and aggregation is finalized on
+the spot.
 
 Campaign execution is CPU-bound and runs on a worker thread
 (``asyncio.to_thread``); inside that thread the fault-tolerant
 :class:`~repro.core.parallel.WorkerPool` fans wearers out across
-processes.  The event loop itself only parses requests and reads files.
+processes.  The event loop itself only parses requests and reads files;
+queue mutations are synchronous on the loop, which is what makes the
+lease state machine race-free without locks.
 """
 
 from __future__ import annotations
@@ -47,9 +71,15 @@ from repro.campaign.aggregate import (
     ATLAS_FILENAME,
     TELEMETRY_FILENAME,
 )
+from repro.campaign.queue import (
+    DEFAULT_LEASE_TTL,
+    CampaignQueue,
+    QueueError,
+)
 from repro.campaign.spec import CampaignSpec
 from repro.core.journal import (
     CAMPAIGN_MANIFEST_FILENAME,
+    QUEUE_LOG_FILENAME,
     SUMMARY_FILENAME,
     JournalError,
     load_campaign_manifest,
@@ -64,8 +94,13 @@ ARTIFACTS = (
     CAMPAIGN_MANIFEST_FILENAME,
 )
 
-#: Request-body ceiling (a campaign spec is a few KiB; megabytes = abuse).
+#: Request-body ceiling (specs and shard commits are KiB-scale; anything
+#: bigger is abuse and is refused with 413 before a byte is buffered).
 MAX_BODY_BYTES = 4 * 1024 * 1024
+
+#: Per-request read deadline: one slow (or silent) client may not pin a
+#: connection handler forever; past this it gets 408 and the socket back.
+DEFAULT_READ_TIMEOUT = 10.0
 
 _REASONS = {
     200: "OK",
@@ -73,7 +108,10 @@ _REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    408: "Request Timeout",
     409: "Conflict",
+    410: "Gone",
+    413: "Payload Too Large",
     500: "Internal Server Error",
 }
 
@@ -103,17 +141,33 @@ class CampaignService:
         shards: Optional[int] = None,
         cache_dir: Optional[str] = None,
         batch_mode: str = "auto",
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        read_timeout: float = DEFAULT_READ_TIMEOUT,
     ) -> None:
         self.root = pathlib.Path(root)
         self.jobs = max(1, int(jobs))
         self.shards = shards
         self.cache_dir = cache_dir
         self.batch_mode = batch_mode
-        #: id → "queued" | "running" | "done" | "failed"
+        self.lease_ttl = float(lease_ttl)
+        self.read_timeout = float(read_timeout)
+        #: id → "queued" | "running" | "fleet" | "done" | "failed"
         self._states: Dict[str, str] = {}
         self._errors: Dict[str, str] = {}
         self._tasks: Dict[str, asyncio.Task] = {}
+        #: id → shard queue of a fleet-executed campaign
+        self._queues: Dict[str, CampaignQueue] = {}
         self._server: Optional[asyncio.base_events.Server] = None
+
+    def _fleet_shards(self, spec: CampaignSpec) -> int:
+        """Shard count for a fleet campaign: the lease granularity.
+
+        ``--shards`` wins when given; otherwise one shard per wearer up
+        to 8 — fine-grained enough that a small fleet of workers all get
+        work, coarse enough that lease traffic stays negligible next to
+        simulation time.
+        """
+        return self.shards or min(len(spec.wearers), 8)
 
     # -- campaign bookkeeping ----------------------------------------------------
 
@@ -162,22 +216,67 @@ class CampaignService:
             "wearers_done": done,
             "wearers_total": total,
         }
+        queue = self._queues.get(campaign_id)
+        if queue is not None:
+            # Operator view of the fabric: queue counters plus every
+            # shard's pending / leased(worker, expiry) / committed state,
+            # so fleet progress is visible without reading any journal.
+            counts = queue.counts()
+            payload["queue"] = {
+                "shards": queue.shards,
+                "lease_ttl": queue.lease_ttl,
+                **counts,
+            }
+            payload["shards"] = queue.shard_states()
         if campaign_id in self._errors:
             payload["error"] = self._errors[campaign_id]
         return payload
 
-    def submit(self, spec: CampaignSpec) -> dict:
-        """Start (or attach to) the campaign for ``spec``."""
+    def submit(self, spec: CampaignSpec, execution: str = "local") -> dict:
+        """Start (or attach to) the campaign for ``spec``.
+
+        ``execution="local"`` runs it on this host (PR 7 behaviour);
+        ``execution="fleet"`` decomposes it into shard-grain work items
+        and waits for pulling workers.  Submission stays idempotent
+        either way — resubmitting a known spec attaches to the existing
+        campaign regardless of the execution mode requested.
+        """
+        if execution not in ("local", "fleet"):
+            raise HttpError(
+                400, f"execution must be 'local' or 'fleet', got "
+                f"{execution!r}"
+            )
         campaign_id = spec.fingerprint()
         state = self._states.get(campaign_id)
-        if state in ("queued", "running", "done"):
+        if state in ("queued", "running", "fleet", "done"):
             return self.status(campaign_id)
         directory = self.campaign_dir(campaign_id)
         if (directory / AGGREGATE_FILENAME).exists():
             self._states[campaign_id] = "done"
             return self.status(campaign_id)
-        self._launch(campaign_id, spec)
+        if execution == "fleet":
+            self._open_queue(campaign_id, spec)
+        else:
+            self._launch(campaign_id, spec)
         return self.status(campaign_id)
+
+    def _open_queue(self, campaign_id: str, spec: CampaignSpec) -> None:
+        """Create (or reopen) the shard queue of a fleet campaign."""
+        queue = CampaignQueue(
+            spec,
+            self.campaign_dir(campaign_id),
+            shards=self._fleet_shards(spec),
+            lease_ttl=self.lease_ttl,
+        )
+        self._queues[campaign_id] = queue
+        self._errors.pop(campaign_id, None)
+        if queue.done:
+            # Every shard already committed (e.g. killed between the
+            # last commit and aggregation): finalize immediately.
+            queue.finalize()
+            self._states[campaign_id] = "done"
+        else:
+            self._states[campaign_id] = "fleet"
 
     def _launch(self, campaign_id: str, spec: CampaignSpec) -> None:
         self._states[campaign_id] = "queued"
@@ -229,7 +328,22 @@ class CampaignService:
                 self._states[entry.name] = "failed"
                 self._errors[entry.name] = f"unrecoverable manifest: {exc}"
                 continue
-            self._launch(entry.name, spec)
+            if (entry / QUEUE_LOG_FILENAME).exists():
+                # Fleet campaign: rebuild the queue from its lease/commit
+                # log.  Committed shards stay committed, in-flight leases
+                # keep their original expiry (and are reassigned once it
+                # lapses) — the coordinator must never re-run shards
+                # locally behind its workers' backs.
+                try:
+                    self._open_queue(entry.name, spec)
+                except (JournalError, QueueError, OSError, ValueError) as exc:
+                    self._states[entry.name] = "failed"
+                    self._errors[entry.name] = (
+                        f"unrecoverable queue log: {exc}"
+                    )
+                    continue
+            else:
+                self._launch(entry.name, spec)
             resumed += 1
         return resumed
 
@@ -253,6 +367,8 @@ class CampaignService:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        for queue in self._queues.values():
+            queue.close()
 
     async def join(self) -> None:
         """Wait for every launched campaign task to settle (test helper)."""
@@ -265,7 +381,17 @@ class CampaignService:
     ) -> None:
         try:
             try:
-                method, path, body = await self._read_request(reader)
+                # One slow or silent client must not pin this handler:
+                # the whole request read shares a single deadline.
+                try:
+                    method, path, body = await asyncio.wait_for(
+                        self._read_request(reader), self.read_timeout
+                    )
+                except asyncio.TimeoutError:
+                    raise HttpError(
+                        408,
+                        f"request not received within {self.read_timeout}s",
+                    ) from None
                 status, payload = self._route(method, path, body)
             except HttpError as exc:
                 status, payload = exc.status, {"error": exc.message}
@@ -291,7 +417,12 @@ class CampaignService:
         method, path = parts[0].upper(), parts[1]
         content_length = 0
         while True:
-            line = (await reader.readline()).decode("latin-1")
+            try:
+                line = (await reader.readline()).decode("latin-1")
+            except ValueError:
+                # StreamReader refuses header lines past its buffer
+                # limit — an oversized/garbage header, not our bug.
+                raise HttpError(400, "header line too long") from None
             if line in ("\r\n", "\n", ""):
                 break
             name, _, value = line.partition(":")
@@ -301,7 +432,13 @@ class CampaignService:
                 except ValueError:
                     raise HttpError(400, "bad Content-Length") from None
         if content_length > MAX_BODY_BYTES:
-            raise HttpError(400, "request body too large")
+            # Refused before buffering a byte of it: the declared size
+            # alone disqualifies the request.
+            raise HttpError(
+                413,
+                f"request body of {content_length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit",
+            )
         body = (
             await reader.readexactly(content_length)
             if content_length
@@ -342,10 +479,29 @@ class CampaignService:
                     "campaigns": [self.status(cid) for cid in self.known_ids()]
                 }
             raise HttpError(405, f"{method} not allowed on /campaigns")
+        campaign_id = segments[1]
+        # -- fabric surface (POST: leases, heartbeats, commits) ----------------
+        if method == "POST":
+            if len(segments) == 3 and segments[2] == "leases":
+                return self._post_lease(campaign_id, body)
+            if (
+                len(segments) == 5
+                and segments[2] == "leases"
+                and segments[4] in ("heartbeat", "release")
+            ):
+                return self._post_lease_action(
+                    campaign_id, segments[3], segments[4], body
+                )
+            if len(segments) == 5 and (
+                segments[2] == "shards" and segments[4] == "complete"
+            ):
+                return self._post_complete(campaign_id, segments[3], body)
+            raise HttpError(405, f"POST not allowed on {path!r}")
         if method != "GET":
             raise HttpError(405, f"{method} not allowed on {path!r}")
-        campaign_id = segments[1]
         if len(segments) == 2:
+            return 200, self.status(campaign_id)
+        if len(segments) == 3 and segments[2] == "status":
             return 200, self.status(campaign_id)
         if len(segments) == 3 and segments[2] == "result":
             return self._get_result(campaign_id)
@@ -353,19 +509,91 @@ class CampaignService:
             return self._get_artifact(campaign_id, segments[3])
         raise HttpError(404, f"no route for {path!r}")
 
-    def _post_campaign(self, body: bytes) -> Tuple[int, dict]:
+    def _json_body(self, body: bytes) -> dict:
         try:
             payload = json.loads(body.decode("utf-8"))
         except (ValueError, UnicodeDecodeError) as exc:
             raise HttpError(400, f"body is not valid JSON: {exc}") from None
         if not isinstance(payload, dict):
             raise HttpError(400, "body must be a JSON object")
+        return payload
+
+    def _post_campaign(self, body: bytes) -> Tuple[int, dict]:
+        payload = self._json_body(body)
+        execution = str(payload.pop("execution", "local"))
         try:
             spec = CampaignSpec.from_dict(payload.get("spec", payload))
         except ValueError as exc:
             raise HttpError(400, f"bad campaign spec: {exc}") from None
-        status = self.submit(spec)
+        status = self.submit(spec, execution=execution)
         return (200 if status["state"] == "done" else 202), status
+
+    # -- fabric handlers ---------------------------------------------------------
+
+    def _queue_for(self, campaign_id: str) -> CampaignQueue:
+        self.status(campaign_id)  # 404 on unknown campaigns
+        queue = self._queues.get(campaign_id)
+        if queue is None:
+            raise HttpError(
+                409,
+                f"campaign {campaign_id!r} is not fleet-executed (no "
+                "shard queue); submit it with execution='fleet'",
+            )
+        return queue
+
+    def _post_lease(self, campaign_id: str, body: bytes) -> Tuple[int, dict]:
+        payload = self._json_body(body) if body else {}
+        worker = str(payload.get("worker") or "anonymous")
+        queue = self._queue_for(campaign_id)
+        try:
+            lease = queue.acquire(worker)
+        except QueueError as exc:
+            raise HttpError(exc.status, exc.message) from None
+        return 200, {"lease": lease, "queue": queue.counts()}
+
+    def _post_lease_action(
+        self, campaign_id: str, token: str, action: str, body: bytes
+    ) -> Tuple[int, dict]:
+        queue = self._queue_for(campaign_id)
+        try:
+            if action == "heartbeat":
+                return 200, queue.heartbeat(token)
+            payload = self._json_body(body) if body else {}
+            reason = str(payload.get("reason") or "released")
+            return 200, queue.release(token, reason=reason)
+        except QueueError as exc:
+            raise HttpError(exc.status, exc.message) from None
+
+    def _post_complete(
+        self, campaign_id: str, shard_text: str, body: bytes
+    ) -> Tuple[int, dict]:
+        try:
+            shard = int(shard_text)
+        except ValueError:
+            raise HttpError(400, f"bad shard index {shard_text!r}") from None
+        payload = self._json_body(body)
+        summaries = payload.get("summaries")
+        if not isinstance(summaries, dict):
+            raise HttpError(400, "commit needs a 'summaries' object")
+        queue = self._queue_for(campaign_id)
+        try:
+            outcome = queue.commit(
+                shard,
+                summaries,
+                crc=str(payload.get("crc") or ""),
+                worker=str(payload.get("worker") or "anonymous"),
+                token=payload.get("token"),
+            )
+        except QueueError as exc:
+            raise HttpError(exc.status, exc.message) from None
+        if queue.done and self._states.get(campaign_id) != "done":
+            # The last shard just landed: aggregation triggers exactly
+            # here, and the artifacts are byte-identical to a single-host
+            # run because they are built from the same summary bytes.
+            queue.finalize()
+            self._states[campaign_id] = "done"
+        outcome["campaign_state"] = self._states.get(campaign_id, "fleet")
+        return 200, outcome
 
     def _get_result(self, campaign_id: str) -> Tuple[int, dict]:
         status = self.status(campaign_id)
@@ -414,11 +642,12 @@ def serve_forever(
     shards: Optional[int] = None,
     cache_dir: Optional[str] = None,
     batch_mode: str = "auto",
+    lease_ttl: float = DEFAULT_LEASE_TTL,
 ) -> int:
     """Blocking entry point for ``hi-explore serve``."""
     service = CampaignService(
         root, jobs=jobs, shards=shards, cache_dir=cache_dir,
-        batch_mode=batch_mode,
+        batch_mode=batch_mode, lease_ttl=lease_ttl,
     )
     try:
         asyncio.run(_serve(service, host, port))

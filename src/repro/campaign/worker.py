@@ -1,0 +1,444 @@
+"""Worker agent: turn any host into simulation capacity for the fabric.
+
+``hi-explore worker --coordinator URL --workdir DIR`` runs a pull→run→
+commit loop against the campaign coordinator's lease endpoints
+(:mod:`repro.campaign.queue` via :mod:`repro.campaign.service`):
+
+1. **pull** — poll ``GET /campaigns`` for campaigns with uncommitted
+   shards, then ``POST /campaigns/<id>/leases`` to acquire one;
+2. **run** — execute the leased shard's wearers through the *same*
+   :func:`repro.campaign.runner.run_wearer_task` the single-host runner
+   uses, journaled under ``<workdir>/<campaign>/shards/shard-NN/`` — so
+   a worker that inherits a dead worker's shard (same workdir, e.g. a
+   shared scratch mount or a localhost fleet) resumes each wearer from
+   its PR 5 journal and pays only the uncommitted tail, never a full
+   re-simulation.  A background thread heartbeats the lease the whole
+   time;
+3. **commit** — upload the per-wearer summaries with a content CRC.
+   Commits are idempotent on the coordinator, so losing the lease
+   mid-run is harmless: the worker still commits what it computed, and
+   whichever execution lands first wins (the bytes are identical by
+   determinism).
+
+The loop retries with capped exponential backoff whenever the
+coordinator is unreachable, and drains gracefully on SIGTERM/SIGINT:
+the first signal lets the current shard finish and commit, the second
+releases the lease and exits immediately.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import pathlib
+import signal
+import socket
+import threading
+import time
+import urllib.parse
+from typing import Dict, List, Optional, Tuple
+
+from repro.campaign.queue import shard_payload_crc
+
+#: Worker-side ceiling on coordinator silence: after this many failed
+#: RPC attempts in a row the current operation is abandoned (the lease
+#: will expire server-side and the shard is reassigned; journals remain).
+MAX_RPC_ATTEMPTS = 8
+
+
+class CoordinatorUnavailable(ConnectionError):
+    """The coordinator could not be reached (retry with backoff)."""
+
+
+class CommitDiverged(RuntimeError):
+    """The coordinator refused our commit as divergent — a determinism
+    violation that must be loud, never retried into oblivion."""
+
+
+class CoordinatorClient:
+    """Minimal stdlib JSON-over-HTTP client (one connection per call,
+    matching the service's one-request-per-connection server)."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        parsed = urllib.parse.urlsplit(base_url)
+        if parsed.scheme not in ("http", ""):
+            raise ValueError(
+                f"coordinator URL must be http://, got {base_url!r}"
+            )
+        netloc = parsed.netloc or parsed.path
+        host, _, port = netloc.partition(":")
+        self.host = host or "127.0.0.1"
+        self.port = int(port) if port else 80
+        self.timeout = timeout
+
+    def request(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> Tuple[int, dict]:
+        body = None if payload is None else json.dumps(payload).encode()
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            headers = {"Content-Type": "application/json",
+                       "Connection": "close"}
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+        except (ConnectionError, socket.timeout, OSError) as exc:
+            raise CoordinatorUnavailable(
+                f"{method} {path}: {exc}"
+            ) from None
+        finally:
+            conn.close()
+        try:
+            decoded = json.loads(raw.decode("utf-8")) if raw else {}
+        except ValueError:
+            decoded = {"error": f"non-JSON response: {raw[:200]!r}"}
+        return response.status, decoded
+
+
+class WorkerAgent:
+    """One pull→run→commit loop bound to a coordinator and a workdir."""
+
+    def __init__(
+        self,
+        coordinator: str,
+        workdir,
+        name: Optional[str] = None,
+        jobs: int = 1,
+        cache_dir: Optional[str] = None,
+        batch_mode: str = "auto",
+        poll_interval: float = 1.0,
+        backoff_base: float = 0.2,
+        backoff_cap: float = 15.0,
+        exit_idle: Optional[float] = None,
+        client: Optional[CoordinatorClient] = None,
+    ) -> None:
+        from repro.obs import runtime
+
+        self.client = client or CoordinatorClient(coordinator)
+        self.workdir = pathlib.Path(workdir)
+        self.name = name or f"{socket.gethostname()}-{os.getpid()}"
+        self.jobs = max(1, int(jobs))
+        self.cache_dir = cache_dir
+        self.batch_mode = batch_mode
+        self.poll_interval = poll_interval
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.exit_idle = exit_idle
+        self.obs = runtime.get_active()
+        self.shards_committed = 0
+        self.wearers_run = 0
+        self.wearers_resumed = 0
+        self._draining = False
+        self._stop_now = False
+        self._lease_lost = threading.Event()
+
+    # -- signals -----------------------------------------------------------------
+
+    def install_signal_handlers(self) -> None:
+        """First SIGTERM/SIGINT: finish + commit the current shard, then
+        exit.  Second: release the lease and exit immediately."""
+
+        def _handler(signum, frame):
+            if self._draining:
+                self._stop_now = True
+            else:
+                self._draining = True
+                self._log("drain requested: finishing current lease")
+
+        try:
+            signal.signal(signal.SIGTERM, _handler)
+            signal.signal(signal.SIGINT, _handler)
+        except ValueError:
+            # Not the main thread (in-process agents in tests): signals
+            # go to the host process; drain is driven programmatically.
+            pass
+
+    def _log(self, message: str) -> None:
+        print(f"worker {self.name}: {message}", flush=True)
+
+    # -- RPC with retry/backoff --------------------------------------------------
+
+    def _rpc(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+        attempts: int = MAX_RPC_ATTEMPTS,
+    ) -> Tuple[int, dict]:
+        """One coordinator call, retried through unavailability windows
+        with capped exponential backoff.  Raises
+        :class:`CoordinatorUnavailable` only after ``attempts`` failures
+        in a row."""
+        delay = self.backoff_base
+        for attempt in range(attempts):
+            try:
+                return self.client.request(method, path, payload)
+            except CoordinatorUnavailable as exc:
+                if attempt == attempts - 1 or self._stop_now:
+                    raise
+                self.obs.counter("worker.rpc_retries").inc()
+                self._log(
+                    f"coordinator unavailable ({exc}); retry in "
+                    f"{delay:.1f}s"
+                )
+                time.sleep(delay)
+                delay = min(self.backoff_cap, delay * 2)
+        raise CoordinatorUnavailable(f"{method} {path}: attempts exhausted")
+
+    # -- pull --------------------------------------------------------------------
+
+    def _campaigns_with_work(self) -> List[str]:
+        status, payload = self._rpc("GET", "/campaigns")
+        if status != 200:
+            return []
+        ids = []
+        for campaign in payload.get("campaigns", ()):
+            queue = campaign.get("queue")
+            if not queue:
+                continue  # local-execution campaign: not ours to pull
+            if queue.get("committed", 0) < queue.get("shards", 0):
+                ids.append(campaign["id"])
+        return ids
+
+    def _try_acquire(self) -> Optional[Tuple[str, dict]]:
+        for campaign_id in self._campaigns_with_work():
+            status, payload = self._rpc(
+                "POST",
+                f"/campaigns/{campaign_id}/leases",
+                {"worker": self.name},
+            )
+            if status == 200 and payload.get("lease"):
+                return campaign_id, payload["lease"]
+        return None
+
+    # -- run ---------------------------------------------------------------------
+
+    def _heartbeat_loop(
+        self, campaign_id: str, token: str, ttl: float,
+        stop: threading.Event,
+    ) -> None:
+        interval = max(0.05, ttl / 3.0)
+        while not stop.wait(interval):
+            try:
+                status, _ = self.client.request(
+                    "POST",
+                    f"/campaigns/{campaign_id}/leases/{token}/heartbeat",
+                )
+            except CoordinatorUnavailable:
+                # Transient: the lease may still be alive; keep trying
+                # until the run finishes or the TTL truly lapses.
+                self.obs.counter("worker.heartbeat_misses").inc()
+                continue
+            if status == 410:
+                self._lease_lost.set()
+                self.obs.counter("worker.leases_lost").inc()
+                return
+            self.obs.counter("worker.heartbeats").inc()
+
+    def _shard_tasks(self, lease: dict) -> List[dict]:
+        from repro.campaign.runner import wearer_run_dir
+
+        campaign_root = self.workdir / lease["campaign"]
+        return [
+            {
+                "campaign": lease["campaign"],
+                "preset": lease["preset"],
+                "wearer": wearer,
+                "run_dir": str(
+                    wearer_run_dir(
+                        campaign_root, lease["shard"], wearer["wearer_id"]
+                    )
+                ),
+                "cache_dir": self.cache_dir,
+                "batch_mode": self.batch_mode,
+            }
+            for wearer in lease["wearers"]
+        ]
+
+    def _run_shard(self, campaign_id: str, lease: dict) -> bool:
+        """Execute one leased shard and commit it.  Returns True when the
+        shard was committed (including the benign duplicate case)."""
+        from repro.campaign.runner import run_wearer_task
+
+        token = lease["token"]
+        shard = lease["shard"]
+        self._lease_lost.clear()
+        stop_heartbeat = threading.Event()
+        heartbeat = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(campaign_id, token, float(lease["ttl"]), stop_heartbeat),
+            daemon=True,
+        )
+        heartbeat.start()
+        self.obs.event(
+            "worker.lease", worker=self.name, campaign=campaign_id,
+            shard=shard, wearers=len(lease["wearers"]),
+        )
+        self._log(
+            f"leased shard {shard} of {campaign_id} "
+            f"({len(lease['wearers'])} wearer(s))"
+        )
+        try:
+            tasks = self._shard_tasks(lease)
+            results = []
+            if self.jobs > 1 and len(tasks) > 1:
+                from repro.core.parallel import WorkerPool
+
+                with WorkerPool(self.jobs) as pool:
+                    results = pool.map_ordered(run_wearer_task, tasks)
+            else:
+                for task in tasks:
+                    if self._stop_now:
+                        self._release(campaign_id, token, "hard stop")
+                        return False
+                    results.append(run_wearer_task(task))
+        finally:
+            stop_heartbeat.set()
+            heartbeat.join(timeout=5.0)
+
+        resumed = sum(1 for r in results if r["state"] != "ran")
+        self.wearers_run += len(results)
+        self.wearers_resumed += resumed
+        summaries: Dict[str, dict] = {
+            r["wearer_id"]: r["summary"] for r in results
+        }
+        return self._commit(
+            campaign_id, shard, token, summaries, resumed=resumed
+        )
+
+    def _release(self, campaign_id: str, token: str, reason: str) -> None:
+        try:
+            self._rpc(
+                "POST",
+                f"/campaigns/{campaign_id}/leases/{token}/release",
+                {"reason": reason},
+                attempts=2,
+            )
+            self._log(f"released lease on {campaign_id} ({reason})")
+        except CoordinatorUnavailable:
+            pass  # the TTL reclaims it; nothing more a dying worker can do
+
+    # -- commit ------------------------------------------------------------------
+
+    def _commit(
+        self, campaign_id: str, shard: int, token: str,
+        summaries: Dict[str, dict], resumed: int = 0,
+    ) -> bool:
+        payload = {
+            "worker": self.name,
+            "token": token,
+            "crc": shard_payload_crc(summaries),
+            "summaries": summaries,
+        }
+        status, response = self._rpc(
+            "POST", f"/campaigns/{campaign_id}/shards/{shard}/complete",
+            payload,
+        )
+        if status == 409:
+            raise CommitDiverged(
+                f"coordinator refused shard {shard} of {campaign_id} as "
+                f"divergent: {response.get('error')}"
+            )
+        if status != 200:
+            self._log(
+                f"commit of shard {shard} failed with {status}: "
+                f"{response.get('error')} — lease will expire and the "
+                "shard will be reassigned"
+            )
+            return False
+        duplicate = bool(response.get("duplicate"))
+        self.shards_committed += 1
+        self.obs.counter("worker.commits").inc()
+        self.obs.event(
+            "worker.commit", worker=self.name, campaign=campaign_id,
+            shard=shard, duplicate=duplicate,
+            wearers=len(summaries), wearers_resumed=resumed,
+            campaign_state=response.get("campaign_state"),
+        )
+        self._log(
+            f"committed shard {shard} of {campaign_id}"
+            + (" (duplicate: already committed — no-op)" if duplicate else "")
+        )
+        return True
+
+    # -- main loop ---------------------------------------------------------------
+
+    def run_forever(self) -> int:
+        """Pull→run→commit until drained (or idle past ``exit_idle``).
+        Returns a process exit code."""
+        self._log(
+            f"pulling from http://{self.client.host}:{self.client.port} "
+            f"into {self.workdir} (jobs={self.jobs})"
+        )
+        idle_since: Optional[float] = None
+        while not self._draining and not self._stop_now:
+            try:
+                acquired = self._try_acquire()
+            except CoordinatorUnavailable as exc:
+                self._log(f"giving up on coordinator: {exc}")
+                return 1
+            if acquired is None:
+                now = time.monotonic()
+                idle_since = idle_since if idle_since is not None else now
+                if (
+                    self.exit_idle is not None
+                    and now - idle_since >= self.exit_idle
+                ):
+                    self._log(
+                        f"idle for {self.exit_idle:.1f}s with no work; "
+                        "exiting"
+                    )
+                    break
+                time.sleep(self.poll_interval)
+                continue
+            idle_since = None
+            campaign_id, lease = acquired
+            try:
+                self._run_shard(campaign_id, lease)
+            except CommitDiverged:
+                raise
+            except CoordinatorUnavailable as exc:
+                self._log(
+                    f"lost the coordinator mid-shard ({exc}); journals "
+                    "are on disk, the lease will expire and the shard "
+                    "will be reassigned"
+                )
+                time.sleep(self.poll_interval)
+        self._log(
+            f"drained: {self.shards_committed} shard(s) committed, "
+            f"{self.wearers_run} wearer(s) run "
+            f"({self.wearers_resumed} resumed from journals)"
+        )
+        return 0
+
+
+def run_worker(
+    coordinator: str,
+    workdir,
+    name: Optional[str] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    batch_mode: str = "auto",
+    poll_interval: float = 1.0,
+    exit_idle: Optional[float] = None,
+) -> int:
+    """Blocking entry point for ``hi-explore worker``."""
+    agent = WorkerAgent(
+        coordinator,
+        workdir,
+        name=name,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        batch_mode=batch_mode,
+        poll_interval=poll_interval,
+        exit_idle=exit_idle,
+    )
+    agent.install_signal_handlers()
+    try:
+        return agent.run_forever()
+    except CommitDiverged as exc:
+        print(f"worker {agent.name}: INTEGRITY ERROR: {exc}", flush=True)
+        return 3

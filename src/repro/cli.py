@@ -14,6 +14,8 @@ Subcommands mirror the experiment harnesses::
     hi-explore space                                # design-space summary
     hi-explore campaign --wearers 8 --out DIR       # fleet campaign
     hi-explore serve --root DIR                     # campaign HTTP service
+    hi-explore worker --coordinator URL \
+        --workdir DIR                               # fabric worker agent
 
 Every subcommand accepts the same runtime flags (``--jobs``,
 ``--cache-dir``, ``--batch``, ``--trace-out``, ``--metrics-out``), wired
@@ -411,9 +413,62 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards",
         type=_positive_jobs,
         default=None,
-        help="shard count per campaign (default: --jobs)",
+        help="shard count per campaign (default: --jobs for local "
+        "execution; one shard per wearer capped at 8 for fleet "
+        "execution)",
+    )
+    serve.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=30.0,
+        help="fleet execution: seconds a worker's shard lease lives "
+        "without a heartbeat before the shard is reclaimed and "
+        "reassigned",
     )
     add_runtime_flags(serve)
+
+    worker = sub.add_parser(
+        "worker",
+        help="run a campaign worker agent: pull shard leases from a "
+        "coordinator (`serve`), execute the wearers (journaled, so a "
+        "reassigned shard resumes from a dead worker's journals), and "
+        "commit CRC-checked summaries back",
+    )
+    worker.add_argument(
+        "--coordinator",
+        required=True,
+        metavar="URL",
+        help="coordinator base URL, e.g. http://127.0.0.1:8732",
+    )
+    worker.add_argument(
+        "--workdir",
+        required=True,
+        metavar="DIR",
+        help="scratch root for shard run directories; point multiple "
+        "workers at a shared mount and a reassigned shard resumes "
+        "from its predecessor's journals",
+    )
+    worker.add_argument(
+        "--name",
+        default=None,
+        help="worker identity reported to the coordinator "
+        "(default: <hostname>-<pid>)",
+    )
+    worker.add_argument(
+        "--poll",
+        type=float,
+        default=1.0,
+        help="seconds between pulls when the queue is empty",
+    )
+    worker.add_argument(
+        "--exit-idle",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="exit once there has been no work for this long "
+        "(default: run until SIGTERM)",
+    )
+    add_runtime_flags(worker)
 
     return parser
 
@@ -630,6 +685,21 @@ def _run_command(args, obs) -> int:
             shards=args.shards,
             cache_dir=args.cache_dir,
             batch_mode=args.batch,
+            lease_ttl=args.lease_ttl,
+        )
+
+    if args.command == "worker":
+        from repro.campaign.worker import run_worker
+
+        return run_worker(
+            args.coordinator,
+            args.workdir,
+            name=args.name,
+            jobs=args.jobs or 1,
+            cache_dir=args.cache_dir,
+            batch_mode=args.batch,
+            poll_interval=args.poll,
+            exit_idle=args.exit_idle,
         )
 
     if args.command == "bench":

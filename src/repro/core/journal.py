@@ -62,6 +62,10 @@ CAMPAIGN_MANIFEST_FILENAME = "campaign.json"
 SHARD_MANIFEST_FILENAME = "shard.json"
 SHARDS_DIRNAME = "shards"
 
+#: Lease/commit record log of a distributed (fleet-executed) campaign —
+#: the durable state of the coordinator's shard queue (DESIGN.md §12).
+QUEUE_LOG_FILENAME = "queue.jsonl"
+
 #: ``oracle_stats`` keys that are deterministic across interrupted/resumed
 #: and uninterrupted runs of the same campaign (wall-clock-derived keys are
 #: not, and are stripped from the summary projection).
@@ -83,6 +87,14 @@ def _canonical(payload: dict) -> str:
 
 def _crc(payload: dict) -> str:
     return format(zlib.crc32(_canonical(payload).encode("utf-8")), "08x")
+
+
+def payload_crc(payload: dict) -> str:
+    """CRC32 of a payload's canonical JSON form — the integrity token the
+    campaign fabric uses to key idempotent shard commits (a worker and
+    the coordinator computing this over the same dict always agree,
+    because canonicalization sorts keys and fixes separators)."""
+    return _crc(payload)
 
 
 def _load_entries(path: pathlib.Path):
@@ -308,6 +320,64 @@ def load_campaign_shards(campaign_dir) -> List[dict]:
                 )
             seen.add(wearer)
     return manifests
+
+
+class EventLog:
+    """Append-only, fsynced, CRC-framed JSONL log of plain dict events.
+
+    The generic sibling of :class:`RunJournal`: same wire format (one
+    ``{"crc", "entry"}`` wrapper per line), same torn-tail semantics (a
+    kill mid-append loses at most the line being written; the fragment is
+    detected on open and physically truncated), but no replay cursor or
+    trajectory verification — it is a durable record, not a checkpoint.
+    The campaign fabric stores its lease/commit records in one of these
+    (``queue.jsonl``), which is what lets a restarted coordinator recover
+    every in-flight lease instead of forgetting who holds what.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = pathlib.Path(path)
+        self._entries: List[dict] = []
+        if self.path.exists():
+            entries, valid_bytes = _load_entries(self.path)
+            if valid_bytes < self.path.stat().st_size:
+                with open(self.path, "r+b") as fh:
+                    fh.truncate(valid_bytes)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+            self._entries = entries
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    @property
+    def entries(self) -> List[dict]:
+        return list(self._entries)
+
+    def append(self, entry: dict) -> dict:
+        """Durably append one event (flushed + fsynced before returning)."""
+        if self._fh is None:
+            raise JournalError(f"event log {self.path} is closed")
+        line = json.dumps({"crc": _crc(entry), "entry": entry})
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._entries.append(entry)
+        return entry
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"EventLog({str(self.path)!r}, entries={len(self._entries)})"
 
 
 class RunJournal:

@@ -1,0 +1,384 @@
+"""End-to-end fabric tests: coordinator + worker agents, byte-identity.
+
+The correctness contract of the cross-host fabric is that a fleet of
+pulling workers produces **byte-identical** ``aggregate.json`` and
+``atlas.json`` to a single-host ``run_campaign`` of the same spec — no
+matter how leases were interleaved, expired, or reassigned along the
+way.  These tests run the real service on an ephemeral loopback port
+with real :class:`~repro.campaign.worker.WorkerAgent` loops on threads
+(blocking HTTP against the asyncio server), simulate worker death by
+abandoning leases, and diff the artifacts against a golden run.
+
+Shard-count independence is part of the assertion: the golden run uses
+one shard per wearer while the fleet runs use other shard counts — the
+aggregate is built from per-wearer summary bytes only, so the lease
+granularity must never leak into the artifacts.
+"""
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.campaign.queue import shard_payload_crc
+from repro.campaign.runner import run_campaign, run_wearer_task, wearer_run_dir
+from repro.campaign.service import CampaignService
+from repro.campaign.spec import make_population
+from repro.campaign.worker import WorkerAgent
+from repro.core.journal import JOURNAL_FILENAME, SUMMARY_FILENAME
+
+from tests.test_campaign_service import _request
+
+
+def _spec(size=4, name="fleet", base_seed=40):
+    return make_population(
+        size, preset="smoke", base_seed=base_seed, pdr_bounds=(90, 95),
+        name=name,
+    )
+
+
+@pytest.fixture(scope="module")
+def golden(tmp_path_factory):
+    """One single-host run of the fleet spec; every test diffs against it."""
+    spec = _spec()
+    directory = tmp_path_factory.mktemp("golden") / "campaign"
+    run_campaign(spec, directory, shards=len(spec.wearers), jobs=1)
+    return {
+        "spec": spec,
+        "aggregate": (directory / "aggregate.json").read_bytes(),
+        "atlas": (directory / "atlas.json").read_bytes(),
+    }
+
+
+async def _submit_fleet(port, spec):
+    status, payload = await _request(
+        port, "POST", "/campaigns", {**spec.to_dict(), "execution": "fleet"}
+    )
+    assert status in (200, 202)
+    assert payload["state"] in ("fleet", "done")
+    return payload["id"]
+
+
+def _agent(port, workdir, name, **kwargs):
+    kwargs.setdefault("poll_interval", 0.1)
+    kwargs.setdefault("exit_idle", 1.0)
+    return WorkerAgent(
+        f"http://127.0.0.1:{port}", workdir, name=name, **kwargs
+    )
+
+
+async def _drain_workers(agents):
+    """Run every agent's pull loop on a thread until all exit."""
+    codes = {}
+
+    def loop(agent):
+        codes[agent.name] = agent.run_forever()
+
+    threads = [
+        threading.Thread(target=loop, args=(agent,), daemon=True)
+        for agent in agents
+    ]
+    for t in threads:
+        t.start()
+    while any(t.is_alive() for t in threads):
+        await asyncio.sleep(0.1)
+    return codes
+
+
+class TestFleetExecution:
+    def test_two_workers_match_single_host_bytes(self, tmp_path, golden):
+        async def scenario():
+            service = CampaignService(tmp_path / "coord", lease_ttl=30.0)
+            _, port = await service.start("127.0.0.1", 0)
+            try:
+                cid = await _submit_fleet(port, golden["spec"])
+                workers = [
+                    _agent(port, tmp_path / "work", f"w{i}")
+                    for i in (1, 2)
+                ]
+                codes = await _drain_workers(workers)
+                assert set(codes.values()) == {0}
+
+                status, payload = await _request(
+                    port, "GET", f"/campaigns/{cid}/status"
+                )
+                assert (status, payload["state"]) == (200, "done")
+                assert payload["queue"]["pending"] == 0
+                assert payload["queue"]["leased"] == 0
+                assert all(
+                    s["state"] == "committed" for s in payload["shards"]
+                )
+
+                status, result = await _request(
+                    port, "GET", f"/campaigns/{cid}/result"
+                )
+                assert status == 200
+                return cid
+            finally:
+                await service.stop()
+
+        cid = asyncio.run(scenario())
+        directory = tmp_path / "coord" / cid
+        assert (directory / "aggregate.json").read_bytes() == (
+            golden["aggregate"]
+        )
+        assert (directory / "atlas.json").read_bytes() == golden["atlas"]
+        telemetry = json.loads((directory / "telemetry.json").read_text())
+        census = telemetry["pool"]["workers"]
+        assert set(census) <= {"coordinator", "w1", "w2"}
+
+    def test_reassigned_shard_resumes_from_journals(self, tmp_path, golden):
+        """A worker dies mid-shard; after the TTL the shard is reassigned
+        and the replacement resumes from the dead worker's journals
+        (shared workdir) — completed wearers load, a torn journal
+        replays its tail — and the artifacts still match the golden
+        bytes."""
+        spec = golden["spec"]
+        workdir = tmp_path / "work"
+
+        async def scenario():
+            service = CampaignService(
+                tmp_path / "coord", shards=1, lease_ttl=0.8
+            )
+            _, port = await service.start("127.0.0.1", 0)
+            try:
+                cid = await _submit_fleet(port, spec)
+                # "dead" worker: leases the (single) shard over the real
+                # wire, runs two wearers, then vanishes — no heartbeat,
+                # no commit.
+                status, payload = await _request(
+                    port, "POST", f"/campaigns/{cid}/leases",
+                    {"worker": "doomed"},
+                )
+                assert status == 200 and payload["lease"]
+                lease = payload["lease"]
+                ran = []
+                for wearer in lease["wearers"][:2]:
+                    ran.append(await asyncio.to_thread(
+                        run_wearer_task,
+                        {
+                            "campaign": lease["campaign"],
+                            "preset": lease["preset"],
+                            "wearer": wearer,
+                            "run_dir": str(wearer_run_dir(
+                                workdir / cid, lease["shard"],
+                                wearer["wearer_id"],
+                            )),
+                            "cache_dir": None,
+                            "batch_mode": "auto",
+                        },
+                    ))
+                assert [r["state"] for r in ran] == ["ran", "ran"]
+
+                # Tear the second wearer's run mid-write: drop its
+                # summary and truncate the journal, as a SIGKILL would.
+                torn_dir = wearer_run_dir(
+                    workdir / cid, lease["shard"], ran[1]["wearer_id"]
+                )
+                (torn_dir / SUMMARY_FILENAME).unlink()
+                journal = torn_dir / JOURNAL_FILENAME
+                lines = journal.read_text().splitlines(keepends=True)
+                assert len(lines) > 2
+                journal.write_text("".join(lines[: len(lines) // 2]))
+
+                await asyncio.sleep(1.0)  # let the lease TTL lapse
+
+                rescuer = _agent(port, workdir, "rescuer")
+                codes = await _drain_workers([rescuer])
+                assert codes == {"rescuer": 0}
+                # one wearer loaded from its summary, one replayed from
+                # the torn journal, two ran fresh
+                assert rescuer.wearers_run == len(spec.wearers)
+                assert rescuer.wearers_resumed >= 2
+
+                status, payload = await _request(
+                    port, "GET", f"/campaigns/{cid}/status"
+                )
+                assert payload["state"] == "done"
+                return cid
+            finally:
+                await service.stop()
+
+        cid = asyncio.run(scenario())
+        directory = tmp_path / "coord" / cid
+        assert (directory / "aggregate.json").read_bytes() == (
+            golden["aggregate"]
+        )
+        assert (directory / "atlas.json").read_bytes() == golden["atlas"]
+
+
+class TestCommitProtocol:
+    """Wire-level commit semantics with fabricated summaries (fast)."""
+
+    def _fake_summaries(self, lease, tag="a"):
+        return {
+            w["wearer_id"]: {
+                "status": "infeasible",
+                "best": None,
+                "oracle_stats": {},
+                "tag": tag,
+            }
+            for w in lease["wearers"]
+        }
+
+    def test_double_commit_is_idempotent_and_divergence_409s(
+        self, tmp_path
+    ):
+        spec = _spec(size=2, name="commitproto")
+
+        async def scenario():
+            service = CampaignService(tmp_path / "coord", shards=1)
+            _, port = await service.start("127.0.0.1", 0)
+            try:
+                cid = await _submit_fleet(port, spec)
+                status, payload = await _request(
+                    port, "POST", f"/campaigns/{cid}/leases",
+                    {"worker": "w1"},
+                )
+                lease = payload["lease"]
+                summaries = self._fake_summaries(lease)
+                commit = {
+                    "worker": "w1",
+                    "token": lease["token"],
+                    "crc": shard_payload_crc(summaries),
+                    "summaries": summaries,
+                }
+                path = f"/campaigns/{cid}/shards/{lease['shard']}/complete"
+
+                status, first = await _request(port, "POST", path, commit)
+                assert (status, first["duplicate"]) == (200, False)
+                assert first["campaign_state"] == "done"
+
+                # identical double-commit: accepted as a no-op
+                status, second = await _request(port, "POST", path, commit)
+                assert (status, second["duplicate"]) == (200, True)
+
+                # divergent bytes for the same shard: integrity error
+                divergent = self._fake_summaries(lease, tag="b")
+                status, refused = await _request(
+                    port, "POST", path,
+                    {**commit, "crc": shard_payload_crc(divergent),
+                     "summaries": divergent},
+                )
+                assert status == 409
+                assert "integrity" in refused["error"]
+
+                # a corrupt upload (CRC does not match content) is 400
+                status, refused = await _request(
+                    port, "POST", path, {**commit, "crc": "deadbeef"}
+                )
+                assert status == 400
+            finally:
+                await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_lease_surface_errors(self, tmp_path):
+        spec = _spec(size=2, name="leaseerr")
+
+        async def scenario():
+            service = CampaignService(tmp_path / "coord", shards=1)
+            _, port = await service.start("127.0.0.1", 0)
+            try:
+                cid = await _submit_fleet(port, spec)
+                # heartbeat on a never-granted token
+                status, payload = await _request(
+                    port, "POST",
+                    f"/campaigns/{cid}/leases/nosuchtoken/heartbeat",
+                )
+                assert status == 410
+                # lease endpoints on an unknown campaign
+                status, payload = await _request(
+                    port, "POST", "/campaigns/feedfacefeedface/leases",
+                    {"worker": "w1"},
+                )
+                assert status == 404
+                # lease endpoints on a local-execution campaign
+                local = _spec(size=2, name="localonly")
+                status, payload = await _request(
+                    port, "POST", "/campaigns", local.to_dict()
+                )
+                assert status in (200, 202)
+                status, payload = await _request(
+                    port, "POST",
+                    f"/campaigns/{local.fingerprint()}/leases",
+                    {"worker": "w1"},
+                )
+                assert status == 409
+                await service.join()
+            finally:
+                await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_coordinator_restart_recovers_queue_state(self, tmp_path):
+        """Kill the coordinator between commits: the reopened service
+        replays ``queue.jsonl``, keeps committed shards committed, and
+        finalizes when the remaining shards land."""
+        spec = _spec(size=4, name="recover")
+        root = tmp_path / "coord"
+
+        async def first_life():
+            service = CampaignService(root, shards=2)
+            _, port = await service.start("127.0.0.1", 0)
+            try:
+                cid = await _submit_fleet(port, spec)
+                status, payload = await _request(
+                    port, "POST", f"/campaigns/{cid}/leases",
+                    {"worker": "w1"},
+                )
+                lease = payload["lease"]
+                summaries = self._fake_summaries(lease)
+                status, _ = await _request(
+                    port, "POST",
+                    f"/campaigns/{cid}/shards/{lease['shard']}/complete",
+                    {"worker": "w1", "token": lease["token"],
+                     "crc": shard_payload_crc(summaries),
+                     "summaries": summaries},
+                )
+                assert status == 200
+                return cid
+            finally:
+                await service.stop()  # no drain: leases stay in the log
+
+        async def second_life(cid):
+            service = CampaignService(root, shards=2)
+            _, port = await service.start("127.0.0.1", 0)
+            try:
+                status, payload = await _request(
+                    port, "GET", f"/campaigns/{cid}/status"
+                )
+                assert status == 200
+                assert payload["state"] == "fleet"
+                assert payload["queue"]["committed"] >= 1
+                # a fresh worker finishes the remaining shards
+                status, grant = await _request(
+                    port, "POST", f"/campaigns/{cid}/leases",
+                    {"worker": "w2"},
+                )
+                while grant["lease"]:
+                    lease = grant["lease"]
+                    summaries = self._fake_summaries(lease)
+                    status, done = await _request(
+                        port, "POST",
+                        f"/campaigns/{cid}/shards/{lease['shard']}/complete",
+                        {"worker": "w2", "token": lease["token"],
+                         "crc": shard_payload_crc(summaries),
+                         "summaries": summaries},
+                    )
+                    assert status == 200
+                    status, grant = await _request(
+                        port, "POST", f"/campaigns/{cid}/leases",
+                        {"worker": "w2"},
+                    )
+                status, payload = await _request(
+                    port, "GET", f"/campaigns/{cid}/status"
+                )
+                assert payload["state"] == "done"
+            finally:
+                await service.stop()
+
+        cid = asyncio.run(first_life())
+        asyncio.run(second_life(cid))
+        assert (root / cid / "aggregate.json").exists()

@@ -278,3 +278,120 @@ class TestServiceRecovery:
                 await service.join()
 
         asyncio.run(scenario())
+
+
+class TestRequestHardening:
+    """The `_read_request` guard rails: slow clients and oversized bodies
+    must get an error status and the socket back, not pin a handler."""
+
+    async def _raw_exchange(self, port, blob, settle=0.0):
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        try:
+            writer.write(blob)
+            await writer.drain()
+            if settle:
+                await asyncio.sleep(settle)
+            raw = await reader.read()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        return int(raw.split()[1]) if raw else None
+
+    def test_silent_client_gets_408(self, tmp_path):
+        async def scenario():
+            service = CampaignService(tmp_path, read_timeout=0.3)
+            _, port = await service.start("127.0.0.1", 0)
+            try:
+                # half a request line, then silence past the deadline
+                status = await self._raw_exchange(
+                    port, b"GET /healthz HTT", settle=0.0
+                )
+                assert status == 408
+            finally:
+                await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_stalled_body_gets_408(self, tmp_path):
+        async def scenario():
+            service = CampaignService(tmp_path, read_timeout=0.3)
+            _, port = await service.start("127.0.0.1", 0)
+            try:
+                head = (
+                    b"POST /campaigns HTTP/1.1\r\nHost: t\r\n"
+                    b"Content-Length: 100\r\n\r\n"
+                )
+                status = await self._raw_exchange(
+                    port, head + b"only-part-of-the-body"
+                )
+                assert status == 408
+            finally:
+                await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_oversized_body_gets_413_before_buffering(self, tmp_path):
+        from repro.campaign.service import MAX_BODY_BYTES
+
+        async def scenario():
+            service = CampaignService(tmp_path)
+            _, port = await service.start("127.0.0.1", 0)
+            try:
+                head = (
+                    b"POST /campaigns HTTP/1.1\r\nHost: t\r\n"
+                    b"Content-Length: %d\r\n\r\n"
+                    % (MAX_BODY_BYTES + 1)
+                )
+                # the declared size alone disqualifies the request: the
+                # 413 must arrive without a single body byte being sent
+                status = await self._raw_exchange(port, head)
+                assert status == 413
+            finally:
+                await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_garbage_header_line_gets_400(self, tmp_path):
+        async def scenario():
+            service = CampaignService(tmp_path)
+            _, port = await service.start("127.0.0.1", 0)
+            try:
+                # one header line past the StreamReader's 64 KiB limit,
+                # but small enough to land in the socket buffers before
+                # the server answers (no write/reset race)
+                blob = (
+                    b"GET /healthz HTTP/1.1\r\n"
+                    + b"X-Junk: " + b"a" * (80 * 1024) + b"\r\n\r\n"
+                )
+                status = await self._raw_exchange(port, blob)
+                assert status == 400
+            finally:
+                await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_status_alias_matches_bare_campaign_route(self, tmp_path):
+        async def scenario():
+            service = CampaignService(tmp_path, jobs=1)
+            _, port = await service.start("127.0.0.1", 0)
+            try:
+                spec = _spec(size=2, base_seed=77, name="alias")
+                status, sub = await _request(
+                    port, "POST", "/campaigns", spec.to_dict()
+                )
+                assert status in (200, 202)
+                cid = sub["id"]
+                await _poll_until(port, cid, {"done"})
+                _, bare = await _request(port, "GET", f"/campaigns/{cid}")
+                _, alias = await _request(
+                    port, "GET", f"/campaigns/{cid}/status"
+                )
+                assert alias == bare
+            finally:
+                await service.stop()
+                await service.join()
+
+        asyncio.run(scenario())

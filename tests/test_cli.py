@@ -535,6 +535,40 @@ class TestServeParsing:
         assert args.root == "/tmp/f"
         assert (args.host, args.port) == ("127.0.0.1", 8732)
         assert args.shards is None
+        assert args.lease_ttl == 30.0
+
+    def test_serve_lease_ttl_parses(self):
+        args = cli.build_parser().parse_args(
+            ["serve", "--root", "/tmp/f", "--lease-ttl", "2.5"]
+        )
+        assert args.lease_ttl == 2.5
+
+
+class TestWorkerParsing:
+    def test_worker_requires_coordinator_and_workdir(self):
+        with pytest.raises(SystemExit) as exc:
+            cli.build_parser().parse_args(["worker"])
+        assert exc.value.code == 2
+
+    def test_worker_defaults(self):
+        args = cli.build_parser().parse_args([
+            "worker", "--coordinator", "http://127.0.0.1:8732",
+            "--workdir", "/tmp/w",
+        ])
+        assert args.coordinator == "http://127.0.0.1:8732"
+        assert args.workdir == "/tmp/w"
+        assert args.name is None
+        assert args.poll == 1.0
+        assert args.exit_idle is None
+
+    def test_worker_flags_parse(self):
+        args = cli.build_parser().parse_args([
+            "worker", "--coordinator", "http://h:1", "--workdir", "/w",
+            "--name", "rig-7", "--poll", "0.2", "--exit-idle", "5",
+            "--jobs", "2",
+        ])
+        assert (args.name, args.poll, args.exit_idle) == ("rig-7", 0.2, 5.0)
+        assert args.jobs == 2
 
 
 class TestCampaignReportSection:
@@ -566,6 +600,76 @@ class TestCampaignReportSection:
             {"kind": "des.run", "seq": 1, "t": 0.1, "events": 10},
         ])
         assert "campaign" not in report
+
+
+class TestFabricReportSection:
+    """``trace_report`` renders lease-queue/worker fabric activity and
+    stays silent on traces that predate the fabric events."""
+
+    def test_fabric_events_render(self):
+        report = summarize([
+            {"kind": "queue.lease", "seq": 1, "t": 0.1,
+             "campaign": "abcd", "shard": 0, "worker": "w1"},
+            {"kind": "queue.lease", "seq": 2, "t": 0.2,
+             "campaign": "abcd", "shard": 1, "worker": "w2"},
+            {"kind": "queue.expire", "seq": 3, "t": 0.5,
+             "campaign": "abcd", "shard": 0, "worker": "w1"},
+            {"kind": "queue.lease", "seq": 4, "t": 0.6,
+             "campaign": "abcd", "shard": 0, "worker": "w2"},
+            {"kind": "queue.commit", "seq": 5, "t": 0.9,
+             "campaign": "abcd", "shard": 1, "worker": "w2",
+             "duplicate": False},
+            {"kind": "queue.commit", "seq": 6, "t": 1.0,
+             "campaign": "abcd", "shard": 0, "worker": "w2",
+             "duplicate": False},
+            {"kind": "queue.commit", "seq": 7, "t": 1.1,
+             "campaign": "abcd", "shard": 0, "worker": "w1",
+             "duplicate": True},
+            {"kind": "queue.release", "seq": 8, "t": 1.2,
+             "campaign": "abcd", "shard": 2, "worker": "w1",
+             "reason": "drain"},
+            {"kind": "queue.done", "seq": 9, "t": 1.5,
+             "campaign": "abcd", "aggregate_fingerprint": "ffff",
+             "feasible": 2, "wearers": 2},
+        ])
+        assert "fabric (lease queue / workers)" in report
+        assert "leases granted: 3 to 2 worker(s) (w1, w2)" in report
+        assert "lease expirations (reassignments): 1 (1x w1)" in report
+        assert "voluntary releases: 1" in report
+        assert "shard commits: 2 (+1 duplicate no-op(s))" in report
+        assert "w2: 2 shard(s)" in report
+        assert "done: aggregate ffff  feasible 2/2" in report
+
+    def test_worker_side_trace_renders_commit_activity(self):
+        # A worker's own trace has no queue.* events (those live in the
+        # coordinator's trace) — the section renders the agent's view.
+        report = summarize([
+            {"kind": "worker.lease", "seq": 1, "t": 0.1,
+             "worker": "wt", "campaign": "abcd", "shard": 0, "wearers": 2},
+            {"kind": "worker.commit", "seq": 2, "t": 0.9,
+             "worker": "wt", "campaign": "abcd", "shard": 0,
+             "duplicate": False, "wearers": 2, "wearers_resumed": 2,
+             "campaign_state": "done"},
+        ])
+        assert "fabric (lease queue / workers)" in report
+        assert "shards run and committed: 1" in report
+        assert "wt: 1 shard(s) (2 wearer(s) resumed from journals)" in report
+
+    def test_partial_fabric_events_never_keyerror(self):
+        report = summarize([
+            {"kind": "queue.lease", "seq": 1, "t": 0.1},
+            {"kind": "queue.commit", "seq": 2, "t": 0.2},
+            {"kind": "worker.commit", "seq": 3, "t": 0.3},
+        ])
+        assert "fabric (lease queue / workers)" in report
+
+    def test_pre_fabric_traces_skip_section(self):
+        report = summarize([
+            {"kind": "campaign.start", "seq": 1, "t": 0.0,
+             "campaign": "abcd", "name": "f", "preset": "smoke",
+             "wearers": 1, "shards": 1, "jobs": 1},
+        ])
+        assert "fabric" not in report
 
 
 class TestPoolReportSection:

@@ -339,3 +339,57 @@ def test_resume_with_wrong_campaign_arguments_is_fatal(tmp_path):
     wrong = dict(_explore_manifest(), pdr_min=0.5)
     with pytest.raises(JournalError, match="manifest mismatch"):
         RunJournal.resume(run_dir, **wrong)
+
+
+class TestEventLog:
+    """The generic CRC-framed append-only log behind the lease queue."""
+
+    def test_round_trip_and_fsync_framing(self, tmp_path):
+        from repro.core.journal import EventLog
+
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            log.append({"kind": "lease", "shard": 0})
+            log.append({"kind": "commit", "shard": 0, "crc": "aa"})
+        with EventLog(path) as log:
+            kinds = [e["kind"] for e in log.entries]
+            assert kinds == ["lease", "commit"]
+
+    def test_torn_tail_is_truncated_on_open(self, tmp_path):
+        from repro.core.journal import EventLog
+
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            log.append({"kind": "lease", "shard": 0})
+        intact = path.stat().st_size
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"kind": "commit", "sha')  # killed mid-write
+        with EventLog(path) as log:
+            assert [e["kind"] for e in log.entries] == ["lease"]
+            # the torn bytes are gone from disk, not just skipped
+            assert path.stat().st_size == intact
+            log.append({"kind": "commit", "shard": 0})
+        with EventLog(path) as log:
+            assert [e["kind"] for e in log.entries] == ["lease", "commit"]
+
+    def test_corrupt_frame_inside_the_prefix_is_fatal(self, tmp_path):
+        from repro.core.journal import EventLog
+
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            log.append({"kind": "lease", "shard": 0})
+            log.append({"kind": "commit", "shard": 0})
+        lines = path.read_text().splitlines(keepends=True)
+        # flip a byte inside the *first* frame: the fsynced prefix
+        # itself is damaged, which is not survivable (unlike a torn
+        # tail) and must refuse the whole log
+        path.write_text(lines[0].replace("lease", "laese") + lines[1])
+        with pytest.raises(JournalError, match="corrupt journal line"):
+            EventLog(path)
+
+    def test_payload_crc_is_canonical(self):
+        from repro.core.journal import payload_crc
+
+        a = payload_crc({"b": 1, "a": [1, 2]})
+        b = payload_crc({"a": [1, 2], "b": 1})
+        assert a == b and len(a) == 8 and a != payload_crc({"a": [2, 1]})

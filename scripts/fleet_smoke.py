@@ -14,11 +14,17 @@ real processes on localhost:
    dead worker's journals;
 4. poll until the campaign is ``done`` and require the fleet
    ``aggregate.json``/``atlas.json`` to be **byte-identical** to the
-   golden run (``cmp`` semantics, done in-process).
+   golden run (``cmp`` semantics, done in-process);
+5. submit a **second** campaign over the same wearer population under a
+   different name against the same coordinator: every wearer must be
+   served from the cross-campaign wearer cache — the warm worker may
+   write **zero** run journals — and the artifacts must again be
+   byte-identical to a single-host run of the warm spec.
 
 If the doomed worker finishes its shard before the kill lands the test
 degrades to a plain two-worker fleet run — still asserting byte
-identity.  Any divergence, hang, or worker failure exits nonzero.
+identity.  Any divergence, hang, re-simulation in the warm phase, or
+worker failure exits nonzero.
 
 Usage::
 
@@ -219,6 +225,61 @@ def main(argv=None) -> int:
             log(f"FAIL: campaign never reached done: {payload}")
             return 1
         log(f"campaign done: {payload['queue']}")
+
+        # -- phase 2: warm-cache campaign (same wearers, new name) ------
+        # The coordinator's wearer cache was fed by phase 1's commits;
+        # this campaign must be a download, not a simulation.
+        warm_spec = make_population(
+            args.wearers, preset=args.preset, base_seed=40,
+            pdr_bounds=(90, 95), name="fleet-smoke-warm",
+        )
+        warm_cid = warm_spec.fingerprint()
+        warm_spec_path = workdir / "spec-warm.json"
+        warm_spec.save(warm_spec_path)
+        warm_golden_dir = workdir / "golden-warm"
+        log(f"golden single-host run of warm campaign {warm_cid}")
+        subprocess.run(
+            cli(
+                "campaign", "--spec", str(warm_spec_path), "--jobs", "1",
+                "--shards", "2", "--out", str(warm_golden_dir),
+            ),
+            env=child_env(),
+            check=True,
+            stdout=subprocess.DEVNULL,
+        )
+        status, payload = http_json(
+            "POST", f"{base_url}/campaigns",
+            {**warm_spec.to_dict(), "execution": "fleet"},
+        )
+        if status not in (200, 202):
+            log(f"FAIL: warm submission returned {status}: {payload}")
+            return 1
+        log(f"submitted warm fleet campaign {payload['id']} "
+            f"(state {payload['state']})")
+        warm_worker = start_worker(
+            "warm", base_url, workdir / "work-warm"
+        )
+        try:
+            deadline = time.monotonic() + 600.0
+            while time.monotonic() < deadline:
+                status, payload = http_json(
+                    "GET", f"{base_url}/campaigns/{warm_cid}"
+                )
+                if status == 200 and payload.get("state") == "done":
+                    break
+                if warm_worker.poll() not in (None, 0):
+                    log(f"FAIL: warm worker exited "
+                        f"{warm_worker.returncode} mid-campaign")
+                    return 1
+                time.sleep(0.25)
+            else:
+                log(f"FAIL: warm campaign never reached done: {payload}")
+                return 1
+        finally:
+            if warm_worker.poll() is None:
+                warm_worker.terminate()
+                warm_worker.wait()
+        log(f"warm campaign done: {payload['queue']}")
     finally:
         for proc in (doomed, survivor):
             if proc is not None and proc.poll() is None:
@@ -227,19 +288,44 @@ def main(argv=None) -> int:
         coordinator.terminate()
         coordinator.wait()
 
-    fleet_dir = workdir / "coord" / cid
-    for name in ("aggregate.json", "atlas.json"):
-        golden_blob = (golden_dir / name).read_bytes()
-        fleet_blob = (fleet_dir / name).read_bytes()
-        if golden_blob != fleet_blob:
-            log(f"FAIL: fleet {name} differs from the single-host run")
-            return 1
-        log(f"{name}: fleet bytes identical to single-host "
-            f"({len(fleet_blob)} bytes)")
+    for label, campaign, gold in (
+        ("fleet", cid, golden_dir),
+        ("warm fleet", warm_cid, warm_golden_dir),
+    ):
+        fleet_dir = workdir / "coord" / campaign
+        for name in ("aggregate.json", "atlas.json"):
+            golden_blob = (gold / name).read_bytes()
+            fleet_blob = (fleet_dir / name).read_bytes()
+            if golden_blob != fleet_blob:
+                log(f"FAIL: {label} {name} differs from the "
+                    "single-host run")
+                return 1
+            log(f"{label} {name}: bytes identical to single-host "
+                f"({len(fleet_blob)} bytes)")
 
-    telemetry = json.loads((fleet_dir / "telemetry.json").read_text())
+    # Zero re-simulation: a cache-served wearer writes summary.json
+    # only, so any run journal for the warm campaign means the wearer
+    # cache failed to serve it.  Checked across *every* workdir — a
+    # phase-1 worker still draining may legally pick up warm shards.
+    warm_journals = sorted(
+        journal
+        for work in (workdir / "work", workdir / "work-warm")
+        for journal in (work / warm_cid).rglob("journal.jsonl")
+        if (work / warm_cid).exists()
+    )
+    if warm_journals:
+        log(f"FAIL: warm worker simulated {len(warm_journals)} "
+            f"wearer(s): {[str(p) for p in warm_journals]}")
+        return 1
+    log("warm worker wrote zero run journals — every wearer was a "
+        "cache hit")
+
+    telemetry = json.loads(
+        (workdir / "coord" / cid / "telemetry.json").read_text()
+    )
     log(f"worker census: {telemetry['pool']['workers']}")
-    log("OK: fleet execution is byte-identical to single-host")
+    log("OK: fleet execution is byte-identical to single-host, and the "
+        "warm campaign re-simulated nothing")
     return 0
 
 

@@ -402,7 +402,8 @@ def _campaign_section(events: List[dict], lines: List[str]) -> None:
 
 
 def _fabric_section(events: List[dict], lines: List[str]) -> None:
-    """Cross-host fabric activity (``queue.*``/``worker.*`` events, PR 8).
+    """Cross-host fabric activity (``queue.*``/``worker.*`` events, PR 8,
+    plus the PR 9 cache/steal events).
 
     Traces recorded before the lease-based shard queue existed simply
     have none of these events and skip this section; every field access
@@ -415,9 +416,14 @@ def _fabric_section(events: List[dict], lines: List[str]) -> None:
     done = [e for e in events if e.get("kind") == "queue.done"]
     worker_leases = [e for e in events if e.get("kind") == "worker.lease"]
     worker_commits = [e for e in events if e.get("kind") == "worker.commit"]
+    splits = [e for e in events if e.get("kind") == "queue.split"]
+    steals = [e for e in events if e.get("kind") == "queue.steal"]
+    sub_commits = [e for e in events if e.get("kind") == "queue.sub_commit"]
+    cache_events = [e for e in events if e.get("kind") == "cache.wearer"]
     if not (
         leases or expires or releases or commits or done
         or worker_leases or worker_commits
+        or splits or steals or sub_commits or cache_events
     ):
         return
     lines.append("fabric (lease queue / workers)")
@@ -471,6 +477,40 @@ def _fabric_section(events: List[dict], lines: List[str]) -> None:
             if resumed:
                 line += f" ({resumed} wearer(s) resumed from journals)"
             lines.append(line)
+    if splits or steals or sub_commits:
+        # Work stealing (PR 9): stragglers split into per-wearer
+        # sub-leases, merged back through idempotent sub-commits.
+        thieves: Dict[str, int] = defaultdict(int)
+        for e in steals:
+            thieves[str(e.get("worker", "?"))] += 1
+        detail = ", ".join(
+            f"{thieves[w]}x {w}" for w in sorted(thieves)
+        )
+        lines.append(
+            f"  work stealing: {len(splits)} shard(s) split, "
+            f"{len(steals)} wearer(s) stolen"
+            + (f" ({detail})" if detail else "")
+            + f", {len(sub_commits)} sub-commit(s)"
+        )
+    if cache_events:
+        # Cross-campaign wearer cache (PR 9): hits are downloads, not
+        # simulations; stores feed campaigns that follow.
+        hits = sum(1 for e in cache_events if e.get("action") == "hit")
+        stores = sum(
+            1 for e in cache_events if e.get("action") == "store"
+        )
+        by_source: Dict[str, int] = defaultdict(int)
+        for e in cache_events:
+            if e.get("action") == "hit":
+                by_source[str(e.get("source", "?"))] += 1
+        detail = ", ".join(
+            f"{by_source[s]} via {s}" for s in sorted(by_source)
+        )
+        lines.append(
+            f"  wearer cache: {hits} hit(s)"
+            + (f" ({detail})" if detail else "")
+            + f", {stores} store(s)"
+        )
     for e in done:
         lines.append(
             f"  done: aggregate {e.get('aggregate_fingerprint', '?')}  "

@@ -1,0 +1,345 @@
+"""Fleet-fabric benchmark: warm-cache reuse, work stealing, RPC batching.
+
+Three measurements, one per PR 9 optimization, each with the repo's
+identity-first discipline — every fleet run's ``aggregate.json`` and
+``atlas.json`` are byte-compared against a single-host golden *before*
+any timing is reported, so a fabric that got faster by changing answers
+fails loudly:
+
+* **warm cache** — the same wearer population submitted twice under
+  different campaign names against one coordinator.  The first (cold)
+  campaign simulates everything; the second (warm) campaign must
+  re-simulate *nothing* — every wearer arrives as a coordinator
+  prefetch riding the lease payload, verified by asserting that the
+  warm workers wrote zero run journals.  The headline number is
+  ``cold_wall / warm_wall``;
+* **straggler stealing** — the whole population in a single shard, two
+  workers, with stealing disabled vs enabled.  Without stealing the
+  second worker idles while the first grinds the shard serially; with
+  stealing it splits the straggler and works the wearer list tail-first
+  until the fronts meet.  Byte-identity across both modes is the
+  interesting claim: merged split-shard commits seal to the same bytes
+  as a whole-shard commit;
+* **RPC efficiency** — every phase records the workers' request and
+  connection counters (one batched ``/fabric/sync`` per tick on a
+  persistent keep-alive socket), asserting connections ≪ requests.
+
+``repro bench --suite fleet`` writes the ``BENCH_fleet.json`` report
+consumed by CI (same conventions as ``BENCH_hotpath.json``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import pathlib
+import shutil
+import tempfile
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.hotpath import environment_fingerprint, write_report
+from repro.campaign.spec import CampaignSpec, make_population
+
+#: Artifacts whose bytes every fleet run must reproduce exactly.
+IDENTITY_ARTIFACTS = ("aggregate.json", "atlas.json")
+
+#: Default population size: big enough that a straggler shard is worth
+#: stealing from, small enough that the whole suite stays ~1 minute.
+DEFAULT_WEARERS = 6
+
+
+def _population(preset: str, size: int, name: str) -> CampaignSpec:
+    return make_population(
+        size, preset=preset, base_seed=47, pdr_bounds=(90, 95), name=name
+    )
+
+
+def _artifact_bytes(directory) -> Dict[str, bytes]:
+    return {
+        name: (pathlib.Path(directory) / name).read_bytes()
+        for name in IDENTITY_ARTIFACTS
+    }
+
+
+def _assert_identical(label: str, directory, golden: Dict[str, bytes]) -> None:
+    for name, want in golden.items():
+        got = (pathlib.Path(directory) / name).read_bytes()
+        if got != want:
+            raise AssertionError(
+                f"{label}: fleet-produced {name} differs from the "
+                "single-host golden — the fabric changed result bytes"
+            )
+
+
+def _count_run_journals(root) -> int:
+    """Run journals under ``root`` — each one is a wearer that actually
+    simulated (cache hits write ``summary.json`` only)."""
+    root = pathlib.Path(root)
+    if not root.exists():
+        return 0
+    return sum(1 for _ in root.rglob("journal.jsonl"))
+
+
+def _worker_process(
+    url: str, workdir: str, name: str, throttle_s: float, queue
+) -> None:
+    """Child-process body: one WorkerAgent drained to idle, counters
+    shipped back through ``queue``.  Separate *processes*, not threads —
+    the simulations are CPU-bound pure Python, and a thread fleet would
+    serialize on the GIL and hide exactly the wall-clock wins (stealing,
+    caching) this benchmark exists to measure."""
+    from repro.campaign.worker import WorkerAgent
+
+    agent = WorkerAgent(
+        url, workdir, name=name, poll_interval=0.05, exit_idle=0.5,
+        throttle_s=throttle_s,
+    )
+    code = agent.run_forever()
+    queue.put({
+        "name": name,
+        "exit_code": code,
+        "rpc_requests": agent.client.requests,
+        "connections_opened": agent.client.connections_opened,
+        "wearers_run": agent.wearers_run,
+        "wearers_skipped_stolen": agent.wearers_skipped,
+        "shards_committed": agent.shards_committed,
+    })
+
+
+def _run_fleet(
+    spec: CampaignSpec,
+    root,
+    workdirs: List[pathlib.Path],
+    steal_enabled: bool = True,
+    shards: Optional[int] = None,
+    lease_ttl: float = 2.0,
+    throttles: Optional[List[float]] = None,
+    stagger: bool = False,
+) -> Tuple[float, Dict]:
+    """One fleet campaign start-to-aggregate; returns (wall, counters).
+
+    ``throttles`` optionally slows individual workers down (per-wearer
+    artificial delay) to model a heterogeneous fleet.  The clock starts
+    when the worker processes are launched and stops the moment the
+    coordinator's state flips to ``done`` (worker drain time is not the
+    fabric's latency).
+    """
+    from repro.campaign.service import CampaignService
+
+    # Fork (the repo's standard pool start method): worker startup is
+    # milliseconds, so process launch does not distort short phases.
+    ctx = multiprocessing.get_context("fork")
+
+    async def scenario() -> Tuple[float, Dict]:
+        service = CampaignService(
+            root, shards=shards, lease_ttl=lease_ttl,
+            steal_enabled=steal_enabled,
+        )
+        _, port = await service.start("127.0.0.1", 0)
+        campaign_id = spec.fingerprint()
+        stats_queue = ctx.Queue()
+        processes = [
+            ctx.Process(
+                target=_worker_process,
+                args=(
+                    f"http://127.0.0.1:{port}", str(workdir),
+                    f"bench-w{index}",
+                    (throttles or [0.0] * len(workdirs))[index],
+                    stats_queue,
+                ),
+                daemon=True,
+            )
+            for index, workdir in enumerate(workdirs)
+        ]
+        try:
+            service.submit(spec, execution="fleet")
+            t0 = time.perf_counter()
+            if stagger and len(processes) > 1:
+                # The first worker must own the shard before anyone else
+                # arrives — the straggler scenario is deterministic, not
+                # a race over who leases first.
+                processes[0].start()
+                while True:
+                    status = service.status(campaign_id)
+                    counts = status.get("queue") or {}
+                    if (
+                        status["state"] == "done"
+                        or not counts.get("pending", 0)
+                    ):
+                        break
+                    await asyncio.sleep(0.01)
+                for process in processes[1:]:
+                    process.start()
+            else:
+                for process in processes:
+                    process.start()
+            while service.status(campaign_id)["state"] != "done":
+                await asyncio.sleep(0.01)
+            wall = time.perf_counter() - t0
+            while any(process.is_alive() for process in processes):
+                await asyncio.sleep(0.05)
+        finally:
+            for process in processes:
+                process.join(timeout=10.0)
+                if process.is_alive():
+                    process.terminate()
+            await service.stop()
+        per_worker = [stats_queue.get(timeout=5.0) for _ in processes]
+        counters = {
+            key: sum(worker[key] for worker in per_worker)
+            for key in (
+                "rpc_requests", "connections_opened", "wearers_run",
+                "wearers_skipped_stolen", "shards_committed",
+            )
+        }
+        codes = {worker["exit_code"] for worker in per_worker}
+        if codes != {0}:
+            raise AssertionError(f"worker exit codes {sorted(codes)} != 0")
+        return wall, counters
+
+    return asyncio.run(scenario())
+
+
+def run_fleet_benchmarks(
+    preset: str = "ci",
+    wearers: int = DEFAULT_WEARERS,
+    workers: int = 2,
+) -> Dict:
+    """Run the three fleet measurements and assemble the report payload."""
+    from repro.campaign.runner import run_campaign
+
+    scratch = pathlib.Path(tempfile.mkdtemp(prefix="bench-fleet-"))
+    try:
+        spec_cold = _population(preset, wearers, name="fleet-cold")
+        spec_warm = _population(preset, wearers, name="fleet-warm")
+
+        # Single-host goldens, wearer cache off: the bytes every fleet
+        # configuration below is required to reproduce.
+        golden: Dict[str, Dict[str, bytes]] = {}
+        for tag, spec in (("cold", spec_cold), ("warm", spec_warm)):
+            directory = scratch / f"golden-{tag}"
+            run_campaign(spec, directory, jobs=1)
+            golden[tag] = _artifact_bytes(directory)
+
+        # -- warm cache: same coordinator root, second campaign renames
+        # the same wearer population, so every wearer is a cache hit.
+        coord = scratch / "coord"
+        cold_wall, cold_stats = _run_fleet(
+            spec_cold, coord,
+            [scratch / "work-cold" / f"w{i}" for i in range(workers)],
+            lease_ttl=5.0,
+        )
+        _assert_identical(
+            "cold fleet", coord / spec_cold.fingerprint(), golden["cold"]
+        )
+        warm_wall, warm_stats = _run_fleet(
+            spec_warm, coord,
+            [scratch / "work-warm" / f"w{i}" for i in range(workers)],
+            lease_ttl=5.0,
+        )
+        _assert_identical(
+            "warm fleet", coord / spec_warm.fingerprint(), golden["warm"]
+        )
+        warm_journals = _count_run_journals(scratch / "work-warm")
+        if warm_journals:
+            raise AssertionError(
+                f"warm campaign simulated {warm_journals} wearer(s) — the "
+                "cross-campaign cache failed to serve them"
+            )
+
+        # -- straggler: one shard on a *slow* worker (per-wearer throttle
+        # modelling a loaded host — the classic straggler), a fast second
+        # worker, stealing off vs on.  Fresh roots and fresh worker
+        # caches each (no cross-talk with the phase above).  The slow
+        # host is throttled identically in both modes; the only variable
+        # is whether the fast worker may steal from it.
+        throttle = 3.0
+        straggler: Dict[str, Dict] = {}
+        for mode, steal in (("without_steal", False), ("with_steal", True)):
+            root = scratch / f"straggler-{mode}"
+            wall, stats = _run_fleet(
+                spec_cold, root,
+                [scratch / f"work-{mode}" / f"w{i}" for i in range(workers)],
+                steal_enabled=steal, shards=1, lease_ttl=2.0,
+                throttles=[throttle] + [0.0] * (workers - 1),
+                stagger=True,
+            )
+            _assert_identical(
+                f"straggler {mode}",
+                root / spec_cold.fingerprint(), golden["cold"],
+            )
+            straggler[mode] = {"wall_seconds": wall, **stats}
+
+        total_requests = (
+            cold_stats["rpc_requests"] + warm_stats["rpc_requests"]
+            + straggler["without_steal"]["rpc_requests"]
+            + straggler["with_steal"]["rpc_requests"]
+        )
+        total_connections = (
+            cold_stats["connections_opened"]
+            + warm_stats["connections_opened"]
+            + straggler["without_steal"]["connections_opened"]
+            + straggler["with_steal"]["connections_opened"]
+        )
+        if total_connections >= total_requests:
+            raise AssertionError(
+                f"keep-alive is not working: {total_connections} "
+                f"connections for {total_requests} requests"
+            )
+
+        return {
+            "benchmark": "fleet",
+            "preset": preset,
+            "wearers": wearers,
+            "workers": workers,
+            "environment": environment_fingerprint(),
+            "warm_cache": {
+                "cold_wall_seconds": cold_wall,
+                "warm_wall_seconds": warm_wall,
+                "speedup": cold_wall / warm_wall,
+                "warm_worker_run_journals": warm_journals,
+                "byte_identical": True,
+                "cold": cold_stats,
+                "warm": warm_stats,
+            },
+            "straggler": {
+                "shards": 1,
+                "slow_worker_throttle_s": throttle,
+                "without_steal": straggler["without_steal"],
+                "with_steal": straggler["with_steal"],
+                "speedup": (
+                    straggler["without_steal"]["wall_seconds"]
+                    / straggler["with_steal"]["wall_seconds"]
+                ),
+                "byte_identical": True,
+            },
+            "rpc": {
+                "total_requests": total_requests,
+                "total_connections_opened": total_connections,
+                "requests_per_connection": (
+                    total_requests / max(1, total_connections)
+                ),
+            },
+            "note": (
+                "Every fleet run's aggregate.json and atlas.json are "
+                "byte-compared against a cache-free single-host golden "
+                "before any timing is reported.  The warm campaign "
+                "re-simulated zero wearers (its workers wrote no run "
+                "journals); the straggler comparison gives the whole "
+                "shard to a throttled worker (modelling a loaded host), "
+                "identically slow in both modes, and toggles only "
+                "whether the fast worker may steal from it.  All worker "
+                "traffic rides batched POST /fabric/sync calls on "
+                "persistent keep-alive connections."
+            ),
+        }
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
+__all__ = [
+    "DEFAULT_WEARERS",
+    "run_fleet_benchmarks",
+    "write_report",
+]

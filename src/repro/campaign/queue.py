@@ -25,6 +25,21 @@ collapse into no-ops.  That is the whole correctness argument — the
 aggregate built from committed summaries is byte-identical to a
 single-host ``run_campaign`` of the same spec.
 
+**Wearer-grain work stealing** (PR 9) extends the same state machine one
+level down.  When ``acquire`` finds no pending shard, the queue *splits*
+a straggler (the leased shard with the most wearers) into per-wearer
+sub-leases: the original holder's lease stays valid — its heartbeats now
+return the set of wearers stolen from under it, which it skips — while
+idle workers lease remaining wearers one at a time, **tail-first**
+(the original runs head-first, so the two fronts meet with at most one
+wearer of overlap).  Sub-commits go through the same CRC-keyed
+idempotent path at wearer grain; a commit against a split shard may
+cover any subset of its wearers and merges wearer by wearer, and the
+shard seals with an ordinary shard-level commit record once every wearer
+has landed.  All of it is journaled (``split`` / ``sub_lease`` /
+``sub_renew`` / ``sub_release`` / ``sub_expire`` / ``sub_commit``), so a
+restarted coordinator recovers mid-steal exactly like mid-lease.
+
 Durability mirrors the rest of the runtime: every lease/renew/expire/
 release/commit is appended to a CRC-framed
 :class:`~repro.core.journal.EventLog` (``queue.jsonl``) *after* its
@@ -39,7 +54,7 @@ import json
 import pathlib
 import time
 import uuid
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.campaign.aggregate import (
     AGGREGATE_FILENAME,
@@ -92,6 +107,17 @@ def shard_payload_crc(summaries: Dict[str, dict]) -> str:
     return payload_crc({"summaries": summaries})
 
 
+def wearer_payload_crc(summary: dict) -> str:
+    """The content CRC keying one wearer's sub-commit (same canonical-
+    JSON construction as :func:`shard_payload_crc`, one level down)."""
+    return payload_crc({"summary": summary})
+
+
+def _fresh_sub() -> dict:
+    return {"state": "pending", "worker": None, "token": None,
+            "expires_at": None, "crc": None}
+
+
 class CampaignQueue:
     """One campaign's shard-grain work queue (see the module docstring).
 
@@ -99,6 +125,8 @@ class CampaignQueue:
     service routes synchronously), so there is no internal locking; the
     ``clock`` hook exists for lease-expiry tests and defaults to wall
     time because expiries must survive a coordinator restart.
+    ``steal_enabled`` gates the wearer-grain split path — identical
+    artifacts either way, stealing only changes who simulates what.
     """
 
     def __init__(
@@ -108,6 +136,7 @@ class CampaignQueue:
         shards: int,
         lease_ttl: float = DEFAULT_LEASE_TTL,
         clock: Callable[[], float] = time.time,
+        steal_enabled: bool = True,
     ) -> None:
         from repro.obs import runtime
 
@@ -116,6 +145,7 @@ class CampaignQueue:
         self.fingerprint = spec.fingerprint()
         self.lease_ttl = float(lease_ttl)
         self.clock = clock
+        self.steal_enabled = bool(steal_enabled)
         self.obs = runtime.get_active()
         self._started = clock()
 
@@ -150,14 +180,17 @@ class CampaignQueue:
                     self.directory, index, self.fingerprint, wearer_ids
                 )
 
-        #: shard index → {"state": pending|leased|committed, ...}
+        #: shard index → {"state": pending|leased|split|committed, ...}
         self._shards: Dict[int, dict] = {
             index: {"state": "pending", "worker": None, "token": None,
                     "expires_at": None, "crc": None}
             for index in self.wearers_of
         }
-        #: live token → shard index (leases are single-use capabilities).
-        self._tokens: Dict[str, int] = {}
+        #: split shard index → wearer id → sub-lease state (same fields).
+        self._subs: Dict[int, Dict[str, dict]] = {}
+        #: live token → (shard index, wearer id or None for a whole-shard
+        #: lease) — leases are single-use capabilities at either grain.
+        self._tokens: Dict[str, Tuple[int, Optional[str]]] = {}
         self._log = EventLog(self.directory / QUEUE_LOG_FILENAME)
         self._replay(self._log.entries)
         # An empty shard has nothing to simulate: commit it immediately
@@ -176,7 +209,8 @@ class CampaignQueue:
         Commits are final; a lease without a later commit/release/expire
         is restored verbatim (including its wall-clock expiry), so a
         restarted coordinator neither forgets who held a shard nor
-        reassigns it before the original TTL has truly run out.
+        reassigns it before the original TTL has truly run out.  Split
+        shards restore their per-wearer sub-state the same way.
         """
         for entry in entries:
             kind = entry.get("kind")
@@ -184,6 +218,12 @@ class CampaignQueue:
             if shard not in self._shards:
                 continue
             state = self._shards[shard]
+            subs = self._subs.get(shard)
+            sub = (
+                subs.get(entry.get("wearer"))
+                if subs is not None and entry.get("wearer") is not None
+                else None
+            )
             if kind == "lease":
                 state.update(
                     state="leased",
@@ -194,9 +234,39 @@ class CampaignQueue:
             elif kind == "renew" and state["token"] == entry.get("token"):
                 state["expires_at"] = entry.get("expires_at")
             elif kind in ("release", "expire"):
-                if state["state"] != "committed":
+                if state["state"] == "split":
+                    # Only the original whole-shard lease went away; the
+                    # shard stays split and its wearers stay stealable.
+                    state.update(worker=None, token=None, expires_at=None)
+                elif state["state"] != "committed":
                     state.update(state="pending", worker=None, token=None,
                                  expires_at=None)
+            elif kind == "split":
+                if state["state"] != "committed":
+                    state["state"] = "split"
+                    self._subs[shard] = {
+                        wid: _fresh_sub() for wid in self.wearers_of[shard]
+                    }
+            elif kind == "sub_lease" and sub is not None:
+                if sub["state"] != "committed":
+                    sub.update(
+                        state="leased",
+                        worker=entry.get("worker"),
+                        token=entry.get("token"),
+                        expires_at=entry.get("expires_at"),
+                    )
+            elif kind == "sub_renew" and sub is not None:
+                if sub["token"] == entry.get("token"):
+                    sub["expires_at"] = entry.get("expires_at")
+            elif kind in ("sub_release", "sub_expire") and sub is not None:
+                if sub["state"] != "committed":
+                    sub.update(state="pending", worker=None, token=None,
+                               expires_at=None)
+            elif kind == "sub_commit" and sub is not None:
+                sub.update(
+                    state="committed", worker=entry.get("worker"),
+                    token=None, expires_at=None, crc=entry.get("crc"),
+                )
             elif kind == "commit":
                 state.update(
                     state="committed",
@@ -205,11 +275,15 @@ class CampaignQueue:
                     expires_at=None,
                     crc=entry.get("crc"),
                 )
-        self._tokens = {
-            s["token"]: index
-            for index, s in self._shards.items()
-            if s["state"] == "leased" and s["token"]
-        }
+                self._subs.pop(shard, None)
+        self._tokens = {}
+        for index, s in self._shards.items():
+            if s["state"] in ("leased", "split") and s["token"]:
+                self._tokens[s["token"]] = (index, None)
+        for index, subs in self._subs.items():
+            for wid, s in subs.items():
+                if s["state"] == "leased" and s["token"]:
+                    self._tokens[s["token"]] = (index, wid)
 
     def _record(self, kind: str, **fields) -> None:
         self._log.append({"kind": kind, "campaign": self.fingerprint,
@@ -218,7 +292,8 @@ class CampaignQueue:
     # -- lease state machine -----------------------------------------------------
 
     def reclaim_expired(self) -> List[int]:
-        """Return every shard whose lease TTL has lapsed to ``pending``.
+        """Return every shard/wearer whose lease TTL has lapsed to
+        ``pending``.
 
         Called lazily at the top of every queue interaction — the
         coordinator needs no timer thread because a reclaim only matters
@@ -228,7 +303,7 @@ class CampaignQueue:
         reclaimed = []
         for index, state in self._shards.items():
             if (
-                state["state"] == "leased"
+                state["state"] in ("leased", "split")
                 and state["expires_at"] is not None
                 and state["expires_at"] <= now
             ):
@@ -242,18 +317,44 @@ class CampaignQueue:
                     "queue.expire", campaign=self.fingerprint, shard=index,
                     worker=state["worker"],
                 )
-                state.update(state="pending", worker=None, token=None,
-                             expires_at=None)
+                if state["state"] == "split":
+                    # The original holder died mid-split: its remaining
+                    # wearers are already individually stealable.
+                    state.update(worker=None, token=None, expires_at=None)
+                else:
+                    state.update(state="pending", worker=None, token=None,
+                                 expires_at=None)
                 reclaimed.append(index)
+        for index, subs in self._subs.items():
+            for wid, sub in subs.items():
+                if (
+                    sub["state"] == "leased"
+                    and sub["expires_at"] is not None
+                    and sub["expires_at"] <= now
+                ):
+                    self._tokens.pop(sub["token"], None)
+                    self._record(
+                        "sub_expire", shard=index, wearer=wid,
+                        token=sub["token"], worker=sub["worker"],
+                    )
+                    self.obs.counter("queue.expirations").inc()
+                    self.obs.event(
+                        "queue.expire", campaign=self.fingerprint,
+                        shard=index, wearer=wid, worker=sub["worker"],
+                    )
+                    sub.update(state="pending", worker=None, token=None,
+                               expires_at=None)
+                    reclaimed.append(index)
         return reclaimed
 
     def acquire(self, worker: str) -> Optional[dict]:
-        """Lease the lowest pending shard to ``worker`` (None = no work).
+        """Lease work to ``worker`` (None = nothing to hand out).
 
-        The lease payload is everything a remote worker needs to run the
-        shard: the campaign fingerprint, preset, shard index, the
-        shard's wearer specs, the token, and the TTL it must heartbeat
-        within.
+        Preference order: the lowest pending shard (whole-shard lease,
+        the payload carrying everything a remote worker needs — campaign
+        fingerprint, preset, wearer specs, token, TTL); then, with
+        stealing enabled, a pending wearer of an already-split shard;
+        finally, splitting the biggest leased straggler to steal from.
         """
         self.reclaim_expired()
         for index in sorted(self._shards):
@@ -264,7 +365,7 @@ class CampaignQueue:
             expires_at = self.clock() + self.lease_ttl
             state.update(state="leased", worker=worker, token=token,
                          expires_at=expires_at)
-            self._tokens[token] = index
+            self._tokens[token] = (index, None)
             self._record(
                 "lease", shard=index, worker=worker, token=token,
                 ttl=self.lease_ttl, expires_at=expires_at,
@@ -288,9 +389,91 @@ class CampaignQueue:
                     if w.wearer_id in wearer_ids
                 ],
             }
+        if not self.steal_enabled:
+            return None
+        lease = self._acquire_sub(worker)
+        if lease is not None:
+            return lease
+        candidate = None
+        for index in sorted(self._shards):
+            state = self._shards[index]
+            if (
+                state["state"] == "leased"
+                and len(self.wearers_of[index]) >= 2
+                and state["worker"] != worker
+            ):
+                if candidate is None or (
+                    len(self.wearers_of[index])
+                    > len(self.wearers_of[candidate])
+                ):
+                    candidate = index
+        if candidate is None:
+            return None
+        self._split(candidate)
+        return self._acquire_sub(worker)
+
+    def _split(self, index: int) -> None:
+        """Decompose a leased straggler into per-wearer sub-leases.
+
+        The original holder keeps its lease — its next heartbeat will
+        carry the stolen-wearer set so it can skip them — and every
+        wearer becomes individually pending underneath.
+        """
+        state = self._shards[index]
+        self._subs[index] = {
+            wid: _fresh_sub() for wid in self.wearers_of[index]
+        }
+        state["state"] = "split"
+        self._record("split", shard=index, worker=state["worker"],
+                     token=state["token"])
+        self.obs.counter("queue.splits").inc()
+        self.obs.event(
+            "queue.split", campaign=self.fingerprint, shard=index,
+            worker=state["worker"], wearers=len(self.wearers_of[index]),
+        )
+
+    def _acquire_sub(self, worker: str) -> Optional[dict]:
+        """Grant one pending wearer of a split shard, tail-first.
+
+        Tail-first because the original holder runs its wearer list
+        head-first: granting from the opposite end means the two fronts
+        meet with at most one wearer simulated twice.
+        """
+        for index in sorted(self._subs):
+            if self._shards[index]["state"] != "split":
+                continue
+            subs = self._subs[index]
+            for wid in reversed(self.wearers_of[index]):
+                sub = subs[wid]
+                if sub["state"] != "pending":
+                    continue
+                token = uuid.uuid4().hex
+                expires_at = self.clock() + self.lease_ttl
+                sub.update(state="leased", worker=worker, token=token,
+                           expires_at=expires_at)
+                self._tokens[token] = (index, wid)
+                self._record(
+                    "sub_lease", shard=index, wearer=wid, worker=worker,
+                    token=token, ttl=self.lease_ttl, expires_at=expires_at,
+                )
+                self.obs.counter("queue.steals").inc()
+                self.obs.event(
+                    "queue.steal", campaign=self.fingerprint, shard=index,
+                    wearer=wid, worker=worker,
+                )
+                return {
+                    "campaign": self.fingerprint,
+                    "name": self.spec.name,
+                    "preset": self.spec.preset,
+                    "shard": index,
+                    "sub": wid,
+                    "token": token,
+                    "ttl": self.lease_ttl,
+                    "wearers": [self.spec.wearer(wid).to_dict()],
+                }
         return None
 
-    def _lease_for(self, token: str) -> int:
+    def _lease_for(self, token: str) -> Tuple[int, Optional[str]]:
         self.reclaim_expired()
         if token not in self._tokens:
             raise QueueError(
@@ -300,27 +483,78 @@ class CampaignQueue:
             )
         return self._tokens[token]
 
+    def stolen_wearers(self, index: int) -> List[str]:
+        """Wearers of a split shard the original holder should skip:
+        sub-committed already, or sub-leased to someone else."""
+        subs = self._subs.get(index)
+        if not subs:
+            return []
+        holder = self._shards[index]["worker"]
+        return [
+            wid
+            for wid in self.wearers_of[index]
+            if subs[wid]["state"] == "committed"
+            or (
+                subs[wid]["state"] == "leased"
+                and subs[wid]["worker"] != holder
+            )
+        ]
+
     def heartbeat(self, token: str) -> dict:
-        """Renew a live lease; returns the new expiry."""
-        index = self._lease_for(token)
-        state = self._shards[index]
-        state["expires_at"] = self.clock() + self.lease_ttl
-        self._record(
-            "renew", shard=index, token=token,
-            expires_at=state["expires_at"],
-        )
+        """Renew a live lease; returns the new expiry.
+
+        For the original holder of a split shard the response also
+        carries ``stolen`` — the wearers it should skip because thieves
+        own or already committed them.  That piggyback is what turns
+        stealing into an actual wall-clock win: without it the original
+        would re-simulate every stolen wearer.
+        """
+        index, wearer = self._lease_for(token)
+        expires_at = self.clock() + self.lease_ttl
+        if wearer is None:
+            state = self._shards[index]
+            state["expires_at"] = expires_at
+            self._record("renew", shard=index, token=token,
+                         expires_at=expires_at)
+        else:
+            sub = self._subs[index][wearer]
+            sub["expires_at"] = expires_at
+            self._record("sub_renew", shard=index, wearer=wearer,
+                         token=token, expires_at=expires_at)
         self.obs.counter("queue.renewals").inc()
-        return {
+        out = {
             "shard": index,
             "ttl": self.lease_ttl,
             "expires_in": self.lease_ttl,
         }
+        if wearer is not None:
+            out["wearer"] = wearer
+        else:
+            stolen = self.stolen_wearers(index)
+            if stolen:
+                out["stolen"] = stolen
+        return out
 
     def release(self, token: str, reason: str = "released") -> dict:
-        """Voluntarily return a leased shard to the pending pool."""
-        index = self._lease_for(token)
-        state = self._shards[index]
+        """Voluntarily return a leased shard (or stolen wearer) to the
+        pending pool."""
+        index, wearer = self._lease_for(token)
         self._tokens.pop(token, None)
+        if wearer is not None:
+            sub = self._subs[index][wearer]
+            self._record(
+                "sub_release", shard=index, wearer=wearer, token=token,
+                worker=sub["worker"], reason=reason,
+            )
+            self.obs.counter("queue.releases").inc()
+            self.obs.event(
+                "queue.release", campaign=self.fingerprint, shard=index,
+                wearer=wearer, worker=sub["worker"], reason=reason,
+            )
+            sub.update(state="pending", worker=None, token=None,
+                       expires_at=None)
+            return {"shard": index, "wearer": wearer, "state": "pending"}
+        state = self._shards[index]
         self._record(
             "release", shard=index, token=token, worker=state["worker"],
             reason=reason,
@@ -330,6 +564,9 @@ class CampaignQueue:
             "queue.release", campaign=self.fingerprint, shard=index,
             worker=state["worker"], reason=reason,
         )
+        if state["state"] == "split":
+            state.update(worker=None, token=None, expires_at=None)
+            return {"shard": index, "state": "split"}
         state.update(state="pending", worker=None, token=None,
                      expires_at=None)
         return {"shard": index, "state": "pending"}
@@ -344,13 +581,17 @@ class CampaignQueue:
         worker: str,
         token: Optional[str] = None,
     ) -> dict:
-        """Commit a shard's per-wearer summaries (idempotent, CRC-keyed).
+        """Commit per-wearer summaries (idempotent, CRC-keyed).
 
         A stale token is *not* an error: determinism means a worker that
         lost its lease still produced the same bytes the replacement
         will, so first-writer-wins and every later identical commit is a
         no-op.  Only *divergent* bytes for the same shard are refused —
         that is data corruption or a spec mismatch, never a benign race.
+
+        An unsplit shard requires exact wearer cover (the whole-shard
+        contract); a split shard accepts any subset and merges wearer by
+        wearer through :meth:`_commit_split`.
         """
         if shard not in self._shards:
             raise QueueError(404, f"campaign has no shard {shard}")
@@ -361,14 +602,23 @@ class CampaignQueue:
                 f"shard {shard} payload CRC {crc!r} does not match its "
                 f"content ({expected_crc!r}) — refusing a corrupt upload",
             )
+        state = self._shards[shard]
+        if state["state"] == "split":
+            return self._commit_split(shard, summaries, worker, token)
         expected_wearers = sorted(self.wearers_of[shard])
         if sorted(summaries) != expected_wearers:
+            if state["state"] == "committed" and not (
+                set(summaries) - set(expected_wearers)
+            ):
+                # A straggler committing the non-stolen remainder of a
+                # shard that thieves already finished: per-wearer bytes
+                # decide between benign duplicate and divergence.
+                return self._commit_late_subset(shard, summaries, worker)
             raise QueueError(
                 400,
                 f"shard {shard} commit must cover exactly its wearers "
                 f"{expected_wearers}, got {sorted(summaries)}",
             )
-        state = self._shards[shard]
         if state["state"] == "committed":
             if state["crc"] == crc:
                 self.obs.counter("queue.duplicate_commits").inc()
@@ -396,7 +646,7 @@ class CampaignQueue:
         # Invalidate every live token for this shard — including a
         # reassigned lease held by someone else: their next heartbeat
         # gets 410 and they learn the shard is already done.
-        for live_token, live_index in list(self._tokens.items()):
+        for live_token, (live_index, _wearer) in list(self._tokens.items()):
             if live_index == shard:
                 self._tokens.pop(live_token, None)
         self._record("commit", shard=shard, worker=worker, crc=crc,
@@ -410,6 +660,134 @@ class CampaignQueue:
         )
         return {"shard": shard, "state": "committed", "duplicate": False}
 
+    def _commit_split(
+        self,
+        shard: int,
+        summaries: Dict[str, dict],
+        worker: str,
+        token: Optional[str],
+    ) -> dict:
+        """Merge a commit into a split shard, wearer by wearer.
+
+        The payload may cover any subset of the shard's wearers (the
+        original holder commits everything it did not skip, a thief
+        commits exactly its stolen wearer); each wearer resolves
+        independently under the same CRC rules — first writer wins,
+        identical repeats are no-ops, divergence is a 409 refused
+        *before* any filesystem effect.
+        """
+        subs = self._subs[shard]
+        unknown = sorted(set(summaries) - set(self.wearers_of[shard]))
+        if unknown:
+            raise QueueError(
+                400, f"shard {shard} has no wearer(s) {unknown}"
+            )
+        crcs = {
+            wid: wearer_payload_crc(summaries[wid]) for wid in summaries
+        }
+        for wid, crc in crcs.items():
+            sub = subs[wid]
+            if sub["state"] == "committed" and sub["crc"] != crc:
+                self.obs.counter("queue.divergent_commits").inc()
+                raise QueueError(
+                    409,
+                    f"wearer {wid!r} of shard {shard} is already "
+                    f"committed with CRC {sub['crc']!r}; a divergent "
+                    f"commit ({crc!r}) means two executions disagreed — "
+                    "integrity violation, refusing to overwrite",
+                )
+        shard_dir = shard_directory(self.directory, shard)
+        fresh: List[str] = []
+        duplicates: List[str] = []
+        for wid in self.wearers_of[shard]:
+            if wid not in summaries:
+                continue
+            sub = subs[wid]
+            if sub["state"] == "committed":
+                duplicates.append(wid)
+                self.obs.counter("queue.duplicate_commits").inc()
+                continue
+            write_summary(shard_dir / wid, summaries[wid])
+            if sub["token"]:
+                self._tokens.pop(sub["token"], None)
+            self._record("sub_commit", shard=shard, wearer=wid,
+                         worker=worker, crc=crcs[wid], token=token)
+            sub.update(state="committed", worker=worker, token=None,
+                       expires_at=None, crc=crcs[wid])
+            fresh.append(wid)
+            self.obs.counter("queue.sub_commits").inc()
+            self.obs.event(
+                "queue.sub_commit", campaign=self.fingerprint, shard=shard,
+                wearer=wid, worker=worker,
+            )
+        outcome = {
+            "shard": shard,
+            "state": "split",
+            "committed_wearers": fresh,
+            "duplicate_wearers": duplicates,
+            "duplicate": bool(duplicates) and not fresh,
+        }
+        if all(sub["state"] == "committed" for sub in subs.values()):
+            # Every wearer has landed: seal the shard with an ordinary
+            # shard-level commit record keyed by the merged content CRC —
+            # replay and telemetry cannot tell a merged shard from an
+            # unsplit one.
+            merged: Dict[str, dict] = {}
+            for wid in self.wearers_of[shard]:
+                with open(
+                    shard_dir / wid / SUMMARY_FILENAME, "r",
+                    encoding="utf-8",
+                ) as fh:
+                    merged[wid] = json.load(fh)
+            full_crc = shard_payload_crc(merged)
+            for live_token, (live_index, _w) in list(self._tokens.items()):
+                if live_index == shard:
+                    self._tokens.pop(live_token, None)
+            self._record("commit", shard=shard, worker=worker,
+                         crc=full_crc, token=token)
+            self._shards[shard].update(
+                state="committed", worker=worker, token=None,
+                expires_at=None, crc=full_crc,
+            )
+            self._subs.pop(shard, None)
+            self.obs.counter("queue.commits").inc()
+            self.obs.event(
+                "queue.commit", campaign=self.fingerprint, shard=shard,
+                worker=worker, duplicate=False, merged=True,
+            )
+            outcome["state"] = "committed"
+        return outcome
+
+    def _commit_late_subset(
+        self, shard: int, summaries: Dict[str, dict], worker: str
+    ) -> dict:
+        """A subset commit against an already-committed shard: compare
+        against the bytes on disk wearer by wearer (duplicate no-op when
+        identical, 409 when divergent)."""
+        shard_dir = shard_directory(self.directory, shard)
+        for wid in sorted(summaries):
+            with open(
+                shard_dir / wid / SUMMARY_FILENAME, "r", encoding="utf-8"
+            ) as fh:
+                committed = json.load(fh)
+            if wearer_payload_crc(committed) != wearer_payload_crc(
+                summaries[wid]
+            ):
+                self.obs.counter("queue.divergent_commits").inc()
+                raise QueueError(
+                    409,
+                    f"wearer {wid!r} of committed shard {shard} received "
+                    "divergent bytes — integrity violation, refusing to "
+                    "overwrite",
+                )
+        self.obs.counter("queue.duplicate_commits").inc()
+        self.obs.event(
+            "queue.commit", campaign=self.fingerprint, shard=shard,
+            worker=worker, duplicate=True,
+        )
+        return {"shard": shard, "state": "committed", "duplicate": True,
+                "duplicate_wearers": sorted(summaries)}
+
     # -- aggregation -------------------------------------------------------------
 
     @property
@@ -417,7 +795,7 @@ class CampaignQueue:
         return all(s["state"] == "committed" for s in self._shards.values())
 
     def counts(self) -> Dict[str, int]:
-        tally = {"pending": 0, "leased": 0, "committed": 0}
+        tally = {"pending": 0, "leased": 0, "split": 0, "committed": 0}
         for state in self._shards.values():
             tally[state["state"]] += 1
         return tally
@@ -437,6 +815,14 @@ class CampaignQueue:
             if state["state"] == "leased":
                 entry["worker"] = state["worker"]
                 entry["expires_in"] = round(state["expires_at"] - now, 3)
+            elif state["state"] == "split":
+                entry["worker"] = state["worker"]
+                if state["expires_at"] is not None:
+                    entry["expires_in"] = round(state["expires_at"] - now, 3)
+                tally = {"pending": 0, "leased": 0, "committed": 0}
+                for sub in self._subs.get(index, {}).values():
+                    tally[sub["state"]] += 1
+                entry["sub"] = tally
             elif state["state"] == "committed":
                 entry["worker"] = state["worker"]
                 entry["crc"] = state["crc"]

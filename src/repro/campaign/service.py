@@ -35,6 +35,26 @@ distributed work queue (:mod:`repro.campaign.queue`, DESIGN.md §12)::
                                                    commit of the shard's
                                                    per-wearer summaries
 
+The fleet hot path (PR 9, DESIGN.md §13) adds three more::
+
+    POST /fabric/sync                  one round-trip for a whole worker
+                                       tick: renew every held lease AND
+                                       acquire new work (granted
+                                       round-robin across active fleet
+                                       campaigns, so one big campaign
+                                       cannot starve later submissions),
+                                       with cross-campaign cached wearer
+                                       summaries prefetched onto the
+                                       lease payload
+    GET  /cache/wearers/<fingerprint>  cross-campaign wearer-result cache
+    PUT  /cache/wearers/<fingerprint>  (content-addressed, CRC-validated,
+                                       idempotent; 409 on divergence)
+
+Connections are **keep-alive** by default (HTTP/1.1 semantics: one
+request after another on the same socket until the client sends
+``Connection: close`` or goes quiet), so a worker's entire
+pull→heartbeat→commit loop rides one TCP connection.
+
 Campaign ids are spec fingerprints, so submission is naturally
 idempotent and the id is stable across service restarts.
 
@@ -64,7 +84,7 @@ from __future__ import annotations
 import asyncio
 import json
 import pathlib
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.campaign.aggregate import (
     AGGREGATE_FILENAME,
@@ -77,13 +97,26 @@ from repro.campaign.queue import (
     QueueError,
 )
 from repro.campaign.spec import CampaignSpec
+from repro.campaign.wearer_cache import (
+    WEARER_CACHE_DIRNAME,
+    WearerCacheDiverged,
+    WearerResultCache,
+    summary_crc,
+    wearer_fingerprint,
+)
 from repro.core.journal import (
     CAMPAIGN_MANIFEST_FILENAME,
     QUEUE_LOG_FILENAME,
     SUMMARY_FILENAME,
+    EventLog,
     JournalError,
     load_campaign_manifest,
 )
+
+#: Durable record of campaign state transitions (``<root>/service.jsonl``):
+#: replayed at startup so a restarted coordinator also remembers *failed*
+#: campaigns (their error included) instead of silently re-running them.
+SERVICE_LOG_FILENAME = "service.jsonl"
 
 #: Artifact names the API will serve (everything else 404s: the campaign
 #: directory also holds journals, which are replay state, not artifacts).
@@ -125,6 +158,11 @@ class HttpError(Exception):
         self.message = message
 
 
+class _ConnectionClosed(Exception):
+    """The client hung up between requests on a keep-alive connection —
+    the normal end of a conversation, never an error."""
+
+
 class CampaignService:
     """Campaign orchestration bound to one root directory.
 
@@ -143,6 +181,7 @@ class CampaignService:
         batch_mode: str = "auto",
         lease_ttl: float = DEFAULT_LEASE_TTL,
         read_timeout: float = DEFAULT_READ_TIMEOUT,
+        steal_enabled: bool = True,
     ) -> None:
         self.root = pathlib.Path(root)
         self.jobs = max(1, int(jobs))
@@ -151,6 +190,7 @@ class CampaignService:
         self.batch_mode = batch_mode
         self.lease_ttl = float(lease_ttl)
         self.read_timeout = float(read_timeout)
+        self.steal_enabled = bool(steal_enabled)
         #: id → "queued" | "running" | "fleet" | "done" | "failed"
         self._states: Dict[str, str] = {}
         self._errors: Dict[str, str] = {}
@@ -158,6 +198,59 @@ class CampaignService:
         #: id → shard queue of a fleet-executed campaign
         self._queues: Dict[str, CampaignQueue] = {}
         self._server: Optional[asyncio.base_events.Server] = None
+        #: Cross-campaign wearer-result cache (fed by shard commits,
+        #: served over GET/PUT /cache/wearers/<fp>, prefetched on leases).
+        self.wearer_cache = WearerResultCache(
+            self.root / WEARER_CACHE_DIRNAME
+        )
+        #: Round-robin cursor over active fleet campaigns (lease fairness).
+        self._rr_cursor = 0
+        self._journal = EventLog(self.root / SERVICE_LOG_FILENAME)
+        self._replay_states()
+
+    def _replay_states(self) -> None:
+        """Restore remembered campaign outcomes from the service journal.
+
+        Only terminal *failures* are restored into memory: ``done`` is
+        always derivable from the aggregate on disk, and transient
+        states (queued/running/fleet) mean the campaign was interrupted
+        and should go through :meth:`recover` as before.  A restored
+        failure keeps its error message and is **not** auto-relaunched —
+        retrying is an explicit resubmission.
+        """
+        states: Dict[str, str] = {}
+        errors: Dict[str, str] = {}
+        for entry in self._journal.entries:
+            kind = entry.get("kind")
+            cid = str(entry.get("id", ""))
+            if not cid:
+                continue
+            if kind == "state":
+                states[cid] = str(entry.get("state", ""))
+                if states[cid] != "failed":
+                    errors.pop(cid, None)
+            elif kind == "error":
+                errors[cid] = str(entry.get("error", ""))
+        for cid, state in states.items():
+            if state == "failed":
+                self._states[cid] = "failed"
+                if cid in errors:
+                    self._errors[cid] = errors[cid]
+
+    def _set_state(
+        self, campaign_id: str, state: str, error: Optional[str] = None
+    ) -> None:
+        """Record a state transition (journaled so restarts remember it)."""
+        if self._states.get(campaign_id) != state:
+            self._states[campaign_id] = state
+            self._journal.append(
+                {"kind": "state", "id": campaign_id, "state": state}
+            )
+        if error is not None and self._errors.get(campaign_id) != error:
+            self._errors[campaign_id] = error
+            self._journal.append(
+                {"kind": "error", "id": campaign_id, "error": error}
+            )
 
     def _fleet_shards(self, spec: CampaignSpec) -> int:
         """Shard count for a fleet campaign: the lease granularity.
@@ -252,7 +345,7 @@ class CampaignService:
             return self.status(campaign_id)
         directory = self.campaign_dir(campaign_id)
         if (directory / AGGREGATE_FILENAME).exists():
-            self._states[campaign_id] = "done"
+            self._set_state(campaign_id, "done")
             return self.status(campaign_id)
         if execution == "fleet":
             self._open_queue(campaign_id, spec)
@@ -267,6 +360,7 @@ class CampaignService:
             self.campaign_dir(campaign_id),
             shards=self._fleet_shards(spec),
             lease_ttl=self.lease_ttl,
+            steal_enabled=self.steal_enabled,
         )
         self._queues[campaign_id] = queue
         self._errors.pop(campaign_id, None)
@@ -274,12 +368,12 @@ class CampaignService:
             # Every shard already committed (e.g. killed between the
             # last commit and aggregation): finalize immediately.
             queue.finalize()
-            self._states[campaign_id] = "done"
+            self._set_state(campaign_id, "done")
         else:
-            self._states[campaign_id] = "fleet"
+            self._set_state(campaign_id, "fleet")
 
     def _launch(self, campaign_id: str, spec: CampaignSpec) -> None:
-        self._states[campaign_id] = "queued"
+        self._set_state(campaign_id, "queued")
         self._errors.pop(campaign_id, None)
         self._tasks[campaign_id] = asyncio.get_running_loop().create_task(
             self._run(campaign_id, spec)
@@ -288,7 +382,7 @@ class CampaignService:
     async def _run(self, campaign_id: str, spec: CampaignSpec) -> None:
         from repro.campaign.runner import run_campaign
 
-        self._states[campaign_id] = "running"
+        self._set_state(campaign_id, "running")
         try:
             await asyncio.to_thread(
                 run_campaign,
@@ -298,12 +392,14 @@ class CampaignService:
                 jobs=self.jobs,
                 cache_dir=self.cache_dir,
                 batch_mode=self.batch_mode,
+                wearer_cache_dir=str(self.wearer_cache.directory),
             )
         except Exception as exc:  # surfaced via GET status, not lost
-            self._states[campaign_id] = "failed"
-            self._errors[campaign_id] = f"{type(exc).__name__}: {exc}"
+            self._set_state(
+                campaign_id, "failed", error=f"{type(exc).__name__}: {exc}"
+            )
         else:
-            self._states[campaign_id] = "done"
+            self._set_state(campaign_id, "done")
 
     def recover(self) -> int:
         """Resume every interrupted campaign found under the root.
@@ -321,12 +417,19 @@ class CampaignService:
             if (entry / AGGREGATE_FILENAME).exists():
                 self._states.setdefault(entry.name, "done")
                 continue
+            if self._states.get(entry.name) == "failed":
+                # Remembered from the service journal: a failed campaign
+                # stays failed (error and all) until explicitly
+                # resubmitted — restarting the coordinator is not a retry.
+                continue
             try:
                 manifest = load_campaign_manifest(entry)
                 spec = CampaignSpec.from_dict(manifest["spec"])
             except (JournalError, KeyError, ValueError) as exc:
-                self._states[entry.name] = "failed"
-                self._errors[entry.name] = f"unrecoverable manifest: {exc}"
+                self._set_state(
+                    entry.name, "failed",
+                    error=f"unrecoverable manifest: {exc}",
+                )
                 continue
             if (entry / QUEUE_LOG_FILENAME).exists():
                 # Fleet campaign: rebuild the queue from its lease/commit
@@ -337,9 +440,9 @@ class CampaignService:
                 try:
                     self._open_queue(entry.name, spec)
                 except (JournalError, QueueError, OSError, ValueError) as exc:
-                    self._states[entry.name] = "failed"
-                    self._errors[entry.name] = (
-                        f"unrecoverable queue log: {exc}"
+                    self._set_state(
+                        entry.name, "failed",
+                        error=f"unrecoverable queue log: {exc}",
                     )
                     continue
             else:
@@ -369,6 +472,7 @@ class CampaignService:
             self._server = None
         for queue in self._queues.values():
             queue.close()
+        self._journal.close()
 
     async def join(self) -> None:
         """Wait for every launched campaign task to settle (test helper)."""
@@ -380,26 +484,53 @@ class CampaignService:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         try:
-            try:
-                # One slow or silent client must not pin this handler:
-                # the whole request read shares a single deadline.
+            first = True
+            while True:
                 try:
-                    method, path, body = await asyncio.wait_for(
-                        self._read_request(reader), self.read_timeout
+                    # One slow or silent client must not pin this handler:
+                    # the whole request read shares a single deadline.
+                    try:
+                        method, path, body, want_close = (
+                            await asyncio.wait_for(
+                                self._read_request(reader),
+                                self.read_timeout,
+                            )
+                        )
+                    except asyncio.TimeoutError:
+                        if not first:
+                            # An idle keep-alive connection simply aged
+                            # out; hanging up is the answer, not 408.
+                            break
+                        raise HttpError(
+                            408,
+                            f"request not received within "
+                            f"{self.read_timeout}s",
+                        ) from None
+                except _ConnectionClosed:
+                    break
+                except HttpError as exc:
+                    # The byte stream is in an unknown state after a
+                    # failed read: answer what we can, then hang up.
+                    await self._respond(
+                        writer, exc.status, {"error": exc.message},
+                        keep_alive=False,
                     )
-                except asyncio.TimeoutError:
-                    raise HttpError(
-                        408,
-                        f"request not received within {self.read_timeout}s",
-                    ) from None
-                status, payload = self._route(method, path, body)
-            except HttpError as exc:
-                status, payload = exc.status, {"error": exc.message}
-            except Exception as exc:  # never let a request kill the server
-                status, payload = 500, {
-                    "error": f"{type(exc).__name__}: {exc}"
-                }
-            await self._respond(writer, status, payload)
+                    break
+                keep_alive = not want_close
+                try:
+                    status, payload = self._route(method, path, body)
+                except HttpError as exc:
+                    status, payload = exc.status, {"error": exc.message}
+                except Exception as exc:  # never let a request kill us
+                    status, payload = 500, {
+                        "error": f"{type(exc).__name__}: {exc}"
+                    }
+                await self._respond(
+                    writer, status, payload, keep_alive=keep_alive
+                )
+                if not keep_alive:
+                    break
+                first = False
         finally:
             writer.close()
             try:
@@ -409,12 +540,18 @@ class CampaignService:
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> Tuple[str, str, bytes]:
-        request_line = (await reader.readline()).decode("latin-1").strip()
+    ) -> Tuple[str, str, bytes, bool]:
+        raw = await reader.readline()
+        if not raw:
+            raise _ConnectionClosed()
+        request_line = raw.decode("latin-1").strip()
         parts = request_line.split()
         if len(parts) != 3 or not parts[2].startswith("HTTP/"):
             raise HttpError(400, f"malformed request line {request_line!r}")
         method, path = parts[0].upper(), parts[1]
+        # HTTP/1.1 defaults to keep-alive, anything older to close; the
+        # Connection header overrides either way.
+        want_close = parts[2] != "HTTP/1.1"
         content_length = 0
         while True:
             try:
@@ -426,11 +563,18 @@ class CampaignService:
             if line in ("\r\n", "\n", ""):
                 break
             name, _, value = line.partition(":")
-            if name.strip().lower() == "content-length":
+            name = name.strip().lower()
+            if name == "content-length":
                 try:
                     content_length = int(value.strip())
                 except ValueError:
                     raise HttpError(400, "bad Content-Length") from None
+            elif name == "connection":
+                token = value.strip().lower()
+                if token == "close":
+                    want_close = True
+                elif token == "keep-alive":
+                    want_close = False
         if content_length > MAX_BODY_BYTES:
             # Refused before buffering a byte of it: the declared size
             # alone disqualifies the request.
@@ -444,19 +588,24 @@ class CampaignService:
             if content_length
             else b""
         )
-        return method, path, body
+        return method, path, body, want_close
 
     async def _respond(
-        self, writer: asyncio.StreamWriter, status: int, payload: dict
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        keep_alive: bool = False,
     ) -> None:
         body = (
             json.dumps(payload, sort_keys=True, indent=1) + "\n"
         ).encode("utf-8")
+        connection = "keep-alive" if keep_alive else "close"
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Status')}\r\n"
             "Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
-            "Connection: close\r\n"
+            f"Connection: {connection}\r\n"
             "\r\n"
         ).encode("latin-1")
         writer.write(head + body)
@@ -469,6 +618,16 @@ class CampaignService:
             if method != "GET":
                 raise HttpError(405, "healthz is GET-only")
             return 200, {"ok": True, "campaigns": len(self.known_ids())}
+        if len(segments) == 3 and segments[:2] == ["cache", "wearers"]:
+            if method == "GET":
+                return self._get_wearer_cache(segments[2])
+            if method == "PUT":
+                return self._put_wearer_cache(segments[2], body)
+            raise HttpError(405, f"{method} not allowed on {path!r}")
+        if segments == ["fabric", "sync"]:
+            if method != "POST":
+                raise HttpError(405, "fabric sync is POST-only")
+            return self._post_sync(body)
         if not segments or segments[0] != "campaigns":
             raise HttpError(404, f"no route for {path!r}")
         if len(segments) == 1:
@@ -586,14 +745,172 @@ class CampaignService:
             )
         except QueueError as exc:
             raise HttpError(exc.status, exc.message) from None
+        # Feed the cross-campaign cache: every summary that just landed
+        # is now a download for any other campaign naming this wearer.
+        self._ingest_summaries(queue, summaries)
         if queue.done and self._states.get(campaign_id) != "done":
             # The last shard just landed: aggregation triggers exactly
             # here, and the artifacts are byte-identical to a single-host
             # run because they are built from the same summary bytes.
             queue.finalize()
-            self._states[campaign_id] = "done"
+            self._set_state(campaign_id, "done")
         outcome["campaign_state"] = self._states.get(campaign_id, "fleet")
         return 200, outcome
+
+    def _ingest_summaries(
+        self, queue: CampaignQueue, summaries: Dict[str, dict]
+    ) -> None:
+        """Fold freshly-committed summaries into the wearer cache.
+
+        The queue has already CRC-validated these bytes against this
+        campaign's shard; a divergence surfacing *here* means a different
+        campaign cached other bytes for the same fingerprint.  The cache
+        is first-writer-wins, so the commit still stands — but silently
+        serving either version onward would be wrong, so it is counted
+        and the entry left untouched for the operator to compare.
+        """
+        for wearer_id, summary in summaries.items():
+            if not isinstance(summary, dict):
+                continue
+            try:
+                wearer = queue.spec.wearer(str(wearer_id))
+            except KeyError:
+                continue
+            fingerprint = wearer_fingerprint(queue.spec.preset, wearer)
+            try:
+                self.wearer_cache.put(fingerprint, summary)
+            except WearerCacheDiverged:
+                from repro.obs import runtime
+
+                obs = runtime.get_active()
+                if obs is not None:
+                    obs.counter("cache.wearer_divergences").inc()
+
+    # -- cross-campaign wearer cache ---------------------------------------------
+
+    def _get_wearer_cache(self, fingerprint: str) -> Tuple[int, dict]:
+        try:
+            summary = self.wearer_cache.get(fingerprint)
+        except ValueError as exc:
+            raise HttpError(400, str(exc)) from None
+        if summary is None:
+            raise HttpError(
+                404, f"no cached wearer result for {fingerprint!r}"
+            )
+        return 200, {
+            "fingerprint": fingerprint,
+            "summary": summary,
+            "crc": summary_crc(summary),
+        }
+
+    def _put_wearer_cache(
+        self, fingerprint: str, body: bytes
+    ) -> Tuple[int, dict]:
+        payload = self._json_body(body)
+        summary = payload.get("summary")
+        if not isinstance(summary, dict):
+            raise HttpError(400, "cache put needs a 'summary' object")
+        crc = str(payload.get("crc") or "")
+        if not crc:
+            raise HttpError(400, "cache put needs the summary 'crc'")
+        if crc != summary_crc(summary):
+            raise HttpError(
+                400,
+                f"summary bytes do not match declared crc {crc!r} — "
+                "refusing to cache a corrupted upload",
+            )
+        try:
+            stored = self.wearer_cache.put(fingerprint, summary)
+        except ValueError as exc:
+            raise HttpError(400, str(exc)) from None
+        except WearerCacheDiverged as exc:
+            raise HttpError(409, str(exc)) from None
+        return 200, {"fingerprint": fingerprint, "stored": stored}
+
+    # -- batched worker sync -----------------------------------------------------
+
+    def _post_sync(self, body: bytes) -> Tuple[int, dict]:
+        """One round-trip for a whole worker tick.
+
+        Renews every lease the worker still holds (individually — one
+        dead token must not poison the others), then optionally grants
+        one new lease, round-robin across active fleet campaigns.  Every
+        heartbeat entry carries its own ``status`` (200 or the
+        :class:`QueueError` code, e.g. 410 once reassigned) so the
+        worker can drop exactly the leases it lost.
+        """
+        payload = self._json_body(body)
+        worker = str(payload.get("worker") or "anonymous")
+        heartbeats = payload.get("heartbeats") or []
+        if not isinstance(heartbeats, list):
+            raise HttpError(400, "'heartbeats' must be a list")
+        results: List[dict] = []
+        for entry in heartbeats:
+            if not isinstance(entry, dict):
+                continue
+            cid = str(entry.get("campaign") or "")
+            token = str(entry.get("token") or "")
+            result = {"campaign": cid, "token": token}
+            queue = self._queues.get(cid)
+            if queue is None:
+                result.update(
+                    status=410,
+                    error=f"campaign {cid!r} has no active queue",
+                )
+            else:
+                try:
+                    outcome = queue.heartbeat(token)
+                except QueueError as exc:
+                    result.update(status=exc.status, error=exc.message)
+                else:
+                    result.update(outcome)
+                    result["status"] = 200
+            results.append(result)
+        response: dict = {
+            "worker": worker,
+            "heartbeats": results,
+            "campaign": None,
+            "lease": None,
+        }
+        if payload.get("acquire", True):
+            granted = self._grant_lease(worker)
+            if granted is not None:
+                response["campaign"], response["lease"] = granted
+        return 200, response
+
+    def _grant_lease(self, worker: str) -> Optional[Tuple[str, dict]]:
+        """One lease from the active fleet campaigns, round-robin.
+
+        The cursor advances past whichever campaign granted, so one big
+        early campaign cannot starve later submissions.  Cached wearer
+        summaries for the granted shard ride along under ``"cached"`` —
+        the worker never makes a separate cache round-trip for work the
+        coordinator already knew was warm.
+        """
+        active = [
+            cid for cid in sorted(self._queues)
+            if not self._queues[cid].done
+        ]
+        if not active:
+            return None
+        start = self._rr_cursor % len(active)
+        for offset in range(len(active)):
+            cid = active[(start + offset) % len(active)]
+            queue = self._queues[cid]
+            try:
+                lease = queue.acquire(worker)
+            except QueueError:
+                continue
+            if lease is None:
+                continue
+            self._rr_cursor = (start + offset + 1) % len(active)
+            cached = self.wearer_cache.prefetch(
+                queue.spec.preset, lease.get("wearers") or []
+            )
+            if cached:
+                lease["cached"] = cached
+            return cid, lease
+        return None
 
     def _get_result(self, campaign_id: str) -> Tuple[int, dict]:
         status = self.status(campaign_id)
@@ -643,11 +960,13 @@ def serve_forever(
     cache_dir: Optional[str] = None,
     batch_mode: str = "auto",
     lease_ttl: float = DEFAULT_LEASE_TTL,
+    steal_enabled: bool = True,
 ) -> int:
     """Blocking entry point for ``hi-explore serve``."""
     service = CampaignService(
         root, jobs=jobs, shards=shards, cache_dir=cache_dir,
         batch_mode=batch_mode, lease_ttl=lease_ttl,
+        steal_enabled=steal_enabled,
     )
     try:
         asyncio.run(_serve(service, host, port))

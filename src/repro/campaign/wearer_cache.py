@@ -1,0 +1,203 @@
+"""Cross-campaign wearer-result cache (content-addressed summaries).
+
+A wearer run is a pure function of its *result-relevant* inputs — the
+measurement preset plus the :class:`~repro.campaign.spec.WearerSpec`
+fields that steer the exploration trajectory.  ``wearer_id`` and
+``cohort`` are labels (they appear nowhere in the summary bytes, which
+``tests/test_wearer_cache.py`` pins), and the robust-mode knobs are
+ignored by ``solve``-mode runs, so :func:`wearer_fingerprint` hashes
+exactly the influencing fields and nothing else.  Consequence: two
+campaigns that describe the same wearer under different names — the
+overwhelmingly common case across robustness studies, which re-sweep
+overlapping populations — share one cache entry, and the second campaign
+is a download, not a simulation.
+
+The store itself is one file per fingerprint
+(``<dir>/<fingerprint>.json``) holding the wearer's *deterministic
+summary projection* (:func:`repro.core.journal.summary_projection` — the
+exact bytes ``summary.json`` carries) inside the self-healing CRC
+envelope from :mod:`repro.core.result_cache`.  Damage handling mirrors
+the simulation cache: a file that fails to parse or fails its CRC is
+moved to a ``.quarantine`` sidecar and treated as a miss, never trusted
+and never fatal.  Writes are first-writer-wins and idempotent; a
+*divergent* write for the same fingerprint is a determinism violation
+and raises loudly (:class:`WearerCacheDiverged`) instead of silently
+replacing bytes other campaigns may already have aggregated.
+
+Both ends of the fabric hold one of these: the coordinator under
+``<root>/wearer_cache/`` (fed by shard commits, served over
+``GET/PUT /cache/wearers/<fingerprint>``), each worker under its own
+local directory (consulted before any simulation, seeded by coordinator
+prefetches riding on lease responses).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+from typing import Dict, Optional
+
+from repro.campaign.spec import WearerSpec
+from repro.core.journal import summary_projection
+from repro.core.result_cache import open_envelope, seal_envelope
+
+#: Version stamp of the on-disk envelope; bump on incompatible change.
+WEARER_CACHE_VERSION = 1
+
+#: Conventional directory name for a wearer cache next to campaign state.
+WEARER_CACHE_DIRNAME = "wearer_cache"
+
+
+class WearerCacheDiverged(RuntimeError):
+    """Two executions produced different bytes for one fingerprint —
+    an integrity violation (determinism bug), never a benign race."""
+
+
+def wearer_fingerprint(preset: str, wearer: WearerSpec) -> str:
+    """Stable hex digest of everything a wearer's summary depends on.
+
+    Excluded on purpose: ``wearer_id`` and ``cohort`` (labels only — the
+    summary bytes do not contain them), and in ``solve`` mode every
+    robust-ensemble knob (the nominal accept test never reads them).  A
+    ``fault_seed`` of ``None`` normalizes to the wearer seed, matching
+    the runner's ensemble construction, so the spelled-out and defaulted
+    forms of the same ensemble share one entry.
+    """
+    payload = {
+        "preset": str(preset),
+        "seed": wearer.seed,
+        "pdr_min": wearer.pdr_min,
+        "mode": wearer.mode,
+    }
+    if wearer.mode == "robust":
+        payload.update(
+            quantile=wearer.quantile,
+            ensemble_size=wearer.ensemble_size,
+            hub_stress=wearer.hub_stress,
+            outage_fraction=wearer.outage_fraction,
+            fault_seed=(
+                wearer.fault_seed
+                if wearer.fault_seed is not None
+                else wearer.seed
+            ),
+            correlated_links=wearer.correlated_links,
+        )
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def summary_crc(summary: dict) -> str:
+    """Content CRC of a cached summary (validated on both wire ends)."""
+    from repro.core.result_cache import envelope_crc
+
+    return envelope_crc(summary_projection(summary))
+
+
+def _count(name: str, amount: int = 1) -> None:
+    from repro.obs import runtime
+
+    obs = runtime.get_active()
+    if obs is not None:
+        obs.counter(name).inc(amount)
+
+
+class WearerResultCache:
+    """One directory of CRC-enveloped wearer summaries, fingerprint-keyed.
+
+    Files are written atomically (temp + ``os.replace``) so a concurrent
+    reader never observes a torn entry, and reads quarantine damage
+    instead of raising — the cache may always be treated as advisory.
+    """
+
+    def __init__(self, directory) -> None:
+        self.directory = pathlib.Path(directory)
+
+    def path_for(self, fingerprint: str) -> pathlib.Path:
+        if not fingerprint or not all(
+            c in "0123456789abcdef" for c in fingerprint
+        ):
+            raise ValueError(f"bad wearer fingerprint {fingerprint!r}")
+        return self.directory / f"{fingerprint}.json"
+
+    def get(self, fingerprint: str) -> Optional[dict]:
+        """The cached summary for ``fingerprint``, or None.
+
+        A damaged entry (unparseable, wrong version, CRC failure) is
+        moved aside to ``<entry>.quarantine`` and reported as a miss, so
+        one flipped bit costs a re-simulation, never a wrong result.
+        """
+        path = self.path_for(fingerprint)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                text = fh.read()
+        except FileNotFoundError:
+            return None
+        try:
+            return open_envelope(text, WEARER_CACHE_VERSION, key="summary")
+        except Exception:
+            quarantine = path.with_suffix(path.suffix + ".quarantine")
+            try:
+                os.replace(path, quarantine)
+            except OSError:
+                pass
+            _count("cache.wearer_quarantined")
+            return None
+
+    def put(self, fingerprint: str, summary: dict) -> bool:
+        """Store a summary (first-writer-wins; True when newly written).
+
+        The stored bytes are the deterministic projection — identical to
+        what ``write_summary`` puts in ``summary.json`` — so a cache hit
+        replayed into a run directory is byte-identical to a fresh run.
+        A divergent repeat raises :class:`WearerCacheDiverged`.
+        """
+        projected = summary_projection(summary)
+        existing = self.get(fingerprint)
+        if existing is not None:
+            if existing == projected:
+                return False
+            raise WearerCacheDiverged(
+                f"wearer cache entry {fingerprint} already holds different "
+                "bytes — two executions of the same wearer disagreed"
+            )
+        path = self.path_for(fingerprint)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(
+                seal_envelope(projected, WEARER_CACHE_VERSION, key="summary")
+                + "\n"
+            )
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        _count("cache.wearer_stores")
+        return True
+
+    def prefetch(
+        self, preset: str, wearers
+    ) -> Dict[str, dict]:
+        """wearer_id → cached summary for every hit among ``wearers``
+        (the coordinator's lease-response piggyback)."""
+        out: Dict[str, dict] = {}
+        for wearer in wearers:
+            if isinstance(wearer, dict):
+                wearer = WearerSpec.from_dict(wearer)
+            summary = self.get(wearer_fingerprint(preset, wearer))
+            if summary is not None:
+                out[wearer.wearer_id] = summary
+        return out
+
+    def __len__(self) -> int:
+        if not self.directory.exists():
+            return 0
+        return sum(
+            1
+            for p in self.directory.iterdir()
+            if p.suffix == ".json" and not p.name.endswith(".tmp")
+        )
+
+    def __repr__(self) -> str:
+        return f"WearerResultCache({str(self.directory)!r})"

@@ -4,21 +4,32 @@
 commit loop against the campaign coordinator's lease endpoints
 (:mod:`repro.campaign.queue` via :mod:`repro.campaign.service`):
 
-1. **pull** — poll ``GET /campaigns`` for campaigns with uncommitted
-   shards, then ``POST /campaigns/<id>/leases`` to acquire one;
+1. **pull** — one ``POST /fabric/sync`` round-trip both renews any held
+   lease and acquires new work (the coordinator hands out shards
+   round-robin across active campaigns, with cached wearer summaries
+   prefetched onto the lease payload);
 2. **run** — execute the leased shard's wearers through the *same*
    :func:`repro.campaign.runner.run_wearer_task` the single-host runner
    uses, journaled under ``<workdir>/<campaign>/shards/shard-NN/`` — so
    a worker that inherits a dead worker's shard (same workdir, e.g. a
    shared scratch mount or a localhost fleet) resumes each wearer from
    its PR 5 journal and pays only the uncommitted tail, never a full
-   re-simulation.  A background thread heartbeats the lease the whole
-   time;
+   re-simulation.  Before simulating, each wearer is looked up in the
+   cross-campaign wearer cache (coordinator prefetch first, then the
+   worker's local store) — a hit is a file write, not a simulation.  A
+   background thread heartbeats the lease the whole time, and on a
+   *split* shard the heartbeat response names the wearers thieves have
+   taken, which the run loop then skips;
 3. **commit** — upload the per-wearer summaries with a content CRC.
    Commits are idempotent on the coordinator, so losing the lease
    mid-run is harmless: the worker still commits what it computed, and
    whichever execution lands first wins (the bytes are identical by
-   determinism).
+   determinism).  On a split shard any subset commits cleanly.
+
+All coordinator traffic rides **one persistent keep-alive connection**
+(:class:`CoordinatorClient` reconnects transparently when the server
+ages an idle socket out), so a worker tick costs one round-trip, not
+one TCP handshake per request.
 
 The loop retries with capped exponential backoff whenever the
 coordinator is unreachable, and drains gracefully on SIGTERM/SIGINT:
@@ -57,8 +68,21 @@ class CommitDiverged(RuntimeError):
 
 
 class CoordinatorClient:
-    """Minimal stdlib JSON-over-HTTP client (one connection per call,
-    matching the service's one-request-per-connection server)."""
+    """Stdlib JSON-over-HTTP client on one persistent keep-alive
+    connection.
+
+    The connection opens lazily, is shared by every request (a lock
+    serializes the heartbeat thread against the main loop — HTTP/1.1
+    without pipelining is strictly one exchange at a time), and is
+    re-opened transparently exactly once when a request fails on what
+    is most likely a socket the server idled out.  That single retry is
+    safe because the whole fabric protocol is idempotent: a heartbeat
+    renews, a commit first-writer-wins, and an acquire whose response
+    was lost leaves a lease that simply expires and is reassigned.
+
+    ``requests`` / ``connections_opened`` counters make the savings
+    measurable (``bench fleet`` asserts opened ≪ requests).
+    """
 
     def __init__(self, base_url: str, timeout: float = 30.0) -> None:
         parsed = urllib.parse.urlsplit(base_url)
@@ -71,31 +95,77 @@ class CoordinatorClient:
         self.host = host or "127.0.0.1"
         self.port = int(port) if port else 80
         self.timeout = timeout
+        self.requests = 0
+        self.connections_opened = 0
+        self._conn: Optional[http.client.HTTPConnection] = None
+        self._lock = threading.Lock()
 
-    def request(
-        self, method: str, path: str, payload: Optional[dict] = None
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            self.connections_opened += 1
+        return self._conn
+
+    def _drop_connection(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:
+                pass
+            self._conn = None
+
+    def _roundtrip(
+        self, method: str, path: str, body: Optional[bytes]
     ) -> Tuple[int, dict]:
-        body = None if payload is None else json.dumps(payload).encode()
-        conn = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout
+        conn = self._connection()
+        conn.request(
+            method, path, body=body,
+            headers={"Content-Type": "application/json"},
         )
-        try:
-            headers = {"Content-Type": "application/json",
-                       "Connection": "close"}
-            conn.request(method, path, body=body, headers=headers)
-            response = conn.getresponse()
-            raw = response.read()
-        except (ConnectionError, socket.timeout, OSError) as exc:
-            raise CoordinatorUnavailable(
-                f"{method} {path}: {exc}"
-            ) from None
-        finally:
-            conn.close()
+        response = conn.getresponse()
+        raw = response.read()
+        if response.will_close:
+            # The server asked to close (or spoke a pre-keep-alive
+            # dialect): honor it so the next request starts clean.
+            self._drop_connection()
         try:
             decoded = json.loads(raw.decode("utf-8")) if raw else {}
         except ValueError:
             decoded = {"error": f"non-JSON response: {raw[:200]!r}"}
         return response.status, decoded
+
+    def request(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> Tuple[int, dict]:
+        body = None if payload is None else json.dumps(payload).encode()
+        errors = (
+            ConnectionError,
+            socket.timeout,
+            http.client.HTTPException,
+            OSError,
+        )
+        with self._lock:
+            self.requests += 1
+            try:
+                return self._roundtrip(method, path, body)
+            except errors:
+                # A kept-alive socket the server quietly aged out fails
+                # exactly like this; one fresh connection tells a stale
+                # socket apart from a coordinator that is really gone.
+                self._drop_connection()
+                try:
+                    return self._roundtrip(method, path, body)
+                except errors as exc:
+                    self._drop_connection()
+                    raise CoordinatorUnavailable(
+                        f"{method} {path}: {exc}"
+                    ) from None
+
+    def close(self) -> None:
+        with self._lock:
+            self._drop_connection()
 
 
 class WorkerAgent:
@@ -114,6 +184,8 @@ class WorkerAgent:
         backoff_cap: float = 15.0,
         exit_idle: Optional[float] = None,
         client: Optional[CoordinatorClient] = None,
+        wearer_cache_dir: Optional[str] = None,
+        throttle_s: float = 0.0,
     ) -> None:
         from repro.obs import runtime
 
@@ -127,13 +199,29 @@ class WorkerAgent:
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
         self.exit_idle = exit_idle
+        #: Artificial delay after each wearer: models a slow or loaded
+        #: host (the straggler the work-stealing path exists for) in
+        #: benchmarks and tests without needing heterogeneous hardware.
+        self.throttle_s = max(0.0, float(throttle_s))
+        #: Local cross-campaign wearer-result store (consulted before any
+        #: simulation, seeded by coordinator prefetches).
+        self.wearer_cache_dir = pathlib.Path(
+            wearer_cache_dir
+            if wearer_cache_dir is not None
+            else self.workdir / "wearer_cache"
+        )
         self.obs = runtime.get_active()
         self.shards_committed = 0
         self.wearers_run = 0
         self.wearers_resumed = 0
+        self.wearers_skipped = 0
         self._draining = False
         self._stop_now = False
         self._lease_lost = threading.Event()
+        #: Wearers of the *current* split shard that thieves own or have
+        #: committed (fed by heartbeat responses, read by the run loop).
+        self._stolen_wearers: set = set()
+        self._stolen_lock = threading.Lock()
 
     # -- signals -----------------------------------------------------------------
 
@@ -190,29 +278,19 @@ class WorkerAgent:
 
     # -- pull --------------------------------------------------------------------
 
-    def _campaigns_with_work(self) -> List[str]:
-        status, payload = self._rpc("GET", "/campaigns")
-        if status != 200:
-            return []
-        ids = []
-        for campaign in payload.get("campaigns", ()):
-            queue = campaign.get("queue")
-            if not queue:
-                continue  # local-execution campaign: not ours to pull
-            if queue.get("committed", 0) < queue.get("shards", 0):
-                ids.append(campaign["id"])
-        return ids
-
     def _try_acquire(self) -> Optional[Tuple[str, dict]]:
-        for campaign_id in self._campaigns_with_work():
-            status, payload = self._rpc(
-                "POST",
-                f"/campaigns/{campaign_id}/leases",
-                {"worker": self.name},
-            )
-            if status == 200 and payload.get("lease"):
-                return campaign_id, payload["lease"]
-        return None
+        """One batched sync round-trip: any work anywhere → one lease."""
+        status, payload = self._rpc(
+            "POST", "/fabric/sync",
+            {"worker": self.name, "acquire": True, "heartbeats": []},
+        )
+        if status != 200:
+            return None
+        lease = payload.get("lease")
+        if not lease:
+            return None
+        campaign_id = str(payload.get("campaign") or lease.get("campaign"))
+        return campaign_id, lease
 
     # -- run ---------------------------------------------------------------------
 
@@ -223,25 +301,53 @@ class WorkerAgent:
         interval = max(0.05, ttl / 3.0)
         while not stop.wait(interval):
             try:
-                status, _ = self.client.request(
-                    "POST",
-                    f"/campaigns/{campaign_id}/leases/{token}/heartbeat",
+                status, payload = self.client.request(
+                    "POST", "/fabric/sync",
+                    {
+                        "worker": self.name,
+                        "acquire": False,
+                        "heartbeats": [
+                            {"campaign": campaign_id, "token": token}
+                        ],
+                    },
                 )
             except CoordinatorUnavailable:
                 # Transient: the lease may still be alive; keep trying
                 # until the run finishes or the TTL truly lapses.
                 self.obs.counter("worker.heartbeat_misses").inc()
                 continue
-            if status == 410:
+            if status != 200:
+                self.obs.counter("worker.heartbeat_misses").inc()
+                continue
+            entries = payload.get("heartbeats") or [{}]
+            entry = entries[0] if isinstance(entries[0], dict) else {}
+            if entry.get("status") == 410:
                 self._lease_lost.set()
                 self.obs.counter("worker.leases_lost").inc()
                 return
+            stolen = entry.get("stolen")
+            if stolen:
+                # Thieves took (or finished) these wearers of our split
+                # shard; the run loop skips whichever it has not started.
+                with self._stolen_lock:
+                    self._stolen_wearers.update(stolen)
             self.obs.counter("worker.heartbeats").inc()
+
+    def _is_stolen(self, wearer_id: str) -> bool:
+        with self._stolen_lock:
+            return wearer_id in self._stolen_wearers
 
     def _shard_tasks(self, lease: dict) -> List[dict]:
         from repro.campaign.runner import wearer_run_dir
 
         campaign_root = self.workdir / lease["campaign"]
+        if lease.get("sub"):
+            # A stolen wearer must not share run directories with the
+            # original holder (same-host fleets share workdirs, and a
+            # journal is single-writer): thieves run in their own
+            # namespace.  Byte-identity makes the duplicate dirs cheap.
+            campaign_root = campaign_root / "steal" / self.name
+        cached = lease.get("cached") or {}
         return [
             {
                 "campaign": lease["campaign"],
@@ -254,18 +360,23 @@ class WorkerAgent:
                 ),
                 "cache_dir": self.cache_dir,
                 "batch_mode": self.batch_mode,
+                "wearer_cache_dir": str(self.wearer_cache_dir),
+                "cached_summary": cached.get(wearer["wearer_id"]),
             }
             for wearer in lease["wearers"]
         ]
 
     def _run_shard(self, campaign_id: str, lease: dict) -> bool:
-        """Execute one leased shard and commit it.  Returns True when the
-        shard was committed (including the benign duplicate case)."""
+        """Execute one leased shard (or stolen wearer) and commit it.
+        Returns True when the commit landed (duplicates included)."""
         from repro.campaign.runner import run_wearer_task
 
         token = lease["token"]
         shard = lease["shard"]
+        is_sub = bool(lease.get("sub"))
         self._lease_lost.clear()
+        with self._stolen_lock:
+            self._stolen_wearers = set()
         stop_heartbeat = threading.Event()
         heartbeat = threading.Thread(
             target=self._heartbeat_loop,
@@ -276,15 +387,25 @@ class WorkerAgent:
         self.obs.event(
             "worker.lease", worker=self.name, campaign=campaign_id,
             shard=shard, wearers=len(lease["wearers"]),
+            stolen=is_sub,
         )
         self._log(
-            f"leased shard {shard} of {campaign_id} "
-            f"({len(lease['wearers'])} wearer(s))"
+            ("stole wearer "
+             f"{lease['sub']} of shard {shard} of {campaign_id}")
+            if is_sub
+            else (
+                f"leased shard {shard} of {campaign_id} "
+                f"({len(lease['wearers'])} wearer(s))"
+            )
         )
+        skipped: List[str] = []
         try:
             tasks = self._shard_tasks(lease)
             results = []
             if self.jobs > 1 and len(tasks) > 1:
+                # Pool path: tasks fan out up front, so mid-flight steal
+                # notices cannot retract work already submitted — the
+                # commit merge makes any overlap a benign duplicate.
                 from repro.core.parallel import WorkerPool
 
                 with WorkerPool(self.jobs) as pool:
@@ -294,19 +415,38 @@ class WorkerAgent:
                     if self._stop_now:
                         self._release(campaign_id, token, "hard stop")
                         return False
+                    wearer_id = task["wearer"]["wearer_id"]
+                    if not is_sub and self._is_stolen(wearer_id):
+                        skipped.append(wearer_id)
+                        continue
                     results.append(run_wearer_task(task))
+                    if self.throttle_s:
+                        time.sleep(self.throttle_s)
         finally:
             stop_heartbeat.set()
             heartbeat.join(timeout=5.0)
 
+        if skipped:
+            self.wearers_skipped += len(skipped)
+            self.obs.counter("worker.wearers_skipped").inc(len(skipped))
+            self._log(
+                f"skipped {len(skipped)} stolen wearer(s) of shard "
+                f"{shard}: {skipped}"
+            )
         resumed = sum(1 for r in results if r["state"] != "ran")
         self.wearers_run += len(results)
         self.wearers_resumed += resumed
         summaries: Dict[str, dict] = {
             r["wearer_id"]: r["summary"] for r in results
         }
+        if not summaries:
+            # Everything was stolen out from under us before we started
+            # any of it: nothing to commit, just hand the lease back.
+            self._release(campaign_id, token, "all wearers stolen")
+            return False
         return self._commit(
-            campaign_id, shard, token, summaries, resumed=resumed
+            campaign_id, shard, token, summaries,
+            resumed=resumed, is_sub=is_sub,
         )
 
     def _release(self, campaign_id: str, token: str, reason: str) -> None:
@@ -326,6 +466,7 @@ class WorkerAgent:
     def _commit(
         self, campaign_id: str, shard: int, token: str,
         summaries: Dict[str, dict], resumed: int = 0,
+        is_sub: bool = False,
     ) -> bool:
         payload = {
             "worker": self.name,
@@ -362,6 +503,12 @@ class WorkerAgent:
             f"committed shard {shard} of {campaign_id}"
             + (" (duplicate: already committed — no-op)" if duplicate else "")
         )
+        if response.get("state") == "split" and not is_sub:
+            # We committed our remainder of a split shard while thieves
+            # still hold wearers: our shard-level lease outlived its
+            # usefulness — hand it back rather than letting it expire.
+            # (A thief's sub-lease token is consumed by its own commit.)
+            self._release(campaign_id, token, "remainder committed")
         return True
 
     # -- main loop ---------------------------------------------------------------
@@ -410,8 +557,12 @@ class WorkerAgent:
         self._log(
             f"drained: {self.shards_committed} shard(s) committed, "
             f"{self.wearers_run} wearer(s) run "
-            f"({self.wearers_resumed} resumed from journals)"
+            f"({self.wearers_resumed} resumed from journals, "
+            f"{self.wearers_skipped} skipped as stolen); "
+            f"{self.client.requests} RPC(s) over "
+            f"{self.client.connections_opened} connection(s)"
         )
+        self.client.close()
         return 0
 
 
@@ -424,6 +575,7 @@ def run_worker(
     batch_mode: str = "auto",
     poll_interval: float = 1.0,
     exit_idle: Optional[float] = None,
+    wearer_cache_dir: Optional[str] = None,
 ) -> int:
     """Blocking entry point for ``hi-explore worker``."""
     agent = WorkerAgent(
@@ -435,6 +587,7 @@ def run_worker(
         batch_mode=batch_mode,
         poll_interval=poll_interval,
         exit_idle=exit_idle,
+        wearer_cache_dir=wearer_cache_dir,
     )
     agent.install_signal_handlers()
     try:

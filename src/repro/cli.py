@@ -271,8 +271,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser(
         "bench",
-        help="hot-path microbenchmarks (DES kernel, PHY fan-out, MILP "
-        "warm starts, end-to-end explore); writes a JSON report",
+        help="benchmark suites (hotpath: DES kernel, PHY fan-out, MILP "
+        "warm starts; fleet: warm cache, work stealing, RPC batching); "
+        "writes a JSON report",
+    )
+    bench.add_argument(
+        "--suite",
+        default="hotpath",
+        choices=("hotpath", "fleet"),
+        help="which benchmark suite to run",
     )
     bench.add_argument(
         "--preset",
@@ -282,8 +289,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--out",
-        default="BENCH_hotpath.json",
-        help="path of the JSON report (BENCH_parallel.json style)",
+        default=None,
+        help="path of the JSON report (default BENCH_<suite>.json)",
+    )
+    bench.add_argument(
+        "--wearers",
+        type=int,
+        default=6,
+        help="fleet suite: wearer population size",
+    )
+    bench.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="fleet suite: worker agent count",
     )
     bench.add_argument(
         "--repeats",
@@ -703,15 +722,37 @@ def _run_command(args, obs) -> int:
         )
 
     if args.command == "bench":
-        from repro.bench import run_hotpath_benchmarks, write_report
+        from repro.bench import (
+            run_fleet_benchmarks,
+            run_hotpath_benchmarks,
+            write_report,
+        )
 
+        out = args.out or f"BENCH_{args.suite}.json"
+        if args.suite == "fleet":
+            report = run_fleet_benchmarks(
+                preset=args.preset,
+                wearers=args.wearers,
+                workers=args.workers,
+            )
+            write_report(report, out)
+            print(f"wrote {out}")
+            print(
+                "warm cache: "
+                f"{report['warm_cache']['speedup']:.2f}x  "
+                "straggler stealing: "
+                f"{report['straggler']['speedup']:.2f}x  "
+                "requests/connection: "
+                f"{report['rpc']['requests_per_connection']:.1f}"
+            )
+            return 0
         report = run_hotpath_benchmarks(
             preset=args.preset,
             repeats=args.repeats,
             des_events=args.des_events,
         )
-        write_report(report, args.out)
-        print(f"wrote {args.out}")
+        write_report(report, out)
+        print(f"wrote {out}")
         print(
             f"single replicate: {report['speedup_single_replicate']:.2f}x  "
             f"MILP warm starts: {report['speedup_milp_warm']:.2f}x  "

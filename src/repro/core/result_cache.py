@@ -169,20 +169,50 @@ def record_from_dict(payload: dict):
     )
 
 
-def _record_crc(record_dict: dict) -> str:
-    blob = json.dumps(record_dict, sort_keys=True, separators=(",", ":"))
+def envelope_crc(body: dict) -> str:
+    """CRC32 (hex) over a JSON body's canonical serialization."""
+    blob = json.dumps(body, sort_keys=True, separators=(",", ":"))
     return format(zlib.crc32(blob.encode("utf-8")), "08x")
+
+
+def seal_envelope(body: dict, version: int, key: str = "record") -> str:
+    """One CRC32-sealed, version-stamped JSON envelope.
+
+    The generic form of this cache's self-healing line format, reused by
+    every store that wants the same corruption story (the wearer-result
+    cache keeps one sealed summary per file): a ``{"v", "crc", <key>}``
+    wrapper whose CRC covers the canonical JSON of the body alone.
+    """
+    return json.dumps({"v": version, "crc": envelope_crc(body), key: body})
+
+
+def open_envelope(text: str, version: int, key: str = "record") -> dict:
+    """Inverse of :func:`seal_envelope`; raises ``ValueError`` on any
+    damage (wrong version, missing body, CRC mismatch) so callers can
+    quarantine rather than trust a corrupt payload."""
+    payload = json.loads(text)
+    if not isinstance(payload, dict):
+        raise ValueError("envelope is not a JSON object")
+    if payload.get("v") != version:
+        raise ValueError(
+            f"unsupported envelope version {payload.get('v')!r}"
+        )
+    body = payload.get(key)
+    if not isinstance(body, dict):
+        raise ValueError(f"envelope has no {key!r} body")
+    if payload.get("crc") != envelope_crc(body):
+        raise ValueError("envelope failed CRC32 check")
+    return body
+
+
+def _record_crc(record_dict: dict) -> str:
+    return envelope_crc(record_dict)
 
 
 def encode_cache_line(record) -> str:
     """One v2 cache line: a CRC32-sealed, version-stamped envelope."""
-    record_dict = record_to_dict(record)
-    return json.dumps(
-        {
-            "v": CACHE_SCHEMA_VERSION,
-            "crc": _record_crc(record_dict),
-            "record": record_dict,
-        }
+    return seal_envelope(
+        record_to_dict(record), CACHE_SCHEMA_VERSION, key="record"
     )
 
 
@@ -198,15 +228,7 @@ def decode_cache_line(line: str):
     if not isinstance(payload, dict):
         raise ValueError("cache line is not a JSON object")
     if "v" in payload or "crc" in payload or "record" in payload:
-        if payload.get("v") != CACHE_SCHEMA_VERSION:
-            raise ValueError(
-                f"unsupported cache schema version {payload.get('v')!r}"
-            )
-        record_dict = payload.get("record")
-        if not isinstance(record_dict, dict):
-            raise ValueError("cache envelope has no record body")
-        if payload.get("crc") != _record_crc(record_dict):
-            raise ValueError("cache line failed CRC32 check")
+        record_dict = open_envelope(line, CACHE_SCHEMA_VERSION, key="record")
         return record_from_dict(record_dict), False
     # Legacy v1: the record dict itself was the line.
     return record_from_dict(payload), True

@@ -208,6 +208,123 @@ class TestFleetExecution:
         assert (directory / "atlas.json").read_bytes() == golden["atlas"]
 
 
+class TestFleetHotPath:
+    """PR 9 end-to-end: warm cross-campaign cache and work stealing,
+    both under the byte-identity contract."""
+
+    def test_warm_campaign_simulates_nothing(self, tmp_path, golden):
+        """Two campaigns over the same wearer population (different
+        names) against one coordinator: the second is served entirely
+        from the wearer cache — its worker writes zero run journals —
+        and still produces byte-identical artifacts."""
+        warm_spec = _spec(name="fleet-warm")
+        warm_golden = tmp_path / "warm-golden"
+        run_campaign(warm_spec, warm_golden, jobs=1)
+
+        async def scenario():
+            service = CampaignService(tmp_path / "coord", lease_ttl=30.0)
+            _, port = await service.start("127.0.0.1", 0)
+            try:
+                cold_id = await _submit_fleet(port, golden["spec"])
+                cold = _agent(port, tmp_path / "work-cold", "w-cold")
+                codes = await _drain_workers([cold])
+                assert codes == {"w-cold": 0}
+
+                warm_id = await _submit_fleet(port, warm_spec)
+                warm = _agent(port, tmp_path / "work-warm", "w-warm")
+                codes = await _drain_workers([warm])
+                assert codes == {"w-warm": 0}
+                assert warm.wearers_run == len(warm_spec.wearers)
+                return cold_id, warm_id
+            finally:
+                await service.stop()
+
+        cold_id, warm_id = asyncio.run(scenario())
+        # the warm worker never simulated: no run journal anywhere in
+        # its workdir (cache hits write summary.json only)
+        warm_journals = list(
+            (tmp_path / "work-warm").rglob(JOURNAL_FILENAME)
+        )
+        assert warm_journals == []
+        for cid, want_dir in (
+            (cold_id, None), (warm_id, warm_golden),
+        ):
+            directory = tmp_path / "coord" / cid
+            if want_dir is None:
+                want = golden["aggregate"], golden["atlas"]
+            else:
+                want = (
+                    (want_dir / "aggregate.json").read_bytes(),
+                    (want_dir / "atlas.json").read_bytes(),
+                )
+            assert (directory / "aggregate.json").read_bytes() == want[0]
+            assert (directory / "atlas.json").read_bytes() == want[1]
+
+    def test_stealing_rescues_a_straggler_shard(self, tmp_path, golden):
+        """One shard, a throttled holder, a fast idle worker: the idle
+        worker splits the shard, steals tail wearers, and the merged
+        result is byte-identical to the single-host golden."""
+        spec = golden["spec"]
+
+        async def scenario():
+            service = CampaignService(
+                tmp_path / "coord", shards=1, lease_ttl=30.0
+            )
+            _, port = await service.start("127.0.0.1", 0)
+            try:
+                cid = await _submit_fleet(port, spec)
+                slow = _agent(
+                    port, tmp_path / "work-slow", "slow", throttle_s=0.6
+                )
+                fast = _agent(port, tmp_path / "work-fast", "fast")
+                codes = {}
+
+                def loop(agent):
+                    codes[agent.name] = agent.run_forever()
+
+                slow_thread = threading.Thread(
+                    target=loop, args=(slow,), daemon=True
+                )
+                slow_thread.start()
+                # the slow worker must own the shard before the fast one
+                # arrives, or there is nothing to steal
+                while True:
+                    status, payload = await _request(
+                        port, "GET", f"/campaigns/{cid}/status"
+                    )
+                    if not payload["queue"]["pending"]:
+                        break
+                    await asyncio.sleep(0.05)
+                fast_thread = threading.Thread(
+                    target=loop, args=(fast,), daemon=True
+                )
+                fast_thread.start()
+                while slow_thread.is_alive() or fast_thread.is_alive():
+                    await asyncio.sleep(0.1)
+                assert set(codes.values()) == {0}
+
+                status, payload = await _request(
+                    port, "GET", f"/campaigns/{cid}/status"
+                )
+                assert payload["state"] == "done"
+                # the steal actually happened: the fast worker simulated
+                # at least one wearer of the slow worker's only shard
+                assert fast.wearers_run >= 1
+                assert slow.wearers_run + fast.wearers_run >= len(
+                    spec.wearers
+                )
+                return cid
+            finally:
+                await service.stop()
+
+        cid = asyncio.run(scenario())
+        directory = tmp_path / "coord" / cid
+        assert (directory / "aggregate.json").read_bytes() == (
+            golden["aggregate"]
+        )
+        assert (directory / "atlas.json").read_bytes() == golden["atlas"]
+
+
 class TestCommitProtocol:
     """Wire-level commit semantics with fabricated summaries (fast)."""
 

@@ -170,6 +170,178 @@ class TestLeaseStateMachine:
         assert late["duplicate"] is True
 
 
+def _subset_commit(queue, shard, wearer_ids, worker="w", tag="a",
+                   token=None):
+    summaries = {w: _summary(w, tag) for w in wearer_ids}
+    return queue.commit(
+        shard, summaries, shard_payload_crc(summaries), worker=worker,
+        token=token,
+    )
+
+
+class TestWorkStealing:
+    """Wearer-grain stealing: split, tail-first sub-leases, merged
+    commits, and the races satellite (c) pins."""
+
+    def _split_queue(self, tmp_path, ttl=30.0, clock=None, steal=True,
+                     size=5):
+        queue = CampaignQueue(
+            _spec(size=size), tmp_path / "campaign", shards=1,
+            lease_ttl=ttl, clock=clock or FakeClock(),
+            steal_enabled=steal,
+        )
+        return queue, queue.acquire("holder")
+
+    def test_acquire_splits_straggler_tail_first(self, tmp_path):
+        queue, lease = self._split_queue(tmp_path)
+        stolen = queue.acquire("thief")
+        assert stolen is not None
+        assert stolen["shard"] == lease["shard"]
+        # tail-first: the holder runs head-first, so the fronts meet
+        # with at most one wearer simulated twice
+        wearers = queue.wearers_of[lease["shard"]]
+        assert stolen["sub"] == wearers[-1]
+        assert [w["wearer_id"] for w in stolen["wearers"]] == [wearers[-1]]
+        assert queue.counts()["split"] == 1
+        # a second thief gets the next wearer from the tail
+        second = queue.acquire("thief2")
+        assert second["sub"] == wearers[-2]
+
+    def test_steal_disabled_leaves_straggler_alone(self, tmp_path):
+        queue, _ = self._split_queue(tmp_path, steal=False)
+        assert queue.acquire("thief") is None
+        assert queue.counts()["split"] == 0
+
+    def test_worker_never_steals_from_itself(self, tmp_path):
+        queue, _ = self._split_queue(tmp_path)
+        assert queue.acquire("holder") is None
+
+    def test_holder_heartbeat_carries_stolen_set(self, tmp_path):
+        queue, lease = self._split_queue(tmp_path)
+        stolen = queue.acquire("thief")
+        beat = queue.heartbeat(lease["token"])
+        assert beat["stolen"] == [stolen["sub"]]
+        # stays stolen after the thief commits (committed ≠ returned)
+        _subset_commit(queue, lease["shard"], [stolen["sub"]],
+                       worker="thief", token=stolen["token"])
+        assert queue.heartbeat(lease["token"])["stolen"] == [stolen["sub"]]
+
+    def test_merged_commits_seal_like_an_unsplit_shard(self, tmp_path):
+        queue, lease = self._split_queue(tmp_path)
+        shard = lease["shard"]
+        stolen = queue.acquire("thief")
+        sub = _subset_commit(queue, shard, [stolen["sub"]], worker="thief",
+                             token=stolen["token"])
+        assert sub["state"] == "split"
+        assert sub["committed_wearers"] == [stolen["sub"]]
+        remainder = [w for w in queue.wearers_of[shard]
+                     if w != stolen["sub"]]
+        sealed = _subset_commit(queue, shard, remainder, worker="holder",
+                                token=lease["token"])
+        assert sealed["state"] == "committed"
+        assert queue.done
+        # the merged seal is keyed by the *full* shard CRC — replay
+        # cannot tell a merged shard from an unsplit one
+        full = _shard_summaries(queue, shard)
+        assert queue._shards[shard]["crc"] == shard_payload_crc(full)
+        # every live token died with the seal
+        for token in (lease["token"], stolen["token"]):
+            with pytest.raises(QueueError) as exc:
+                queue.heartbeat(token)
+            assert exc.value.status == 410
+
+    def test_thief_sub_lease_expires_back_to_stealable(self, tmp_path):
+        clock = FakeClock()
+        queue, _ = self._split_queue(tmp_path, ttl=10.0, clock=clock)
+        stolen = queue.acquire("thief")
+        clock.advance(10.1)
+        with pytest.raises(QueueError) as exc:
+            queue.heartbeat(stolen["token"])
+        assert exc.value.status == 410
+        regrant = queue.acquire("thief2")
+        assert regrant["sub"] == stolen["sub"]
+        assert regrant["token"] != stolen["token"]
+
+    def test_release_after_expiry_and_regrant_is_refused(self, tmp_path):
+        # Satellite race: w1's lease expires, the shard is re-granted to
+        # w2, then w1's belated release arrives — it must get 410 and
+        # leave w2's lease untouched (not return the shard to pending).
+        clock = FakeClock()
+        queue = _queue(tmp_path, ttl=10.0, clock=clock)
+        lease1 = queue.acquire("w1")
+        clock.advance(10.1)
+        lease2 = queue.acquire("w2")
+        assert lease2["shard"] == lease1["shard"]
+        with pytest.raises(QueueError) as exc:
+            queue.release(lease1["token"], reason="belated drain")
+        assert exc.value.status == 410
+        assert queue.heartbeat(lease2["token"])["shard"] == lease2["shard"]
+
+    def test_sub_commit_racing_full_commit_collapses_to_duplicate(
+        self, tmp_path
+    ):
+        # Satellite race: the holder never heard about the steal and
+        # commits the full wearer set while the thief still holds its
+        # sub-lease; the shard seals, and the thief's later identical
+        # sub-commit is a byte-compared no-op.
+        queue, lease = self._split_queue(tmp_path)
+        shard = lease["shard"]
+        stolen = queue.acquire("thief")
+        sealed = _commit_shard(queue, shard, worker="holder",
+                               token=lease["token"])
+        assert sealed["state"] == "committed"
+        late = _subset_commit(queue, shard, [stolen["sub"]], worker="thief",
+                              token=stolen["token"])
+        assert late["duplicate"] is True
+        assert late["duplicate_wearers"] == [stolen["sub"]]
+
+    def test_sub_commit_racing_full_commit_divergent_is_refused(
+        self, tmp_path
+    ):
+        queue, lease = self._split_queue(tmp_path)
+        shard = lease["shard"]
+        stolen = queue.acquire("thief")
+        _commit_shard(queue, shard, worker="holder", tag="a",
+                      token=lease["token"])
+        with pytest.raises(QueueError) as exc:
+            _subset_commit(queue, shard, [stolen["sub"]], worker="thief",
+                           tag="b", token=stolen["token"])
+        assert exc.value.status == 409
+
+    def test_split_state_survives_coordinator_restart(self, tmp_path):
+        clock = FakeClock()
+        spec = _spec()
+        queue = CampaignQueue(
+            spec, tmp_path / "campaign", shards=1, lease_ttl=30.0,
+            clock=clock,
+        )
+        lease = queue.acquire("holder")
+        shard = lease["shard"]
+        first = queue.acquire("thief")
+        second = queue.acquire("thief2")
+        _subset_commit(queue, shard, [first["sub"]], worker="thief",
+                       token=first["token"])
+        queue.close()
+
+        reopened = CampaignQueue(
+            spec, tmp_path / "campaign", shards=1, lease_ttl=30.0,
+            clock=clock,
+        )
+        # the split, the committed steal, and both live leases came back
+        assert reopened.counts()["split"] == 1
+        assert set(reopened.stolen_wearers(shard)) == {
+            first["sub"], second["sub"],
+        }
+        assert reopened.heartbeat(second["token"])["wearer"] == second["sub"]
+        remainder = [w for w in reopened.wearers_of[shard]
+                     if w != first["sub"]]
+        sealed = _subset_commit(reopened, shard, remainder, worker="holder",
+                                token=lease["token"])
+        assert sealed["state"] == "committed"
+        assert reopened.done
+        reopened.close()
+
+
 class TestCommitValidation:
     def test_corrupt_payload_crc_is_refused(self, tmp_path):
         queue = _queue(tmp_path)

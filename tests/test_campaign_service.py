@@ -16,8 +16,9 @@ import json
 import pytest
 
 from repro.campaign.runner import run_campaign
-from repro.campaign.service import CampaignService
+from repro.campaign.service import SERVICE_LOG_FILENAME, CampaignService
 from repro.campaign.spec import make_population
+from repro.campaign.wearer_cache import summary_crc, wearer_fingerprint
 from repro.core.journal import write_campaign_manifest
 
 
@@ -278,6 +279,266 @@ class TestServiceRecovery:
                 await service.join()
 
         asyncio.run(scenario())
+
+
+async def _submit_fleet(port, spec):
+    status, sub = await _request(
+        port, "POST", "/campaigns",
+        {"spec": spec.to_dict(), "execution": "fleet"},
+    )
+    assert status == 202
+    return sub["id"]
+
+
+def _cacheable_summary(tag="a"):
+    return {
+        "status": "infeasible",
+        "best": None,
+        "oracle_stats": {"simulations_run": 1, "cache_hits": 0},
+        "tag": tag,
+    }
+
+
+class TestFabricEndpoints:
+    """The PR 9 surface: wearer-cache GET/PUT, batched /fabric/sync,
+    round-robin lease fairness, and keep-alive connections."""
+
+    def test_wearer_cache_roundtrip_and_integrity(self, tmp_path):
+        async def scenario():
+            service = CampaignService(tmp_path)
+            _, port = await service.start("127.0.0.1", 0)
+            try:
+                status, err = await _request(
+                    port, "GET", "/cache/wearers/ab12"
+                )
+                assert status == 404
+
+                summary = _cacheable_summary()
+                good = {"summary": summary, "crc": summary_crc(summary)}
+                status, put = await _request(
+                    port, "PUT", "/cache/wearers/ab12", good
+                )
+                assert (status, put["stored"]) == (200, True)
+
+                status, got = await _request(
+                    port, "GET", "/cache/wearers/ab12"
+                )
+                assert status == 200
+                assert got["crc"] == summary_crc(summary)
+                assert got["summary"]["status"] == "infeasible"
+
+                # idempotent repeat: stored=False, not an error
+                status, put = await _request(
+                    port, "PUT", "/cache/wearers/ab12", good
+                )
+                assert (status, put["stored"]) == (200, False)
+
+                # corrupted upload: crc does not match the bytes
+                status, err = await _request(
+                    port, "PUT", "/cache/wearers/ab12",
+                    {"summary": summary, "crc": "deadbeef"},
+                )
+                assert status == 400
+
+                # divergence: same fingerprint, different bytes → 409
+                other = _cacheable_summary("b")
+                status, err = await _request(
+                    port, "PUT", "/cache/wearers/ab12",
+                    {"summary": other, "crc": summary_crc(other)},
+                )
+                assert status == 409
+
+                status, err = await _request(
+                    port, "GET", "/cache/wearers/NOT-HEX"
+                )
+                assert status == 400
+            finally:
+                await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_sync_batches_heartbeats_with_per_token_status(self, tmp_path):
+        async def scenario():
+            service = CampaignService(tmp_path)
+            _, port = await service.start("127.0.0.1", 0)
+            try:
+                spec = _spec(size=3, base_seed=51, name="sync")
+                cid = await _submit_fleet(port, spec)
+
+                # one round-trip: no heartbeats yet, lease acquired
+                status, sync = await _request(
+                    port, "POST", "/fabric/sync",
+                    {"worker": "w1", "heartbeats": []},
+                )
+                assert status == 200
+                assert sync["campaign"] == cid
+                lease = sync["lease"]
+                assert lease is not None and lease["token"]
+
+                # batched: a live token and a bogus one in one request —
+                # each entry carries its own status, one dead lease must
+                # not poison the rest of the tick
+                status, sync = await _request(
+                    port, "POST", "/fabric/sync",
+                    {
+                        "worker": "w1",
+                        "acquire": False,
+                        "heartbeats": [
+                            {"campaign": cid, "token": lease["token"]},
+                            {"campaign": cid, "token": "bogus"},
+                            {"campaign": "feedfacecafe0000", "token": "x"},
+                        ],
+                    },
+                )
+                assert status == 200
+                assert sync["lease"] is None
+                by_token = {h["token"]: h for h in sync["heartbeats"]}
+                assert by_token[lease["token"]]["status"] == 200
+                assert by_token[lease["token"]]["shard"] == lease["shard"]
+                assert by_token["bogus"]["status"] == 410
+                assert by_token["x"]["status"] == 410
+            finally:
+                await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_sync_grants_round_robin_across_campaigns(self, tmp_path):
+        async def scenario():
+            service = CampaignService(tmp_path)
+            _, port = await service.start("127.0.0.1", 0)
+            try:
+                ids = set()
+                for name in ("rr-one", "rr-two"):
+                    spec = _spec(size=2, base_seed=52, name=name)
+                    ids.add(await _submit_fleet(port, spec))
+                granted = []
+                for _ in range(2):
+                    status, sync = await _request(
+                        port, "POST", "/fabric/sync", {"worker": "w1"}
+                    )
+                    assert status == 200
+                    granted.append(sync["campaign"])
+                # fairness: consecutive grants come from *different*
+                # campaigns — the first submission cannot starve the
+                # second
+                assert set(granted) == ids
+            finally:
+                await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_sync_lease_carries_cached_prefetch(self, tmp_path):
+        async def scenario():
+            service = CampaignService(tmp_path)
+            _, port = await service.start("127.0.0.1", 0)
+            try:
+                spec = _spec(size=1, base_seed=53, name="prefetch")
+                wearer = spec.wearers[0]
+                summary = _cacheable_summary()
+                service.wearer_cache.put(
+                    wearer_fingerprint(spec.preset, wearer), summary
+                )
+                await _submit_fleet(port, spec)
+                status, sync = await _request(
+                    port, "POST", "/fabric/sync", {"worker": "w1"}
+                )
+                assert status == 200
+                cached = sync["lease"]["cached"]
+                assert set(cached) == {wearer.wearer_id}
+                assert cached[wearer.wearer_id]["tag"] == "a"
+            finally:
+                await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_keep_alive_serves_many_requests_per_connection(self, tmp_path):
+        async def scenario():
+            service = CampaignService(tmp_path)
+            _, port = await service.start("127.0.0.1", 0)
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port
+                )
+
+                async def exchange(extra=""):
+                    writer.write(
+                        (
+                            f"GET /healthz HTTP/1.1\r\nHost: t\r\n"
+                            f"{extra}\r\n"
+                        ).encode()
+                    )
+                    await writer.drain()
+                    head = await reader.readuntil(b"\r\n\r\n")
+                    length = int(
+                        [
+                            line.split(b":")[1]
+                            for line in head.split(b"\r\n")
+                            if line.lower().startswith(b"content-length")
+                        ][0]
+                    )
+                    body = await reader.readexactly(length)
+                    return head, json.loads(body)
+
+                # three requests ride one TCP connection
+                for _ in range(3):
+                    head, payload = await exchange()
+                    assert payload["ok"] is True
+                    assert b"Connection: keep-alive" in head
+
+                # Connection: close is honoured — response says close
+                # and the server hangs up
+                head, payload = await exchange("Connection: close\r\n")
+                assert b"Connection: close" in head
+                assert await reader.read() == b""
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_failed_state_survives_restart_via_service_journal(
+        self, tmp_path
+    ):
+        """Satellite (a): campaign outcomes are journaled.  A campaign
+        that failed stays failed across a coordinator restart — even if
+        whatever broke its manifest has since been repaired — because a
+        restart is not a retry; only explicit resubmission is."""
+        cid = "feedfacecafe0000"
+        bad = tmp_path / cid
+        bad.mkdir()
+        (bad / "campaign.json").write_text("{ truncated garbage")
+
+        async def first_life():
+            service = CampaignService(tmp_path)
+            _, port = await service.start("127.0.0.1", 0)
+            try:
+                _, payload = await _request(port, "GET", f"/campaigns/{cid}")
+                assert payload["state"] == "failed"
+                return payload["error"]
+            finally:
+                await service.stop()
+
+        error = asyncio.run(first_life())
+        assert (tmp_path / SERVICE_LOG_FILENAME).exists()
+
+        # repair the manifest behind the service's back: without the
+        # journal the restart would happily relaunch this campaign
+        spec = _spec(size=1, base_seed=54, name="repaired")
+        write_campaign_manifest(bad, spec.to_dict(), cid, 1)
+
+        async def second_life():
+            service = CampaignService(tmp_path)
+            _, port = await service.start("127.0.0.1", 0)
+            try:
+                _, payload = await _request(port, "GET", f"/campaigns/{cid}")
+                assert payload["state"] == "failed"
+                assert payload["error"] == error
+            finally:
+                await service.stop()
+                await service.join()
+
+        asyncio.run(second_life())
 
 
 class TestRequestHardening:

@@ -273,9 +273,19 @@ class TestBenchCommand:
         args = cli.build_parser().parse_args(["bench"])
         assert args.command == "bench"
         assert args.preset == "ci"
-        assert args.out == "BENCH_hotpath.json"
+        assert args.suite == "hotpath"
+        # --out defaults per suite at dispatch time (BENCH_<suite>.json)
+        assert args.out is None
         assert args.repeats == 3
         assert args.des_events == 50_000
+
+    def test_bench_fleet_suite_parses(self):
+        args = cli.build_parser().parse_args([
+            "bench", "--suite", "fleet", "--wearers", "4",
+            "--workers", "3",
+        ])
+        assert (args.suite, args.wearers, args.workers) == ("fleet", 4, 3)
+        assert args.out is None
 
     def test_bench_flags_parse(self):
         args = cli.build_parser().parse_args([
@@ -655,11 +665,44 @@ class TestFabricReportSection:
         assert "shards run and committed: 1" in report
         assert "wt: 1 shard(s) (2 wearer(s) resumed from journals)" in report
 
+    def test_steal_and_cache_events_render(self):
+        report = summarize([
+            {"kind": "queue.split", "seq": 1, "t": 0.1,
+             "campaign": "abcd", "shard": 0, "holder": "slow",
+             "wearers": 3},
+            {"kind": "queue.steal", "seq": 2, "t": 0.2,
+             "campaign": "abcd", "shard": 0, "wearer_id": "w002",
+             "worker": "fast"},
+            {"kind": "queue.steal", "seq": 3, "t": 0.3,
+             "campaign": "abcd", "shard": 0, "wearer_id": "w001",
+             "worker": "fast"},
+            {"kind": "queue.sub_commit", "seq": 4, "t": 0.6,
+             "campaign": "abcd", "shard": 0, "wearer_id": "w002",
+             "worker": "fast", "duplicate": False},
+            {"kind": "cache.wearer", "seq": 5, "t": 0.7,
+             "action": "hit", "source": "coordinator",
+             "fingerprint": "aa" * 8},
+            {"kind": "cache.wearer", "seq": 6, "t": 0.8,
+             "action": "hit", "source": "local",
+             "fingerprint": "bb" * 8},
+            {"kind": "cache.wearer", "seq": 7, "t": 0.9,
+             "action": "store", "fingerprint": "cc" * 8},
+        ])
+        assert "fabric (lease queue / workers)" in report
+        assert ("work stealing: 1 shard(s) split, 2 wearer(s) stolen "
+                "(2x fast), 1 sub-commit(s)") in report
+        assert ("wearer cache: 2 hit(s) (1 via coordinator, 1 via local), "
+                "1 store(s)") in report
+
     def test_partial_fabric_events_never_keyerror(self):
         report = summarize([
             {"kind": "queue.lease", "seq": 1, "t": 0.1},
             {"kind": "queue.commit", "seq": 2, "t": 0.2},
             {"kind": "worker.commit", "seq": 3, "t": 0.3},
+            {"kind": "queue.split", "seq": 4, "t": 0.4},
+            {"kind": "queue.steal", "seq": 5, "t": 0.5},
+            {"kind": "queue.sub_commit", "seq": 6, "t": 0.6},
+            {"kind": "cache.wearer", "seq": 7, "t": 0.7},
         ])
         assert "fabric (lease queue / workers)" in report
 

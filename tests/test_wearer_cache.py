@@ -1,0 +1,208 @@
+"""Cross-campaign wearer-result cache: fingerprints, store, integrity.
+
+The cache's correctness rests on two claims this module pins directly:
+
+1. :func:`~repro.campaign.wearer_cache.wearer_fingerprint` hashes
+   exactly the result-relevant wearer fields — labels (``wearer_id``,
+   ``cohort``) stay out, robust-mode knobs enter only in robust mode —
+   so two campaigns naming the same wearer differently share an entry;
+2. the summary bytes really are label-free: a real campaign run with
+   two wearers that differ *only* in their labels produces byte-
+   identical summary projections, which is what makes claim 1 safe.
+
+Everything else is the store discipline: first-writer-wins idempotent
+puts, loud divergence, quarantine-on-damage (a flipped bit costs a
+re-simulation, never a wrong result).
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.campaign.spec import CampaignSpec, WearerSpec
+from repro.campaign.wearer_cache import (
+    WearerCacheDiverged,
+    WearerResultCache,
+    summary_crc,
+    wearer_fingerprint,
+)
+from repro.core.journal import summary_projection
+
+
+def _wearer(**overrides):
+    base = dict(wearer_id="w0", seed=11, pdr_min=0.92)
+    base.update(overrides)
+    return WearerSpec(**base)
+
+
+def _summary(tag="a"):
+    return {
+        "status": "infeasible",
+        "best": None,
+        "oracle_stats": {"simulations_run": 3, "cache_hits": 1},
+        "tag": tag,
+    }
+
+
+class TestFingerprint:
+    def test_stable_across_calls_and_instances(self):
+        a = wearer_fingerprint("smoke", _wearer())
+        b = wearer_fingerprint("smoke", _wearer())
+        assert a == b
+        assert len(a) == 16 and all(c in "0123456789abcdef" for c in a)
+
+    def test_labels_do_not_enter_the_fingerprint(self):
+        base = wearer_fingerprint("smoke", _wearer())
+        renamed = wearer_fingerprint(
+            "smoke", _wearer(wearer_id="other-name", cohort="clinic-b")
+        )
+        assert renamed == base
+
+    def test_result_relevant_fields_all_enter(self):
+        base = wearer_fingerprint("smoke", _wearer())
+        assert wearer_fingerprint("ci", _wearer()) != base
+        assert wearer_fingerprint("smoke", _wearer(seed=12)) != base
+        assert wearer_fingerprint("smoke", _wearer(pdr_min=0.93)) != base
+        assert (
+            wearer_fingerprint("smoke", _wearer(mode="robust")) != base
+        )
+
+    def test_robust_knobs_ignored_in_solve_mode(self):
+        # `solve` never reads the ensemble knobs, so they must not split
+        # the cache key; in `robust` mode every one of them must.
+        base = wearer_fingerprint("smoke", _wearer())
+        assert (
+            wearer_fingerprint("smoke", _wearer(ensemble_size=9))
+            == base
+        )
+        robust = wearer_fingerprint("smoke", _wearer(mode="robust"))
+        assert (
+            wearer_fingerprint(
+                "smoke", _wearer(mode="robust", ensemble_size=9)
+            )
+            != robust
+        )
+        assert (
+            wearer_fingerprint(
+                "smoke", _wearer(mode="robust", quantile=0.5)
+            )
+            != robust
+        )
+
+    def test_default_fault_seed_normalizes_to_wearer_seed(self):
+        # The runner builds the fault ensemble from `fault_seed or seed`,
+        # so the spelled-out and defaulted forms are the same ensemble
+        # and must share one cache entry.
+        spelled = wearer_fingerprint(
+            "smoke", _wearer(mode="robust", fault_seed=11)
+        )
+        defaulted = wearer_fingerprint(
+            "smoke", _wearer(mode="robust", fault_seed=None)
+        )
+        assert spelled == defaulted
+        assert (
+            wearer_fingerprint(
+                "smoke", _wearer(mode="robust", fault_seed=12)
+            )
+            != spelled
+        )
+
+
+class TestSummaryBytesAreLabelFree:
+    def test_renamed_wearer_produces_identical_summary_bytes(
+        self, tmp_path
+    ):
+        """The physical claim behind cache sharing: two wearers that
+        differ only in their labels simulate to byte-identical summary
+        projections, so serving one's cached bytes as the other's
+        summary is exact, not approximate."""
+        from repro.campaign.runner import run_campaign
+        from repro.core.journal import SUMMARY_FILENAME
+
+        twins = CampaignSpec(
+            name="twins",
+            preset="smoke",
+            wearers=(
+                _wearer(wearer_id="alpha", cohort="a"),
+                _wearer(wearer_id="beta", cohort="b"),
+            ),
+        )
+        run_campaign(twins, tmp_path / "twins", jobs=1)
+        blobs = {}
+        for wid in ("alpha", "beta"):
+            (path,) = (tmp_path / "twins").glob(
+                f"shards/*/{wid}/{SUMMARY_FILENAME}"
+            )
+            blobs[wid] = json.dumps(
+                summary_projection(json.loads(path.read_text())),
+                sort_keys=True,
+            )
+        assert blobs["alpha"] == blobs["beta"]
+
+
+class TestStore:
+    def test_put_get_roundtrip_is_the_projection(self, tmp_path):
+        cache = WearerResultCache(tmp_path / "wc")
+        summary = _summary()
+        assert cache.put("ab12", summary) is True
+        assert cache.get("ab12") == summary_projection(summary)
+        assert len(cache) == 1
+
+    def test_put_is_first_writer_wins_idempotent(self, tmp_path):
+        cache = WearerResultCache(tmp_path / "wc")
+        cache.put("ab12", _summary())
+        assert cache.put("ab12", _summary()) is False  # identical: no-op
+
+    def test_divergent_put_raises(self, tmp_path):
+        cache = WearerResultCache(tmp_path / "wc")
+        cache.put("ab12", _summary("a"))
+        with pytest.raises(WearerCacheDiverged):
+            cache.put("ab12", _summary("b"))
+        # the original bytes survived the attempt
+        assert cache.get("ab12") == summary_projection(_summary("a"))
+
+    def test_damaged_entry_quarantined_and_reported_as_miss(
+        self, tmp_path
+    ):
+        cache = WearerResultCache(tmp_path / "wc")
+        cache.put("ab12", _summary())
+        path = cache.path_for("ab12")
+        path.write_text(path.read_text()[:-10] + "corrupted!")
+        assert cache.get("ab12") is None
+        assert not path.exists()
+        assert path.with_suffix(".json.quarantine").exists()
+        # and the slot is usable again
+        assert cache.put("ab12", _summary()) is True
+
+    def test_bad_fingerprint_refused_before_touching_disk(self, tmp_path):
+        cache = WearerResultCache(tmp_path / "wc")
+        for bad in ("", "../escape", "UPPER", "has space"):
+            with pytest.raises(ValueError):
+                cache.path_for(bad)
+
+    def test_prefetch_maps_only_hits(self, tmp_path):
+        cache = WearerResultCache(tmp_path / "wc")
+        hot = _wearer(wearer_id="hot")
+        cold = _wearer(wearer_id="cold", seed=99)
+        cache.put(wearer_fingerprint("smoke", hot), _summary())
+        out = cache.prefetch("smoke", [hot, cold.to_dict()])
+        assert set(out) == {"hot"}
+        assert out["hot"] == summary_projection(_summary())
+
+    def test_summary_crc_matches_projection_not_raw(self):
+        summary = _summary()
+        decorated = dict(summary, transient_note="dropped by projection")
+        if summary_projection(decorated) == summary_projection(summary):
+            assert summary_crc(decorated) == summary_crc(summary)
+
+
+def test_fingerprint_survives_spec_roundtrip():
+    # Wire form (to_dict/from_dict, how wearers travel inside leases)
+    # must fingerprint identically to the in-memory form.
+    wearer = _wearer(mode="robust", fault_seed=None)
+    revived = WearerSpec.from_dict(wearer.to_dict())
+    assert dataclasses.asdict(revived) == dataclasses.asdict(wearer)
+    assert wearer_fingerprint("ci", revived) == wearer_fingerprint(
+        "ci", wearer
+    )

@@ -1,0 +1,365 @@
+#!/usr/bin/env python
+"""Failover smoke: kill the primary coordinator mid-campaign, promote
+the standby, and require byte-identical artifacts.
+
+The DESIGN.md §14 hardening contract, exercised end to end with real
+processes on localhost and fabric auth enabled throughout:
+
+1. run the campaign single-host with ``--out`` → golden
+   ``aggregate.json``/``atlas.json``;
+2. start a **primary** ``hi-explore serve`` and a **warm standby**
+   (``--standby-of``) sharing one campaign root, both holding the
+   fabric secret; submit the spec with ``{"execution": "fleet"}``;
+3. start two workers with the *ordered coordinator list*
+   ``primary,standby`` and a short ``--rpc-timeout``;
+4. once the first shard commit lands (mid-campaign, work in flight),
+   ``SIGSTOP`` the primary — the cruellest failure mode: the process is
+   alive, the sockets accept, nothing answers.  The standby misses its
+   health probes and self-promotes at fencing epoch 2; the workers'
+   RPCs time out and fail over down their list;
+5. poll the standby until the campaign is ``done``, then ``SIGCONT``
+   the old primary (a *resurrected* zombie, the split-brain scenario)
+   and send it a correctly **signed** mutation: it must answer
+   ``410 {"fenced": true}`` — a valid signature does not outrank a
+   fencing epoch;
+6. require the fleet ``aggregate.json``/``atlas.json`` under the shared
+   root to be **byte-identical** to the golden single-host run, and an
+   unsigned request to the promoted standby to be refused 401.
+
+If the campaign finishes before the first-commit checkpoint the run
+degrades to a post-hoc promotion (still asserting the fencing 410 and
+byte identity).  Any divergence, hang, or missing rejection exits
+nonzero.
+
+Usage::
+
+    python scripts/failover_smoke.py [--wearers 4] [--preset smoke]
+                                     [--workdir failover-smoke]
+                                     [--lease-ttl 5.0]
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+FABRIC_SECRET = "failover-smoke-secret"
+
+
+def log(message: str) -> None:
+    print(f"failover-smoke: {message}", flush=True)
+
+
+def child_env() -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src
+    )
+    env["REPRO_FABRIC_SECRET"] = FABRIC_SECRET
+    return env
+
+
+def cli(*argv) -> list:
+    return [sys.executable, "-m", "repro.cli", *argv]
+
+
+def http_json(method, url, payload=None, headers=None, timeout=10.0):
+    body = None if payload is None else json.dumps(payload).encode()
+    request = urllib.request.Request(
+        url, data=body, method=method,
+        headers={"Content-Type": "application/json", **(headers or {})},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read().decode())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode() or "{}")
+
+
+def signed_post(base_url: str, path: str, payload, timeout=10.0):
+    """A correctly HMAC-signed fabric POST (what a real worker sends)."""
+    from repro.campaign.auth import FabricAuth
+
+    body = json.dumps(payload).encode()
+    headers = FabricAuth(FABRIC_SECRET).sign("POST", path, body)
+    request = urllib.request.Request(
+        base_url + path, data=body, method="POST",
+        headers={"Content-Type": "application/json", **headers},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read().decode())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode() or "{}")
+
+
+def start_serve(label: str, *argv):
+    """Launch ``hi-explore serve``; returns ``(process, base_url)`` once
+    the startup banner names the bound port."""
+    proc = subprocess.Popen(
+        cli("serve", "--port", "0", *argv),
+        env=child_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    banner: list = []
+
+    def pump():
+        for line in proc.stdout:
+            print(f"  [{label}] {line.rstrip()}", flush=True)
+            match = re.search(r"on (http://[\d.]+:\d+)", line)
+            if match and not banner:
+                banner.append(match.group(1))
+
+    threading.Thread(target=pump, daemon=True).start()
+    deadline = time.monotonic() + 30.0
+    while not banner and time.monotonic() < deadline:
+        if proc.poll() is not None:
+            log(f"FAIL: {label} exited during startup")
+            sys.exit(1)
+        time.sleep(0.05)
+    if not banner:
+        log(f"FAIL: {label} never printed its URL")
+        proc.kill()
+        sys.exit(1)
+    return proc, banner[0]
+
+
+def start_worker(name, coordinators, workdir):
+    return subprocess.Popen(
+        cli(
+            "worker", "--coordinator", coordinators,
+            "--workdir", str(workdir), "--name", name,
+            "--poll", "0.2", "--exit-idle", "15", "--rpc-timeout", "3",
+        ),
+        env=child_env(),
+        stdout=None,
+        start_new_session=True,
+    )
+
+
+def wait_first_commit(base_url, cid, timeout):
+    """True once ≥1 shard is committed while the campaign is still
+    running — the mid-campaign checkpoint for the kill."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            status, payload = http_json(
+                "GET", f"{base_url}/campaigns/{cid}/status", timeout=3.0
+            )
+        except OSError:
+            return False
+        if status == 200:
+            if payload.get("state") == "done":
+                return False
+            committed = sum(
+                1 for s in payload.get("shards", ())
+                if s.get("state") == "committed"
+            )
+            if committed >= 1:
+                return True
+        time.sleep(0.05)
+    return False
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--wearers", type=int, default=4)
+    parser.add_argument("--preset", default="smoke")
+    parser.add_argument("--workdir", default="failover-smoke")
+    parser.add_argument("--lease-ttl", type=float, default=5.0)
+    args = parser.parse_args(argv)
+
+    from repro.campaign.spec import make_population
+
+    spec = make_population(
+        args.wearers, preset=args.preset, base_seed=40,
+        pdr_bounds=(90, 95), name="failover-smoke",
+    )
+    cid = spec.fingerprint()
+    workdir = pathlib.Path(args.workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    spec_path = workdir / "spec.json"
+    spec.save(spec_path)
+
+    golden_dir = workdir / "golden"
+    log(f"golden single-host run of {cid} ({args.wearers} wearers)")
+    subprocess.run(
+        cli(
+            "campaign", "--spec", str(spec_path), "--jobs", "1",
+            "--shards", "4", "--out", str(golden_dir),
+        ),
+        env=child_env(),
+        check=True,
+        stdout=subprocess.DEVNULL,
+    )
+
+    root = workdir / "coord"
+    primary, primary_url = start_serve(
+        "primary", "--root", str(root), "--lease-ttl", str(args.lease_ttl),
+        "--shards", "4", "--node-name", "primary",
+    )
+    standby, standby_url = start_serve(
+        "standby", "--root", str(root), "--lease-ttl", str(args.lease_ttl),
+        "--shards", "4", "--node-name", "standby",
+        "--standby-of", primary_url,
+        "--ping-interval", "0.3", "--ping-misses", "3",
+    )
+    coordinators = f"{primary_url},{standby_url}"
+    workers = []
+    stopped_primary = False
+    try:
+        status, payload = signed_post(
+            primary_url, "/fabric/sync",
+            {"worker": "probe", "acquire": False, "heartbeats": []},
+        )
+        if status != 200:
+            log(f"FAIL: signed probe sync returned {status}: {payload}")
+            return 1
+        status, payload = http_json(
+            "POST", f"{primary_url}/campaigns",
+            {**spec.to_dict(), "execution": "fleet"},
+        )
+        if status not in (200, 202):
+            log(f"FAIL: fleet submission returned {status}: {payload}")
+            return 1
+        log(f"submitted fleet campaign {payload['id']} "
+            f"(state {payload['state']})")
+
+        workers = [
+            start_worker(f"w{i}", coordinators, workdir / "work")
+            for i in (1, 2)
+        ]
+
+        if wait_first_commit(primary_url, cid, timeout=120.0):
+            os.kill(primary.pid, signal.SIGSTOP)
+            stopped_primary = True
+            log("SIGSTOPped the primary after the first shard commit — "
+                "alive but unresponsive, the zombie-coordinator case")
+        else:
+            log("campaign finished before the first-commit checkpoint — "
+                "degrading to post-hoc promotion")
+            os.kill(primary.pid, signal.SIGSTOP)
+            stopped_primary = True
+
+        # the standby must notice the dead air and promote itself
+        deadline = time.monotonic() + 60.0
+        promoted = None
+        while time.monotonic() < deadline:
+            try:
+                status, health = http_json(
+                    "GET", f"{standby_url}/healthz", timeout=3.0
+                )
+            except OSError:
+                status, health = 0, {}
+            if status == 200 and health.get("role") == "primary":
+                promoted = health
+                break
+            time.sleep(0.1)
+        if promoted is None:
+            log("FAIL: standby never promoted itself")
+            return 1
+        if int(promoted.get("epoch", 0)) < 2:
+            log(f"FAIL: promoted standby reports epoch "
+                f"{promoted.get('epoch')} (expected >= 2)")
+            return 1
+        log(f"standby promoted: epoch {promoted['epoch']}, "
+            f"node {promoted['node']}")
+
+        # workers fail over down their list; the campaign finishes on
+        # the new primary
+        deadline = time.monotonic() + 600.0
+        while time.monotonic() < deadline:
+            status, payload = http_json(
+                "GET", f"{standby_url}/campaigns/{cid}", timeout=5.0
+            )
+            if status == 200 and payload.get("state") == "done":
+                break
+            if all(w.poll() not in (None, 0) for w in workers):
+                log("FAIL: every worker exited nonzero before the "
+                    "campaign finished")
+                return 1
+            time.sleep(0.25)
+        else:
+            log(f"FAIL: campaign never reached done: {payload}")
+            return 1
+        log(f"campaign done on the promoted standby: {payload['queue']}")
+
+        # resurrect the deposed primary: a correctly signed mutation
+        # must be refused 410/fenced — signatures do not outrank epochs
+        os.kill(primary.pid, signal.SIGCONT)
+        stopped_primary = False
+        status, refusal = signed_post(
+            primary_url, "/fabric/sync",
+            {"worker": "stale", "acquire": True, "heartbeats": []},
+            timeout=15.0,
+        )
+        if status != 410 or refusal.get("fenced") is not True:
+            log(f"FAIL: resurrected primary answered {status} "
+                f"{refusal} (expected 410 fenced)")
+            return 1
+        log("resurrected primary refused a signed mutation with "
+            "410/fenced")
+
+        # and the promoted standby still enforces auth: unsigned → 401
+        status, refusal = http_json(
+            "POST", f"{standby_url}/fabric/sync",
+            {"worker": "intruder", "heartbeats": []},
+        )
+        if status != 401:
+            log(f"FAIL: unsigned sync to the promoted standby answered "
+                f"{status} (expected 401)")
+            return 1
+        log("promoted standby refused an unsigned sync with 401")
+    finally:
+        if stopped_primary:
+            try:
+                os.kill(primary.pid, signal.SIGCONT)
+            except OSError:
+                pass
+        for proc in workers:
+            if proc.poll() is None:
+                proc.terminate()
+                proc.wait()
+        for proc in (standby, primary):
+            if proc.poll() is None:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=15)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait()
+
+    fleet_dir = root / cid
+    for name in ("aggregate.json", "atlas.json"):
+        golden_blob = (golden_dir / name).read_bytes()
+        fleet_blob = (fleet_dir / name).read_bytes()
+        if golden_blob != fleet_blob:
+            log(f"FAIL: {name} differs from the single-host run")
+            return 1
+        log(f"{name}: bytes identical to single-host "
+            f"({len(fleet_blob)} bytes)")
+
+    log("OK: primary killed mid-campaign, standby promoted with a "
+        "fencing epoch, the resurrected primary is fenced out, and the "
+        "artifacts are byte-identical to single-host")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -62,6 +62,10 @@ def child_env() -> dict:
         if env.get("PYTHONPATH")
         else src
     )
+    # The whole smoke runs with fabric auth enabled: coordinator and
+    # workers pick the shared secret up from the environment, so every
+    # lease/commit/cache RPC below is HMAC-signed end to end.
+    env.setdefault("REPRO_FABRIC_SECRET", "fleet-smoke-secret")
     return env
 
 

@@ -420,10 +420,16 @@ def _fabric_section(events: List[dict], lines: List[str]) -> None:
     steals = [e for e in events if e.get("kind") == "queue.steal"]
     sub_commits = [e for e in events if e.get("kind") == "queue.sub_commit"]
     cache_events = [e for e in events if e.get("kind") == "cache.wearer"]
+    backpressure = [
+        e for e in events if e.get("kind") == "fabric.backpressure"
+    ]
+    auth_denials = [e for e in events if e.get("kind") == "fabric.auth"]
+    promotions = [e for e in events if e.get("kind") == "fabric.promote"]
     if not (
         leases or expires or releases or commits or done
         or worker_leases or worker_commits
         or splits or steals or sub_commits or cache_events
+        or backpressure or auth_denials or promotions
     ):
         return
     lines.append("fabric (lease queue / workers)")
@@ -499,6 +505,9 @@ def _fabric_section(events: List[dict], lines: List[str]) -> None:
         stores = sum(
             1 for e in cache_events if e.get("action") == "store"
         )
+        evictions = sum(
+            1 for e in cache_events if e.get("action") == "evict"
+        )
         by_source: Dict[str, int] = defaultdict(int)
         for e in cache_events:
             if e.get("action") == "hit":
@@ -510,6 +519,37 @@ def _fabric_section(events: List[dict], lines: List[str]) -> None:
             f"  wearer cache: {hits} hit(s)"
             + (f" ({detail})" if detail else "")
             + f", {stores} store(s)"
+            + (f", {evictions} eviction(s)" if evictions else "")
+        )
+    if backpressure:
+        # Hardened fabric (PR 10): every 429 the admission layer handed
+        # out, split by what tripped it (global in-flight cap vs the
+        # per-connection sync spacing).
+        by_scope: Dict[str, int] = defaultdict(int)
+        for e in backpressure:
+            by_scope[str(e.get("scope", "?"))] += 1
+        detail = ", ".join(
+            f"{by_scope[s]} {s}" for s in sorted(by_scope)
+        )
+        lines.append(
+            f"  backpressure rejections (429): {len(backpressure)} "
+            f"({detail})"
+        )
+    if auth_denials:
+        unauthorized = sum(
+            1 for e in auth_denials if e.get("status") == 401
+        )
+        forbidden = sum(1 for e in auth_denials if e.get("status") == 403)
+        lines.append(
+            f"  auth denials: {len(auth_denials)} "
+            f"({unauthorized}x 401 bad/missing signature, "
+            f"{forbidden}x 403 stale/replayed)"
+        )
+    for e in promotions:
+        lines.append(
+            f"  promotion: node {e.get('node', '?')} took over at "
+            f"fencing epoch {e.get('epoch', '?')} "
+            f"({e.get('resumed', 0)} campaign(s) resumed)"
         )
     for e in done:
         lines.append(

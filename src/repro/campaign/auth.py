@@ -1,0 +1,195 @@
+"""Shared-secret HMAC authentication for fabric RPCs (DESIGN.md §14).
+
+The PR 8/9 fabric trusted the network: lease tokens were unauthenticated
+bearer secrets, so anyone who could reach the coordinator's port could
+acquire leases, commit divergent bytes (bounded only by the CRC checks),
+or poison the wearer cache.  This module closes that hole with a keyed
+request-signature scheme shared by the coordinator and every worker:
+
+* Both sides hold one **shared secret** (``--fabric-secret`` or the
+  ``REPRO_FABRIC_SECRET`` environment variable).  The secret never goes
+  on the wire.
+* Every protected request carries three headers — a wall-clock
+  **timestamp**, a random **nonce**, and an HMAC-SHA256 **signature**
+  over the canonical string ``method \\n path \\n sha256(body) \\n
+  timestamp \\n nonce``.  Covering the body hash means a valid signature
+  cannot be spliced onto a different payload; covering method + path
+  means it cannot be replayed against a different endpoint.
+* The verifier recomputes the signature and compares with
+  :func:`hmac.compare_digest` (constant-time — the comparison leaks no
+  prefix information), then enforces a **freshness window**: timestamps
+  more than ``window_s`` from the verifier's clock are refused, and a
+  nonce seen before within the window is a replay.  The nonce cache is
+  bounded (entries expire with the window), so it cannot be grown
+  without bound by an attacker.
+
+Status mapping (the 401/403 distinction):
+
+* **401 Unauthorized** — the request is not authenticated: headers
+  missing or malformed, or the signature does not verify.  The caller
+  does not hold the secret (or mangled the request).
+* **403 Forbidden** — the signature *is* valid (the caller holds the
+  secret) but the request is not acceptable: timestamp outside the
+  freshness window, or a replayed nonce.  A legitimate worker with a
+  skewed clock sees 403s, never silent acceptance.
+
+Either way the request is rejected **before any state mutation** — the
+service authenticates as the first step of routing a protected path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+import secrets
+import time
+from typing import Callable, Dict, Optional
+
+#: Environment variable consulted when ``--fabric-secret`` is not given.
+SECRET_ENV_VAR = "REPRO_FABRIC_SECRET"
+
+#: Wire header names (lowercase: the service lowercases header names).
+TIMESTAMP_HEADER = "x-fabric-timestamp"
+NONCE_HEADER = "x-fabric-nonce"
+SIGNATURE_HEADER = "x-fabric-signature"
+
+#: Default freshness window in seconds: generous enough for loaded CI
+#: hosts and coarse NTP, tight enough that a captured request is useless
+#: minutes later.
+DEFAULT_AUTH_WINDOW = 60.0
+
+#: Nonce cache ceiling — pruning triggers on insert, so memory stays
+#: bounded even under a flood of uniquely-nonced requests.
+MAX_NONCE_CACHE = 65536
+
+
+class AuthError(Exception):
+    """A rejected request; ``status`` is 401 (unauthenticated) or 403
+    (authenticated but stale/replayed)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def resolve_secret(explicit: Optional[str]) -> Optional[str]:
+    """The fabric secret: the explicit flag wins, then the environment.
+    ``None`` (or empty) means auth-disabled legacy mode."""
+    secret = explicit if explicit else os.environ.get(SECRET_ENV_VAR)
+    return secret or None
+
+
+class FabricAuth:
+    """Signer/verifier for one shared secret.
+
+    One instance per process end: the coordinator verifies with its
+    instance, each worker signs with its own.  ``clock`` is injectable
+    for the skew/replay tests.
+    """
+
+    def __init__(
+        self,
+        secret: str,
+        window_s: float = DEFAULT_AUTH_WINDOW,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if not secret:
+            raise ValueError("fabric secret must be non-empty")
+        self._key = secret.encode("utf-8")
+        self.window_s = float(window_s)
+        self.clock = clock
+        #: nonce → expiry time (pruned lazily on verify).
+        self._nonces: Dict[str, float] = {}
+
+    # -- signing -----------------------------------------------------------------
+
+    def signature(
+        self, method: str, path: str, body: bytes, timestamp: str,
+        nonce: str,
+    ) -> str:
+        canonical = "\n".join(
+            (
+                method.upper(),
+                path,
+                hashlib.sha256(body or b"").hexdigest(),
+                timestamp,
+                nonce,
+            )
+        )
+        return hmac.new(
+            self._key, canonical.encode("utf-8"), hashlib.sha256
+        ).hexdigest()
+
+    def sign(self, method: str, path: str, body: bytes) -> Dict[str, str]:
+        """Authentication headers for one request."""
+        timestamp = f"{self.clock():.3f}"
+        nonce = secrets.token_hex(16)
+        return {
+            TIMESTAMP_HEADER: timestamp,
+            NONCE_HEADER: nonce,
+            SIGNATURE_HEADER: self.signature(
+                method, path, body, timestamp, nonce
+            ),
+        }
+
+    # -- verification ------------------------------------------------------------
+
+    def _prune(self, now: float) -> None:
+        if len(self._nonces) <= MAX_NONCE_CACHE:
+            return
+        self._nonces = {
+            nonce: expiry
+            for nonce, expiry in self._nonces.items()
+            if expiry > now
+        }
+
+    def verify(
+        self, method: str, path: str, body: bytes,
+        headers: Dict[str, str],
+    ) -> None:
+        """Raise :class:`AuthError` unless the request is authentic,
+        fresh, and first-of-its-nonce.  Mutates nothing until every
+        check has passed (the nonce is recorded last)."""
+        timestamp = headers.get(TIMESTAMP_HEADER)
+        nonce = headers.get(NONCE_HEADER)
+        signature = headers.get(SIGNATURE_HEADER)
+        if not timestamp or not nonce or not signature:
+            raise AuthError(
+                401,
+                "fabric auth required: request is missing the "
+                f"{TIMESTAMP_HEADER}/{NONCE_HEADER}/{SIGNATURE_HEADER} "
+                "headers",
+            )
+        expected = self.signature(method, path, body, timestamp, nonce)
+        if not hmac.compare_digest(expected, signature):
+            raise AuthError(
+                401, "fabric auth failed: bad request signature"
+            )
+        # Past this point the caller provably holds the secret; what
+        # remains are freshness checks → 403, not 401.
+        try:
+            issued = float(timestamp)
+        except ValueError:
+            raise AuthError(
+                403, f"unparseable auth timestamp {timestamp!r}"
+            ) from None
+        now = self.clock()
+        if abs(now - issued) > self.window_s:
+            raise AuthError(
+                403,
+                f"auth timestamp {issued:.3f} is outside the "
+                f"{self.window_s:.0f}s freshness window (server clock "
+                f"{now:.3f}) — re-sign and resend",
+            )
+        expiry = self._nonces.get(nonce)
+        if expiry is not None and expiry > now:
+            raise AuthError(
+                403,
+                "replayed request: this nonce was already accepted "
+                "within the freshness window",
+            )
+        self._prune(now)
+        self._nonces[nonce] = now + self.window_s
+        return None

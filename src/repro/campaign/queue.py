@@ -50,6 +50,7 @@ and every committed shard (whose summaries are already on disk).
 
 from __future__ import annotations
 
+import hmac
 import json
 import pathlib
 import time
@@ -83,6 +84,47 @@ from repro.core.journal import (
 #: Default lease time-to-live in seconds: long enough for a smoke-preset
 #: shard, short enough that a dead worker's shard is back on offer fast.
 DEFAULT_LEASE_TTL = 30.0
+
+
+def mint_token(epoch: int) -> str:
+    """A fresh single-use lease capability, stamped with the fencing
+    epoch of the coordinator that granted it (``e<epoch>.<random>``).
+
+    The epoch is what makes coordinator handoff safe: a promoted standby
+    claims a higher epoch, so grants from a deposed-but-still-running
+    primary are recognisable as stale wherever they show up (see
+    :func:`token_epoch` and DESIGN.md §14).
+    """
+    return f"e{int(epoch)}.{uuid.uuid4().hex}"
+
+
+def token_epoch(token: Optional[str]) -> Optional[int]:
+    """The fencing epoch a token was minted under, or None for a token
+    that does not carry one (pre-PR-10 journals)."""
+    if not token or not token.startswith("e"):
+        return None
+    head, sep, _ = token.partition(".")
+    if not sep:
+        return None
+    try:
+        return int(head[1:])
+    except ValueError:
+        return None
+
+
+def tokens_equal(a: Optional[str], b: Optional[str]) -> bool:
+    """Constant-time token comparison.
+
+    Lease tokens are bearer capabilities; comparing them with ``==``
+    leaks how many leading bytes matched through response timing, which
+    is exactly the oracle an attacker needs to forge one byte-by-byte.
+    Every token comparison in the fabric routes through here.
+    """
+    if a is None or b is None:
+        return a is None and b is None
+    return hmac.compare_digest(
+        str(a).encode("utf-8"), str(b).encode("utf-8")
+    )
 
 
 class QueueError(RuntimeError):
@@ -137,6 +179,7 @@ class CampaignQueue:
         lease_ttl: float = DEFAULT_LEASE_TTL,
         clock: Callable[[], float] = time.time,
         steal_enabled: bool = True,
+        epoch: int = 0,
     ) -> None:
         from repro.obs import runtime
 
@@ -146,6 +189,12 @@ class CampaignQueue:
         self.lease_ttl = float(lease_ttl)
         self.clock = clock
         self.steal_enabled = bool(steal_enabled)
+        #: Fencing epoch stamped into every minted token.  Outstanding
+        #: leases from *earlier* epochs stay valid across a handoff (the
+        #: journal replay restores them, so in-flight work commits
+        #: without re-simulation); tokens from a *later* epoch than ours
+        #: mean this queue belongs to a deposed coordinator → 410.
+        self.epoch = int(epoch)
         self.obs = runtime.get_active()
         self._started = clock()
 
@@ -231,7 +280,9 @@ class CampaignQueue:
                     token=entry.get("token"),
                     expires_at=entry.get("expires_at"),
                 )
-            elif kind == "renew" and state["token"] == entry.get("token"):
+            elif kind == "renew" and tokens_equal(
+                state["token"], entry.get("token")
+            ):
                 state["expires_at"] = entry.get("expires_at")
             elif kind in ("release", "expire"):
                 if state["state"] == "split":
@@ -256,7 +307,7 @@ class CampaignQueue:
                         expires_at=entry.get("expires_at"),
                     )
             elif kind == "sub_renew" and sub is not None:
-                if sub["token"] == entry.get("token"):
+                if tokens_equal(sub["token"], entry.get("token")):
                     sub["expires_at"] = entry.get("expires_at")
             elif kind in ("sub_release", "sub_expire") and sub is not None:
                 if sub["state"] != "committed":
@@ -361,7 +412,7 @@ class CampaignQueue:
             state = self._shards[index]
             if state["state"] != "pending":
                 continue
-            token = uuid.uuid4().hex
+            token = mint_token(self.epoch)
             expires_at = self.clock() + self.lease_ttl
             state.update(state="leased", worker=worker, token=token,
                          expires_at=expires_at)
@@ -447,7 +498,7 @@ class CampaignQueue:
                 sub = subs[wid]
                 if sub["state"] != "pending":
                     continue
-                token = uuid.uuid4().hex
+                token = mint_token(self.epoch)
                 expires_at = self.clock() + self.lease_ttl
                 sub.update(state="leased", worker=worker, token=token,
                            expires_at=expires_at)
@@ -475,13 +526,26 @@ class CampaignQueue:
 
     def _lease_for(self, token: str) -> Tuple[int, Optional[str]]:
         self.reclaim_expired()
-        if token not in self._tokens:
+        # Linear constant-time scan instead of a dict lookup: hashing a
+        # presented token would shortcut on the first differing byte and
+        # reopen the timing channel tokens_equal exists to close.  Live
+        # token counts are O(workers), so the scan is cheap.
+        for live_token, target in self._tokens.items():
+            if tokens_equal(live_token, token):
+                return target
+        presented = token_epoch(token)
+        if presented is not None and presented > self.epoch:
             raise QueueError(
                 410,
-                "lease is gone (expired, released, or never granted) — "
-                "the shard may have been reassigned",
+                f"lease token carries fencing epoch {presented} but this "
+                f"coordinator is at epoch {self.epoch} — it has been "
+                "superseded; fail over to the current coordinator",
             )
-        return self._tokens[token]
+        raise QueueError(
+            410,
+            "lease is gone (expired, released, or never granted) — "
+            "the shard may have been reassigned",
+        )
 
     def stolen_wearers(self, index: int) -> List[str]:
         """Wearers of a split shard the original holder should skip:

@@ -77,19 +77,49 @@ Campaign execution is CPU-bound and runs on a worker thread
 processes.  The event loop itself only parses requests and reads files;
 queue mutations are synchronous on the loop, which is what makes the
 lease state machine race-free without locks.
+
+The hardening layer (PR 10, DESIGN.md §14) adds three orthogonal
+defences without changing any artifact byte:
+
+* **Authenticated fabric RPCs** — with a shared secret configured
+  (``--fabric-secret`` / ``REPRO_FABRIC_SECRET``), every fabric-plane
+  request (sync, lease, commit, cache, promote) must carry an HMAC
+  request signature (:mod:`repro.campaign.auth`); missing/forged → 401,
+  stale/replayed → 403, always before any state mutation.  Without a
+  secret the service runs in legacy mode and says so loudly at startup.
+* **Standby/handoff** — a second coordinator started with
+  ``--standby-of <primary-url>`` tails the shared root's journals
+  read-only and serves status; on ``POST /fabric/promote`` (or after
+  ``ping_misses`` missed health probes of the primary) it claims the
+  next **fencing epoch** in ``fencing.jsonl``, replays the journals,
+  and takes over.  Every mutating request on the deposed primary first
+  checks the fencing log and fails 410 once superseded, so a
+  resurrected primary cannot corrupt the queue behind the fleet's back.
+* **Sync backpressure** — a global in-flight admission cap (429 +
+  ``Retry-After`` when saturated, measured right after the request
+  line) and an optional per-connection minimum ``/fabric/sync``
+  spacing, surfaced as ``fabric.backpressure`` metrics/events.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import os
 import pathlib
+import time
 from typing import Dict, List, Optional, Tuple
 
 from repro.campaign.aggregate import (
     AGGREGATE_FILENAME,
     ATLAS_FILENAME,
     TELEMETRY_FILENAME,
+)
+from repro.campaign.auth import (
+    DEFAULT_AUTH_WINDOW,
+    AuthError,
+    FabricAuth,
+    resolve_secret,
 )
 from repro.campaign.queue import (
     DEFAULT_LEASE_TTL,
@@ -118,6 +148,22 @@ from repro.core.journal import (
 #: campaigns (their error included) instead of silently re-running them.
 SERVICE_LOG_FILENAME = "service.jsonl"
 
+#: Durable fencing-epoch log (``<root>/fencing.jsonl``): one ``epoch``
+#: record per coordinator take-over.  The highest epoch wins; everyone
+#: else is fenced (DESIGN.md §14).
+FENCING_LOG_FILENAME = "fencing.jsonl"
+
+#: Global in-flight request cap (the backpressure admission limit).
+DEFAULT_MAX_INFLIGHT = 64
+
+#: Seconds a 429'd client is told to wait before retrying.
+DEFAULT_RETRY_AFTER = 1.0
+
+#: Standby → primary health-probe cadence and the consecutive-miss count
+#: that triggers auto-promotion.
+DEFAULT_PING_INTERVAL = 1.0
+DEFAULT_PING_MISSES = 3
+
 #: Artifact names the API will serve (everything else 404s: the campaign
 #: directory also holds journals, which are replay state, not artifacts).
 ARTIFACTS = (
@@ -139,23 +185,40 @@ _REASONS = {
     200: "OK",
     202: "Accepted",
     400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
     404: "Not Found",
     405: "Method Not Allowed",
     408: "Request Timeout",
     409: "Conflict",
     410: "Gone",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
 class HttpError(Exception):
-    """Maps straight to an HTTP error response."""
+    """Maps straight to an HTTP error response.
 
-    def __init__(self, status: int, message: str) -> None:
+    ``extra`` is merged into the JSON error body (machine-readable
+    fields like ``fenced`` or ``retry_after``); ``headers`` are extra
+    response headers (e.g. ``Retry-After`` on a 429).
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        extra: Optional[dict] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
+        self.extra = extra or {}
+        self.headers = headers or {}
 
 
 class _ConnectionClosed(Exception):
@@ -182,6 +245,16 @@ class CampaignService:
         lease_ttl: float = DEFAULT_LEASE_TTL,
         read_timeout: float = DEFAULT_READ_TIMEOUT,
         steal_enabled: bool = True,
+        fabric_secret: Optional[str] = None,
+        auth_window: float = DEFAULT_AUTH_WINDOW,
+        standby_of: Optional[str] = None,
+        node_name: Optional[str] = None,
+        ping_interval: float = DEFAULT_PING_INTERVAL,
+        ping_misses: int = DEFAULT_PING_MISSES,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        min_sync_interval: float = 0.0,
+        cache_max_bytes: Optional[int] = None,
+        cache_max_entries: Optional[int] = None,
     ) -> None:
         self.root = pathlib.Path(root)
         self.jobs = max(1, int(jobs))
@@ -201,12 +274,116 @@ class CampaignService:
         #: Cross-campaign wearer-result cache (fed by shard commits,
         #: served over GET/PUT /cache/wearers/<fp>, prefetched on leases).
         self.wearer_cache = WearerResultCache(
-            self.root / WEARER_CACHE_DIRNAME
+            self.root / WEARER_CACHE_DIRNAME,
+            max_bytes=cache_max_bytes,
+            max_entries=cache_max_entries,
         )
         #: Round-robin cursor over active fleet campaigns (lease fairness).
         self._rr_cursor = 0
-        self._journal = EventLog(self.root / SERVICE_LOG_FILENAME)
-        self._replay_states()
+
+        # -- hardening state (PR 10) --
+        secret = resolve_secret(fabric_secret)
+        self.auth = (
+            FabricAuth(secret, window_s=auth_window) if secret else None
+        )
+        self.node_name = node_name or f"pid{os.getpid()}"
+        self.standby_of = standby_of
+        self.role = "standby" if standby_of else "primary"
+        self.ping_interval = float(ping_interval)
+        self.ping_misses = max(1, int(ping_misses))
+        self.max_inflight = max(1, int(max_inflight))
+        self.min_sync_interval = float(min_sync_interval)
+        self.retry_after = DEFAULT_RETRY_AFTER
+        self._inflight = 0
+        self._fenced = False
+        self._fencing_path = self.root / FENCING_LOG_FILENAME
+        self._fencing_size = 0
+        self._fencing_follower = None
+        self._watch_task: Optional[asyncio.Task] = None
+        self.epoch = 0
+
+        if self.role == "primary":
+            self._claim_epoch()
+            self._journal: Optional[EventLog] = EventLog(
+                self.root / SERVICE_LOG_FILENAME
+            )
+            self._replay_states()
+        else:
+            # A standby never opens a journal for append — the primary
+            # owns those files until promotion.  State is read through
+            # incremental followers instead.
+            self._journal = None
+            self._service_follower = EventLog.follow(
+                self.root / SERVICE_LOG_FILENAME
+            )
+            self._refresh_standby_view()
+
+    # -- fencing epochs (DESIGN.md §14) ------------------------------------------
+
+    def _claim_epoch(self) -> None:
+        """Claim this coordinator's fencing epoch in ``fencing.jsonl``.
+
+        A plain restart (same ``node_name`` as the last holder) re-adopts
+        its own epoch, keeping outstanding lease tokens valid — the PR 8
+        restart contract.  Any other transition claims ``last + 1``, so
+        a promoted standby always outranks the coordinator it replaced.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._fencing_log = EventLog(self._fencing_path)
+        last_epoch, last_holder = 0, None
+        for entry in self._fencing_log.entries:
+            if entry.get("kind") == "epoch":
+                last_epoch = int(entry.get("epoch", 0))
+                last_holder = entry.get("holder")
+        if last_epoch > 0 and last_holder == self.node_name:
+            self.epoch = last_epoch
+        else:
+            self.epoch = last_epoch + 1
+        self._fencing_log.append(
+            {"kind": "epoch", "epoch": self.epoch, "holder": self.node_name}
+        )
+        self._fencing_follower = EventLog.follow(self._fencing_path)
+        self._fencing_follower.poll()  # consume history incl. our claim
+        try:
+            self._fencing_size = os.stat(self._fencing_path).st_size
+        except OSError:
+            self._fencing_size = 0
+
+    def _check_fenced(self) -> None:
+        """Refuse (410) every mutation once a higher epoch exists.
+
+        Cheap on the happy path — one ``stat`` comparing the fencing
+        log's size against the last-seen value; only growth triggers a
+        re-read.  Once fenced, a coordinator stays fenced for life: the
+        operator restarts it (as a standby or with a fresh claim), the
+        process never un-fences itself.
+        """
+        if self._fenced:
+            raise HttpError(
+                410,
+                f"this coordinator (epoch {self.epoch}) has been "
+                "superseded by a higher fencing epoch — fail over to the "
+                "current coordinator",
+                extra={"fenced": True, "epoch": self.epoch},
+            )
+        if self._fencing_follower is None:
+            return
+        try:
+            size = os.stat(self._fencing_path).st_size
+        except OSError:
+            return
+        if size == self._fencing_size:
+            return
+        self._fencing_size = size
+        for entry in self._fencing_follower.poll():
+            if (
+                entry.get("kind") == "epoch"
+                and int(entry.get("epoch", 0)) > self.epoch
+                and entry.get("holder") != self.node_name
+            ):
+                self._fenced = True
+        if self._fenced:
+            self._check_fenced()  # raise via the fenced fast path
 
     def _replay_states(self) -> None:
         """Restore remembered campaign outcomes from the service journal.
@@ -218,6 +395,8 @@ class CampaignService:
         failure keeps its error message and is **not** auto-relaunched —
         retrying is an explicit resubmission.
         """
+        if self._journal is None:
+            return
         states: Dict[str, str] = {}
         errors: Dict[str, str] = {}
         for entry in self._journal.entries:
@@ -237,20 +416,38 @@ class CampaignService:
                 if cid in errors:
                     self._errors[cid] = errors[cid]
 
+    def _refresh_standby_view(self) -> None:
+        """Fold any new primary journal records into the standby's
+        read-only state view (all states, not just failures — this view
+        exists for operator status, not for relaunch decisions)."""
+        for entry in self._service_follower.poll():
+            kind = entry.get("kind")
+            cid = str(entry.get("id", ""))
+            if not cid:
+                continue
+            if kind == "state":
+                self._states[cid] = str(entry.get("state", ""))
+                if self._states[cid] != "failed":
+                    self._errors.pop(cid, None)
+            elif kind == "error":
+                self._errors[cid] = str(entry.get("error", ""))
+
     def _set_state(
         self, campaign_id: str, state: str, error: Optional[str] = None
     ) -> None:
         """Record a state transition (journaled so restarts remember it)."""
         if self._states.get(campaign_id) != state:
             self._states[campaign_id] = state
-            self._journal.append(
-                {"kind": "state", "id": campaign_id, "state": state}
-            )
+            if self._journal is not None:
+                self._journal.append(
+                    {"kind": "state", "id": campaign_id, "state": state}
+                )
         if error is not None and self._errors.get(campaign_id) != error:
             self._errors[campaign_id] = error
-            self._journal.append(
-                {"kind": "error", "id": campaign_id, "error": error}
-            )
+            if self._journal is not None:
+                self._journal.append(
+                    {"kind": "error", "id": campaign_id, "error": error}
+                )
 
     def _fleet_shards(self, spec: CampaignSpec) -> int:
         """Shard count for a fleet campaign: the lease granularity.
@@ -361,6 +558,7 @@ class CampaignService:
             shards=self._fleet_shards(spec),
             lease_ttl=self.lease_ttl,
             steal_enabled=self.steal_enabled,
+            epoch=self.epoch,
         )
         self._queues[campaign_id] = queue
         self._errors.pop(campaign_id, None)
@@ -457,8 +655,17 @@ class CampaignService:
     ) -> Tuple[asyncio.base_events.Server, int]:
         """Bind, recover interrupted campaigns, and begin serving.
         Returns ``(server, bound_port)`` — pass ``port=0`` for an
-        ephemeral port (the test suite's socket-flakiness guard)."""
-        self.recover()
+        ephemeral port (the test suite's socket-flakiness guard).
+
+        A standby binds without recovering (the primary owns the
+        campaigns) and starts probing the primary's health for
+        auto-promotion instead."""
+        if self.role == "primary":
+            self.recover()
+        elif self.standby_of:
+            self._watch_task = asyncio.get_running_loop().create_task(
+                self._watch_primary()
+            )
         self._server = await asyncio.start_server(
             self._handle_connection, host, port
         )
@@ -466,13 +673,121 @@ class CampaignService:
         return self._server, bound
 
     async def stop(self) -> None:
+        if self._watch_task is not None:
+            self._watch_task.cancel()
+            try:
+                await self._watch_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._watch_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
         for queue in self._queues.values():
             queue.close()
-        self._journal.close()
+        if self._journal is not None:
+            self._journal.close()
+        if getattr(self, "_fencing_log", None) is not None:
+            self._fencing_log.close()
+
+    # -- standby promotion -------------------------------------------------------
+
+    def promote(self) -> dict:
+        """Turn this standby into the primary (idempotent).
+
+        Claims the next fencing epoch (durably, in ``fencing.jsonl`` —
+        from this instant every mutation on the deposed primary fails
+        its :meth:`_check_fenced` with 410), opens the service journal,
+        and recovers every campaign under the root: committed shards
+        stay committed, in-flight leases are restored verbatim (their
+        old-epoch tokens remain honoured, so mid-shard work commits
+        without re-simulation) and newly minted tokens carry the new
+        epoch.
+        """
+        if self.role == "primary":
+            return {"role": self.role, "epoch": self.epoch,
+                    "promoted": False}
+        self.role = "primary"
+        self.standby_of = None
+        if self._watch_task is not None:
+            self._watch_task.cancel()
+            self._watch_task = None
+        self._claim_epoch()
+        self._states.clear()
+        self._errors.clear()
+        self._journal = EventLog(self.root / SERVICE_LOG_FILENAME)
+        self._replay_states()
+        resumed = self.recover()
+        from repro.obs import runtime
+
+        obs = runtime.get_active()
+        if obs is not None:
+            obs.counter("fabric.promotions").inc()
+            obs.event(
+                "fabric.promote", node=self.node_name, epoch=self.epoch,
+                resumed=resumed,
+            )
+        print(
+            f"hi-explore serve: node {self.node_name} promoted to "
+            f"primary at fencing epoch {self.epoch} "
+            f"({resumed} campaign(s) resumed)",
+            flush=True,
+        )
+        return {"role": self.role, "epoch": self.epoch, "promoted": True,
+                "resumed": resumed}
+
+    async def _probe_primary(self) -> bool:
+        """One ``GET /healthz`` against the primary; False on any
+        failure (connect refused, timeout, non-200, garbage)."""
+        target = str(self.standby_of or "")
+        target = target.split("//", 1)[-1].rstrip("/")
+        host, _, port_text = target.partition(":")
+        try:
+            port = int(port_text or 80)
+        except ValueError:
+            return False
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host or "127.0.0.1", port),
+                self.ping_interval,
+            )
+        except (OSError, asyncio.TimeoutError):
+            return False
+        try:
+            writer.write(
+                b"GET /healthz HTTP/1.1\r\nHost: primary\r\n"
+                b"Connection: close\r\n\r\n"
+            )
+            await writer.drain()
+            status_line = await asyncio.wait_for(
+                reader.readline(), self.ping_interval
+            )
+            return b" 200 " in status_line
+        except (OSError, asyncio.TimeoutError):
+            return False
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _watch_primary(self) -> None:
+        """Auto-promotion loop: probe the primary every
+        ``ping_interval`` seconds and promote after ``ping_misses``
+        consecutive failures.  A single successful probe resets the
+        count, so a slow-but-alive primary is never deposed."""
+        misses = 0
+        while self.role == "standby":
+            await asyncio.sleep(self.ping_interval)
+            if await self._probe_primary():
+                misses = 0
+                continue
+            misses += 1
+            if misses >= self.ping_misses:
+                self.promote()
+                return
 
     async def join(self) -> None:
         """Wait for every launched campaign task to settle (test helper)."""
@@ -480,54 +795,137 @@ class CampaignService:
         if tasks:
             await asyncio.gather(*tasks, return_exceptions=True)
 
+    def _admit(self, method: str, path: str) -> bool:
+        """Claim a global in-flight slot for one request, or raise 429.
+
+        Runs synchronously right after the request line is parsed —
+        before headers or body — so a saturating flood is refused at the
+        cheapest possible point and a stalled-body upload holds exactly
+        one slot for exactly as long as it stalls.  Health probes and
+        promotion are exempt: an overloaded coordinator must stay
+        observable and deposable.  Returns True when a slot was taken
+        (the caller owes a release).
+        """
+        bare = path.split("?", 1)[0]
+        if bare == "/healthz" or bare == "/fabric/promote":
+            return False
+        if self._inflight >= self.max_inflight:
+            self._note_backpressure("global")
+            raise HttpError(
+                429,
+                f"coordinator is saturated ({self._inflight} requests "
+                f"in flight, limit {self.max_inflight}) — retry after "
+                f"{self.retry_after}s",
+                extra={"retry_after": self.retry_after},
+                headers={"Retry-After": f"{self.retry_after:g}"},
+            )
+        self._inflight += 1
+        return True
+
+    def _note_backpressure(self, scope: str) -> None:
+        from repro.obs import runtime
+
+        obs = runtime.get_active()
+        if obs is not None:
+            obs.counter("fabric.backpressure_rejections").inc()
+            obs.event(
+                "fabric.backpressure", scope=scope,
+                inflight=self._inflight, limit=self.max_inflight,
+                retry_after=self.retry_after,
+            )
+
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        #: Monotonic time of this connection's last /fabric/sync (the
+        #: per-connection backpressure state).
+        last_sync: Optional[float] = None
         try:
             first = True
             while True:
+                # Mutable per-request holder: _read_request flips it the
+                # instant a slot is claimed, so the slot is released even
+                # when the read is cancelled (timeout) mid-body.
+                slot = {"held": False}
                 try:
-                    # One slow or silent client must not pin this handler:
-                    # the whole request read shares a single deadline.
                     try:
-                        method, path, body, want_close = (
-                            await asyncio.wait_for(
-                                self._read_request(reader),
-                                self.read_timeout,
+                        # One slow or silent client must not pin this
+                        # handler: the whole request read shares a single
+                        # deadline.
+                        try:
+                            method, path, body, want_close, headers = (
+                                await asyncio.wait_for(
+                                    self._read_request(reader, slot=slot),
+                                    self.read_timeout,
+                                )
                             )
+                        except asyncio.TimeoutError:
+                            if not first:
+                                # An idle keep-alive connection simply
+                                # aged out; hanging up is the answer,
+                                # not 408.
+                                break
+                            raise HttpError(
+                                408,
+                                f"request not received within "
+                                f"{self.read_timeout}s",
+                            ) from None
+                    except _ConnectionClosed:
+                        break
+                    except HttpError as exc:
+                        # The byte stream is in an unknown state after a
+                        # failed read: answer what we can, then hang up.
+                        await self._respond(
+                            writer, exc.status,
+                            {"error": exc.message, **exc.extra},
+                            keep_alive=False, headers=exc.headers,
                         )
-                    except asyncio.TimeoutError:
-                        if not first:
-                            # An idle keep-alive connection simply aged
-                            # out; hanging up is the answer, not 408.
-                            break
-                        raise HttpError(
-                            408,
-                            f"request not received within "
-                            f"{self.read_timeout}s",
-                        ) from None
-                except _ConnectionClosed:
-                    break
-                except HttpError as exc:
-                    # The byte stream is in an unknown state after a
-                    # failed read: answer what we can, then hang up.
+                        break
+                    keep_alive = not want_close
+                    extra_headers: Dict[str, str] = {}
+                    try:
+                        if (
+                            self.min_sync_interval > 0
+                            and method == "POST"
+                            and path.split("?", 1)[0] == "/fabric/sync"
+                        ):
+                            now = time.monotonic()
+                            if (
+                                last_sync is not None
+                                and now - last_sync < self.min_sync_interval
+                            ):
+                                wait = self.min_sync_interval - (
+                                    now - last_sync
+                                )
+                                self._note_backpressure("connection")
+                                raise HttpError(
+                                    429,
+                                    "syncing faster than the "
+                                    f"{self.min_sync_interval:g}s "
+                                    "per-connection minimum — slow down",
+                                    extra={"retry_after": wait},
+                                    headers={"Retry-After": f"{wait:g}"},
+                                )
+                            last_sync = now
+                        status, payload = self._route(
+                            method, path, body, headers
+                        )
+                    except HttpError as exc:
+                        status, payload = exc.status, {
+                            "error": exc.message, **exc.extra
+                        }
+                        extra_headers = exc.headers
+                    except Exception as exc:  # never let a request kill us
+                        status, payload = 500, {
+                            "error": f"{type(exc).__name__}: {exc}"
+                        }
                     await self._respond(
-                        writer, exc.status, {"error": exc.message},
-                        keep_alive=False,
+                        writer, status, payload, keep_alive=keep_alive,
+                        headers=extra_headers,
                     )
-                    break
-                keep_alive = not want_close
-                try:
-                    status, payload = self._route(method, path, body)
-                except HttpError as exc:
-                    status, payload = exc.status, {"error": exc.message}
-                except Exception as exc:  # never let a request kill us
-                    status, payload = 500, {
-                        "error": f"{type(exc).__name__}: {exc}"
-                    }
-                await self._respond(
-                    writer, status, payload, keep_alive=keep_alive
-                )
+                finally:
+                    if slot["held"]:
+                        self._inflight -= 1
                 if not keep_alive:
                     break
                 first = False
@@ -539,8 +937,8 @@ class CampaignService:
                 pass
 
     async def _read_request(
-        self, reader: asyncio.StreamReader
-    ) -> Tuple[str, str, bytes, bool]:
+        self, reader: asyncio.StreamReader, slot: Optional[dict] = None
+    ) -> Tuple[str, str, bytes, bool, Dict[str, str]]:
         raw = await reader.readline()
         if not raw:
             raise _ConnectionClosed()
@@ -549,10 +947,16 @@ class CampaignService:
         if len(parts) != 3 or not parts[2].startswith("HTTP/"):
             raise HttpError(400, f"malformed request line {request_line!r}")
         method, path = parts[0].upper(), parts[1]
+        if slot is not None:
+            # Admission control happens here — after the request line,
+            # before headers or body — so saturation is answered at the
+            # cheapest point and a stalled upload owns exactly one slot.
+            slot["held"] = self._admit(method, path)
         # HTTP/1.1 defaults to keep-alive, anything older to close; the
         # Connection header overrides either way.
         want_close = parts[2] != "HTTP/1.1"
         content_length = 0
+        headers: Dict[str, str] = {}
         while True:
             try:
                 line = (await reader.readline()).decode("latin-1")
@@ -564,6 +968,7 @@ class CampaignService:
                 break
             name, _, value = line.partition(":")
             name = name.strip().lower()
+            headers[name] = value.strip()
             if name == "content-length":
                 try:
                     content_length = int(value.strip())
@@ -588,7 +993,7 @@ class CampaignService:
             if content_length
             else b""
         )
-        return method, path, body, want_close
+        return method, path, body, want_close, headers
 
     async def _respond(
         self,
@@ -596,28 +1001,115 @@ class CampaignService:
         status: int,
         payload: dict,
         keep_alive: bool = False,
+        headers: Optional[Dict[str, str]] = None,
     ) -> None:
         body = (
             json.dumps(payload, sort_keys=True, indent=1) + "\n"
         ).encode("utf-8")
         connection = "keep-alive" if keep_alive else "close"
+        extra = "".join(
+            f"{name}: {value}\r\n" for name, value in (headers or {}).items()
+        )
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Status')}\r\n"
             "Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {connection}\r\n"
+            f"{extra}"
             "\r\n"
         ).encode("latin-1")
         writer.write(head + body)
         await writer.drain()
 
-    def _route(self, method: str, path: str, body: bytes) -> Tuple[int, dict]:
+    @staticmethod
+    def _protected(method: str, segments: List[str]) -> bool:
+        """Is this a fabric-plane request that must be signed?
+
+        The fabric plane — everything a *worker* does (sync, leases,
+        heartbeats, commits, cache) plus promotion — is protected.  The
+        operator plane (submission, status, result, artifact GETs) is
+        deliberately not: it mutates nothing a worker's signature would
+        protect, and keeping it open means `curl` diagnostics keep
+        working during an incident.  DESIGN.md §14 spells out the split.
+        """
+        if segments[:1] == ["fabric"]:
+            return True
+        if segments[:2] == ["cache", "wearers"]:
+            return True
+        if (
+            method == "POST"
+            and len(segments) >= 3
+            and segments[0] == "campaigns"
+            and segments[2] in ("leases", "shards")
+        ):
+            return True
+        return False
+
+    def _authenticate(
+        self, method: str, path: str, body: bytes,
+        headers: Dict[str, str],
+    ) -> None:
+        try:
+            self.auth.verify(method, path, body, headers)
+        except AuthError as exc:
+            from repro.obs import runtime
+
+            obs = runtime.get_active()
+            if obs is not None:
+                obs.counter("fabric.auth_denied").inc()
+                obs.event(
+                    "fabric.auth", status=exc.status, method=method,
+                    path=path.split("?", 1)[0],
+                )
+            raise HttpError(exc.status, exc.message) from None
+
+    def _route(
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, dict]:
+        raw_path = path
         path = path.split("?", 1)[0]
         segments = [s for s in path.split("/") if s]
+        # Authentication comes first — before fencing, before standby
+        # gating, before any handler — so an unauthenticated request
+        # learns nothing and mutates nothing.  Signatures cover the raw
+        # request-target exactly as the client sent it.
+        if self.auth is not None and self._protected(method, segments):
+            self._authenticate(method, raw_path, body, headers or {})
         if segments == ["healthz"]:
             if method != "GET":
                 raise HttpError(405, "healthz is GET-only")
-            return 200, {"ok": True, "campaigns": len(self.known_ids())}
+            return 200, {
+                "ok": True,
+                "campaigns": len(self.known_ids()),
+                "role": self.role,
+                "epoch": self.epoch,
+                "node": self.node_name,
+                "auth": self.auth is not None,
+            }
+        if segments == ["fabric", "promote"]:
+            if method != "POST":
+                raise HttpError(405, "fabric promote is POST-only")
+            return 200, self.promote()
+        if method in ("POST", "PUT"):
+            # Every mutation, fabric- or operator-plane, is refused on a
+            # standby (503: retry against the primary or promote first)
+            # and on a fenced ex-primary (410: a newer epoch owns the
+            # root now).
+            if self.role == "standby":
+                raise HttpError(
+                    503,
+                    "this coordinator is a standby (read-only until "
+                    "promoted) — send mutations to the primary or "
+                    "POST /fabric/promote",
+                    extra={"role": "standby"},
+                )
+            self._check_fenced()
+        elif self.role == "standby":
+            self._refresh_standby_view()
         if len(segments) == 3 and segments[:2] == ["cache", "wearers"]:
             if method == "GET":
                 return self._get_wearer_cache(segments[2])
@@ -944,7 +1436,9 @@ async def _serve(service: CampaignService, host: str, port: int) -> None:
     server, bound = await service.start(host=host, port=port)
     print(
         f"hi-explore serve: campaigns root {service.root} on "
-        f"http://{host}:{bound} (jobs={service.jobs})",
+        f"http://{host}:{bound} (jobs={service.jobs}, "
+        f"role={service.role}, epoch={service.epoch}, "
+        f"node={service.node_name})",
         flush=True,
     )
     async with server:
@@ -961,13 +1455,36 @@ def serve_forever(
     batch_mode: str = "auto",
     lease_ttl: float = DEFAULT_LEASE_TTL,
     steal_enabled: bool = True,
+    fabric_secret: Optional[str] = None,
+    standby_of: Optional[str] = None,
+    node_name: Optional[str] = None,
+    ping_interval: float = DEFAULT_PING_INTERVAL,
+    ping_misses: int = DEFAULT_PING_MISSES,
+    max_inflight: int = DEFAULT_MAX_INFLIGHT,
+    min_sync_interval: float = 0.0,
+    cache_max_bytes: Optional[int] = None,
+    cache_max_entries: Optional[int] = None,
 ) -> int:
     """Blocking entry point for ``hi-explore serve``."""
     service = CampaignService(
         root, jobs=jobs, shards=shards, cache_dir=cache_dir,
         batch_mode=batch_mode, lease_ttl=lease_ttl,
-        steal_enabled=steal_enabled,
+        steal_enabled=steal_enabled, fabric_secret=fabric_secret,
+        standby_of=standby_of, node_name=node_name,
+        ping_interval=ping_interval, ping_misses=ping_misses,
+        max_inflight=max_inflight, min_sync_interval=min_sync_interval,
+        cache_max_bytes=cache_max_bytes,
+        cache_max_entries=cache_max_entries,
     )
+    if service.auth is None:
+        print(
+            "hi-explore serve: WARNING — fabric auth is DISABLED (legacy "
+            "mode). Anyone who can reach this port can lease shards, "
+            "commit results, and write the wearer cache. Set "
+            "--fabric-secret or REPRO_FABRIC_SECRET to require signed "
+            "fabric RPCs.",
+            flush=True,
+        )
     try:
         asyncio.run(_serve(service, host, port))
     except KeyboardInterrupt:

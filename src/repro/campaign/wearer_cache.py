@@ -49,6 +49,9 @@ WEARER_CACHE_VERSION = 1
 #: Conventional directory name for a wearer cache next to campaign state.
 WEARER_CACHE_DIRNAME = "wearer_cache"
 
+#: LRU index filename inside a cache directory (atomic tmp+replace).
+INDEX_FILENAME = "index.json"
+
 
 class WearerCacheDiverged(RuntimeError):
     """Two executions produced different bytes for one fingerprint —
@@ -103,16 +106,169 @@ def _count(name: str, amount: int = 1) -> None:
         obs.counter(name).inc(amount)
 
 
+def _event(kind: str, **fields) -> None:
+    from repro.obs import runtime
+
+    obs = runtime.get_active()
+    if obs is not None:
+        obs.event(kind, **fields)
+
+
 class WearerResultCache:
     """One directory of CRC-enveloped wearer summaries, fingerprint-keyed.
 
     Files are written atomically (temp + ``os.replace``) so a concurrent
     reader never observes a torn entry, and reads quarantine damage
     instead of raising — the cache may always be treated as advisory.
+
+    ``max_bytes`` / ``max_entries`` bound the store (both default to
+    unbounded, the pre-PR-10 behaviour).  Recency lives in an on-disk
+    LRU index (``index.json``, atomic tmp+replace) mapping fingerprint →
+    ``{"bytes", "seq"}`` with a monotonically increasing touch sequence;
+    ``put`` evicts least-recently-used entries until the caps hold
+    again, never the entry just written — the caps are therefore
+    approximate to within one entry, which keeps a single oversized
+    summary storable.  A missing or corrupt index is rebuilt from a
+    directory scan ordered by mtime, so the index is never a correctness
+    dependency: losing it only loses recency ordering.  An eviction is a
+    plain ``unlink`` — a concurrent reader that already leased against
+    the entry sees a clean miss (404 on the wire) and re-simulates,
+    which the determinism contract guarantees reproduces identical
+    bytes.
     """
 
-    def __init__(self, directory) -> None:
+    def __init__(
+        self,
+        directory,
+        max_bytes: Optional[int] = None,
+        max_entries: Optional[int] = None,
+    ) -> None:
         self.directory = pathlib.Path(directory)
+        self.max_bytes = max_bytes if max_bytes and max_bytes > 0 else None
+        self.max_entries = (
+            max_entries if max_entries and max_entries > 0 else None
+        )
+        self._index: Optional[dict] = None  # loaded lazily
+
+    # -- LRU index ---------------------------------------------------------------
+
+    @property
+    def index_path(self) -> pathlib.Path:
+        return self.directory / INDEX_FILENAME
+
+    def _scan_index(self) -> dict:
+        """Rebuild the index from the directory, oldest-mtime first (so
+        pre-index entries get the lowest recency and evict first)."""
+        entries: Dict[str, dict] = {}
+        seq = 0
+        if self.directory.exists():
+            found = []
+            for path in self.directory.iterdir():
+                if path.suffix != ".json" or path.name == INDEX_FILENAME:
+                    continue
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                found.append((stat.st_mtime, path.stem, stat.st_size))
+            for _, fingerprint, size in sorted(found):
+                seq += 1
+                entries[fingerprint] = {"bytes": size, "seq": seq}
+        return {"next_seq": seq + 1, "entries": entries}
+
+    def _load_index(self) -> dict:
+        if self._index is not None:
+            return self._index
+        try:
+            with open(self.index_path, "r", encoding="utf-8") as fh:
+                raw = json.load(fh)
+            entries = {
+                str(fp): {
+                    "bytes": int(rec["bytes"]),
+                    "seq": int(rec["seq"]),
+                }
+                for fp, rec in raw["entries"].items()
+            }
+            self._index = {
+                "next_seq": int(raw["next_seq"]),
+                "entries": entries,
+            }
+        except (OSError, ValueError, KeyError, TypeError):
+            self._index = self._scan_index()
+        return self._index
+
+    def _save_index(self) -> None:
+        if self._index is None:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        tmp = self.index_path.with_suffix(".json.tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(self._index, fh, sort_keys=True)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.index_path)
+
+    def _touch(self, fingerprint: str, size: Optional[int] = None) -> None:
+        """Mark ``fingerprint`` most-recently-used (in memory; persisted
+        by the next ``put`` — recency is advisory, losing it is safe)."""
+        index = self._load_index()
+        record = index["entries"].get(fingerprint)
+        if record is None:
+            if size is None:
+                try:
+                    size = self.path_for(fingerprint).stat().st_size
+                except OSError:
+                    return
+            record = {"bytes": size, "seq": 0}
+            index["entries"][fingerprint] = record
+        elif size is not None:
+            record["bytes"] = size
+        record["seq"] = index["next_seq"]
+        index["next_seq"] += 1
+
+    def _drop(self, fingerprint: str) -> None:
+        index = self._load_index()
+        index["entries"].pop(fingerprint, None)
+
+    def total_bytes(self) -> int:
+        index = self._load_index()
+        return sum(rec["bytes"] for rec in index["entries"].values())
+
+    def _evict_over_caps(self, protect: str) -> int:
+        """Delete least-recently-used entries until the caps hold,
+        never touching ``protect`` (the entry just written)."""
+        index = self._load_index()
+        evicted = 0
+        while True:
+            entries = index["entries"]
+            over_entries = (
+                self.max_entries is not None
+                and len(entries) > self.max_entries
+            )
+            over_bytes = (
+                self.max_bytes is not None
+                and sum(r["bytes"] for r in entries.values()) > self.max_bytes
+            )
+            if not (over_entries or over_bytes):
+                break
+            victims = [fp for fp in entries if fp != protect]
+            if not victims:
+                break
+            victim = min(victims, key=lambda fp: entries[fp]["seq"])
+            try:
+                os.unlink(self.path_for(victim))
+            except OSError:
+                pass
+            del entries[victim]
+            evicted += 1
+            _count("cache.wearer_evictions")
+            _event(
+                "cache.wearer",
+                action="evict",
+                fingerprint=victim,
+                entries=len(entries),
+            )
+        return evicted
 
     def path_for(self, fingerprint: str) -> pathlib.Path:
         if not fingerprint or not all(
@@ -133,17 +289,23 @@ class WearerResultCache:
             with open(path, "r", encoding="utf-8") as fh:
                 text = fh.read()
         except FileNotFoundError:
+            self._drop(fingerprint)
             return None
         try:
-            return open_envelope(text, WEARER_CACHE_VERSION, key="summary")
+            summary = open_envelope(
+                text, WEARER_CACHE_VERSION, key="summary"
+            )
         except Exception:
             quarantine = path.with_suffix(path.suffix + ".quarantine")
             try:
                 os.replace(path, quarantine)
             except OSError:
                 pass
+            self._drop(fingerprint)
             _count("cache.wearer_quarantined")
             return None
+        self._touch(fingerprint, size=len(text.encode("utf-8")))
+        return summary
 
     def put(self, fingerprint: str, summary: dict) -> bool:
         """Store a summary (first-writer-wins; True when newly written).
@@ -165,15 +327,19 @@ class WearerResultCache:
         path = self.path_for(fingerprint)
         self.directory.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(path.suffix + ".tmp")
+        blob = (
+            seal_envelope(projected, WEARER_CACHE_VERSION, key="summary")
+            + "\n"
+        )
         with open(tmp, "w", encoding="utf-8") as fh:
-            fh.write(
-                seal_envelope(projected, WEARER_CACHE_VERSION, key="summary")
-                + "\n"
-            )
+            fh.write(blob)
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, path)
         _count("cache.wearer_stores")
+        self._touch(fingerprint, size=len(blob.encode("utf-8")))
+        self._evict_over_caps(protect=fingerprint)
+        self._save_index()
         return True
 
     def prefetch(
@@ -196,7 +362,9 @@ class WearerResultCache:
         return sum(
             1
             for p in self.directory.iterdir()
-            if p.suffix == ".json" and not p.name.endswith(".tmp")
+            if p.suffix == ".json"
+            and p.name != INDEX_FILENAME
+            and not p.name.endswith(".tmp")
         )
 
     def __repr__(self) -> str:

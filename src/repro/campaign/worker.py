@@ -43,6 +43,7 @@ import http.client
 import json
 import os
 import pathlib
+import random
 import signal
 import socket
 import threading
@@ -50,6 +51,7 @@ import time
 import urllib.parse
 from typing import Dict, List, Optional, Tuple
 
+from repro.campaign.auth import FabricAuth, resolve_secret
 from repro.campaign.queue import shard_payload_crc
 
 #: Worker-side ceiling on coordinator silence: after this many failed
@@ -82,23 +84,68 @@ class CoordinatorClient:
 
     ``requests`` / ``connections_opened`` counters make the savings
     measurable (``bench fleet`` asserts opened ≪ requests).
+
+    ``base_url`` may be a **comma-separated ordered list** of
+    coordinators (primary first, standbys after) — a transport failure
+    walks the list one endpoint at a time before giving up, and
+    :meth:`rotate` lets the agent advance deliberately when a
+    coordinator answers "I am fenced/standby".  With ``auth`` set,
+    every request (and every retry, with a fresh nonce — a response
+    lost in flight must not burn the retry's nonce) carries the HMAC
+    signature headers from :mod:`repro.campaign.auth`.
     """
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
-        parsed = urllib.parse.urlsplit(base_url)
-        if parsed.scheme not in ("http", ""):
-            raise ValueError(
-                f"coordinator URL must be http://, got {base_url!r}"
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        auth: Optional[FabricAuth] = None,
+    ) -> None:
+        self.endpoints: List[Tuple[str, int]] = []
+        for url in str(base_url).split(","):
+            url = url.strip()
+            if not url:
+                continue
+            parsed = urllib.parse.urlsplit(url)
+            if parsed.scheme not in ("http", ""):
+                raise ValueError(
+                    f"coordinator URL must be http://, got {url!r}"
+                )
+            netloc = parsed.netloc or parsed.path
+            host, _, port = netloc.partition(":")
+            self.endpoints.append(
+                (host or "127.0.0.1", int(port) if port else 80)
             )
-        netloc = parsed.netloc or parsed.path
-        host, _, port = netloc.partition(":")
-        self.host = host or "127.0.0.1"
-        self.port = int(port) if port else 80
+        if not self.endpoints:
+            raise ValueError(f"no coordinator in {base_url!r}")
         self.timeout = timeout
+        self.auth = auth
         self.requests = 0
         self.connections_opened = 0
+        self.rotations = 0
+        self._active = 0
         self._conn: Optional[http.client.HTTPConnection] = None
         self._lock = threading.Lock()
+
+    @property
+    def host(self) -> str:
+        return self.endpoints[self._active][0]
+
+    @property
+    def port(self) -> int:
+        return self.endpoints[self._active][1]
+
+    def rotate(self) -> None:
+        """Advance to the next coordinator in the ordered list (no-op
+        with a single endpoint)."""
+        with self._lock:
+            self._rotate_locked()
+
+    def _rotate_locked(self) -> None:
+        if len(self.endpoints) > 1:
+            self._drop_connection()
+            self._active = (self._active + 1) % len(self.endpoints)
+            self.rotations += 1
 
     def _connection(self) -> http.client.HTTPConnection:
         if self._conn is None:
@@ -120,10 +167,10 @@ class CoordinatorClient:
         self, method: str, path: str, body: Optional[bytes]
     ) -> Tuple[int, dict]:
         conn = self._connection()
-        conn.request(
-            method, path, body=body,
-            headers={"Content-Type": "application/json"},
-        )
+        headers = {"Content-Type": "application/json"}
+        if self.auth is not None:
+            headers.update(self.auth.sign(method, path, body or b""))
+        conn.request(method, path, body=body, headers=headers)
         response = conn.getresponse()
         raw = response.read()
         if response.will_close:
@@ -152,16 +199,23 @@ class CoordinatorClient:
                 return self._roundtrip(method, path, body)
             except errors:
                 # A kept-alive socket the server quietly aged out fails
-                # exactly like this; one fresh connection tells a stale
-                # socket apart from a coordinator that is really gone.
+                # exactly like this; a fresh connection on the same
+                # endpoint tells a stale socket apart from a coordinator
+                # that is really gone — and a really-gone coordinator is
+                # what the rest of the ordered list is for.  Every retry
+                # is safe: the whole fabric protocol is idempotent.
                 self._drop_connection()
-                try:
-                    return self._roundtrip(method, path, body)
-                except errors as exc:
-                    self._drop_connection()
-                    raise CoordinatorUnavailable(
-                        f"{method} {path}: {exc}"
-                    ) from None
+                last: Optional[Exception] = None
+                for _ in range(len(self.endpoints)):
+                    try:
+                        return self._roundtrip(method, path, body)
+                    except errors as exc:
+                        last = exc
+                        self._drop_connection()
+                        self._rotate_locked()
+                raise CoordinatorUnavailable(
+                    f"{method} {path}: {last}"
+                ) from None
 
     def close(self) -> None:
         with self._lock:
@@ -186,10 +240,16 @@ class WorkerAgent:
         client: Optional[CoordinatorClient] = None,
         wearer_cache_dir: Optional[str] = None,
         throttle_s: float = 0.0,
+        fabric_secret: Optional[str] = None,
+        rpc_timeout: float = 30.0,
     ) -> None:
         from repro.obs import runtime
 
-        self.client = client or CoordinatorClient(coordinator)
+        secret = resolve_secret(fabric_secret)
+        self.auth = FabricAuth(secret) if secret else None
+        self.client = client or CoordinatorClient(
+            coordinator, timeout=rpc_timeout, auth=self.auth
+        )
         self.workdir = pathlib.Path(workdir)
         self.name = name or f"{socket.gethostname()}-{os.getpid()}"
         self.jobs = max(1, int(jobs))
@@ -211,6 +271,10 @@ class WorkerAgent:
             else self.workdir / "wearer_cache"
         )
         self.obs = runtime.get_active()
+        #: Backoff jitter source — deliberately NOT the global RNG (it
+        #: must never perturb simulation determinism) and seeded per
+        #: worker name so two workers' retry schedules decorrelate.
+        self._rng = random.Random(f"{self.name}/backoff")
         self.shards_committed = 0
         self.wearers_run = 0
         self.wearers_resumed = 0
@@ -249,6 +313,22 @@ class WorkerAgent:
 
     # -- RPC with retry/backoff --------------------------------------------------
 
+    def _next_delay(self, prev: float) -> float:
+        """Decorrelated-jitter backoff: ``uniform(base, prev*3)`` capped.
+
+        Plain doubling synchronizes a fleet — every worker that failed
+        together retries together, which is exactly the thundering herd
+        a recovering (or 429-saturated) coordinator cannot absorb.
+        Decorrelating from a per-worker RNG spreads the retry instants
+        while keeping the same expected growth.
+        """
+        return min(
+            self.backoff_cap,
+            self._rng.uniform(
+                self.backoff_base, max(prev * 3, self.backoff_base)
+            ),
+        )
+
     def _rpc(
         self,
         method: str,
@@ -257,15 +337,22 @@ class WorkerAgent:
         attempts: int = MAX_RPC_ATTEMPTS,
     ) -> Tuple[int, dict]:
         """One coordinator call, retried through unavailability windows
-        with capped exponential backoff.  Raises
+        with capped decorrelated-jitter backoff.  Also absorbs the two
+        fleet-level "not you, not now" answers: **429** (backpressure —
+        honour the server's ``Retry-After`` plus jitter) and
+        **503/fenced** (a standby or deposed coordinator — rotate to the
+        next endpoint in the ordered list and retry).  Raises
         :class:`CoordinatorUnavailable` only after ``attempts`` failures
         in a row."""
         delay = self.backoff_base
         for attempt in range(attempts):
+            last = attempt == attempts - 1 or self._stop_now
             try:
-                return self.client.request(method, path, payload)
+                status, response = self.client.request(
+                    method, path, payload
+                )
             except CoordinatorUnavailable as exc:
-                if attempt == attempts - 1 or self._stop_now:
+                if last:
                     raise
                 self.obs.counter("worker.rpc_retries").inc()
                 self._log(
@@ -273,7 +360,41 @@ class WorkerAgent:
                     f"{delay:.1f}s"
                 )
                 time.sleep(delay)
-                delay = min(self.backoff_cap, delay * 2)
+                delay = self._next_delay(delay)
+                continue
+            if status == 429 and not last:
+                # Saturated, not broken: wait what the coordinator asked
+                # for, plus jitter so the fleet does not re-arrive as one
+                # synchronized wave.
+                retry_after = float(
+                    response.get("retry_after") or self.backoff_base
+                )
+                delay = self._next_delay(delay)
+                wait = retry_after + delay
+                self.obs.counter("worker.backpressure_waits").inc()
+                self._log(
+                    f"coordinator saturated (429); backing off {wait:.1f}s"
+                )
+                time.sleep(wait)
+                continue
+            if (
+                not last
+                and (status == 503 or response.get("fenced"))
+                and len(self.client.endpoints) > 1
+            ):
+                # A standby (503) or a deposed ex-primary (fenced 410):
+                # the answer lives at another endpoint in the list.
+                self.client.rotate()
+                self.obs.counter("worker.failovers").inc()
+                self._log(
+                    f"coordinator refused ({status}: "
+                    f"{response.get('error')}); failing over to "
+                    f"http://{self.client.host}:{self.client.port}"
+                )
+                time.sleep(delay)
+                delay = self._next_delay(delay)
+                continue
+            return status, response
         raise CoordinatorUnavailable(f"{method} {path}: attempts exhausted")
 
     # -- pull --------------------------------------------------------------------
@@ -576,6 +697,8 @@ def run_worker(
     poll_interval: float = 1.0,
     exit_idle: Optional[float] = None,
     wearer_cache_dir: Optional[str] = None,
+    fabric_secret: Optional[str] = None,
+    rpc_timeout: float = 30.0,
 ) -> int:
     """Blocking entry point for ``hi-explore worker``."""
     agent = WorkerAgent(
@@ -588,6 +711,8 @@ def run_worker(
         poll_interval=poll_interval,
         exit_idle=exit_idle,
         wearer_cache_dir=wearer_cache_dir,
+        fabric_secret=fabric_secret,
+        rpc_timeout=rpc_timeout,
     )
     agent.install_signal_handlers()
     try:

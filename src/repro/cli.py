@@ -444,6 +444,70 @@ def build_parser() -> argparse.ArgumentParser:
         "without a heartbeat before the shard is reclaimed and "
         "reassigned",
     )
+    serve.add_argument(
+        "--fabric-secret",
+        default=None,
+        metavar="SECRET",
+        help="shared secret for HMAC-signed fabric RPCs (default: "
+        "REPRO_FABRIC_SECRET env var; unset = legacy unauthenticated "
+        "mode with a loud warning)",
+    )
+    serve.add_argument(
+        "--standby-of",
+        default=None,
+        metavar="URL",
+        help="run as a warm standby of the primary at URL (shares "
+        "--root): serve read-only status, auto-promote with a higher "
+        "fencing epoch once the primary misses --ping-misses health "
+        "probes, or promote on demand via POST /fabric/promote",
+    )
+    serve.add_argument(
+        "--node-name",
+        default=None,
+        help="stable coordinator identity in the fencing log (default: "
+        "pid<PID>; give primaries a stable name so a plain restart "
+        "re-adopts its own epoch)",
+    )
+    serve.add_argument(
+        "--ping-interval",
+        type=float,
+        default=1.0,
+        help="standby: seconds between primary health probes",
+    )
+    serve.add_argument(
+        "--ping-misses",
+        type=int,
+        default=3,
+        help="standby: consecutive missed probes before auto-promotion",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        help="backpressure: maximum concurrently-processed requests "
+        "before new ones get 429 + Retry-After",
+    )
+    serve.add_argument(
+        "--min-sync-interval",
+        type=float,
+        default=0.0,
+        help="backpressure: minimum seconds between /fabric/sync "
+        "requests on one connection (0 = unlimited)",
+    )
+    serve.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=None,
+        help="wearer-cache byte cap (LRU eviction past it; default "
+        "unbounded)",
+    )
+    serve.add_argument(
+        "--cache-max-entries",
+        type=int,
+        default=None,
+        help="wearer-cache entry cap (LRU eviction past it; default "
+        "unbounded)",
+    )
     add_runtime_flags(serve)
 
     worker = sub.add_parser(
@@ -456,8 +520,11 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument(
         "--coordinator",
         required=True,
-        metavar="URL",
-        help="coordinator base URL, e.g. http://127.0.0.1:8732",
+        metavar="URL[,URL...]",
+        help="ordered coordinator list (primary first, standbys after), "
+        "e.g. http://127.0.0.1:8732,http://127.0.0.1:8733 — the worker "
+        "fails over down the list when a coordinator dies or answers "
+        "fenced/standby",
     )
     worker.add_argument(
         "--workdir",
@@ -486,6 +553,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="exit once there has been no work for this long "
         "(default: run until SIGTERM)",
+    )
+    worker.add_argument(
+        "--fabric-secret",
+        default=None,
+        metavar="SECRET",
+        help="shared secret for HMAC-signed fabric RPCs (default: "
+        "REPRO_FABRIC_SECRET env var; must match the coordinator's)",
+    )
+    worker.add_argument(
+        "--rpc-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="per-request coordinator timeout; a stalled coordinator "
+        "(e.g. a paused/zombie primary) counts as unreachable after "
+        "this long and the worker fails over down the list",
     )
     add_runtime_flags(worker)
 
@@ -705,6 +788,15 @@ def _run_command(args, obs) -> int:
             cache_dir=args.cache_dir,
             batch_mode=args.batch,
             lease_ttl=args.lease_ttl,
+            fabric_secret=args.fabric_secret,
+            standby_of=args.standby_of,
+            node_name=args.node_name,
+            ping_interval=args.ping_interval,
+            ping_misses=args.ping_misses,
+            max_inflight=args.max_inflight,
+            min_sync_interval=args.min_sync_interval,
+            cache_max_bytes=args.cache_max_bytes,
+            cache_max_entries=args.cache_max_entries,
         )
 
     if args.command == "worker":
@@ -719,6 +811,8 @@ def _run_command(args, obs) -> int:
             batch_mode=args.batch,
             poll_interval=args.poll,
             exit_idle=args.exit_idle,
+            fabric_secret=args.fabric_secret,
+            rpc_timeout=args.rpc_timeout,
         )
 
     if args.command == "bench":

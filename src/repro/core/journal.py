@@ -370,6 +370,15 @@ class EventLog:
             self._fh.close()
             self._fh = None
 
+    @staticmethod
+    def follow(path) -> "EventLogFollower":
+        """Open a read-only incremental reader over a (possibly live)
+        event log — see :class:`EventLogFollower`.  Unlike constructing
+        an :class:`EventLog`, following never opens the file for append
+        and never truncates a torn tail, so a standby can tail the
+        primary's log without interfering with the writer."""
+        return EventLogFollower(path)
+
     def __enter__(self) -> "EventLog":
         return self
 
@@ -378,6 +387,86 @@ class EventLog:
 
     def __repr__(self) -> str:
         return f"EventLog({str(self.path)!r}, entries={len(self._entries)})"
+
+
+class EventLogFollower:
+    """Incremental, read-only reader over a live :class:`EventLog` file.
+
+    ``poll()`` returns every *whole, CRC-valid* record appended since the
+    previous poll.  The writer appends each record as one
+    ``json + "\\n"`` write, so a concurrent reader can observe three
+    states of the tail: nothing yet, a torn prefix of the line (no
+    terminating newline — withheld until complete), or the full line
+    (CRC-checked, then surfaced).  A *newline-terminated* line that fails
+    its CRC is never possible from a torn write (fragments lack the
+    terminator), so it is held back and retried — if the writer
+    truncated a torn tail on restart the bytes simply disappear under
+    us, which ``poll`` detects as file shrinkage and handles by
+    re-reading from the last consumed offset.
+
+    The follower holds no file handle between polls and never writes, so
+    any number of them can tail one log without coordination.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = pathlib.Path(path)
+        #: Byte length of the consumed, CRC-valid prefix.
+        self._offset = 0
+
+    def poll(self) -> List[dict]:
+        """Every whole CRC-valid record appended since the last poll."""
+        try:
+            with open(self.path, "rb") as fh:
+                fh.seek(0, os.SEEK_END)
+                size = fh.tell()
+                if size < self._offset:
+                    # The file shrank (writer restart truncated a torn
+                    # tail past our consumed prefix, or the log was
+                    # replaced): drop back to the start of the file so
+                    # the next read realigns on a line boundary.
+                    self._offset = 0
+                fh.seek(self._offset)
+                blob = fh.read()
+        except FileNotFoundError:
+            self._offset = 0
+            return []
+        out: List[dict] = []
+        consumed = 0
+        while True:
+            newline = blob.find(b"\n", consumed)
+            if newline < 0:
+                break  # torn tail (no terminator yet): withhold
+            line = blob[consumed : newline + 1]
+            text = line.strip()
+            if not text:
+                consumed = newline + 1
+                continue
+            entry: Optional[dict] = None
+            try:
+                wrapper = json.loads(text.decode("utf-8"))
+                if (
+                    isinstance(wrapper, dict)
+                    and isinstance(wrapper.get("entry"), dict)
+                    and wrapper.get("crc") == _crc(wrapper["entry"])
+                ):
+                    entry = wrapper["entry"]
+            except (ValueError, UnicodeDecodeError):
+                entry = None
+            if entry is None:
+                # A complete line that fails its CRC: not a torn write
+                # (those lack the newline), so either mid-truncation
+                # churn or corruption.  Hold position; a later poll
+                # re-reads once the writer has settled.
+                break
+            out.append(entry)
+            consumed = newline + 1
+        self._offset += consumed
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"EventLogFollower({str(self.path)!r}, offset={self._offset})"
+        )
 
 
 class RunJournal:

@@ -499,3 +499,100 @@ class TestCommitProtocol:
         cid = asyncio.run(first_life())
         asyncio.run(second_life(cid))
         assert (root / cid / "aggregate.json").exists()
+
+
+class TestHardenedWorker:
+    """PR 10 worker-side hardening: endpoint failover lists,
+    decorrelated-jitter backoff, and signed fleet traffic."""
+
+    def test_client_parses_endpoint_list_and_rotates(self):
+        from repro.campaign.worker import CoordinatorClient
+
+        client = CoordinatorClient(
+            "http://127.0.0.1:1001, http://standby.example:1002"
+        )
+        assert client.endpoints == [
+            ("127.0.0.1", 1001), ("standby.example", 1002),
+        ]
+        assert (client.host, client.port) == ("127.0.0.1", 1001)
+        client.rotate()
+        assert (client.host, client.port) == ("standby.example", 1002)
+        client.rotate()
+        assert (client.host, client.port) == ("127.0.0.1", 1001)
+        assert client.rotations == 2
+
+        solo = CoordinatorClient("http://127.0.0.1:1001")
+        solo.rotate()  # single endpoint: rotation is a no-op
+        assert (solo.rotations, solo.port) == (0, 1001)
+
+        with pytest.raises(ValueError):
+            CoordinatorClient("https://127.0.0.1:1001")
+        with pytest.raises(ValueError):
+            CoordinatorClient(",")
+
+    def test_backoff_jitter_is_bounded_and_per_worker(self, tmp_path):
+        def agent(name):
+            return WorkerAgent(
+                "http://127.0.0.1:1001", tmp_path, name=name,
+                backoff_base=0.5, backoff_cap=30.0,
+            )
+
+        # decorrelated jitter: every delay lives in [base, min(cap,
+        # prev*3)] and the walk never crosses the cap
+        walker = agent("alpha")
+        delay, seen = walker.backoff_base, []
+        for _ in range(50):
+            prev = delay
+            delay = walker._next_delay(prev)
+            assert walker.backoff_base <= delay <= walker.backoff_cap
+            assert delay <= max(prev * 3, walker.backoff_base)
+            seen.append(delay)
+        assert len(set(seen)) > 10  # it actually jitters
+
+        # the stream is seeded by the worker name, never the global RNG:
+        # same name → same stream (a restarted worker is reproducible,
+        # and simulation determinism is untouched); different names →
+        # decorrelated peers that cannot thundering-herd in lockstep
+        first = agent("alpha")
+        probe = [first._next_delay(1.0) for _ in range(8)]
+        again = agent("alpha")
+        assert [again._next_delay(1.0) for _ in range(8)] == probe
+        other = agent("beta")
+        assert [other._next_delay(1.0) for _ in range(8)] != probe
+
+    def test_authed_fleet_matches_single_host_bytes(
+        self, tmp_path, golden
+    ):
+        """The ISSUE's CI requirement at unit scale: a whole fleet run
+        with HMAC auth enabled end-to-end produces artifacts
+        byte-identical to the unauthenticated single-host run."""
+        secret = "fleet-test-secret"
+
+        async def scenario():
+            service = CampaignService(
+                tmp_path / "coord", lease_ttl=30.0, fabric_secret=secret
+            )
+            _, port = await service.start("127.0.0.1", 0)
+            try:
+                cid = await _submit_fleet(port, golden["spec"])
+                workers = [
+                    _agent(port, tmp_path / "work", f"w{i}",
+                           fabric_secret=secret)
+                    for i in (1, 2)
+                ]
+                codes = await _drain_workers(workers)
+                assert set(codes.values()) == {0}
+                status, payload = await _request(
+                    port, "GET", f"/campaigns/{cid}/status"
+                )
+                assert (status, payload["state"]) == (200, "done")
+                return cid
+            finally:
+                await service.stop()
+
+        cid = asyncio.run(scenario())
+        directory = tmp_path / "coord" / cid
+        assert (directory / "aggregate.json").read_bytes() == (
+            golden["aggregate"]
+        )
+        assert (directory / "atlas.json").read_bytes() == golden["atlas"]

@@ -506,3 +506,94 @@ class TestFinalize:
         ]
         assert pending
         queue.close()
+
+
+class TestFencingTokens:
+    """PR 10 epoch-stamped lease tokens: minting, parsing, the cross-
+    epoch honour rules, and constant-time comparison semantics."""
+
+    def test_mint_and_parse_roundtrip(self):
+        from repro.campaign.queue import mint_token, token_epoch
+
+        token = mint_token(3)
+        assert token.startswith("e3.")
+        assert token_epoch(token) == 3
+        assert token_epoch(mint_token(12)) == 12
+        # two mints never collide
+        assert mint_token(3) != mint_token(3)
+
+    def test_legacy_and_garbage_tokens_parse_to_none(self):
+        from repro.campaign.queue import token_epoch
+
+        for legacy in ("deadbeefcafe", "", "e.", "eX.abc", "e-1x.y"):
+            assert token_epoch(legacy) is None
+
+    def test_tokens_equal_semantics(self):
+        from repro.campaign.queue import mint_token, tokens_equal
+
+        token = mint_token(1)
+        assert tokens_equal(token, token)
+        assert not tokens_equal(token, mint_token(1))
+        assert tokens_equal(None, None)
+        assert not tokens_equal(token, None)
+        assert not tokens_equal(None, token)
+
+    def test_minted_leases_carry_the_queue_epoch(self, tmp_path):
+        from repro.campaign.queue import token_epoch
+
+        queue = CampaignQueue(
+            _spec(), tmp_path / "campaign", shards=3, clock=FakeClock(),
+            epoch=2,
+        )
+        lease = queue.acquire("w")
+        assert token_epoch(lease["token"]) == 2
+        queue.close()
+
+    def test_earlier_epoch_tokens_survive_a_handoff(self, tmp_path):
+        # the liveness half of fencing: a lease granted by epoch-1 is
+        # replayed into the epoch-2 queue and stays fully usable — the
+        # worker heartbeats and commits mid-shard work without
+        # re-simulation
+        from repro.campaign.queue import token_epoch
+
+        old = CampaignQueue(
+            _spec(), tmp_path / "campaign", shards=3, clock=FakeClock(),
+            epoch=1,
+        )
+        lease = old.acquire("w")
+        assert token_epoch(lease["token"]) == 1
+        old.close()
+
+        new = CampaignQueue(
+            _spec(), tmp_path / "campaign", shards=3, clock=FakeClock(),
+            epoch=2,
+        )
+        beat = new.heartbeat(lease["token"])
+        assert beat["shard"] == lease["shard"]
+        outcome = _commit_shard(
+            new, lease["shard"], token=lease["token"]
+        )
+        assert (outcome["state"], outcome["duplicate"]) == (
+            "committed", False,
+        )
+        new.close()
+
+    def test_later_epoch_token_means_deposed_queue_410(self, tmp_path):
+        from repro.campaign.queue import mint_token
+
+        queue = CampaignQueue(
+            _spec(), tmp_path / "campaign", shards=3, clock=FakeClock(),
+            epoch=1,
+        )
+        queue.acquire("w")
+        with pytest.raises(QueueError) as err:
+            queue.heartbeat(mint_token(2))
+        assert err.value.status == 410
+        assert "superseded" in err.value.message
+        # an unknown token from our *own* epoch is a plain dead lease,
+        # not a fencing event
+        with pytest.raises(QueueError) as err:
+            queue.heartbeat(mint_token(1))
+        assert err.value.status == 410
+        assert "superseded" not in err.value.message
+        queue.close()

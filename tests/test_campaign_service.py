@@ -656,3 +656,141 @@ class TestRequestHardening:
                 await service.join()
 
         asyncio.run(scenario())
+
+
+async def _exchange_with_headers(port, method, path, payload=None):
+    """Like _request, but also returns the response headers (lowercased)
+    so tests can pin wire-level fields like Retry-After."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        body = b"" if payload is None else json.dumps(payload).encode()
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            "Host: test\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode()
+        writer.write(head + body)
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    head_blob, _, body_blob = raw.partition(b"\r\n\r\n")
+    lines = head_blob.decode().split("\r\n")
+    status = int(lines[0].split()[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers, json.loads(body_blob.decode())
+
+
+class TestBackpressure:
+    """PR 10 sync backpressure: global in-flight admission and the
+    per-connection sync rate floor, both answered with 429 +
+    Retry-After so workers can back off instead of piling on."""
+
+    def test_saturated_coordinator_sheds_load_with_429(self, tmp_path):
+        async def scenario():
+            service = CampaignService(tmp_path, max_inflight=1)
+            _, port = await service.start("127.0.0.1", 0)
+            try:
+                # connection 1 claims the only slot by sending a request
+                # line and then stalling mid-headers
+                reader1, writer1 = await asyncio.open_connection(
+                    "127.0.0.1", port
+                )
+                writer1.write(b"POST /fabric/sync HTTP/1.1\r\n")
+                await writer1.drain()
+                await asyncio.sleep(0.2)
+
+                status, headers, err = await _exchange_with_headers(
+                    port, "GET", "/campaigns"
+                )
+                assert status == 429
+                assert float(headers["retry-after"]) > 0
+                assert err["retry_after"] == float(headers["retry-after"])
+
+                # health stays observable even under saturation — probes
+                # and promotion are exempt from admission
+                status, _, health = await _exchange_with_headers(
+                    port, "GET", "/healthz"
+                )
+                assert (status, health["ok"]) == (200, True)
+
+                # slot released when connection 1 goes away → accepted
+                writer1.close()
+                try:
+                    await writer1.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+                await asyncio.sleep(0.2)
+                status, _, _ = await _exchange_with_headers(
+                    port, "GET", "/campaigns"
+                )
+                assert status == 200
+            finally:
+                await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_sync_spacing_is_per_connection(self, tmp_path):
+        async def scenario():
+            service = CampaignService(tmp_path, min_sync_interval=30.0)
+            _, port = await service.start("127.0.0.1", 0)
+            try:
+                # one keep-alive connection syncing twice back-to-back:
+                # the second tick violates the spacing floor
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port
+                )
+                body = json.dumps(
+                    {"worker": "w1", "heartbeats": []}
+                ).encode()
+                head = (
+                    "POST /fabric/sync HTTP/1.1\r\nHost: t\r\n"
+                    "Content-Type: application/json\r\n"
+                    f"Content-Length: {len(body)}\r\n\r\n"
+                ).encode()
+
+                async def one(expect):
+                    writer.write(head + body)
+                    await writer.drain()
+                    status_line = await reader.readline()
+                    assert b" %d " % expect in status_line
+                    length = None
+                    while True:
+                        line = await reader.readline()
+                        if line in (b"\r\n", b""):
+                            break
+                        name, _, value = line.decode().partition(":")
+                        if name.strip().lower() == "content-length":
+                            length = int(value)
+                    await reader.readexactly(length)
+
+                try:
+                    await one(200)
+                    await one(429)
+                finally:
+                    writer.close()
+                    try:
+                        await writer.wait_closed()
+                    except (ConnectionError, OSError):
+                        pass
+
+                # ...but a *fresh* connection is not punished for the
+                # old one's chattiness
+                status, _, sync = await _exchange_with_headers(
+                    port, "POST", "/fabric/sync",
+                    {"worker": "w2", "heartbeats": []},
+                )
+                assert status == 200
+            finally:
+                await service.stop()
+
+        asyncio.run(scenario())

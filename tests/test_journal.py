@@ -393,3 +393,108 @@ class TestEventLog:
         a = payload_crc({"b": 1, "a": [1, 2]})
         b = payload_crc({"a": [1, 2], "b": 1})
         assert a == b and len(a) == 8 and a != payload_crc({"a": [2, 1]})
+
+
+class TestEventLogFollower:
+    """The read-only incremental tail behind coordinator standbys."""
+
+    def _records(self, n=4):
+        return [{"kind": "state", "seq": i, "pad": "x" * i} for i in
+                range(n)]
+
+    def _blob(self, tmp_path, records):
+        from repro.core.journal import EventLog
+
+        path = tmp_path / "full.jsonl"
+        with EventLog(path) as log:
+            for record in records:
+                log.append(record)
+        return path.read_bytes()
+
+    def test_tails_a_live_writer_incrementally(self, tmp_path):
+        from repro.core.journal import EventLog
+
+        path = tmp_path / "events.jsonl"
+        follower = EventLog.follow(path)
+        assert follower.poll() == []  # not created yet: empty, no error
+        with EventLog(path) as log:
+            log.append({"kind": "a"})
+            assert [e["kind"] for e in follower.poll()] == ["a"]
+            assert follower.poll() == []  # nothing new
+            log.append({"kind": "b"})
+            log.append({"kind": "c"})
+            assert [e["kind"] for e in follower.poll()] == ["b", "c"]
+
+    def test_every_truncation_point_yields_only_whole_records(
+        self, tmp_path
+    ):
+        """Property test: cut the log at *every* byte offset.  A fresh
+        follower over the cut file must surface exactly the records
+        whose full ``json + "\\n"`` line fits in the prefix — never a
+        partial or corrupt record — and must pick up the rest once the
+        missing bytes land."""
+        from repro.core.journal import EventLog
+
+        records = self._records()
+        blob = self._blob(tmp_path, records)
+        boundaries = [
+            i + 1 for i, byte in enumerate(blob) if byte == ord("\n")
+        ]
+        path = tmp_path / "cut.jsonl"
+        for cut in range(len(blob) + 1):
+            path.write_bytes(blob[:cut])
+            follower = EventLog.follow(path)
+            seen = follower.poll()
+            whole = sum(1 for b in boundaries if b <= cut)
+            assert seen == records[:whole], f"cut at byte {cut}"
+            # the writer finishes the interrupted append: the follower
+            # resumes mid-line and surfaces the remainder exactly once
+            path.write_bytes(blob)
+            assert seen + follower.poll() == records, f"cut at {cut}"
+
+    def test_complete_but_corrupt_line_is_withheld_not_surfaced(
+        self, tmp_path
+    ):
+        from repro.core.journal import EventLog
+
+        records = self._records(2)
+        blob = self._blob(tmp_path, records)
+        first_end = blob.index(b"\n") + 1
+        path = tmp_path / "corrupt.jsonl"
+        # newline-terminated line whose CRC does not match its entry
+        path.write_bytes(
+            blob[:first_end]
+            + blob[first_end:].replace(b'"seq": 1', b'"seq": 9')
+        )
+        follower = EventLog.follow(path)
+        assert follower.poll() == records[:1]
+        assert follower.poll() == []  # corrupt line still withheld
+        # the damage heals (writer truncate-and-rewrite): full tail lands
+        path.write_bytes(blob)
+        assert follower.poll() == records[1:]
+
+    def test_shrunk_file_realigns_from_the_start(self, tmp_path):
+        from repro.core.journal import EventLog
+
+        records = self._records(3)
+        blob = self._blob(tmp_path, records)
+        path = tmp_path / "shrink.jsonl"
+        path.write_bytes(blob)
+        follower = EventLog.follow(path)
+        assert follower.poll() == records
+        # the log is replaced with a shorter one (writer restart)
+        second = self._records(1)
+        path.write_bytes(self._blob(tmp_path / "alt", second))
+        assert follower.poll() == second
+
+    def test_follower_never_mutates_the_file(self, tmp_path):
+        from repro.core.journal import EventLog
+
+        blob = self._blob(tmp_path, self._records(2)) + b'{"torn'
+        path = tmp_path / "readonly.jsonl"
+        path.write_bytes(blob)
+        follower = EventLog.follow(path)
+        follower.poll()
+        follower.poll()
+        # an EventLog would truncate the torn tail; the follower must not
+        assert path.read_bytes() == blob

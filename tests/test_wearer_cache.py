@@ -197,6 +197,93 @@ class TestStore:
             assert summary_crc(decorated) == summary_crc(summary)
 
 
+class TestBoundedCache:
+    """PR 10 caps: the store stays under ``max_bytes``/``max_entries``
+    by LRU eviction, and eviction is always recoverable — an evicted
+    entry is a clean miss that re-fills with byte-identical content."""
+
+    def test_entry_cap_evicts_least_recently_used(self, tmp_path):
+        cache = WearerResultCache(tmp_path / "wc", max_entries=2)
+        cache.put("aa01", _summary("one"))
+        cache.put("aa02", _summary("two"))
+        # touch aa01 so aa02 becomes the LRU victim
+        assert cache.get("aa01") is not None
+        cache.put("aa03", _summary("three"))
+        assert len(cache) == 2
+        assert cache.get("aa02") is None
+        assert cache.get("aa01") == summary_projection(_summary("one"))
+        assert cache.get("aa03") == summary_projection(_summary("three"))
+
+    def test_byte_cap_holds_under_fill_past_capacity(self, tmp_path):
+        probe = WearerResultCache(tmp_path / "probe")
+        probe.put("aa00", _summary("x" * 64))
+        entry_bytes = probe.total_bytes()
+
+        cache = WearerResultCache(
+            tmp_path / "wc", max_bytes=entry_bytes * 3
+        )
+        for i in range(10):
+            cache.put(f"bb{i:02d}", _summary("x" * 64))
+            assert cache.total_bytes() <= entry_bytes * 3
+        assert len(cache) == 3
+        # the newest writes are the survivors
+        for i in range(7, 10):
+            assert cache.get(f"bb{i:02d}") is not None
+
+    def test_eviction_never_removes_the_fresh_write(self, tmp_path):
+        # cap of one entry: each put may evict everything *except* what
+        # it just wrote
+        cache = WearerResultCache(tmp_path / "wc", max_entries=1)
+        cache.put("aa01", _summary("one"))
+        cache.put("aa02", _summary("two"))
+        assert cache.get("aa01") is None
+        assert cache.get("aa02") == summary_projection(_summary("two"))
+
+    def test_evicted_entry_refills_with_identical_bytes(self, tmp_path):
+        # the correctness story for eviction racing a prefetch: a worker
+        # holding a stale prefetch pointer sees a miss, re-simulates,
+        # and the re-put stores byte-identical content — first-writer-
+        # wins never fires a divergence for a re-computed entry
+        cache = WearerResultCache(tmp_path / "wc", max_entries=1)
+        cache.put("aa01", _summary("one"))
+        original = cache.path_for("aa01").read_bytes()
+        cache.put("aa02", _summary("two"))  # evicts aa01 mid-"flight"
+        assert cache.get("aa01") is None  # clean miss, not an error
+        assert cache.put("aa01", _summary("one")) is True  # re-simulated
+        assert cache.path_for("aa01").read_bytes() == original
+
+    def test_index_survives_restart_and_rebuilds_when_lost(self, tmp_path):
+        cache = WearerResultCache(tmp_path / "wc", max_entries=2)
+        cache.put("aa01", _summary("one"))
+        cache.put("aa02", _summary("two"))
+
+        # restart with the persisted index: recency order carries over
+        reopened = WearerResultCache(tmp_path / "wc", max_entries=2)
+        assert reopened.get("aa01") is not None  # aa01 now MRU
+        reopened.put("aa03", _summary("three"))
+        assert reopened.get("aa02") is None
+        assert reopened.get("aa01") is not None
+
+        # corrupt the index outright: the store rebuilds from the files
+        reopened.index_path.write_text("{ not json")
+        rebuilt = WearerResultCache(tmp_path / "wc", max_entries=2)
+        assert len(rebuilt) == 2
+        rebuilt.put("aa04", _summary("four"))
+        assert len(rebuilt) == 2  # cap still enforced after rebuild
+
+    def test_unbounded_by_default(self, tmp_path):
+        cache = WearerResultCache(tmp_path / "wc")
+        for i in range(20):
+            cache.put(f"cc{i:02d}", _summary(str(i)))
+        assert len(cache) == 20
+
+    def test_index_file_is_not_an_entry(self, tmp_path):
+        cache = WearerResultCache(tmp_path / "wc", max_entries=4)
+        cache.put("aa01", _summary("one"))
+        assert len(cache) == 1
+        assert cache.index_path.exists()
+
+
 def test_fingerprint_survives_spec_roundtrip():
     # Wire form (to_dict/from_dict, how wearers travel inside leases)
     # must fingerprint identically to the in-memory form.
